@@ -1,0 +1,151 @@
+package repro
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation. Each BenchmarkFigN/BenchmarkTableN measures the cost of
+// reproducing that artifact end to end on the shared suite (profiles +
+// characterization dataset are built once and reused, like a real campaign)
+// and logs the regenerated rows.
+//
+// Run a single figure:  go test -bench=BenchmarkFig7 -benchtime=1x
+// Run everything:       go test -bench=. -benchmem
+//
+// The suite runs kernels at profiling size with a 1/8-capacity DRAM
+// simulation; see EXPERIMENTS.md for how that maps to the paper's numbers.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/exp"
+	"repro/internal/workload"
+)
+
+var (
+	suiteOnce sync.Once
+	suiteVal  *exp.Suite
+	suiteErr  error
+)
+
+func benchSuite(b *testing.B) *exp.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suiteVal, suiteErr = exp.NewSuite(exp.Options{
+			Size:  workload.SizeProfile,
+			Scale: 8,
+			Reps:  10,
+			Seed:  0,
+		})
+		if suiteErr == nil {
+			suiteErr = suiteVal.EnsureDataset()
+		}
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suiteVal
+}
+
+// benchTable runs one figure generator b.N times and logs the last result.
+func benchTable(b *testing.B, fn func() (*exp.Table, error)) {
+	s := benchSuite(b)
+	_ = s
+	b.ResetTimer()
+	var tbl *exp.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tbl, err = fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Logf("\n%s", tbl.Render())
+}
+
+// BenchmarkFig2 regenerates Fig. 2: WER over a 2-hour run for memcached,
+// backprop and the random micro-benchmark at 2.283 s / 70 °C.
+func BenchmarkFig2(b *testing.B) { benchTable(b, benchSuite(b).Fig2) }
+
+// BenchmarkFig4 regenerates Fig. 4: WER over time for all benchmarks at
+// 2.283 s / 50 °C.
+func BenchmarkFig4(b *testing.B) { benchTable(b, benchSuite(b).Fig4) }
+
+// BenchmarkTable2 regenerates Table II: the average DRAM reuse time.
+func BenchmarkTable2(b *testing.B) { benchTable(b, benchSuite(b).Table2) }
+
+// BenchmarkFig7 regenerates Fig. 7: WER vs TREFP at 50/60/70 °C.
+func BenchmarkFig7(b *testing.B) { benchTable(b, benchSuite(b).Fig7) }
+
+// BenchmarkFig8 regenerates Fig. 8: WER per DIMM/rank.
+func BenchmarkFig8(b *testing.B) { benchTable(b, benchSuite(b).Fig8) }
+
+// BenchmarkFig9 regenerates Fig. 9: PUE per benchmark and per rank.
+func BenchmarkFig9(b *testing.B) { benchTable(b, benchSuite(b).Fig9) }
+
+// BenchmarkFig10 regenerates Fig. 10: feature correlations with WER/PUE.
+func BenchmarkFig10(b *testing.B) { benchTable(b, benchSuite(b).Fig10) }
+
+// BenchmarkFig11 regenerates Fig. 11: WER model accuracy (3 models x 3
+// input sets, leave-one-workload-out).
+func BenchmarkFig11(b *testing.B) { benchTable(b, benchSuite(b).Fig11) }
+
+// BenchmarkFig12 regenerates Fig. 12: PUE model accuracy.
+func BenchmarkFig12(b *testing.B) { benchTable(b, benchSuite(b).Fig12) }
+
+// BenchmarkFig13 regenerates Fig. 13: the lulesh compiler-optimization
+// case study against the conventional baseline.
+func BenchmarkFig13(b *testing.B) { benchTable(b, benchSuite(b).Fig13) }
+
+// BenchmarkVddStudy regenerates the Section V VDD-sensitivity finding.
+func BenchmarkVddStudy(b *testing.B) { benchTable(b, benchSuite(b).VddStudy) }
+
+// BenchmarkAblation regenerates the physics-channel ablation study
+// (DESIGN.md's attribution of each paper observation to a model channel).
+func BenchmarkAblation(b *testing.B) { benchTable(b, benchSuite(b).Ablation) }
+
+// BenchmarkPredictionLatency measures the deployed model's per-query cost —
+// the paper's "predict DRAM errors within 300 ms" claim (Section VI-C).
+func BenchmarkPredictionLatency(b *testing.B) {
+	s := benchSuite(b)
+	model, err := core.TrainWER(s.Dataset, core.ModelKNN, core.InputSet1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	feats := s.Profiles["srad(par)"].Features
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.PredictMean(feats, 2.283, dram.MinVDD, 60)
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		perQuery := time.Since(start) / time.Duration(b.N)
+		if perQuery > 300*time.Millisecond {
+			b.Fatalf("prediction took %v per query, paper promises < 300ms", perQuery)
+		}
+	}
+}
+
+// BenchmarkCharacterizationRun measures one simulated 2-hour
+// characterization experiment (the unit of campaign cost).
+func BenchmarkCharacterizationRun(b *testing.B) {
+	s := benchSuite(b)
+	if err := s.Server.SetTREFP(2.283); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Server.SetVDD(dram.MinVDD); err != nil {
+		b.Fatal(err)
+	}
+	prof := s.Profiles["backprop(par)"].Access
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Server.Device().Run(prof, dram.RunConfig{
+			TREFP: 2.283, VDD: dram.MinVDD, TempC: 60, RecordWER: true, Rep: i,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

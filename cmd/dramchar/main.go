@@ -1,0 +1,110 @@
+// Command dramchar runs one DRAM characterization experiment — the paper's
+// Fig. 3 "DRAM characterization phase" for a single operating point — and
+// prints the SLIMpro error report.
+//
+// Usage:
+//
+//	dramchar -bench backprop(par) -trefp 2.283 -temp 60 [-vdd 1.428]
+//	         [-scale 8] [-quick] [-reps 1] [-report-only]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dram"
+	"repro/internal/profile"
+	"repro/internal/workload"
+	"repro/internal/xgene"
+)
+
+func main() {
+	var (
+		bench      = flag.String("bench", "backprop(par)", "benchmark label (see -list)")
+		list       = flag.Bool("list", false, "list benchmark labels and exit")
+		trefp      = flag.Float64("trefp", 2.283, "refresh period in seconds")
+		temp       = flag.Float64("temp", 60, "DIMM temperature in °C")
+		vdd        = flag.Float64("vdd", dram.MinVDD, "DRAM supply voltage in volts")
+		scale      = flag.Int("scale", 8, "simulation capacity divisor")
+		quick      = flag.Bool("quick", false, "use test-size kernels")
+		reps       = flag.Int("reps", 1, "repetitions")
+		reportOnly = flag.Bool("report-only", false, "log UEs without crashing")
+		seed       = flag.Uint64("seed", 0, "server seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.ExtendedSet() {
+			fmt.Printf("%-14s %d threads\n", s.Label, s.Threads)
+		}
+		return
+	}
+	spec, err := workload.FindSpec(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "profiling %s...\n", spec.Label)
+	var prof *profile.Result
+	if *quick {
+		prof, err = profile.BuildQuick(spec, *seed)
+	} else {
+		prof, err = profile.Build(spec, *seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("profile: Treuse=%.3fs HDP=%.2f bits, DRAM %.3g acc/s, %.3g act/s\n",
+		prof.Treuse, prof.HDP, prof.Access.DRAMAccessesPerSec, prof.Access.RowActivationsPerSec)
+
+	srv := xgene.MustNewServer(xgene.Config{Seed: *seed, Scale: *scale})
+	if err := srv.SetTREFP(*trefp); err != nil {
+		fatal(err)
+	}
+	if err := srv.SetVDD(*vdd); err != nil {
+		fatal(err)
+	}
+	for rep := 0; rep < *reps; rep++ {
+		obs, err := srv.Run(prof.Access, xgene.Experiment{
+			TempC: *temp, Rep: rep, RecordWER: true, ReportOnly: *reportOnly,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nrun %d: thermal settle %.0fs, TREFP=%.3fs VDD=%.3fV %.0f°C\n",
+			rep, obs.SettleSeconds, *trefp, *vdd, *temp)
+		if obs.Crashed {
+			fmt.Printf("  SYSTEM CRASH: uncorrectable error on %s at epoch %d\n",
+				dram.RankName(obs.UERank), obs.CrashEpoch)
+			continue
+		}
+		fmt.Printf("  WER = %.4g (%d unique erroneous words, %d UEs, %d SDCs)\n",
+			obs.WER, totalCE(obs), obs.UECount, obs.SDCCount)
+		for r := 0; r < dram.NumRanks; r++ {
+			fmt.Printf("  %-12s WER %.4g (%d CE words)\n",
+				dram.RankName(r), obs.WERByRank[r], obs.CEWords[r])
+		}
+		if len(obs.CERecords) > 0 {
+			fmt.Printf("  first error locations (SLIMpro log, up to 5):\n")
+			for i, rec := range obs.CERecords {
+				if i == 5 {
+					break
+				}
+				fmt.Printf("    %s bit %d @ %d min\n", rec.Addr, rec.Bit, (rec.Epoch+1)*10)
+			}
+		}
+	}
+}
+
+func totalCE(obs *xgene.Observation) int {
+	n := 0
+	for _, c := range obs.CEWords {
+		n += c
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dramchar:", err)
+	os.Exit(1)
+}

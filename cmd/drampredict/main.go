@@ -1,0 +1,128 @@
+// Command drampredict demonstrates the paper's headline use case: predict
+// the DRAM error behaviour of a workload for any operating point in well
+// under a second, without a multi-hour characterization campaign
+// (Section VI-C: "our models predict DRAM errors within 300 ms").
+//
+// It trains the published KNN model once on the campaign dataset, then
+// answers WER/PUE queries for the given workload and operating point,
+// reporting the prediction latency.
+//
+// Usage:
+//
+//	drampredict -bench lulesh(F) -trefp 0.618 -temp 70 [-quick] [-scale 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/workload"
+	"repro/internal/xgene"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "lulesh(F)", "workload to predict")
+		trefp = flag.Float64("trefp", 0.618, "refresh period in seconds")
+		temp  = flag.Float64("temp", 70, "DIMM temperature in °C")
+		scale = flag.Int("scale", 8, "simulation capacity divisor")
+		quick = flag.Bool("quick", false, "use test-size kernels")
+		seed  = flag.Uint64("seed", 0, "server and profiling seed")
+	)
+	flag.Parse()
+
+	size := workload.SizeProfile
+	if *quick {
+		size = workload.SizeTest
+	}
+	spec, err := workload.FindSpec(*bench)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Training corpus: every workload except the prediction target (the
+	// model must generalize to unseen programs, as in the paper's
+	// validation).
+	var trainSpecs []workload.Spec
+	for _, s := range workload.ExtendedSet() {
+		if s.Label != spec.Label {
+			trainSpecs = append(trainSpecs, s)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "building training dataset (one-time cost)...")
+	profiles, err := core.BuildProfiles(trainSpecs, size, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	srv := xgene.MustNewServer(xgene.Config{Seed: *seed, Scale: *scale})
+	ds, err := core.BuildDataset(srv, profiles, trainSpecs, core.CampaignOptions{Reps: 5})
+	if err != nil {
+		fatal(err)
+	}
+	werModel, err := core.TrainWER(ds, core.ModelKNN, core.InputSet1)
+	if err != nil {
+		fatal(err)
+	}
+	pueModel, err := core.TrainPUE(ds, core.ModelKNN, core.InputSet2)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Profile the target workload (the paper's "Profiling phase": fast,
+	// no DRAM characterization involved).
+	targetProfiles, err := core.BuildProfiles([]workload.Spec{spec}, size, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	features := targetProfiles[spec.Label].Features
+
+	start := time.Now()
+	wer := werModel.PredictMean(features, *trefp, dram.MinVDD, *temp)
+	perRank := make([]float64, dram.NumRanks)
+	for r := 0; r < dram.NumRanks; r++ {
+		perRank[r] = werModel.Predict(features, *trefp, dram.MinVDD, *temp, r)
+	}
+	pue := pueModel.Predict(features, *trefp, dram.MinVDD, *temp)
+	elapsed := time.Since(start)
+
+	fmt.Printf("prediction for %s at TREFP=%.3fs, %.0f°C, VDD=%.3fV:\n",
+		spec.Label, *trefp, *temp, dram.MinVDD)
+	fmt.Printf("  WER (device mean): %.4g\n", wer)
+	for r := 0; r < dram.NumRanks; r++ {
+		fmt.Printf("  %-12s %.4g\n", dram.RankName(r), perRank[r])
+	}
+	fmt.Printf("  PUE (crash probability): %.2f\n", pue)
+	fmt.Printf("  prediction latency: %v (paper: within 300 ms)\n", elapsed)
+
+	// Validate against a real characterization run when it is survivable.
+	if err := srv.SetTREFP(*trefp); err == nil && *temp <= 70 {
+		_ = srv.SetVDD(dram.MinVDD)
+		obs, err := srv.Run(targetProfiles[spec.Label].Access,
+			xgene.Experiment{TempC: *temp, RecordWER: true})
+		if err == nil && obs.WERValid && obs.WER > 0 {
+			fmt.Printf("  measured (2h characterization): %.4g (%.1fx off)\n",
+				obs.WER, ratio(wer, obs.WER))
+		} else if err == nil && obs.Crashed {
+			fmt.Printf("  measured: system crash (UE on %s)\n", dram.RankName(obs.UERank))
+		}
+	}
+}
+
+func ratio(a, b float64) float64 {
+	if a < b {
+		a, b = b, a
+	}
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "drampredict:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,137 @@
+// Command dramtrain builds the paper's dataset (characterization campaigns
+// over all workloads), trains the three ML models on the three input sets,
+// and prints the cross-validated accuracy comparison (Figs. 11 and 12).
+//
+// Usage:
+//
+//	dramtrain [-scale 8] [-reps 10] [-quick] [-seed 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+	"repro/internal/xgene"
+)
+
+func main() {
+	var (
+		scale    = flag.Int("scale", 8, "simulation capacity divisor")
+		reps     = flag.Int("reps", 10, "repetitions per PUE experiment")
+		quick    = flag.Bool("quick", false, "use test-size kernels")
+		seed     = flag.Uint64("seed", 0, "server and profiling seed")
+		savePath = flag.String("save", "", "write the campaign dataset artifact to this path")
+		loadPath = flag.String("load", "", "skip the campaign; load a saved dataset artifact")
+	)
+	flag.Parse()
+
+	var ds *core.Dataset
+	if *loadPath != "" {
+		var err error
+		ds, err = core.LoadDataset(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded dataset artifact %s\n", *loadPath)
+	} else {
+		size := workload.SizeProfile
+		if *quick {
+			size = workload.SizeTest
+		}
+		specs := workload.ExtendedSet()
+		fmt.Fprintf(os.Stderr, "profiling %d workloads...\n", len(specs))
+		profiles, err := core.BuildProfiles(specs, size, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		srv := xgene.MustNewServer(xgene.Config{Seed: *seed, Scale: *scale})
+		fmt.Fprintln(os.Stderr, "running characterization campaigns...")
+		ds, err = core.BuildDataset(srv, profiles, specs, core.CampaignOptions{Reps: *reps})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *savePath != "" {
+		if err := ds.Save(*savePath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved dataset artifact to %s\n", *savePath)
+	}
+	observed := 0
+	for _, s := range ds.WER {
+		if s.WER > core.WERFloor {
+			observed++
+		}
+	}
+	fmt.Printf("dataset: %d WER rows (%d with observed errors), %d PUE rows, %d workloads\n\n",
+		len(ds.WER), observed, len(ds.PUE), len(ds.Workloads()))
+
+	fmt.Println("WER prediction, leave-one-workload-out (mean percentage error):")
+	fmt.Printf("%-6s %-12s %-8s %-10s\n", "model", "input set", "avg", "median app")
+	for _, kind := range core.ModelKinds() {
+		for _, set := range core.InputSets() {
+			ev, err := core.EvaluateWER(ds, kind, set)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-6s %-12s %-8.1f %-10.1f\n", kind, set,
+				100*ev.MPE, 100*medianOf(ev.MPEByWorkload))
+		}
+	}
+
+	fmt.Println("\nPUE prediction, leave-one-workload-out (mean absolute error, prob. points):")
+	fmt.Printf("%-6s %-12s %-8s\n", "model", "input set", "MAE")
+	for _, kind := range core.ModelKinds() {
+		for _, set := range core.InputSets() {
+			ev, err := core.EvaluatePUE(ds, kind, set)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-6s %-12s %-8.1f\n", kind, set, 100*ev.MAE)
+		}
+	}
+
+	conv, err := core.NewConventionalModel(ds, "random")
+	if err == nil {
+		fmt.Println("\nconventional workload-unaware baseline (random data pattern):")
+		ratioSum, n := 0.0, 0
+		for _, s := range ds.WER {
+			if s.Workload == "random" || s.WER <= core.WERFloor {
+				continue
+			}
+			if base, err := conv.Predict(s.TREFP, s.TempC, s.Rank); err == nil && base > 0 {
+				r := base / s.WER
+				if r < 1 {
+					r = 1 / r
+				}
+				ratioSum += r
+				n++
+			}
+		}
+		if n > 0 {
+			fmt.Printf("mean multiplicative error vs real workloads: %.1fx (paper: 2.9x)\n",
+				ratioSum/float64(n))
+		}
+	}
+}
+
+func medianOf(m map[string]float64) float64 {
+	vals := make([]float64, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	if len(vals) == 0 {
+		return 0
+	}
+	return vals[len(vals)/2]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dramtrain:", err)
+	os.Exit(1)
+}

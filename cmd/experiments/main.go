@@ -1,0 +1,74 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the simulated platform and prints the numbers
+// behind each plot.
+//
+// Usage:
+//
+//	experiments [-run id] [-scale n] [-reps n] [-quick] [-seed n]
+//
+// With no -run flag, all experiments execute in paper order. Experiment ids:
+// fig2, fig4, tab2, fig7, fig8, fig9, fig10, fig11, fig12, fig13, vdd,
+// ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		runID = flag.String("run", "", "run a single experiment id (default: all)")
+		scale = flag.Int("scale", 8, "DRAM simulation capacity divisor (1 = full 32 GiB)")
+		reps  = flag.Int("reps", 10, "repetitions per PUE experiment")
+		quick = flag.Bool("quick", false, "use test-size kernels (fast smoke run)")
+		seed  = flag.Uint64("seed", 0, "server and profiling seed")
+	)
+	flag.Parse()
+
+	size := workload.SizeProfile
+	if *quick {
+		size = workload.SizeTest
+	}
+	fmt.Fprintf(os.Stderr, "profiling %d workloads (size=%v, scale=%d)...\n",
+		len(workload.ExtendedSet()), size, *scale)
+	suite, err := exp.NewSuite(exp.Options{Size: size, Scale: *scale, Reps: *reps, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+
+	experiments := map[string]func() (*exp.Table, error){
+		"fig2": suite.Fig2, "fig4": suite.Fig4, "tab2": suite.Table2,
+		"fig7": suite.Fig7, "fig8": suite.Fig8, "fig9": suite.Fig9,
+		"fig10": suite.Fig10, "fig11": suite.Fig11, "fig12": suite.Fig12,
+		"fig13": suite.Fig13, "vdd": suite.VddStudy, "ablation": suite.Ablation,
+	}
+	if *runID != "" {
+		fn, ok := experiments[*runID]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q", *runID))
+		}
+		tbl, err := fn()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tbl.Render())
+		return
+	}
+	tables, err := suite.All()
+	for _, tbl := range tables {
+		fmt.Println(tbl.Render())
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,31 @@
+// Package repro is a full reproduction of "Workload-Aware DRAM Error
+// Prediction using Machine Learning" (Mukhanov et al., IISWC 2019) as a
+// pure-Go simulation stack.
+//
+// The original study characterizes DRAM error behaviour on a real ARMv8
+// X-Gene2 server with 72 DDR3 chips operating under relaxed refresh period
+// and lowered supply voltage at controlled temperatures, then trains
+// machine-learning models to predict the word error rate (WER) and the
+// crash probability (PUE) of arbitrary workloads from program-inherent
+// features. This repository rebuilds every layer of that experiment in
+// software:
+//
+//   - internal/dram    — mechanistic DRAM reliability simulator (weak-cell
+//     retention tails, variable retention time, true/anti cells,
+//     neighbour-row disturbance, bitline-coupled pairs)
+//   - internal/ecc     — real Hamming(72,64) SECDED decode (CE/UE/SDC)
+//   - internal/memsys  — 8-core cache hierarchy and 4-channel MCU model
+//   - internal/workload— the benchmark suite as real algorithms
+//   - internal/profile — Treuse/HDP/249-feature extraction
+//   - internal/thermal — PID-controlled DIMM thermal testbed
+//   - internal/xgene   — the server platform (SLIMpro, crash-on-UE)
+//   - internal/ml      — KNN, ε-SVR and random-forest regressors
+//   - internal/core    — the paper's contribution: the workload-aware
+//     DRAM error model and its evaluation protocol
+//   - internal/exp     — regeneration of every table and figure
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// simulation-for-hardware substitutions, and EXPERIMENTS.md for the
+// paper-versus-reproduction numbers. The benchmarks in bench_test.go
+// regenerate each figure: go test -bench=Benchmark -benchtime=1x .
+package repro

@@ -1,0 +1,62 @@
+// Quickstart: the end-to-end pipeline of the paper in one page —
+// profile a workload, characterize the DRAM under a relaxed refresh
+// period, train the workload-aware error model, and predict the error
+// rate of an unseen workload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/workload"
+	"repro/internal/xgene"
+)
+
+func main() {
+	// 1. Profile the benchmarks (the paper's "Profiling phase": program
+	// features from DynamoRIO-style instrumentation + perf counters).
+	// SizeTest keeps this quickstart fast; use SizeProfile for the real
+	// reproduction.
+	specs := workload.ExtendedSet()
+	profiles, err := core.BuildProfiles(specs, workload.SizeTest, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %d workloads; e.g. memcached Treuse=%.3fs HDP=%.1f bits\n",
+		len(profiles), profiles["memcached"].Treuse, profiles["memcached"].HDP)
+
+	// 2. Boot the simulated X-Gene2 server and run the characterization
+	// campaigns (the paper's 2-hour runs across TREFP x temperature,
+	// fast-forwarded by the simulator).
+	srv := xgene.MustNewServer(xgene.Config{Scale: 32})
+	ds, err := core.BuildDataset(srv, profiles, specs, core.CampaignOptions{Reps: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("campaign dataset: %d WER rows, %d PUE rows\n", len(ds.WER), len(ds.PUE))
+
+	// 3. Train the paper's published model: KNN on input set 1
+	// (TEMPDRAM, TREFP, wait cycles, memory access rate, HDP, Treuse).
+	model, err := core.TrainWER(ds, core.ModelKNN, core.InputSet1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Predict the WER of a workload at an operating point — no
+	// characterization campaign needed, answers in milliseconds.
+	feats := profiles["srad(par)"].Features
+	for _, trefp := range []float64{1.173, 2.283} {
+		wer := model.PredictMean(feats, trefp, dram.MinVDD, 60)
+		fmt.Printf("predicted WER of srad(par) at TREFP=%.3fs, 60°C: %.3g\n", trefp, wer)
+	}
+
+	// 5. Crash-probability prediction from the PUE model.
+	pueModel, err := core.TrainPUE(ds, core.ModelKNN, core.InputSet2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predicted crash probability of srad(par) at TREFP=2.283s, 70°C: %.2f\n",
+		pueModel.Predict(feats, 2.283, dram.MinVDD, 70))
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// ConventionalModel is the workload-unaware baseline the paper compares
+// against (Section VI-C): DRAM error rates measured once with the random
+// data-pattern micro-benchmark are assumed to hold for every workload.
+// This is how prior studies parameterize error models — and it is off by
+// ~2.9x for real applications (Fig. 13).
+type ConventionalModel struct {
+	// werByConfig maps (TREFP, tempC, rank) to the micro-benchmark WER.
+	werByConfig map[convKey]float64
+	// BenchmarkLabel is the micro-benchmark the rates came from.
+	BenchmarkLabel string
+}
+
+type convKey struct {
+	trefp float64
+	tempC float64
+	rank  int
+}
+
+// NewConventionalModel builds the baseline from the dataset's rows for the
+// given data-pattern micro-benchmark (the paper's "random").
+func NewConventionalModel(ds *Dataset, benchmarkLabel string) (*ConventionalModel, error) {
+	m := &ConventionalModel{
+		werByConfig:    map[convKey]float64{},
+		BenchmarkLabel: benchmarkLabel,
+	}
+	for _, s := range ds.WER {
+		if s.Workload != benchmarkLabel {
+			continue
+		}
+		m.werByConfig[convKey{s.TREFP, s.TempC, s.Rank}] = s.WER
+	}
+	if len(m.werByConfig) == 0 {
+		return nil, fmt.Errorf("core: dataset has no rows for micro-benchmark %q", benchmarkLabel)
+	}
+	return m, nil
+}
+
+// Predict returns the constant micro-benchmark rate for the operating
+// point, ignoring the workload entirely.
+func (m *ConventionalModel) Predict(trefp, tempC float64, rank int) (float64, error) {
+	if w, ok := m.werByConfig[convKey{trefp, tempC, rank}]; ok {
+		return w, nil
+	}
+	return 0, fmt.Errorf("core: conventional model has no measurement at TREFP=%v temp=%v rank=%s",
+		trefp, tempC, dram.RankName(rank))
+}
+
+// PredictMean averages the rate over ranks at an operating point.
+func (m *ConventionalModel) PredictMean(trefp, tempC float64) (float64, error) {
+	sum, n := 0.0, 0
+	for r := 0; r < dram.NumRanks; r++ {
+		if w, ok := m.werByConfig[convKey{trefp, tempC, r}]; ok {
+			sum += w
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("core: conventional model has no measurement at TREFP=%v temp=%v", trefp, tempC)
+	}
+	return sum / float64(n), nil
+}

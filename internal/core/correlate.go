@@ -1,0 +1,112 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/profile"
+	"repro/internal/stats"
+)
+
+// FeatureCorrelation is one point of the paper's Fig. 10: a program
+// feature's Spearman rank correlation with WER and with PUE.
+type FeatureCorrelation struct {
+	Name  string
+	RsWER float64
+	RsPUE float64
+}
+
+// CorrelateFeatures computes rs for all 249 program features against WER
+// and PUE — the feature-selection analysis of Section VI-A. Because the
+// operating parameters (TREFP, temperature) drive four decades of WER on
+// their own, the workload-feature relationship is measured *within* each
+// operating point and averaged across points (weighted by sample count);
+// otherwise every program feature would drown in the parameter sweep.
+func CorrelateFeatures(ds *Dataset) []FeatureCorrelation {
+	keys, means := ds.MeanWERByWorkloadConfig()
+	names := profile.FeatureNames()
+	out := make([]FeatureCorrelation, len(names))
+
+	// Group the rank-averaged WER measurements by operating point.
+	type opPoint struct{ trefp, temp float64 }
+	groups := map[opPoint][]int{}
+	for i, k := range keys {
+		p := opPoint{k.TREFP, k.TempC}
+		groups[p] = append(groups[p], i)
+	}
+	puePoints := map[float64][]int{}
+	for i, s := range ds.PUE {
+		puePoints[s.TREFP] = append(puePoints[s.TREFP], i)
+	}
+
+	for f := range names {
+		fc := FeatureCorrelation{Name: names[f]}
+		var wSum, wN float64
+		for _, idxs := range groups {
+			if len(idxs) < 3 {
+				continue
+			}
+			fv := make([]float64, len(idxs))
+			wv := make([]float64, len(idxs))
+			for j, i := range idxs {
+				fv[j] = keys[i].Features[f]
+				wv[j] = means[i]
+			}
+			w := float64(len(idxs))
+			wSum += w * stats.Spearman(fv, wv)
+			wN += w
+		}
+		if wN > 0 {
+			fc.RsWER = wSum / wN
+		}
+		var pSum, pN float64
+		for _, idxs := range puePoints {
+			if len(idxs) < 3 {
+				continue
+			}
+			fv := make([]float64, len(idxs))
+			pv := make([]float64, len(idxs))
+			for j, i := range idxs {
+				fv[j] = ds.PUE[i].Features[f]
+				pv[j] = ds.PUE[i].PUE
+			}
+			w := float64(len(idxs))
+			pSum += w * stats.Spearman(fv, pv)
+			pN += w
+		}
+		if pN > 0 {
+			fc.RsPUE = pSum / pN
+		}
+		out[f] = fc
+	}
+	return out
+}
+
+// TopCorrelated returns the n features with the largest |rs| against WER,
+// strongest first.
+func TopCorrelated(correlations []FeatureCorrelation, n int) []FeatureCorrelation {
+	sorted := append([]FeatureCorrelation(nil), correlations...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return abs(sorted[i].RsWER) > abs(sorted[j].RsWER)
+	})
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	return sorted[:n]
+}
+
+// CorrelationOf finds a named feature's entry.
+func CorrelationOf(correlations []FeatureCorrelation, name string) (FeatureCorrelation, bool) {
+	for _, c := range correlations {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return FeatureCorrelation{}, false
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,242 @@
+// Package core implements the paper's primary contribution: a
+// workload-aware DRAM error behavioural model. It assembles the training
+// data from characterization campaigns (Section III-E), defines the input
+// feature sets of Table III, trains the three supervised models (SVM, KNN,
+// RDF) to predict the word error rate (WER) and crash probability (PUE),
+// evaluates them with leave-one-workload-out cross validation (Fig. 3), and
+// provides the conventional workload-unaware baseline the paper compares
+// against (Section VI-C).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dram"
+	"repro/internal/profile"
+	"repro/internal/workload"
+	"repro/internal/xgene"
+)
+
+// Campaign parameter grids (paper Section V).
+var (
+	// WERTrefps are the refresh periods of the WER characterization.
+	WERTrefps = []float64{0.618, 1.173, 1.727, 2.283}
+	// WERTemps are the DIMM temperatures of the WER characterization.
+	WERTemps = []float64{50, 60, 70}
+	// PUETrefps are the refresh periods of the PUE study (Fig. 9).
+	PUETrefps = []float64{1.450, 1.727, 2.283}
+	// PUETemp is the temperature at which UEs manifest.
+	PUETemp = 70.0
+)
+
+// WERFloor replaces zero error counts when modeling log-rates: a run with
+// no observed CEs is recorded at the resolution limit of the campaign.
+const WERFloor = 1e-11
+
+// WERSample is one row of the WER dataset: a workload observed on one rank
+// under one operating point.
+type WERSample struct {
+	Workload string
+	Threads  int
+	TREFP    float64
+	VDD      float64
+	TempC    float64
+	Rank     int
+	Features []float64 // the 249 program features
+	WER      float64
+}
+
+// PUESample is one row of the PUE dataset.
+type PUESample struct {
+	Workload string
+	Threads  int
+	TREFP    float64
+	VDD      float64
+	TempC    float64
+	Features []float64
+	PUE      float64
+	// RankHits counts which rank produced the first UE in each crashed
+	// repetition (Fig. 9b's per-DIMM/rank crash attribution).
+	RankHits []int
+}
+
+// Dataset is the paper's full training corpus.
+type Dataset struct {
+	WER []WERSample
+	PUE []PUESample
+	// Profiles indexes the program profiles by workload label.
+	Profiles map[string]*profile.Result
+}
+
+// CampaignOptions tunes dataset collection.
+type CampaignOptions struct {
+	// Reps is the number of repetitions per PUE experiment (paper: 10).
+	Reps int
+	// VDD is the supply voltage of the campaign (paper: 1.428 V).
+	VDD float64
+}
+
+func (o *CampaignOptions) setDefaults() {
+	if o.Reps == 0 {
+		o.Reps = 10
+	}
+	if o.VDD == 0 {
+		o.VDD = dram.MinVDD
+	}
+}
+
+// BuildProfiles profiles every benchmark in specs at the given size.
+func BuildProfiles(specs []workload.Spec, size workload.Size, seed uint64) (map[string]*profile.Result, error) {
+	out := make(map[string]*profile.Result, len(specs))
+	for _, spec := range specs {
+		var (
+			res *profile.Result
+			err error
+		)
+		if size == workload.SizeTest {
+			res, err = profile.BuildQuick(spec, seed)
+		} else {
+			res, err = profile.Build(spec, seed)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: profiling %s: %w", spec.Label, err)
+		}
+		out[spec.Label] = res
+	}
+	return out, nil
+}
+
+// BuildDataset runs the paper's characterization campaigns on the server
+// for every profiled workload and assembles the dataset:
+//
+//   - WER rows for every (workload, TREFP, temperature, rank) combination
+//     whose run completes (runs that crash — 70 °C at high TREFP — yield
+//     no WER, as on the real platform);
+//   - PUE rows for every (workload, TREFP) of the 70 °C crash study.
+func BuildDataset(srv *xgene.Server, profiles map[string]*profile.Result, specs []workload.Spec, opts CampaignOptions) (*Dataset, error) {
+	opts.setDefaults()
+	if err := srv.SetVDD(opts.VDD); err != nil {
+		return nil, err
+	}
+	ds := &Dataset{Profiles: profiles}
+	for _, spec := range specs {
+		prof, ok := profiles[spec.Label]
+		if !ok {
+			return nil, fmt.Errorf("core: no profile for %s", spec.Label)
+		}
+		// WER campaign.
+		for _, temp := range WERTemps {
+			for _, trefp := range WERTrefps {
+				if err := srv.SetTREFP(trefp); err != nil {
+					return nil, err
+				}
+				obs, err := srv.Run(prof.Access, xgene.Experiment{TempC: temp, RecordWER: true})
+				if err != nil {
+					return nil, err
+				}
+				if !obs.WERValid {
+					continue // crashed: no WER measurement, as in the paper
+				}
+				for rank := 0; rank < dram.NumRanks; rank++ {
+					wer := obs.WERByRank[rank]
+					// Fewer than 3 observed error words cannot support
+					// a rate estimate; record the observation floor
+					// (such rows render as "no errors" and are skipped
+					// by model training and scoring).
+					if obs.CEWords[rank] < 3 {
+						wer = WERFloor
+					}
+					ds.WER = append(ds.WER, WERSample{
+						Workload: spec.Label,
+						Threads:  spec.Threads,
+						TREFP:    trefp,
+						VDD:      opts.VDD,
+						TempC:    temp,
+						Rank:     rank,
+						Features: prof.Features,
+						WER:      wer,
+					})
+				}
+			}
+		}
+		// PUE campaign at 70 °C.
+		for _, trefp := range PUETrefps {
+			if err := srv.SetTREFP(trefp); err != nil {
+				return nil, err
+			}
+			pue, rankHits, err := srv.MeasurePUE(prof.Access, PUETemp, opts.Reps)
+			if err != nil {
+				return nil, err
+			}
+			ds.PUE = append(ds.PUE, PUESample{
+				Workload: spec.Label,
+				Threads:  spec.Threads,
+				TREFP:    trefp,
+				VDD:      opts.VDD,
+				TempC:    PUETemp,
+				Features: prof.Features,
+				PUE:      pue,
+				RankHits: rankHits,
+			})
+		}
+	}
+	if len(ds.WER) == 0 {
+		return nil, fmt.Errorf("core: campaign produced no WER samples")
+	}
+	return ds, nil
+}
+
+// Workloads lists the distinct workload labels in the WER set.
+func (ds *Dataset) Workloads() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range ds.WER {
+		if !seen[s.Workload] {
+			seen[s.Workload] = true
+			out = append(out, s.Workload)
+		}
+	}
+	return out
+}
+
+// MeanWERByWorkloadConfig averages WER over ranks for each (workload,
+// TREFP, temp) triple; used for feature correlation (Fig. 10).
+func (ds *Dataset) MeanWERByWorkloadConfig() (keys []WERSample, means []float64) {
+	type cfg struct {
+		w    string
+		t, c float64
+	}
+	idx := map[cfg]int{}
+	var sums []float64
+	var counts []int
+	for _, s := range ds.WER {
+		k := cfg{s.Workload, s.TREFP, s.TempC}
+		i, ok := idx[k]
+		if !ok {
+			i = len(keys)
+			idx[k] = i
+			keys = append(keys, s)
+			sums = append(sums, 0)
+			counts = append(counts, 0)
+		}
+		sums[i] += s.WER
+		counts[i]++
+	}
+	means = make([]float64, len(sums))
+	for i := range sums {
+		means[i] = sums[i] / float64(counts[i])
+	}
+	return keys, means
+}
+
+// logWER maps a rate to the regression target space.
+func logWER(w float64) float64 {
+	if w < WERFloor {
+		w = WERFloor
+	}
+	return math.Log10(w)
+}
+
+// unlogWER inverts logWER.
+func unlogWER(lw float64) float64 { return math.Pow(10, lw) }

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/ml"
+)
+
+// WEREval holds the leave-one-workload-out accuracy of one (model, input
+// set) combination — the data behind Fig. 11.
+type WEREval struct {
+	Kind ModelKind
+	Set  InputSet
+	// MPEByRank is the mean percentage error of WER estimates per
+	// DIMM/rank (Fig. 11a-c), as a fraction.
+	MPEByRank [dram.NumRanks]float64
+	// MPEByWorkload is the per-application breakdown (Fig. 11d-f).
+	MPEByWorkload map[string]float64
+	// MPE is the grand average over all samples.
+	MPE float64
+	// Predictions aligns with the dataset's WER rows.
+	Predictions []float64
+}
+
+// EvaluateWER runs the paper's cross-validation (Fig. 3): for each
+// workload, train on all other workloads' samples and test on the held-out
+// one; aggregate mean percentage errors per rank and per application.
+func EvaluateWER(ds *Dataset, kind ModelKind, set InputSet) (*WEREval, error) {
+	if len(ds.WER) == 0 {
+		return nil, fmt.Errorf("core: empty WER dataset")
+	}
+	trainer, err := trainerFor(kind)
+	if err != nil {
+		return nil, err
+	}
+	// Rows at the floor carry no rate information (the run observed no
+	// errors on that rank); the model trains and is scored on observed
+	// rates only, as a rate cannot be estimated from zero events.
+	var rows []int
+	for i := range ds.WER {
+		if ds.WER[i].WER > WERFloor {
+			rows = append(rows, i)
+		}
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("core: no WER rows above the observation floor")
+	}
+	X := make([][]float64, len(rows))
+	y := make([]float64, len(rows))
+	groups := make([]string, len(rows))
+	for k, i := range rows {
+		X[k] = set.werVector(&ds.WER[i])
+		y[k] = logWER(ds.WER[i].WER)
+		groups[k] = ds.WER[i].Workload
+	}
+	logPreds, err := ml.LeaveOneGroupOut(trainer, X, y, groups)
+	if err != nil {
+		return nil, err
+	}
+
+	ev := &WEREval{Kind: kind, Set: set, MPEByWorkload: map[string]float64{}}
+	ev.Predictions = make([]float64, len(logPreds))
+	var rankSum, rankN [dram.NumRanks]float64
+	wlSum := map[string]float64{}
+	wlN := map[string]float64{}
+	var totSum, totN float64
+	for k, lp := range logPreds {
+		i := rows[k]
+		pred := unlogWER(lp)
+		ev.Predictions[k] = pred
+		actual := ds.WER[i].WER
+		pe := absFrac(pred-actual) / actual
+		rankSum[ds.WER[i].Rank] += pe
+		rankN[ds.WER[i].Rank]++
+		wlSum[groups[k]] += pe
+		wlN[groups[k]]++
+		totSum += pe
+		totN++
+	}
+	for r := 0; r < dram.NumRanks; r++ {
+		if rankN[r] > 0 {
+			ev.MPEByRank[r] = rankSum[r] / rankN[r]
+		}
+	}
+	for wl, s := range wlSum {
+		ev.MPEByWorkload[wl] = s / wlN[wl]
+	}
+	ev.MPE = totSum / totN
+	return ev, nil
+}
+
+// PUEEval holds the cross-validated PUE accuracy — the data behind Fig. 12.
+type PUEEval struct {
+	Kind ModelKind
+	Set  InputSet
+	// MAE is the mean absolute error of the predicted crash probability
+	// in probability points (the paper reports 4.1 % for KNN / set 2).
+	MAE float64
+	// Predictions aligns with the dataset's PUE rows.
+	Predictions []float64
+}
+
+// EvaluatePUE cross-validates a PUE predictor.
+func EvaluatePUE(ds *Dataset, kind ModelKind, set InputSet) (*PUEEval, error) {
+	if len(ds.PUE) == 0 {
+		return nil, fmt.Errorf("core: empty PUE dataset")
+	}
+	trainer, err := trainerFor(kind)
+	if err != nil {
+		return nil, err
+	}
+	X := make([][]float64, len(ds.PUE))
+	y := make([]float64, len(ds.PUE))
+	groups := make([]string, len(ds.PUE))
+	for i := range ds.PUE {
+		X[i] = set.pueVector(&ds.PUE[i])
+		y[i] = ds.PUE[i].PUE
+		groups[i] = ds.PUE[i].Workload
+	}
+	preds, err := ml.LeaveOneGroupOut(trainer, X, y, groups)
+	if err != nil {
+		return nil, err
+	}
+	for i := range preds {
+		if preds[i] < 0 {
+			preds[i] = 0
+		}
+		if preds[i] > 1 {
+			preds[i] = 1
+		}
+	}
+	return &PUEEval{Kind: kind, Set: set, MAE: ml.MeanAbsoluteError(preds, y), Predictions: preds}, nil
+}
+
+func absFrac(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,86 @@
+package core
+
+import "repro/internal/profile"
+
+// InputSet selects which parameters feed the model — the paper's Table III.
+type InputSet int
+
+const (
+	// InputSet1 is TEMPDRAM, TREFP, wait cycles, memory accesses, HDP and
+	// Treuse: the features most correlated with DRAM error behaviour.
+	InputSet1 InputSet = 1
+	// InputSet2 drops HDP and Treuse, keeping TEMPDRAM, TREFP, wait
+	// cycles and memory accesses.
+	InputSet2 InputSet = 2
+	// InputSet3 is TEMPDRAM, TREFP and all 249 program features.
+	InputSet3 InputSet = 3
+)
+
+// String names the set like the paper's tables.
+func (s InputSet) String() string {
+	switch s {
+	case InputSet1:
+		return "Input set 1"
+	case InputSet2:
+		return "Input set 2"
+	case InputSet3:
+		return "Input set 3"
+	}
+	return "Input set ?"
+}
+
+// InputSets lists all three in table order.
+func InputSets() []InputSet { return []InputSet{InputSet1, InputSet2, InputSet3} }
+
+// programFeatures returns the indices of the program features (into the
+// 249-entry vector) included in the set.
+func (s InputSet) programFeatures() []int {
+	switch s {
+	case InputSet1:
+		return []int{
+			profile.FeatWaitCycles,
+			profile.FeatMemAccesses,
+			profile.FeatHDP,
+			profile.FeatTreuse,
+		}
+	case InputSet2:
+		return []int{
+			profile.FeatWaitCycles,
+			profile.FeatMemAccesses,
+		}
+	default:
+		all := make([]int, profile.NumFeatures)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+}
+
+// werVector assembles the model input for a WER sample: operating
+// parameters, the set's program features, and a one-hot rank encoding (the
+// paper's per-DIMM/rank device identity, Section III-A's Dev term).
+func (s InputSet) werVector(smp *WERSample) []float64 {
+	feats := s.programFeatures()
+	out := make([]float64, 0, 3+len(feats)+8)
+	out = append(out, smp.TempC, smp.TREFP, smp.VDD)
+	for _, f := range feats {
+		out = append(out, smp.Features[f])
+	}
+	var rank [8]float64
+	rank[smp.Rank] = 1
+	out = append(out, rank[:]...)
+	return out
+}
+
+// pueVector assembles the model input for a PUE sample (system-level: no
+// rank identity).
+func (s InputSet) pueVector(smp *PUESample) []float64 {
+	feats := s.programFeatures()
+	out := make([]float64, 0, 3+len(feats))
+	out = append(out, smp.TempC, smp.TREFP, smp.VDD)
+	for _, f := range feats {
+		out = append(out, smp.Features[f])
+	}
+	return out
+}

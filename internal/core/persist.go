@@ -1,0 +1,105 @@
+package core
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/profile"
+)
+
+// The paper publishes its trained DRAM error behavioural model (the DFault
+// artifact, "periodically updated based on new characterization results").
+// This file provides the equivalent: the campaign dataset serializes to a
+// versioned, compressed JSON artifact from which any of the predictors can
+// be retrained in milliseconds (KNN and forests are cheap to fit, so the
+// dataset *is* the model — and it additionally supports retraining with
+// other methods or input sets).
+
+// artifactVersion guards against loading incompatible layouts.
+const artifactVersion = 1
+
+// artifact is the serialized form of a Dataset.
+type artifact struct {
+	Version      int         `json:"version"`
+	FeatureNames []string    `json:"feature_names"`
+	WER          []WERSample `json:"wer"`
+	PUE          []PUESample `json:"pue"`
+}
+
+// Save writes the dataset to path as gzip-compressed JSON.
+func (ds *Dataset) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save dataset: %w", err)
+	}
+	defer f.Close()
+	if err := ds.Encode(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Encode streams the artifact to w.
+func (ds *Dataset) Encode(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	enc := json.NewEncoder(zw)
+	art := artifact{
+		Version:      artifactVersion,
+		FeatureNames: profile.FeatureNames(),
+		WER:          ds.WER,
+		PUE:          ds.PUE,
+	}
+	if err := enc.Encode(&art); err != nil {
+		return fmt.Errorf("core: encode dataset: %w", err)
+	}
+	return zw.Close()
+}
+
+// LoadDataset reads a dataset artifact from path.
+func LoadDataset(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load dataset: %w", err)
+	}
+	defer f.Close()
+	return ReadDataset(f)
+}
+
+// ReadDataset parses a dataset artifact from r and validates it against the
+// current feature catalog.
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: read dataset: %w", err)
+	}
+	defer zr.Close()
+	var art artifact
+	if err := json.NewDecoder(zr).Decode(&art); err != nil {
+		return nil, fmt.Errorf("core: decode dataset: %w", err)
+	}
+	if art.Version != artifactVersion {
+		return nil, fmt.Errorf("core: dataset artifact version %d, want %d",
+			art.Version, artifactVersion)
+	}
+	names := profile.FeatureNames()
+	if len(art.FeatureNames) != len(names) {
+		return nil, fmt.Errorf("core: artifact has %d features, catalog has %d",
+			len(art.FeatureNames), len(names))
+	}
+	for i, n := range art.FeatureNames {
+		if names[i] != n {
+			return nil, fmt.Errorf("core: artifact feature %d is %q, catalog has %q",
+				i, n, names[i])
+		}
+	}
+	ds := &Dataset{WER: art.WER, PUE: art.PUE}
+	for _, s := range ds.WER {
+		if len(s.Features) != len(names) {
+			return nil, fmt.Errorf("core: WER row for %s has %d features", s.Workload, len(s.Features))
+		}
+	}
+	return ds, nil
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDatasetSaveLoadRoundTrip(t *testing.T) {
+	ds := testDataset(t)
+	path := filepath.Join(t.TempDir(), "dfault.json.gz")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.WER) != len(ds.WER) || len(back.PUE) != len(ds.PUE) {
+		t.Fatalf("row counts changed: %d/%d vs %d/%d",
+			len(back.WER), len(back.PUE), len(ds.WER), len(ds.PUE))
+	}
+	for i := range ds.WER {
+		if back.WER[i].WER != ds.WER[i].WER || back.WER[i].Workload != ds.WER[i].Workload {
+			t.Fatalf("WER row %d changed", i)
+		}
+	}
+	// A model trained from the loaded artifact predicts identically.
+	orig, err := TrainWER(ds, ModelKNN, InputSet1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := TrainWER(back, ModelKNN, InputSet1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp := ds.WER[0]
+	a := orig.Predict(smp.Features, smp.TREFP, smp.VDD, smp.TempC, smp.Rank)
+	b := loaded.Predict(smp.Features, smp.TREFP, smp.VDD, smp.TempC, smp.Rank)
+	if a != b {
+		t.Fatalf("loaded-model prediction differs: %v vs %v", a, b)
+	}
+}
+
+func TestLoadDatasetRejectsVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if err := json.NewEncoder(zw).Encode(map[string]any{"version": 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDataset(&buf); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version mismatch accepted: %v", err)
+	}
+}
+
+func TestLoadDatasetRejectsCatalogMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if err := json.NewEncoder(zw).Encode(map[string]any{
+		"version":       1,
+		"feature_names": []string{"only_one"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDataset(&buf); err == nil {
+		t.Fatal("catalog mismatch accepted")
+	}
+}
+
+func TestLoadDatasetRejectsGarbage(t *testing.T) {
+	if _, err := ReadDataset(strings.NewReader("not gzip")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadDataset(filepath.Join(t.TempDir(), "missing.gz")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

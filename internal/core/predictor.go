@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ml"
+	"repro/internal/stats"
+)
+
+// ModelKind names one of the paper's three supervised methods.
+type ModelKind string
+
+// The three methods of the paper's comparison.
+const (
+	ModelSVM ModelKind = "SVM"
+	ModelKNN ModelKind = "KNN"
+	ModelRDF ModelKind = "RDF"
+)
+
+// ModelKinds lists them in the paper's order.
+func ModelKinds() []ModelKind { return []ModelKind{ModelSVM, ModelKNN, ModelRDF} }
+
+// trainerFor builds the ml.Trainer for a kind.
+func trainerFor(kind ModelKind) (ml.Trainer, error) {
+	switch kind {
+	case ModelSVM:
+		return ml.SVR{}, nil
+	case ModelKNN:
+		return ml.KNN{K: 5}, nil
+	case ModelRDF:
+		return ml.Forest{Trees: 60, Seed: 42}, nil
+	}
+	return nil, fmt.Errorf("core: unknown model kind %q", kind)
+}
+
+// WERPredictor is the trained workload-aware WER model: the deliverable the
+// paper publishes (the KNN variant) — it predicts the word error rate of
+// any workload on a specific DIMM/rank for a given operating point in
+// well under a second.
+type WERPredictor struct {
+	Kind   ModelKind
+	Set    InputSet
+	scaler *ml.Scaler
+	model  ml.Regressor
+}
+
+// TrainWER fits a WER predictor on the dataset. The regression target is
+// log10(WER): the rate spans four decades.
+func TrainWER(ds *Dataset, kind ModelKind, set InputSet) (*WERPredictor, error) {
+	if len(ds.WER) == 0 {
+		return nil, fmt.Errorf("core: empty WER dataset")
+	}
+	trainer, err := trainerFor(kind)
+	if err != nil {
+		return nil, err
+	}
+	var X [][]float64
+	var y []float64
+	for i := range ds.WER {
+		if ds.WER[i].WER <= WERFloor {
+			continue // zero observed errors: no rate information
+		}
+		X = append(X, set.werVector(&ds.WER[i]))
+		y = append(y, logWER(ds.WER[i].WER))
+	}
+	if len(X) == 0 {
+		return nil, fmt.Errorf("core: no WER rows above the observation floor")
+	}
+	scaler, err := ml.FitScaler(X)
+	if err != nil {
+		return nil, err
+	}
+	model, err := trainer.Train(scaler.TransformAll(X), y)
+	if err != nil {
+		return nil, err
+	}
+	return &WERPredictor{Kind: kind, Set: set, scaler: scaler, model: model}, nil
+}
+
+// Predict returns the estimated WER for a workload with the given program
+// features running under (trefp, vdd, tempC) on the given rank.
+func (p *WERPredictor) Predict(features []float64, trefp, vdd, tempC float64, rank int) float64 {
+	smp := WERSample{TREFP: trefp, VDD: vdd, TempC: tempC, Rank: rank, Features: features}
+	x := p.scaler.Transform(p.Set.werVector(&smp))
+	return unlogWER(p.model.Predict(x))
+}
+
+// PredictMean averages the per-rank predictions — the whole-device WER.
+func (p *WERPredictor) PredictMean(features []float64, trefp, vdd, tempC float64) float64 {
+	sum := 0.0
+	for r := 0; r < 8; r++ {
+		sum += p.Predict(features, trefp, vdd, tempC, r)
+	}
+	return sum / 8
+}
+
+// PUEPredictor predicts the crash probability of a workload.
+type PUEPredictor struct {
+	Kind   ModelKind
+	Set    InputSet
+	scaler *ml.Scaler
+	model  ml.Regressor
+}
+
+// TrainPUE fits a PUE predictor on the dataset.
+func TrainPUE(ds *Dataset, kind ModelKind, set InputSet) (*PUEPredictor, error) {
+	if len(ds.PUE) == 0 {
+		return nil, fmt.Errorf("core: empty PUE dataset")
+	}
+	trainer, err := trainerFor(kind)
+	if err != nil {
+		return nil, err
+	}
+	X := make([][]float64, len(ds.PUE))
+	y := make([]float64, len(ds.PUE))
+	for i := range ds.PUE {
+		X[i] = set.pueVector(&ds.PUE[i])
+		y[i] = ds.PUE[i].PUE
+	}
+	scaler, err := ml.FitScaler(X)
+	if err != nil {
+		return nil, err
+	}
+	model, err := trainer.Train(scaler.TransformAll(X), y)
+	if err != nil {
+		return nil, err
+	}
+	return &PUEPredictor{Kind: kind, Set: set, scaler: scaler, model: model}, nil
+}
+
+// Predict returns the estimated crash probability in [0, 1].
+func (p *PUEPredictor) Predict(features []float64, trefp, vdd, tempC float64) float64 {
+	smp := PUESample{TREFP: trefp, VDD: vdd, TempC: tempC, Features: features}
+	x := p.scaler.Transform(p.Set.pueVector(&smp))
+	return stats.Clamp(p.model.Predict(x), 0, 1)
+}

@@ -1,0 +1,100 @@
+package dram
+
+import (
+	"fmt"
+	"testing"
+)
+
+// syntheticProfile builds a simple streaming-style profile for calibration
+// probes: one big swept region plus a small hot region.
+func syntheticProfile(name string, rowReuse float64, acts float64) *AccessProfile {
+	return &AccessProfile{
+		Name:           name,
+		Threads:        8,
+		FootprintWords: 1 << 30,
+		Regions: []Region{
+			{Name: "bulk", FootprintFrac: 0.97, AccessFrac: 0.60,
+				ReuseSeconds: rowReuse, RowReuseSeconds: rowReuse,
+				BitOneProb: 0.5, RewritesPerSec: 1.0 / rowReuse},
+			{Name: "hot", FootprintFrac: 0.03, AccessFrac: 0.40,
+				ReuseSeconds: 0.02, RowReuseSeconds: 0.005,
+				BitOneProb: 0.5, RewritesPerSec: 10},
+		},
+		DRAMAccessesPerSec:   acts,
+		RowActivationsPerSec: acts * 0.3,
+		ReadFrac:             0.7,
+		HDP:                  16,
+		Seed:                 1,
+	}
+}
+
+// TestCalibrationProbePUE prints crash probabilities at 70 °C across the
+// TREFP values of Fig. 9; run with -v to inspect.
+func TestCalibrationProbePUE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	d := MustNewDevice(Config{Scale: 16})
+	profiles := []*AccessProfile{
+		syntheticProfile("probe-stream", 1.5, 3e8),
+		syntheticProfile("probe-slow", 6.0, 4e7),
+	}
+	for _, prof := range profiles {
+		for _, trefp := range []float64{1.173, 1.450, 1.727, 2.283} {
+			crashes := 0
+			const reps = 20
+			for rep := 0; rep < reps; rep++ {
+				res, err := d.Run(prof, RunConfig{
+					TREFP: trefp, VDD: MinVDD, TempC: 70, Rep: rep,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Crashed {
+					crashes++
+				}
+			}
+			t.Logf("%s TREFP=%v: PUE=%.2f", prof.Name, trefp, float64(crashes)/reps)
+		}
+		// And at 60C / max TREFP there must be (almost) no UEs.
+		crashes := 0
+		for rep := 0; rep < 20; rep++ {
+			res, _ := d.Run(prof, RunConfig{TREFP: 2.283, VDD: MinVDD, TempC: 60, Rep: rep})
+			if res.Crashed {
+				crashes++
+			}
+		}
+		t.Logf("%s 60C TREFP=2.283: PUE=%.2f", prof.Name, float64(crashes)/20)
+	}
+}
+
+// TestCalibrationProbe prints WER magnitudes across the paper's operating
+// points; run with -v to inspect. It asserts only broad sanity so it can
+// stay in the suite as a smoke test.
+func TestCalibrationProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	d := MustNewDevice(Config{Scale: 16})
+	prof := syntheticProfile("probe-stream", 1.5, 3e8)
+	for _, temp := range []float64{50, 60, 70} {
+		for _, trefp := range []float64{0.618, 1.173, 1.727, 2.283} {
+			res, err := d.Run(prof, RunConfig{
+				TREFP: trefp, VDD: MinVDD, TempC: temp,
+				RecordWER: true, DisableCrash: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ue := 0
+			if res.UECount > 0 {
+				ue = 1
+			}
+			t.Logf("T=%v TREFP=%v: WER=%.3g UE=%d cells@ceil=%.2fs", temp, trefp, res.WER, ue, 0.0)
+			_ = fmt.Sprintf("%v", res)
+			if res.WER < 0 {
+				t.Fatal("negative WER")
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package dram
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// weakCell is one bit whose retention time falls below the global ceiling.
+// Populations of weakCells are the only per-cell state the simulator
+// materializes; healthy cells (the overwhelming majority) never err under
+// any experiment and are represented implicitly.
+type weakCell struct {
+	word     uint64  // in-rank word index, scaled address space
+	bit      uint8   // bit position 0..63 within the 64-bit word
+	trueCell bool    // true-cell leaks stored 1s; anti-cell leaks stored 0s
+	vrtDuty  float32 // fraction of time the cell is in its weak state (1 = stable weak)
+	baseRet  float32 // retention seconds at reference temperature, nominal VDD
+}
+
+// weakPair is a bitline-coupled pair of weak cells sharing one 64-bit word;
+// when both leak within a run the word carries a double-bit error, which
+// SECDED detects but cannot correct (UE -> system crash).
+type weakPair struct {
+	word    uint64
+	bitA    uint8
+	bitB    uint8
+	trueA   bool
+	trueB   bool
+	kernel  bool // resident in kernel/OS memory rather than the workload footprint
+	vrtDuty float32
+	baseRet float32 // pair retention: both cells leak once exceeded
+}
+
+// weakTriple is a rare 3-cell coupling; with three flipped bits SECDED may
+// miscorrect (SDC). The paper observed none; the simulator keeps the
+// mechanism so that "no SDC" is a measured outcome, not an assumption.
+type weakTriple struct {
+	word    uint64
+	bits    [3]uint8
+	baseRet float32
+}
+
+// tierBounds are the fixed retention boundaries (seconds at reference
+// conditions) at which weak-cell populations are generated. Generating in
+// fixed tiers makes the populations independent of the order in which
+// experiments request them: tier i is always drawn from the same seed.
+var tierBounds = []float64{0, 0.35, 0.7, 1.4, 2.8, 5.6, 9.0, 14.0}
+
+// rankState holds the materialized weak-cell population of one rank.
+type rankState struct {
+	rankID int
+	seed   uint64
+	tiers  [][]weakCell // tiers[i] covers (tierBounds[i], tierBounds[i+1]]
+}
+
+// ensureTiers materializes all tiers whose lower bound is below ceiling.
+func (r *rankState) ensureTiers(d *Device, ceiling float64) {
+	for i := 0; i+1 < len(tierBounds); i++ {
+		if tierBounds[i] >= ceiling {
+			break
+		}
+		if i < len(r.tiers) {
+			continue
+		}
+		r.tiers = append(r.tiers, d.generateTier(r, i))
+	}
+}
+
+// generateTier draws the weak cells of one retention tier. The draw is
+// seeded by (device seed, rank, tier) only, so populations are identical
+// across runs and independent of experiment order.
+func (d *Device) generateTier(r *rankState, tier int) []weakCell {
+	lo, hi := tierBounds[tier], tierBounds[tier+1]
+	p := d.params
+	rng := stats.NewRNG(r.seed ^ (uint64(tier)+1)*0x9E3779B97F4A7C15)
+	bits := float64(d.RankWords()) * 64
+	mean := bits * p.RankDensity[r.rankID] * (p.WeakBitFraction(hi) - p.WeakBitFraction(lo))
+	n := rng.Poisson(mean)
+	cells := make([]weakCell, 0, n)
+	loG := math.Pow(lo, p.RetentionGamma)
+	hiG := math.Pow(hi, p.RetentionGamma)
+	for i := 0; i < n; i++ {
+		// Conditional power-law draw within (lo, hi].
+		u := rng.Float64Open()
+		ret := math.Pow(loG+u*(hiG-loG), 1/p.RetentionGamma)
+		duty := float32(1.0)
+		if rng.Bool(p.VRTFraction) {
+			duty = float32(0.1 + 0.8*rng.Float64())
+		}
+		cells = append(cells, weakCell{
+			word:     uint64(rng.Intn(int(d.RankWords()))),
+			bit:      uint8(rng.Intn(64)),
+			trueCell: rng.Bool(p.TrueCellProb),
+			vrtDuty:  duty,
+			baseRet:  float32(ret),
+		})
+	}
+	return cells
+}
+
+// generatePairs draws the rank's bitline-coupled pair population once.
+// Pair counts follow the paper's Fig. 9b rank distribution and are *not*
+// scaled down with the device's capacity divisor: pairs are few enough to
+// materialize in full, which keeps UE probabilities calibrated at any
+// simulation scale.
+func (d *Device) generatePairs(r *rankState) []weakPair {
+	p := d.params
+	rng := stats.NewRNG(r.seed ^ 0xC2B2AE3D27D4EB4F)
+	nApp := rng.Poisson(p.PairBudget * p.PairRankWeight[r.rankID])
+	nKern := rng.Poisson(p.KernelPairBudget * p.PairRankWeight[r.rankID])
+	pairs := make([]weakPair, 0, nApp+nKern)
+	for i := 0; i < nApp+nKern; i++ {
+		u := rng.Float64Open()
+		ret := p.PairRetentionQuantile(u)
+		bitA := uint8(rng.Intn(64))
+		bitB := uint8(rng.Intn(63))
+		if bitB >= bitA {
+			bitB++
+		}
+		// Coupled pairs are inherently intermittent defects: their leak
+		// windows toggle like strong VRT cells, which is what spreads
+		// crash outcomes across repetitions of the same experiment.
+		duty := float32(0.05 + 0.3*rng.Float64())
+		pairs = append(pairs, weakPair{
+			word:    uint64(rng.Intn(int(d.RankWords()))),
+			bitA:    bitA,
+			bitB:    bitB,
+			trueA:   rng.Bool(p.TrueCellProb),
+			trueB:   rng.Bool(p.TrueCellProb),
+			kernel:  i >= nApp,
+			vrtDuty: duty,
+			baseRet: float32(ret),
+		})
+	}
+	return pairs
+}
+
+// generateTriples draws the (vanishingly rare) 3-cell couplings.
+func (d *Device) generateTriples(r *rankState) []weakTriple {
+	p := d.params
+	rng := stats.NewRNG(r.seed ^ 0x165667B19E3779F9)
+	mean := p.TripleRate * p.PairRankWeight[r.rankID]
+	n := rng.Poisson(mean)
+	triples := make([]weakTriple, 0, n)
+	for i := 0; i < n; i++ {
+		u := rng.Float64Open()
+		ret := p.TripleRetentionQuantile(u)
+		perm := rng.Perm(64)
+		triples = append(triples, weakTriple{
+			word:    uint64(rng.Intn(int(d.RankWords()))),
+			bits:    [3]uint8{uint8(perm[0]), uint8(perm[1]), uint8(perm[2])},
+			baseRet: float32(ret),
+		})
+	}
+	return triples
+}

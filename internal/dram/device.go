@@ -1,0 +1,156 @@
+package dram
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Device is one simulated memory subsystem: 4 DIMMs / 8 ranks with fixed,
+// device-specific weak-cell populations. Two Devices built from the same
+// seed are physically identical parts; different seeds model different
+// physical servers (DIMM-to-DIMM variation beyond the rank densities).
+//
+// A Device is safe for concurrent Run calls: population generation is
+// guarded by a mutex and runs only read the populations.
+type Device struct {
+	params Params
+	seed   uint64
+	scale  int
+
+	mu    sync.Mutex
+	ranks [NumRanks]*rankState
+	pairs [NumRanks][]weakPair
+	trip  [NumRanks][]weakTriple
+}
+
+// Config configures device construction.
+type Config struct {
+	// Seed selects the physical part. The default (0) is the reference
+	// server characterized in all paper reproductions.
+	Seed uint64
+	// Scale divides the simulated capacity: a Scale of n simulates
+	// 1/n-th of every rank (and of the application footprint). WER is a
+	// *rate*, so its expectation is scale-invariant; larger scales only
+	// increase sampling noise. UE pairs are always materialized in full,
+	// so PUE is calibrated at every scale. Scale 1 is the full 32 GiB
+	// server; tests use large scales for speed.
+	Scale int
+	// Params overrides the physics; zero value means DefaultParams.
+	Params *Params
+}
+
+// NewDevice builds a device. It returns an error for invalid configuration.
+func NewDevice(cfg Config) (*Device, error) {
+	p := DefaultParams()
+	if cfg.Params != nil {
+		p = *cfg.Params
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	scale := cfg.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	if scale < 0 || WordsPerRank/scale < WordsPerRow {
+		return nil, fmt.Errorf("dram: invalid scale %d", scale)
+	}
+	d := &Device{params: p, seed: cfg.Seed, scale: scale}
+	for r := 0; r < NumRanks; r++ {
+		d.ranks[r] = &rankState{
+			rankID: r,
+			seed:   splitmix(cfg.Seed ^ uint64(r+1)*0xA24BAED4963EE407),
+		}
+	}
+	return d, nil
+}
+
+// MustNewDevice is NewDevice for known-good configs; it panics on error.
+func MustNewDevice(cfg Config) *Device {
+	d, err := NewDevice(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Params returns the physics parameter set of the device.
+func (d *Device) Params() Params { return d.params }
+
+// Scale returns the capacity divisor.
+func (d *Device) Scale() int { return d.scale }
+
+// RankWords returns the simulated 64-bit-word capacity of one rank.
+func (d *Device) RankWords() uint64 { return WordsPerRank / uint64(d.scale) }
+
+// TotalWords returns the simulated capacity of the whole subsystem.
+func (d *Device) TotalWords() uint64 { return d.RankWords() * NumRanks }
+
+// cellsBelow returns the weak cells of rank r with base retention below
+// ceiling, materializing population tiers on demand.
+func (d *Device) cellsBelow(r int, ceiling float64) [][]weakCell {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rs := d.ranks[r]
+	rs.ensureTiers(d, ceiling)
+	out := make([][]weakCell, 0, len(rs.tiers))
+	for i, tier := range rs.tiers {
+		if tierBounds[i] >= ceiling {
+			break
+		}
+		out = append(out, tier)
+	}
+	return out
+}
+
+// pairsFor returns the UE-pair population of rank r.
+func (d *Device) pairsFor(r int) []weakPair {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.pairs[r] == nil {
+		d.pairs[r] = d.generatePairs(d.ranks[r])
+		if d.pairs[r] == nil {
+			d.pairs[r] = []weakPair{}
+		}
+	}
+	return d.pairs[r]
+}
+
+// triplesFor returns the SDC-candidate population of rank r.
+func (d *Device) triplesFor(r int) []weakTriple {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.trip[r] == nil {
+		d.trip[r] = d.generateTriples(d.ranks[r])
+		if d.trip[r] == nil {
+			d.trip[r] = []weakTriple{}
+		}
+	}
+	return d.trip[r]
+}
+
+// WeakCellCount reports the number of materialized weak cells with base
+// retention below ceiling in the given rank; used by inspection tools and
+// tests.
+func (d *Device) WeakCellCount(rank int, ceiling float64) int {
+	n := 0
+	for _, tier := range d.cellsBelow(rank, ceiling) {
+		for _, c := range tier {
+			if float64(c.baseRet) < ceiling {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// splitmix is the 64-bit finalizer used for all address/placement hashing.
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// hashFrac maps a hash to a uniform fraction in [0,1).
+func hashFrac(h uint64) float64 { return float64(h>>11) / (1 << 53) }

@@ -1,0 +1,181 @@
+package dram
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewDeviceDefaults(t *testing.T) {
+	d, err := NewDevice(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Scale() != 1 {
+		t.Fatalf("default scale = %d", d.Scale())
+	}
+	if d.TotalWords() != NumRanks*WordsPerRank {
+		t.Fatalf("total words = %d", d.TotalWords())
+	}
+}
+
+func TestNewDeviceRejectsBadScale(t *testing.T) {
+	if _, err := NewDevice(Config{Scale: -1}); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+	if _, err := NewDevice(Config{Scale: 1 << 30}); err == nil {
+		t.Fatal("absurd scale accepted")
+	}
+}
+
+func TestNewDeviceRejectsBadParams(t *testing.T) {
+	p := DefaultParams()
+	p.RetentionGamma = -1
+	if _, err := NewDevice(Config{Params: &p}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestParamsValidateCatchesEachField(t *testing.T) {
+	mutations := []func(*Params){
+		func(p *Params) { p.RetentionK = 0 },
+		func(p *Params) { p.RetentionGamma = 0 },
+		func(p *Params) { p.RetentionHalvingC = -2 },
+		func(p *Params) { p.GlobalCeiling = 1 },
+		func(p *Params) { p.VRTFraction = 1.5 },
+		func(p *Params) { p.TrueCellProb = -0.1 },
+		func(p *Params) { p.PairRetMedian = 0 },
+		func(p *Params) { p.TripleRetSigma = 0 },
+		func(p *Params) { p.KernelBitOneProb = 2 },
+		func(p *Params) { p.RankDensity[3] = -1 },
+		func(p *Params) { p.PairRankWeight[0] = -1 },
+	}
+	for i, mut := range mutations {
+		p := DefaultParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Fatalf("mutation %d not caught by Validate", i)
+		}
+	}
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestWeakCellPopulationDeterministic(t *testing.T) {
+	a := MustNewDevice(Config{Seed: 5, Scale: 256})
+	b := MustNewDevice(Config{Seed: 5, Scale: 256})
+	for r := 0; r < NumRanks; r++ {
+		if a.WeakCellCount(r, 10) != b.WeakCellCount(r, 10) {
+			t.Fatalf("rank %d populations differ between identical devices", r)
+		}
+	}
+}
+
+func TestWeakCellPopulationOrderIndependent(t *testing.T) {
+	// Requesting a small ceiling first must not change the population
+	// later materialized for a larger ceiling.
+	a := MustNewDevice(Config{Seed: 9, Scale: 256})
+	b := MustNewDevice(Config{Seed: 9, Scale: 256})
+	_ = a.WeakCellCount(0, 1.0) // a materializes low tiers first
+	ca := a.WeakCellCount(0, 12.0)
+	cb := b.WeakCellCount(0, 12.0) // b materializes everything at once
+	if ca != cb {
+		t.Fatalf("population depends on request order: %d vs %d", ca, cb)
+	}
+}
+
+func TestWeakCellCountMonotoneInCeiling(t *testing.T) {
+	d := MustNewDevice(Config{Seed: 3, Scale: 256})
+	prev := 0
+	for _, ceil := range []float64{0.5, 1, 2, 4, 8, 13} {
+		n := d.WeakCellCount(4, ceil)
+		if n < prev {
+			t.Fatalf("weak-cell count not monotone: %d < %d at ceiling %v", n, prev, ceil)
+		}
+		prev = n
+	}
+}
+
+func TestWeakCellDensityScalesWithRank(t *testing.T) {
+	// DIMM2/rank0 (density 3.5) must hold far more weak cells than
+	// DIMM3/rank1 (density 0.0186) — the paper's 188x spread.
+	d := MustNewDevice(Config{Seed: 1, Scale: 64})
+	weak := d.WeakCellCount(4, 13)   // DIMM2/rank0
+	strong := d.WeakCellCount(7, 13) // DIMM3/rank1
+	if weak < 20*strong {
+		t.Fatalf("rank density spread too small: %d vs %d", weak, strong)
+	}
+}
+
+func TestDifferentSeedsDifferentPopulations(t *testing.T) {
+	a := MustNewDevice(Config{Seed: 1, Scale: 256})
+	b := MustNewDevice(Config{Seed: 2, Scale: 256})
+	same := 0
+	for r := 0; r < NumRanks; r++ {
+		if a.WeakCellCount(r, 12) == b.WeakCellCount(r, 12) {
+			same++
+		}
+	}
+	if same == NumRanks {
+		t.Fatal("different seeds produced identical populations in every rank")
+	}
+}
+
+func TestPairPopulationMatchesRankWeights(t *testing.T) {
+	d := MustNewDevice(Config{Seed: 0, Scale: 64})
+	if n := len(d.pairsFor(7)); n != 0 {
+		t.Fatalf("DIMM3/rank1 has weight 0 but %d pairs", n)
+	}
+	// DIMM2/rank0 carries the bulk of the pair budget.
+	if n := len(d.pairsFor(4)); n < 20 {
+		t.Fatalf("DIMM2/rank0 has only %d pairs", n)
+	}
+}
+
+func TestTempFactorHalving(t *testing.T) {
+	p := DefaultParams()
+	f := p.TempFactor(p.ReferenceTempC + p.RetentionHalvingC)
+	if math.Abs(f-0.5) > 1e-12 {
+		t.Fatalf("TempFactor one halving step = %v, want 0.5", f)
+	}
+	if p.TempFactor(p.ReferenceTempC) != 1 {
+		t.Fatal("TempFactor at reference != 1")
+	}
+}
+
+func TestVDDFactorNegligibleAtMinVDD(t *testing.T) {
+	// The paper found 1.5 V -> 1.428 V has a negligible effect: the
+	// retention reduction must be under 10 %.
+	p := DefaultParams()
+	f := p.VDDFactor(MinVDD)
+	if f < 0.9 || f >= 1 {
+		t.Fatalf("VDDFactor(MinVDD) = %v, want slightly below 1", f)
+	}
+	if p.VDDFactor(NominalVDD) != 1 {
+		t.Fatal("VDDFactor at nominal != 1")
+	}
+}
+
+func TestWeakBitFractionPowerLaw(t *testing.T) {
+	p := DefaultParams()
+	r := p.WeakBitFraction(2) / p.WeakBitFraction(1)
+	want := math.Pow(2, p.RetentionGamma)
+	if math.Abs(r-want)/want > 1e-9 {
+		t.Fatalf("power-law ratio = %v, want %v", r, want)
+	}
+	if p.WeakBitFraction(0) != 0 || p.WeakBitFraction(-1) != 0 {
+		t.Fatal("WeakBitFraction of non-positive t should be 0")
+	}
+}
+
+func TestRetentionQuantileInverts(t *testing.T) {
+	p := DefaultParams()
+	for _, u := range []float64{0.01, 0.5, 0.99} {
+		q := p.RetentionQuantile(u, 10)
+		// F(q)/F(10) should equal u.
+		got := p.WeakBitFraction(q) / p.WeakBitFraction(10)
+		if math.Abs(got-u) > 1e-9 {
+			t.Fatalf("quantile inversion: u=%v got %v", u, got)
+		}
+	}
+}

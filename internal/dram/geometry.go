@@ -1,0 +1,101 @@
+// Package dram implements a mechanistic reliability simulator for the
+// server-grade DDR3 memory subsystem characterized in the paper: 4 Micron
+// 8 GB DIMMs (one per memory-controller channel), two ranks per DIMM, 18
+// x8 chips per DIMM (16 data + 2 ECC).
+//
+// The simulator does not store cell contents; it models the *error physics*
+// the paper attributes its measurements to:
+//
+//   - a lognormal-tail population of weak cells per rank whose retention
+//     times fall below the relaxed refresh period (TREFP);
+//   - Arrhenius-style temperature acceleration of charge leakage;
+//   - true-/anti-cell orientation, making vulnerability data-dependent;
+//   - variable retention time (VRT) cells that toggle between strong and
+//     weak states over minutes;
+//   - cell-to-cell disturbance from neighbour-row activations (the
+//     row-hammer mechanism), which couples the workload's memory access
+//     rate to the error rate;
+//   - implicit refresh by reads/writes, which couples the workload's DRAM
+//     reuse time (Treuse) to the error rate;
+//   - bitline-coupled weak-cell *pairs* concentrated in specific ranks,
+//     which produce multi-bit words and therefore uncorrectable errors.
+//
+// Error words are classified with the real SECDED code in internal/ecc.
+package dram
+
+import "fmt"
+
+// Organization of the simulated memory subsystem (matches the X-Gene2 setup
+// in the paper: 4 DDR3 channels, 1 DIMM each, 2 ranks per DIMM).
+const (
+	NumDIMMs     = 4
+	RanksPerDIMM = 2
+	NumRanks     = NumDIMMs * RanksPerDIMM
+	BanksPerRank = 8
+	// RowsPerBank and WordsPerRow describe a rank built from 4 Gb x8
+	// parts: 64Ki rows per bank, 8 KiB per row = 1024 64-bit words.
+	RowsPerBank = 1 << 16
+	WordsPerRow = 1 << 10
+	// WordsPerRank is the addressable capacity of one rank in 64-bit
+	// words: 8 banks x 64Ki rows x 1Ki words = 2^29 words (4 GiB).
+	WordsPerRank = BanksPerRank * RowsPerBank * WordsPerRow
+)
+
+// Nominal DDR3 operating parameters (paper Section II-B and IV-B).
+const (
+	NominalTREFP = 0.064 // seconds (64 ms)
+	MaxTREFP     = 2.283 // seconds, X-Gene2 maximum
+	NominalVDD   = 1.500 // volts
+	MinVDD       = 1.428 // volts, lowest operational point found in the paper
+)
+
+// Addr identifies one 64-bit word in the memory subsystem.
+type Addr struct {
+	DIMM int // 0..3 (= channel/MCU index: one DIMM per channel)
+	Rank int // 0..1 within the DIMM
+	Bank int // 0..7
+	Row  int // 0..RowsPerBank-1
+	Col  int // 0..WordsPerRow-1, in 64-bit word units
+}
+
+// RankID returns the flat rank index 0..7 used throughout the campaign
+// reports ("DIMMd/rankr" in the paper's figures).
+func (a Addr) RankID() int { return a.DIMM*RanksPerDIMM + a.Rank }
+
+// String renders the address the way SLIMpro reports error locations.
+func (a Addr) String() string {
+	return fmt.Sprintf("DIMM%d/rank%d/bank%d/row%d/col%d", a.DIMM, a.Rank, a.Bank, a.Row, a.Col)
+}
+
+// RankName returns the paper's label for a flat rank index.
+func RankName(rankID int) string {
+	return fmt.Sprintf("DIMM%d/rank%d", rankID/RanksPerDIMM, rankID%RanksPerDIMM)
+}
+
+// WordIndex packs the word coordinates within a rank into a linear index.
+func (a Addr) WordIndex() uint64 {
+	return (uint64(a.Bank)*RowsPerBank+uint64(a.Row))*WordsPerRow + uint64(a.Col)
+}
+
+// AddrFromWordIndex reconstructs the in-rank coordinates of a linear index.
+func AddrFromWordIndex(dimm, rank int, idx uint64) Addr {
+	col := int(idx % WordsPerRow)
+	idx /= WordsPerRow
+	row := int(idx % RowsPerBank)
+	bank := int(idx / RowsPerBank)
+	return Addr{DIMM: dimm, Rank: rank, Bank: bank, Row: row, Col: col}
+}
+
+// scramble implements the vendor-internal address scrambling the paper cites
+// as one source of DIMM-internal variation: consecutive physical word
+// indices map to non-adjacent cell locations. It is a bijective mix of the
+// in-rank word index (a xorshift-multiply permutation over 2^29).
+func scramble(idx uint64, key uint64) uint64 {
+	const mask = WordsPerRank - 1
+	x := (idx ^ key) & mask
+	x = (x*0x2545F4914F6CDD1D + key) & mask
+	x ^= x >> 13
+	x = (x * 0x9E3779B97F4A7C15) & mask
+	x ^= x >> 17
+	return x & mask
+}

@@ -1,0 +1,108 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrWordIndexRoundTrip(t *testing.T) {
+	f := func(rawBank, rawRow, rawCol uint32) bool {
+		a := Addr{
+			DIMM: 2, Rank: 1,
+			Bank: int(rawBank % BanksPerRank),
+			Row:  int(rawRow % RowsPerBank),
+			Col:  int(rawCol % WordsPerRow),
+		}
+		back := AddrFromWordIndex(a.DIMM, a.Rank, a.WordIndex())
+		return back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordIndexBounds(t *testing.T) {
+	last := Addr{Bank: BanksPerRank - 1, Row: RowsPerBank - 1, Col: WordsPerRow - 1}
+	if got := last.WordIndex(); got != WordsPerRank-1 {
+		t.Fatalf("last word index = %d, want %d", got, uint64(WordsPerRank-1))
+	}
+	first := Addr{}
+	if first.WordIndex() != 0 {
+		t.Fatal("first word index != 0")
+	}
+}
+
+func TestRankID(t *testing.T) {
+	cases := []struct {
+		dimm, rank, want int
+	}{{0, 0, 0}, {0, 1, 1}, {1, 0, 2}, {3, 1, 7}}
+	for _, c := range cases {
+		a := Addr{DIMM: c.dimm, Rank: c.rank}
+		if a.RankID() != c.want {
+			t.Fatalf("RankID(%d,%d) = %d, want %d", c.dimm, c.rank, a.RankID(), c.want)
+		}
+	}
+}
+
+func TestRankName(t *testing.T) {
+	if got := RankName(4); got != "DIMM2/rank0" {
+		t.Fatalf("RankName(4) = %q", got)
+	}
+	if got := RankName(7); got != "DIMM3/rank1" {
+		t.Fatalf("RankName(7) = %q", got)
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	a := Addr{DIMM: 1, Rank: 0, Bank: 3, Row: 42, Col: 7}
+	want := "DIMM1/rank0/bank3/row42/col7"
+	if a.String() != want {
+		t.Fatalf("String = %q, want %q", a.String(), want)
+	}
+}
+
+func TestScrambleBijective(t *testing.T) {
+	// The scrambler must be injective over a sample window (it is a
+	// bijection over the full 2^29 space by construction; verify no
+	// collisions on a large sample).
+	const n = 1 << 16
+	seen := make(map[uint64]bool, n)
+	for i := uint64(0); i < n; i++ {
+		s := scramble(i, 0xabcdef)
+		if s >= WordsPerRank {
+			t.Fatalf("scramble out of range: %d", s)
+		}
+		if seen[s] {
+			t.Fatalf("scramble collision at input %d", i)
+		}
+		seen[s] = true
+	}
+}
+
+func TestScrambleSpreadsNeighbours(t *testing.T) {
+	// Consecutive inputs should not map to consecutive outputs (that is
+	// the point of address scrambling).
+	adjacent := 0
+	for i := uint64(0); i < 1000; i++ {
+		a, b := scramble(i, 7), scramble(i+1, 7)
+		d := int64(a) - int64(b)
+		if d < 0 {
+			d = -d
+		}
+		if d == 1 {
+			adjacent++
+		}
+	}
+	if adjacent > 5 {
+		t.Fatalf("scramble keeps %d/1000 neighbours adjacent", adjacent)
+	}
+}
+
+func TestGeometryConstants(t *testing.T) {
+	if WordsPerRank != 1<<29 {
+		t.Fatalf("WordsPerRank = %d, want 2^29 (4 GiB per rank)", uint64(WordsPerRank))
+	}
+	if NumRanks != 8 {
+		t.Fatalf("NumRanks = %d", NumRanks)
+	}
+}

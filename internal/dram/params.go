@@ -1,0 +1,219 @@
+package dram
+
+// Params collects every physical constant of the reliability model. The
+// default values are calibrated so the simulated campaigns land on the
+// paper's reported orders of magnitude and orderings (see DESIGN.md §5 and
+// EXPERIMENTS.md); they can be overridden to model other parts.
+type Params struct {
+	// RetentionK and RetentionGamma parameterize the weak-cell retention
+	// tail: the fraction of bits whose retention time (at the 50 °C
+	// reference temperature and nominal VDD) is below t seconds is
+	//
+	//	F(t) = RetentionK * t^RetentionGamma.
+	//
+	// Gamma ≈ 5.2 reproduces Fig. 7's growth: scaling TREFP by 3.7x
+	// (0.618 s -> 2.283 s) raises WER by roughly three orders of
+	// magnitude at fixed temperature.
+	RetentionK     float64
+	RetentionGamma float64
+
+	// RetentionHalvingC is the temperature increase (°C) that halves a
+	// cell's retention time. The retention literature the paper builds
+	// on (Hamamoto et al., Liu et al.) reports retention halving roughly
+	// every 10 °C; 10.8 °C reproduces the ~28x WER jump from 50 °C to
+	// 60 °C in Fig. 7.
+	RetentionHalvingC float64
+
+	// ReferenceTempC is the temperature at which base retention times
+	// are expressed.
+	ReferenceTempC float64
+
+	// VDDExponent scales retention with supply voltage:
+	// retention *= (VDD/NominalVDD)^VDDExponent. A small exponent makes
+	// the 1.5 V -> 1.428 V reduction nearly negligible, matching the
+	// paper's Section V finding.
+	VDDExponent float64
+
+	// GlobalCeiling is the largest base retention time (seconds at the
+	// reference temperature) for which weak cells are materialized. It
+	// must exceed the largest effective refresh threshold any experiment
+	// can reach (2.283 s at 70 °C with maximum disturbance).
+	GlobalCeiling float64
+
+	// RankDensity is the per-rank weak-cell density multiplier, indexed
+	// by flat rank ID. The ~188x spread between DIMM2/rank0 and
+	// DIMM3/rank1 matches Fig. 8; the ordering matches the paper's
+	// DIMM-to-DIMM variation discussion.
+	RankDensity [NumRanks]float64
+
+	// TrueCellProb is the fraction of cells that are true cells (charged
+	// state stores a 1, so a stored 1 leaks to 0). The remainder are
+	// anti cells. The asymmetry — real parts are predominantly true-cell
+	// arrays with anti-cell regions, one of the DIMM-internal design
+	// traits the paper lists — makes data patterns matter: writing more
+	// 1s exposes more cells.
+	TrueCellProb float64
+
+	// DisturbCoeff is the maximal fractional retention-time reduction
+	// from neighbour-row activity: eff = base / (1 + DisturbCoeff *
+	// r/(r+ActRateNorm) * s) with per-cell sensitivity s. The response
+	// saturates with the activation rate r (the row buffer and MCU
+	// queues throttle hammering), which keeps the serial/parallel WER
+	// gap of the same kernel modest (paper Fig. 7: ~30 %) while still
+	// ordering workloads by their memory access rate (Fig. 10).
+	DisturbCoeff float64
+
+	// ActRateNorm is the activation rate (acts/s) at which the
+	// disturbance response reaches half of DisturbCoeff.
+	ActRateNorm float64
+
+	// CouplingDelta is the maximal fractional retention reduction caused
+	// by worst-case (high-entropy) data patterns through bitline
+	// coupling. With the steep retention tail, a ~20 % retention
+	// reduction yields the ~2.9-3.5x WER gap between the random
+	// data-pattern micro-benchmark and real workloads (Figs. 2 and 13).
+	CouplingDelta float64
+
+	// VRTFraction is the fraction of weak cells subject to variable
+	// retention time: they toggle between a strong and a weak state with
+	// a random duty cycle, which spreads error manifestation over the
+	// 2-hour run (the saturating curves of Figs. 2 and 4).
+	VRTFraction float64
+
+	// PairBudget is the expected number of footprint-resident bitline-
+	// coupled weak-cell pairs across the whole 8 GiB allocation. Pairs
+	// produce 2-bit words, hence UEs.
+	PairBudget float64
+
+	// PairRetMedian/PairRetSigma give the lognormal distribution of pair
+	// retention times (seconds at reference conditions). The narrow band
+	// creates the cliff the paper reports: no UEs at 50/60 °C at any
+	// TREFP, crashes from 1.45 s upward at 70 °C (Fig. 9a).
+	PairRetMedian float64
+	PairRetSigma  float64
+
+	// PairDisturbCoeff is the disturbance sensitivity of coupled pairs.
+	// Pairs are coupling defects, so neighbour-row activity degrades them
+	// far more strongly than isolated cells; this makes the workload's
+	// memory access rate the main driver of PUE differences (Fig. 9a:
+	// parallel compute benchmarks crash, single-threaded ones mostly do
+	// not; Fig. 10: rs(PUE, access rate) = 0.43).
+	PairDisturbCoeff float64
+
+	// PairRankWeight distributes the pairs over ranks; it matches
+	// Fig. 9b: DIMM2/rank0 takes 0.67 of UEs, DIMM0/rank1 0.24,
+	// DIMM3/rank1 none.
+	PairRankWeight [NumRanks]float64
+
+	// KernelPairBudget is the expected number of pairs resident in
+	// kernel/OS memory. Kernel pages are outside the workload's access
+	// pattern (auto-refresh only), so once TREFP and temperature are
+	// high enough they crash the system regardless of the workload —
+	// the paper's "all benchmarks trigger UEs in 100 % of experiments"
+	// at 2.283 s / 70 °C.
+	KernelPairBudget float64
+
+	// KernelBitOneProb is the bit-value distribution of kernel memory
+	// (mostly zeroed pages and small integers).
+	KernelBitOneProb float64
+
+	// KernelRewritesPerSec is the per-word rewrite rate of kernel pages.
+	KernelRewritesPerSec float64
+
+	// TripleRate is the expected number of 3-bit-coupled words per full
+	// footprint. The paper observed no SDCs; a tiny non-zero rate keeps
+	// the mechanism testable while making SDCs (which additionally
+	// require syndrome aliasing) vanishingly rare.
+	TripleRate float64
+
+	// TripleRetMedian/TripleRetSigma distribute triple retention.
+	TripleRetMedian float64
+	TripleRetSigma  float64
+}
+
+// DefaultParams returns the calibrated parameter set used for all paper
+// reproductions.
+func DefaultParams() Params {
+	return Params{
+		RetentionK:        3.0e-11,
+		RetentionGamma:    5.2,
+		RetentionHalvingC: 10.8,
+		ReferenceTempC:    50,
+		VDDExponent:       1.5,
+		GlobalCeiling:     14.0,
+		RankDensity: [NumRanks]float64{
+			1.00,   // DIMM0/rank0
+			2.20,   // DIMM0/rank1 (UE-prone)
+			0.60,   // DIMM1/rank0
+			0.35,   // DIMM1/rank1
+			3.50,   // DIMM2/rank0 (weakest rank, most UEs)
+			0.80,   // DIMM2/rank1
+			0.15,   // DIMM3/rank0
+			0.0186, // DIMM3/rank1 (strongest: 188x below DIMM2/rank0)
+		},
+		TrueCellProb:     0.85,
+		DisturbCoeff:     0.35,
+		ActRateNorm:      100,
+		CouplingDelta:    0.36,
+		VRTFraction:      0.45,
+		PairBudget:       60,
+		PairRetMedian:    9.6,
+		PairRetSigma:     0.14,
+		PairDisturbCoeff: 2.0,
+		PairRankWeight: [NumRanks]float64{
+			0.02, // DIMM0/rank0
+			0.24, // DIMM0/rank1
+			0.01, // DIMM1/rank0
+			0.01, // DIMM1/rank1
+			0.67, // DIMM2/rank0
+			0.03, // DIMM2/rank1
+			0.02, // DIMM3/rank0
+			0.00, // DIMM3/rank1
+		},
+		KernelPairBudget:     40,
+		KernelBitOneProb:     0.50,
+		KernelRewritesPerSec: 1.0 / 900,
+		TripleRate:           0.05,
+		TripleRetMedian:      10.5,
+		TripleRetSigma:       0.18,
+	}
+}
+
+// Validate reports whether the parameter set is physically meaningful.
+func (p Params) Validate() error {
+	switch {
+	case p.RetentionK <= 0:
+		return errParam("RetentionK must be positive")
+	case p.RetentionGamma <= 0:
+		return errParam("RetentionGamma must be positive")
+	case p.RetentionHalvingC <= 0:
+		return errParam("RetentionHalvingC must be positive")
+	case p.GlobalCeiling <= MaxTREFP:
+		return errParam("GlobalCeiling must exceed the maximum TREFP")
+	case p.VRTFraction < 0 || p.VRTFraction > 1:
+		return errParam("VRTFraction must be in [0,1]")
+	case p.TrueCellProb < 0 || p.TrueCellProb > 1:
+		return errParam("TrueCellProb must be in [0,1]")
+	case p.PairRetMedian <= 0 || p.PairRetSigma <= 0:
+		return errParam("pair retention distribution must be positive")
+	case p.TripleRetMedian <= 0 || p.TripleRetSigma <= 0:
+		return errParam("triple retention distribution must be positive")
+	case p.KernelBitOneProb < 0 || p.KernelBitOneProb > 1:
+		return errParam("KernelBitOneProb must be in [0,1]")
+	}
+	for r, d := range p.RankDensity {
+		if d < 0 {
+			return errParam("RankDensity must be non-negative: rank " + RankName(r))
+		}
+	}
+	for r, w := range p.PairRankWeight {
+		if w < 0 {
+			return errParam("PairRankWeight must be non-negative: rank " + RankName(r))
+		}
+	}
+	return nil
+}
+
+type errParam string
+
+func (e errParam) Error() string { return "dram: invalid params: " + string(e) }

@@ -1,0 +1,154 @@
+package dram
+
+import (
+	"fmt"
+	"math"
+)
+
+// AccessProfile describes how a workload uses DRAM: the partition of its
+// footprint into regions with distinct reuse behaviour, its aggregate
+// traffic, and its data-pattern statistics. Profiles are produced by
+// internal/profile from simulated workload executions; the DRAM simulator
+// consumes them to decide which weak cells are rescued by implicit refresh,
+// which are hammered by neighbour-row activations, and which store
+// vulnerable data.
+type AccessProfile struct {
+	// Name identifies the workload (used for seeding data placement, so
+	// the same workload always lands on the same physical pages).
+	Name string
+	// Threads is the number of worker threads used for the run.
+	Threads int
+	// FootprintWords is the allocation size in 64-bit words at full
+	// scale (the paper allocates 8 GiB = 2^30 words for every workload).
+	FootprintWords uint64
+	// Regions partitions the footprint; FootprintFrac must sum to ~1.
+	Regions []Region
+	// DRAMAccessesPerSec is the post-cache memory access rate.
+	DRAMAccessesPerSec float64
+	// RowActivationsPerSec is the rate of DRAM row activations (accesses
+	// that miss the open row), which drives cell-to-cell disturbance.
+	RowActivationsPerSec float64
+	// ReadFrac is the fraction of DRAM accesses that are reads.
+	ReadFrac float64
+	// HDP is the data-pattern entropy of written values in bits per
+	// 32-bit word (paper Eq. 5); 32 is a uniformly random pattern.
+	HDP float64
+	// Seed salts data placement.
+	Seed uint64
+}
+
+// Region is a footprint partition with homogeneous reuse behaviour
+// (typically one allocated array or data structure of the workload).
+type Region struct {
+	// Name identifies the data structure ("weights", "hash table", ...).
+	Name string
+	// FootprintFrac is the fraction of the footprint this region holds.
+	FootprintFrac float64
+	// AccessFrac is the fraction of DRAM accesses that touch the region.
+	AccessFrac float64
+	// ReuseSeconds is the mean interval between successive accesses to
+	// the same 64-bit word of the region (the per-region DRAM reuse
+	// time; Treuse is the access-weighted mean of these).
+	ReuseSeconds float64
+	// RowReuseSeconds is the mean interval between activations of the
+	// same DRAM row of the region. Because an activation recharges the
+	// whole row, this — not the word-level reuse — controls implicit
+	// refresh. Random access patterns (memcached) activate each row far
+	// more often than each word (RowReuseSeconds << ReuseSeconds);
+	// streaming sweeps revisit rows and words together
+	// (RowReuseSeconds ≈ ReuseSeconds).
+	RowReuseSeconds float64
+	// BitOneProb is the probability a stored bit is 1 in this region.
+	BitOneProb float64
+	// RewritesPerSec is the per-word rewrite rate; rewriting re-rolls
+	// which cells hold vulnerable data.
+	RewritesPerSec float64
+}
+
+// Validate checks profile invariants.
+func (p *AccessProfile) Validate() error {
+	if p.FootprintWords == 0 {
+		return fmt.Errorf("dram: profile %q has zero footprint", p.Name)
+	}
+	if len(p.Regions) == 0 {
+		return fmt.Errorf("dram: profile %q has no regions", p.Name)
+	}
+	var fp, af float64
+	for _, r := range p.Regions {
+		if r.FootprintFrac < 0 || r.AccessFrac < 0 || r.ReuseSeconds <= 0 || r.RowReuseSeconds <= 0 {
+			return fmt.Errorf("dram: profile %q region %q has invalid fields", p.Name, r.Name)
+		}
+		if r.BitOneProb < 0 || r.BitOneProb > 1 {
+			return fmt.Errorf("dram: profile %q region %q has invalid BitOneProb", p.Name, r.Name)
+		}
+		fp += r.FootprintFrac
+		af += r.AccessFrac
+	}
+	if math.Abs(fp-1) > 0.01 {
+		return fmt.Errorf("dram: profile %q footprint fractions sum to %.3f", p.Name, fp)
+	}
+	if math.Abs(af-1) > 0.01 {
+		return fmt.Errorf("dram: profile %q access fractions sum to %.3f", p.Name, af)
+	}
+	return nil
+}
+
+// Treuse returns the access-weighted mean DRAM reuse time in seconds — the
+// paper's Treuse metric (Section III-D): the average period between
+// accesses to the same 64-bit word.
+func (p *AccessProfile) Treuse() float64 {
+	var t float64
+	for _, r := range p.Regions {
+		t += r.AccessFrac * r.ReuseSeconds
+	}
+	return t
+}
+
+// MeanBitOneProb returns the footprint-weighted probability of a stored 1.
+func (p *AccessProfile) MeanBitOneProb() float64 {
+	var b float64
+	for _, r := range p.Regions {
+		b += r.FootprintFrac * r.BitOneProb
+	}
+	return b
+}
+
+// disturbance summarizes the two-tier neighbour-row activation model for a
+// run: every cell sees the background rate; cells that happen to neighbour
+// the hottest region's rows see the hot rate.
+type disturbance struct {
+	backgroundRate float64 // activations/s seen by a typical row's neighbours
+	hotRate        float64 // activations/s next to the hottest region
+	hotFrac        float64 // fraction of footprint cells in the hot tier
+}
+
+// disturbanceModel derives the two-tier model from the profile.
+func (p *AccessProfile) disturbanceModel() disturbance {
+	totalRows := float64(p.FootprintWords) / WordsPerRow
+	if totalRows < 1 {
+		totalRows = 1
+	}
+	d := disturbance{
+		backgroundRate: 2 * p.RowActivationsPerSec / totalRows,
+	}
+	// The hot tier is the region with the highest per-row activation
+	// density; its row neighbours absorb concentrated hammering.
+	for _, r := range p.Regions {
+		if r.FootprintFrac <= 0 {
+			continue
+		}
+		rows := r.FootprintFrac * totalRows
+		rate := p.RowActivationsPerSec * r.AccessFrac / rows
+		if rate > d.hotRate {
+			d.hotRate = rate
+			d.hotFrac = math.Min(1, 2*r.FootprintFrac)
+		}
+	}
+	if d.hotRate > maxDisturbRate {
+		d.hotRate = maxDisturbRate
+	}
+	if d.backgroundRate > maxDisturbRate {
+		d.backgroundRate = maxDisturbRate
+	}
+	return d
+}

@@ -1,0 +1,73 @@
+package dram
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// WeakBitFraction returns F(t): the fraction of bits whose base retention
+// time (at the reference temperature, nominal VDD) is below t seconds.
+func (p Params) WeakBitFraction(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return p.RetentionK * math.Pow(t, p.RetentionGamma)
+}
+
+// RetentionQuantile inverts the conditional retention CDF: given a uniform
+// u in (0,1], it returns the base retention time of a weak cell drawn from
+// the population restricted to retention < ceiling. Because F is a power
+// law, the conditional quantile is ceiling * u^(1/gamma).
+func (p Params) RetentionQuantile(u, ceiling float64) float64 {
+	return ceiling * math.Pow(u, 1/p.RetentionGamma)
+}
+
+// PairRetentionQuantile inverts the pair-retention CDF: bitline-coupled
+// pairs occupy a narrow lognormal retention band (PairRetMedian,
+// PairRetSigma), which produces the sharp UE onset between 60 °C (no UEs at
+// any TREFP) and 70 °C at TREFP >= 1.45 s.
+func (p Params) PairRetentionQuantile(u float64) float64 {
+	return stats.LogNormQuantile(u, p.PairRetMedian, p.PairRetSigma)
+}
+
+// TripleRetentionQuantile is the 3-cell analogue.
+func (p Params) TripleRetentionQuantile(u float64) float64 {
+	return stats.LogNormQuantile(u, p.TripleRetMedian, p.TripleRetSigma)
+}
+
+// TempFactor returns the multiplicative retention scaling at temperature
+// tempC: retention halves every RetentionHalvingC degrees above the
+// reference (Hamamoto et al.'s exponential retention-temperature law).
+func (p Params) TempFactor(tempC float64) float64 {
+	return math.Exp2(-(tempC - p.ReferenceTempC) / p.RetentionHalvingC)
+}
+
+// VDDFactor returns the multiplicative retention scaling at supply voltage
+// vdd. Lower voltage stores less charge, shortening retention slightly.
+func (p Params) VDDFactor(vdd float64) float64 {
+	if vdd <= 0 {
+		return 0
+	}
+	return math.Pow(vdd/NominalVDD, p.VDDExponent)
+}
+
+// EffectiveCeiling returns the largest base retention time (reference
+// conditions) that could leak in a run with refresh period trefp at tempC
+// and vdd, given the worst-case disturbance and data-coupling factors.
+// Cells above this ceiling can never err in such a run, so the simulator
+// only materializes cells below it.
+func (p Params) EffectiveCeiling(trefp, tempC, vdd float64) float64 {
+	worstDisturb := 1 + p.DisturbCoeff*maxDisturbRate/(maxDisturbRate+p.ActRateNorm)
+	worstCoupling := 1 / (1 - p.CouplingDelta)
+	c := trefp / p.TempFactor(tempC) / p.VDDFactor(vdd) * worstDisturb * worstCoupling
+	if c > p.GlobalCeiling {
+		c = p.GlobalCeiling
+	}
+	return c
+}
+
+// maxDisturbRate caps the neighbour-row activation rate (acts/s) the
+// disturbance model will credit; beyond this the row-buffer and MCU queues
+// throttle further activations of a single row.
+const maxDisturbRate = 4000

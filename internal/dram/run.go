@@ -1,0 +1,519 @@
+package dram
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ecc"
+	"repro/internal/stats"
+)
+
+// RunConfig describes one characterization experiment: a workload executing
+// for DurationSec while the DRAM operates under the given refresh period,
+// supply voltage and DIMM temperature (paper Section V protocol: 2-hour
+// runs, error log sampled every 10 minutes).
+type RunConfig struct {
+	TREFP float64 // refresh period in seconds
+	VDD   float64 // supply voltage in volts
+	TempC float64 // DIMM temperature in °C (uniform across DIMMs)
+	// DIMMTempC optionally overrides TempC per DIMM — the thermal
+	// testbed has an independent heater and PID loop per module
+	// (paper Section IV-A), so gradients across DIMMs are a supported
+	// experiment.
+	DIMMTempC   *[NumDIMMs]float64
+	DurationSec float64 // experiment length; default 7200 s
+	EpochSec    float64 // error-log sampling period; default 600 s
+	// RecordWER enables per-cell CE simulation. Runs that only need UE
+	// outcomes (the PUE campaigns) can disable it: crash probability is
+	// determined by the pair population alone.
+	RecordWER bool
+	// DisableCrash puts the platform in ECC report-only mode: UEs are
+	// logged but do not abort the run. The real X-Gene2 crashes on any
+	// detected UE (paper Section V-B).
+	DisableCrash bool
+	// Rep distinguishes repetitions of the same experiment: VRT state
+	// and data-placement randomness differ between repetitions of a
+	// 2-hour run, which is why the paper repeats PUE experiments 10x.
+	Rep int
+}
+
+func (c *RunConfig) setDefaults() {
+	if c.DurationSec == 0 {
+		c.DurationSec = 7200
+	}
+	if c.EpochSec == 0 {
+		c.EpochSec = 600
+	}
+	if c.VDD == 0 {
+		c.VDD = MinVDD
+	}
+}
+
+// Validate reports configuration errors.
+func (c RunConfig) Validate() error {
+	c.setDefaults()
+	switch {
+	case c.TREFP <= 0:
+		return fmt.Errorf("dram: TREFP must be positive, got %v", c.TREFP)
+	case c.VDD <= 0:
+		return fmt.Errorf("dram: VDD must be positive, got %v", c.VDD)
+	case c.TempC < 0 || c.TempC > 125:
+		return fmt.Errorf("dram: temperature %v°C outside device limits", c.TempC)
+	case c.DIMMTempC != nil && (minOf(c.DIMMTempC[:]) < 0 || maxOf(c.DIMMTempC[:]) > 125):
+		return fmt.Errorf("dram: per-DIMM temperatures %v outside device limits", *c.DIMMTempC)
+	case c.EpochSec <= 0 || c.DurationSec < c.EpochSec:
+		return fmt.Errorf("dram: invalid duration/epoch (%v/%v)", c.DurationSec, c.EpochSec)
+	}
+	return nil
+}
+
+// CERecord is one corrected-error location, as SLIMpro reports it.
+type CERecord struct {
+	Addr  Addr
+	Bit   int
+	Epoch int
+}
+
+// RunResult is the outcome of one characterization run.
+type RunResult struct {
+	Profile string
+	Config  RunConfig
+	Epochs  int
+	// Crashed is true when a detected UE aborted the run (default
+	// platform behaviour).
+	Crashed    bool
+	CrashEpoch int // epoch of the first UE, -1 if none
+	UECount    int // UEs observed (>1 only in report-only mode)
+	UERank     int // rank of the first UE, -1 if none
+	SDCCount   int // silent corruptions (expected 0; see paper §V-B)
+
+	// WERValid is true when the run completed and RecordWER was set;
+	// WER figures below are meaningful only in that case.
+	WERValid bool
+	// WER is the rate of unique 64-bit words with at least one CE,
+	// relative to the application's footprint (paper Eq. 2).
+	WER float64
+	// WERByRank gives the per-DIMM/rank breakdown (paper Fig. 8), with
+	// the footprint share of each rank as the denominator.
+	WERByRank [NumRanks]float64
+	// WERSeries is the cumulative WER after each epoch (Figs. 2 and 4).
+	WERSeries []float64
+	// CEWords is the number of unique erroneous words per rank.
+	CEWords [NumRanks]int
+	// CERecords samples the first error locations (capped) for
+	// error-log inspection tools.
+	CERecords []CERecord
+	// FootprintWords is the WER denominator actually used (scaled).
+	FootprintWords uint64
+}
+
+// maxCERecordSamples caps the retained per-run error log.
+const maxCERecordSamples = 256
+
+// Run executes one characterization experiment of the given workload
+// profile on this device.
+func (d *Device) Run(profile *AccessProfile, cfg RunConfig) (*RunResult, error) {
+	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	footWords := profile.FootprintWords / uint64(d.scale)
+	if footWords == 0 || footWords > d.TotalWords() {
+		return nil, fmt.Errorf("dram: footprint %d words exceeds device capacity %d",
+			footWords, d.TotalWords())
+	}
+
+	epochs := int(cfg.DurationSec / cfg.EpochSec)
+	rng := stats.NewRNG(splitmix(d.seed ^ hashString(profile.Name) ^
+		math.Float64bits(cfg.TREFP)*3 ^ math.Float64bits(cfg.TempC)*5 ^
+		math.Float64bits(cfg.VDD)*7 ^ uint64(cfg.Rep)*0x9E3779B97F4A7C15))
+
+	env := d.newRunEnv(profile, cfg, footWords)
+
+	res := &RunResult{
+		Profile:        profile.Name,
+		Config:         cfg,
+		Epochs:         epochs,
+		CrashEpoch:     -1,
+		UERank:         -1,
+		FootprintWords: footWords,
+	}
+
+	// Phase 1: uncorrectable errors from bitline-coupled pairs (and the
+	// rare triples). These determine whether and when the run crashes.
+	crashEpoch := epochs // sentinel: no crash
+	for r := 0; r < NumRanks; r++ {
+		for _, pr := range d.pairsFor(r) {
+			ep := env.pairManifestEpoch(&pr, r, epochs, rng)
+			if ep < 0 {
+				continue
+			}
+			res.UECount++
+			if ep < crashEpoch {
+				crashEpoch = ep
+				res.UERank = r
+			}
+		}
+		for _, tr := range d.triplesFor(r) {
+			ep := env.tripleManifestEpoch(&tr, r, epochs, rng)
+			if ep < 0 {
+				continue
+			}
+			// Three flipped bits: let the real SECDED decide whether
+			// this is a detected UE or silent corruption.
+			flips := []int{int(tr.bits[0]), int(tr.bits[1]), int(tr.bits[2])}
+			switch ecc.Classify(rng.Uint64(), flips) {
+			case ecc.SDC:
+				res.SDCCount++
+			default:
+				res.UECount++
+				if ep < crashEpoch {
+					crashEpoch = ep
+					res.UERank = r
+				}
+			}
+		}
+	}
+	if res.UECount > 0 {
+		res.CrashEpoch = crashEpoch
+		if !cfg.DisableCrash {
+			res.Crashed = true
+		}
+	}
+	lastEpoch := epochs
+	if res.Crashed {
+		lastEpoch = crashEpoch // CEs accumulate only until the crash
+	}
+
+	// Phase 2: correctable errors from the weak-cell population.
+	if cfg.RecordWER {
+		epochCounts := make([]int, epochs)
+		for r := 0; r < NumRanks; r++ {
+			seen := make(map[uint64]bool)
+			for _, tier := range d.cellsBelow(r, env.ceiling) {
+				for i := range tier {
+					c := &tier[i]
+					if float64(c.baseRet) >= env.ceiling {
+						continue
+					}
+					ep := env.cellManifestEpoch(c, r, lastEpoch, rng)
+					if ep < 0 {
+						continue
+					}
+					if !seen[c.word] {
+						seen[c.word] = true
+						res.CEWords[r]++
+						epochCounts[ep]++
+						if len(res.CERecords) < maxCERecordSamples {
+							res.CERecords = append(res.CERecords, CERecord{
+								Addr:  AddrFromWordIndex(r/RanksPerDIMM, r%RanksPerDIMM, scramble(c.word, d.ranks[r].seed)),
+								Bit:   int(c.bit),
+								Epoch: ep,
+							})
+						}
+					}
+				}
+			}
+		}
+		total := 0
+		res.WERSeries = make([]float64, epochs)
+		for e := 0; e < epochs; e++ {
+			total += epochCounts[e]
+			res.WERSeries[e] = float64(total) / float64(footWords)
+		}
+		res.WER = float64(total) / float64(footWords)
+		perRankFoot := float64(footWords) / NumRanks
+		for r := 0; r < NumRanks; r++ {
+			res.WERByRank[r] = float64(res.CEWords[r]) / perRankFoot
+		}
+		res.WERValid = !res.Crashed
+	}
+	return res, nil
+}
+
+// runEnv caches the per-run derived quantities shared by all cells.
+type runEnv struct {
+	d       *Device
+	profile *AccessProfile
+	cfg     RunConfig
+	ceiling float64 // base-retention ceiling relevant to this run
+	// retScale is tempFactor * vddFactor * couplingFactor (isolated
+	// cells), per DIMM: each module sits at its own testbed setpoint.
+	retScale [NumDIMMs]float64
+	// retScalePair omits the data-coupling term: pair defects couple
+	// cell-to-cell, not through the data lines, so their retention does
+	// not depend on the stored pattern's entropy. (Without this, worst-
+	// case data patterns would crash the machine at 60 °C, which the
+	// paper's campaigns rule out.)
+	retScalePair [NumDIMMs]float64
+	footFrac     float64
+	dist         disturbance
+	cumFoot      []float64 // cumulative region footprint fractions
+	rerollP      []float64 // per-region per-epoch orientation re-roll probability
+	windows      float64   // refresh windows per epoch
+}
+
+func (d *Device) newRunEnv(profile *AccessProfile, cfg RunConfig, footWords uint64) *runEnv {
+	p := d.params
+	entropyNorm := stats.Clamp(profile.HDP/32, 0, 1)
+	coupling := 1 - p.CouplingDelta*entropyNorm
+	env := &runEnv{
+		d:        d,
+		profile:  profile,
+		cfg:      cfg,
+		footFrac: float64(footWords) / float64(d.TotalWords()),
+		dist:     profile.disturbanceModel(),
+		windows:  cfg.EpochSec / cfg.TREFP,
+	}
+	minScale := math.Inf(1)
+	for dimm := 0; dimm < NumDIMMs; dimm++ {
+		base := p.TempFactor(cfg.tempOfDIMM(dimm)) * p.VDDFactor(cfg.VDD)
+		env.retScale[dimm] = base * coupling
+		env.retScalePair[dimm] = base
+		if env.retScale[dimm] < minScale {
+			minScale = env.retScale[dimm]
+		}
+	}
+	// Only cells whose scaled retention can fall below TREFP under the
+	// strongest disturbance seen this run (on the hottest DIMM) need to
+	// be materialized.
+	worst := 1 + p.DisturbCoeff*env.dist.hotRate/(env.dist.hotRate+p.ActRateNorm)
+	env.ceiling = math.Min(p.GlobalCeiling, cfg.TREFP*worst/minScale)
+
+	env.cumFoot = make([]float64, len(profile.Regions))
+	env.rerollP = make([]float64, len(profile.Regions))
+	acc := 0.0
+	for i, r := range profile.Regions {
+		acc += r.FootprintFrac
+		env.cumFoot[i] = acc
+		env.rerollP[i] = stats.Clamp(r.RewritesPerSec*cfg.EpochSec, 0, 1)
+	}
+	return env
+}
+
+// regionOf maps a hash fraction to a region index.
+func (e *runEnv) regionOf(f float64) int {
+	for i, c := range e.cumFoot {
+		if f < c {
+			return i
+		}
+	}
+	return len(e.cumFoot) - 1
+}
+
+// leakProbPerEpoch returns the probability that a cell with effective
+// retention effRet (seconds) in a region with mean row-activation interval
+// rowReuse leaks at least once during one epoch. Auto-refresh recharges the
+// cell every TREFP; a workload access to the cell's row also recharges it.
+// The cell survives a refresh window only if some access arrives within
+// effRet of the window start (memoryless inter-access approximation).
+func (e *runEnv) leakProbPerEpoch(effRet, rowReuse float64) float64 {
+	if effRet >= e.cfg.TREFP {
+		return 0 // auto-refresh is always in time
+	}
+	q := math.Exp(-effRet / rowReuse) // P(no rescue access in time) per window
+	if q <= 1e-12 {
+		return 0
+	}
+	// P(leak in epoch) = 1 - P(survive all windows).
+	return 1 - math.Exp(e.windows*math.Log1p(-q))
+}
+
+// cellManifestEpoch returns the epoch at which the cell's first error
+// manifests, or -1 if it never errs before lastEpoch.
+func (e *runEnv) cellManifestEpoch(c *weakCell, rank, lastEpoch int, rng *stats.RNG) int {
+	p := e.d.params
+	key := splitmix(c.word<<6 | uint64(c.bit) | uint64(rank)<<38 ^ e.profile.Seed)
+	if hashFrac(key) >= e.footFrac {
+		return -1 // word not in the application's footprint
+	}
+	key2 := splitmix(key)
+	regionIdx := e.regionOf(hashFrac(key2))
+	region := &e.profile.Regions[regionIdx]
+
+	// Disturbance tier: neighbours of the hottest rows lose retention.
+	key3 := splitmix(key2)
+	rate := e.dist.backgroundRate
+	if hashFrac(key3) < e.dist.hotFrac {
+		rate = e.dist.hotRate
+	}
+	// Per-cell disturbance sensitivity (uniform) models the geometric
+	// spread of cell-to-cell coupling strength; the rate response
+	// saturates (row-buffer throttling).
+	sens := hashFrac(splitmix(key3))
+	disturb := 1 + p.DisturbCoeff*rate/(rate+p.ActRateNorm)*sens
+
+	effRet := float64(c.baseRet) * e.retScale[rank/RanksPerDIMM] / disturb
+	pLeak := e.leakProbPerEpoch(effRet, region.RowReuseSeconds)
+	if pLeak <= 0 {
+		return -1
+	}
+
+	pv := region.BitOneProb
+	if !c.trueCell {
+		pv = 1 - pv
+	}
+	duty := float64(c.vrtDuty)
+	reroll := e.rerollP[regionIdx]
+
+	if reroll < 0.5 {
+		// Data effectively static for the whole run: the stored bit is
+		// either vulnerable or not.
+		if !rng.Bool(pv) {
+			return -1
+		}
+		for ep := 0; ep < lastEpoch; ep++ {
+			if rng.Bool(duty * pLeak) {
+				return ep
+			}
+		}
+		return -1
+	}
+	// Data rewritten every epoch: orientation re-rolls each time.
+	for ep := 0; ep < lastEpoch; ep++ {
+		if rng.Bool(pv * duty * pLeak) {
+			return ep
+		}
+	}
+	return -1
+}
+
+// pairManifestEpoch returns the epoch at which both bits of the pair have
+// leaked (a UE), or -1. Pairs are materialized at full scale, so no
+// footprint-fraction subsampling is applied beyond the paper's own
+// footprint residency (PairBudget is defined footprint-resident).
+func (e *runEnv) pairManifestEpoch(pr *weakPair, rank, epochs int, rng *stats.RNG) int {
+	p := e.d.params
+	key := splitmix(pr.word<<7 | uint64(pr.bitA) | uint64(rank)<<39 ^ e.profile.Seed)
+	var (
+		rowReuse float64
+		pOne     float64
+		reroll   float64
+	)
+	if pr.kernel {
+		// Kernel/OS pages sit outside the workload's access pattern:
+		// no implicit refresh, kernel data statistics, slow rewrite.
+		rowReuse = 1e9
+		pOne = p.KernelBitOneProb
+		reroll = stats.Clamp(p.KernelRewritesPerSec*e.cfg.EpochSec, 0, 1)
+	} else {
+		regionIdx := e.regionOf(hashFrac(key))
+		region := &e.profile.Regions[regionIdx]
+		rowReuse = region.RowReuseSeconds
+		pOne = region.BitOneProb
+		reroll = e.rerollP[regionIdx]
+	}
+
+	// Pairs are coupling defects: the *aggregate* neighbour-row activity
+	// of the whole run degrades them (every row is eventually hammered by
+	// a high-traffic workload), and the effect saturates (the row buffer
+	// throttles activation bursts). This makes the workload's memory
+	// access rate the dominant driver of PUE (Fig. 9a / Fig. 10).
+	disturb := 1 + p.PairDisturbCoeff*e.dist.backgroundRate/pairRateNorm
+	if disturb > maxPairDisturb {
+		disturb = maxPairDisturb
+	}
+
+	effRet := float64(pr.baseRet) * e.retScalePair[rank/RanksPerDIMM] / disturb
+	pLeak := e.leakProbPerEpoch(effRet, rowReuse)
+	if pLeak <= 0 {
+		return -1
+	}
+
+	pvA := pOne
+	if !pr.trueA {
+		pvA = 1 - pvA
+	}
+	pvB := pOne
+	if !pr.trueB {
+		pvB = 1 - pvB
+	}
+	duty := float64(pr.vrtDuty)
+
+	if reroll < 0.5 {
+		if !rng.Bool(pvA * pvB) {
+			return -1
+		}
+		for ep := 0; ep < epochs; ep++ {
+			if rng.Bool(duty * pLeak) {
+				return ep
+			}
+		}
+		return -1
+	}
+	for ep := 0; ep < epochs; ep++ {
+		if rng.Bool(pvA * pvB * duty * pLeak) {
+			return ep
+		}
+	}
+	return -1
+}
+
+// tripleManifestEpoch is the 3-cell analogue of pairManifestEpoch.
+func (e *runEnv) tripleManifestEpoch(tr *weakTriple, rank, epochs int, rng *stats.RNG) int {
+	key := splitmix(tr.word<<8 | uint64(tr.bits[0]) | uint64(rank)<<40 ^ e.profile.Seed)
+	regionIdx := e.regionOf(hashFrac(key))
+	region := &e.profile.Regions[regionIdx]
+	effRet := float64(tr.baseRet) * e.retScalePair[rank/RanksPerDIMM]
+	pLeak := e.leakProbPerEpoch(effRet, region.RowReuseSeconds)
+	if pLeak <= 0 {
+		return -1
+	}
+	// Three-way vulnerability: all bits must store leak-prone values.
+	pv := 0.125
+	for ep := 0; ep < epochs; ep++ {
+		if rng.Bool(pv * pLeak) {
+			return ep
+		}
+	}
+	return -1
+}
+
+// tempOfDIMM returns the temperature of DIMM d under the config.
+func (c RunConfig) tempOfDIMM(d int) float64 {
+	if c.DIMMTempC != nil {
+		return c.DIMMTempC[d]
+	}
+	return c.TempC
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// maxPairDisturb caps the retention degradation of coupled pairs under
+// neighbour-row hammering; pairRateNorm is the pair response's rate scale
+// (pairs keep the pre-saturation linear response of the original model).
+const (
+	maxPairDisturb = 1.6
+	pairRateNorm   = 2000
+)
+
+// hashString folds a string into a 64-bit seed (FNV-1a).
+func hashString(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

@@ -1,0 +1,420 @@
+package dram
+
+import (
+	"math"
+	"testing"
+)
+
+// testProfile returns a mid-intensity streaming profile for run tests.
+func testProfile() *AccessProfile {
+	return syntheticProfile("unit-stream", 2.0, 2e8)
+}
+
+// rescuedProfile returns a profile whose whole footprint is implicitly
+// refreshed by dense random accesses (memcached-like).
+func rescuedProfile() *AccessProfile {
+	return &AccessProfile{
+		Name:           "unit-rescued",
+		Threads:        8,
+		FootprintWords: 1 << 30,
+		Regions: []Region{
+			{Name: "hot", FootprintFrac: 0.95, AccessFrac: 0.98,
+				ReuseSeconds: 0.1, RowReuseSeconds: 0.001,
+				BitOneProb: 0.5, RewritesPerSec: 2},
+			{Name: "cold", FootprintFrac: 0.05, AccessFrac: 0.02,
+				ReuseSeconds: 30, RowReuseSeconds: 0.05,
+				BitOneProb: 0.3, RewritesPerSec: 0.01},
+		},
+		DRAMAccessesPerSec:   2e8,
+		RowActivationsPerSec: 6e7,
+		ReadFrac:             0.9,
+		HDP:                  20,
+		Seed:                 2,
+	}
+}
+
+func run(t *testing.T, d *Device, p *AccessProfile, cfg RunConfig) *RunResult {
+	t.Helper()
+	res, err := d.Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunDeterministic(t *testing.T) {
+	d := MustNewDevice(Config{Scale: 64})
+	cfg := RunConfig{TREFP: 2.283, TempC: 50, RecordWER: true}
+	a := run(t, d, testProfile(), cfg)
+	b := run(t, d, testProfile(), cfg)
+	if a.WER != b.WER || a.UECount != b.UECount {
+		t.Fatalf("identical runs differ: %v vs %v", a.WER, b.WER)
+	}
+}
+
+func TestRunRepChangesOutcome(t *testing.T) {
+	d := MustNewDevice(Config{Scale: 64})
+	base := RunConfig{TREFP: 2.283, TempC: 50, RecordWER: true}
+	a := run(t, d, testProfile(), base)
+	base.Rep = 1
+	b := run(t, d, testProfile(), base)
+	// Same physical cells, different VRT/data randomness: totals may be
+	// close but the series should not be bit-identical.
+	identical := a.WER == b.WER
+	for i := range a.WERSeries {
+		if a.WERSeries[i] != b.WERSeries[i] {
+			identical = false
+		}
+	}
+	if identical {
+		t.Fatal("different reps produced identical error sequences")
+	}
+}
+
+func TestWERGrowsWithTREFP(t *testing.T) {
+	d := MustNewDevice(Config{Scale: 16})
+	prev := -1.0
+	for _, trefp := range []float64{0.618, 1.173, 1.727, 2.283} {
+		res := run(t, d, testProfile(), RunConfig{TREFP: trefp, TempC: 60, RecordWER: true})
+		if res.WER < prev {
+			t.Fatalf("WER not monotone in TREFP at %v: %v < %v", trefp, res.WER, prev)
+		}
+		prev = res.WER
+	}
+}
+
+func TestWERGrowsWithTemperature(t *testing.T) {
+	d := MustNewDevice(Config{Scale: 16})
+	prev := -1.0
+	for _, temp := range []float64{50, 60, 70} {
+		res := run(t, d, testProfile(), RunConfig{TREFP: 1.173, TempC: temp,
+			RecordWER: true, DisableCrash: true})
+		if res.WER <= prev {
+			t.Fatalf("WER not increasing in temperature at %v°C: %v <= %v", temp, res.WER, prev)
+		}
+		prev = res.WER
+	}
+}
+
+func TestTemperatureJumpMagnitude(t *testing.T) {
+	// Fig. 7: 50 -> 60 °C raises WER by roughly an order of magnitude
+	// (the paper shows ~28x at 2.283 s). Accept a broad band.
+	d := MustNewDevice(Config{Scale: 8})
+	w50 := run(t, d, testProfile(), RunConfig{TREFP: 2.283, TempC: 50, RecordWER: true}).WER
+	w60 := run(t, d, testProfile(), RunConfig{TREFP: 2.283, TempC: 60, RecordWER: true}).WER
+	if w50 <= 0 {
+		t.Skip("no errors at 50°C at this scale")
+	}
+	ratio := w60 / w50
+	if ratio < 8 || ratio > 100 {
+		t.Fatalf("50->60°C WER ratio = %v, want ~28x (8..100)", ratio)
+	}
+}
+
+func TestVDDEffectNegligible(t *testing.T) {
+	// Paper Section V: lowering VDD from 1.5 to 1.428 V has a small
+	// effect compared to TREFP scaling.
+	d := MustNewDevice(Config{Scale: 8})
+	nom := run(t, d, testProfile(), RunConfig{TREFP: 2.283, TempC: 60, VDD: NominalVDD, RecordWER: true}).WER
+	low := run(t, d, testProfile(), RunConfig{TREFP: 2.283, TempC: 60, VDD: MinVDD, RecordWER: true}).WER
+	if nom <= 0 {
+		t.Skip("no errors at this scale")
+	}
+	if low < nom {
+		t.Fatalf("lower VDD should not reduce WER: %v < %v", low, nom)
+	}
+	if low > nom*2.5 {
+		t.Fatalf("VDD effect too strong: %v vs %v", low, nom)
+	}
+}
+
+func TestRescuedWorkloadHasFarFewerErrors(t *testing.T) {
+	// A random-access workload that implicitly refreshes its rows must
+	// show much lower WER than a streaming workload (paper Fig. 4:
+	// memcached lowest, ~8x below the worst).
+	d := MustNewDevice(Config{Scale: 8})
+	cfg := RunConfig{TREFP: 2.283, TempC: 60, RecordWER: true}
+	stream := run(t, d, testProfile(), cfg).WER
+	rescued := run(t, d, rescuedProfile(), cfg).WER
+	if rescued*3 > stream {
+		t.Fatalf("implicit refresh not effective: rescued=%v stream=%v", rescued, stream)
+	}
+}
+
+func TestWERSeriesCumulativeAndSaturating(t *testing.T) {
+	d := MustNewDevice(Config{Scale: 8})
+	res := run(t, d, testProfile(), RunConfig{TREFP: 2.283, TempC: 60, RecordWER: true})
+	if len(res.WERSeries) != res.Epochs {
+		t.Fatalf("series length %d != epochs %d", len(res.WERSeries), res.Epochs)
+	}
+	for i := 1; i < len(res.WERSeries); i++ {
+		if res.WERSeries[i] < res.WERSeries[i-1] {
+			t.Fatal("WER series not cumulative")
+		}
+	}
+	if res.WERSeries[len(res.WERSeries)-1] != res.WER {
+		t.Fatal("series end != final WER")
+	}
+	// Paper Section V-A: the last 10 minutes change WER by < 3 %... the
+	// simulated curve must flatten too (allow 10 % at test scale).
+	n := len(res.WERSeries)
+	if res.WER > 0 {
+		lastDelta := (res.WERSeries[n-1] - res.WERSeries[n-2]) / res.WERSeries[n-1]
+		firstShare := res.WERSeries[0] / res.WER
+		if lastDelta > 0.10 {
+			t.Fatalf("curve not saturating: last-epoch delta %.3f", lastDelta)
+		}
+		if firstShare < 0.2 {
+			t.Fatalf("first epoch share %.3f: curve should start steep", firstShare)
+		}
+	}
+}
+
+func TestWERByRankTracksDensity(t *testing.T) {
+	d := MustNewDevice(Config{Scale: 4})
+	res := run(t, d, testProfile(), RunConfig{TREFP: 2.283, TempC: 60, RecordWER: true})
+	// DIMM2/rank0 (3.5) must beat DIMM3/rank1 (0.0186) by a wide margin.
+	if res.WERByRank[4] <= res.WERByRank[7]*5 {
+		t.Fatalf("rank WER spread missing: %v vs %v", res.WERByRank[4], res.WERByRank[7])
+	}
+	var sum float64
+	for _, w := range res.WERByRank {
+		sum += w
+	}
+	if math.Abs(sum/NumRanks-res.WER) > res.WER*0.01+1e-15 {
+		t.Fatalf("per-rank WER inconsistent with total: mean %v vs %v", sum/NumRanks, res.WER)
+	}
+}
+
+func TestNoUEsBelow70C(t *testing.T) {
+	d := MustNewDevice(Config{Scale: 64})
+	for _, temp := range []float64{50, 60} {
+		for _, trefp := range []float64{0.618, 1.173, 1.727, 2.283} {
+			for rep := 0; rep < 3; rep++ {
+				res := run(t, d, testProfile(), RunConfig{TREFP: trefp, TempC: temp, Rep: rep})
+				if res.UECount != 0 {
+					t.Fatalf("UE at %v°C TREFP=%v (paper: none below 70°C)", temp, trefp)
+				}
+			}
+		}
+	}
+}
+
+func TestAllCrashAtMaxTREFP70C(t *testing.T) {
+	// Paper: every benchmark triggers a UE in 100 % of runs at 2.283 s
+	// and 70 °C.
+	d := MustNewDevice(Config{Scale: 64})
+	for rep := 0; rep < 5; rep++ {
+		res := run(t, d, testProfile(), RunConfig{TREFP: 2.283, TempC: 70, Rep: rep})
+		if !res.Crashed {
+			t.Fatalf("rep %d did not crash at 2.283s/70°C", rep)
+		}
+	}
+	// Even a fully rescued workload crashes: kernel memory is not
+	// refreshed by the application.
+	for rep := 0; rep < 5; rep++ {
+		res := run(t, d, rescuedProfile(), RunConfig{TREFP: 2.283, TempC: 70, Rep: rep})
+		if !res.Crashed {
+			t.Fatalf("rescued workload rep %d did not crash at 2.283s/70°C", rep)
+		}
+	}
+}
+
+func TestDisableCrashReportsButContinues(t *testing.T) {
+	d := MustNewDevice(Config{Scale: 64})
+	res := run(t, d, testProfile(), RunConfig{TREFP: 2.283, TempC: 70,
+		RecordWER: true, DisableCrash: true})
+	if res.Crashed {
+		t.Fatal("DisableCrash run reported Crashed")
+	}
+	if res.UECount == 0 {
+		t.Fatal("expected UEs in report-only mode at 2.283s/70°C")
+	}
+	if !res.WERValid {
+		t.Fatal("WER should be valid in report-only mode")
+	}
+}
+
+func TestCrashTruncatesCEAccumulation(t *testing.T) {
+	d := MustNewDevice(Config{Scale: 64})
+	crashed := run(t, d, testProfile(), RunConfig{TREFP: 2.283, TempC: 70, RecordWER: true})
+	full := run(t, d, testProfile(), RunConfig{TREFP: 2.283, TempC: 70, RecordWER: true, DisableCrash: true})
+	if !crashed.Crashed {
+		t.Skip("no crash at this seed")
+	}
+	if crashed.WERValid {
+		t.Fatal("crashed run must not report valid WER")
+	}
+	if crashed.WER > full.WER {
+		t.Fatalf("truncated run has more CEs than full run: %v > %v", crashed.WER, full.WER)
+	}
+}
+
+func TestNoSDCsInStandardCampaign(t *testing.T) {
+	// Paper Section V-B: no silent data corruptions observed anywhere.
+	d := MustNewDevice(Config{Scale: 64})
+	for _, temp := range []float64{50, 60, 70} {
+		for _, trefp := range []float64{0.618, 2.283} {
+			res := run(t, d, testProfile(), RunConfig{TREFP: trefp, TempC: temp, DisableCrash: true})
+			if res.SDCCount != 0 {
+				t.Fatalf("SDC observed at %v°C/%vs", temp, trefp)
+			}
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	d := MustNewDevice(Config{Scale: 64})
+	if _, err := d.Run(testProfile(), RunConfig{TREFP: -1, TempC: 50}); err == nil {
+		t.Fatal("negative TREFP accepted")
+	}
+	if _, err := d.Run(testProfile(), RunConfig{TREFP: 1, TempC: 300}); err == nil {
+		t.Fatal("absurd temperature accepted")
+	}
+	bad := testProfile()
+	bad.Regions = nil
+	if _, err := d.Run(bad, RunConfig{TREFP: 1, TempC: 50}); err == nil {
+		t.Fatal("empty-region profile accepted")
+	}
+	big := testProfile()
+	big.FootprintWords = 1 << 40
+	if _, err := d.Run(big, RunConfig{TREFP: 1, TempC: 50}); err == nil {
+		t.Fatal("oversized footprint accepted")
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	p := testProfile()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *p
+	bad.Regions = []Region{{Name: "x", FootprintFrac: 0.4, AccessFrac: 1,
+		ReuseSeconds: 1, RowReuseSeconds: 1, BitOneProb: 0.5}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("footprint fractions not summing to 1 accepted")
+	}
+	bad2 := *p
+	bad2.Regions = append([]Region(nil), p.Regions...)
+	bad2.Regions[0].BitOneProb = 1.5
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("invalid BitOneProb accepted")
+	}
+}
+
+func TestTreuseWeighting(t *testing.T) {
+	p := &AccessProfile{
+		Name: "w", FootprintWords: 1 << 20,
+		Regions: []Region{
+			{Name: "a", FootprintFrac: 0.5, AccessFrac: 0.9, ReuseSeconds: 1,
+				RowReuseSeconds: 1, BitOneProb: 0.5},
+			{Name: "b", FootprintFrac: 0.5, AccessFrac: 0.1, ReuseSeconds: 11,
+				RowReuseSeconds: 11, BitOneProb: 0.5},
+		},
+	}
+	if got := p.Treuse(); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("Treuse = %v, want 2.0 (access-weighted)", got)
+	}
+}
+
+func TestHigherEntropyMoreErrors(t *testing.T) {
+	// The data-coupling channel: a high-entropy (random) data pattern
+	// must produce more errors than the same access pattern with
+	// low-entropy data (paper Fig. 13).
+	d := MustNewDevice(Config{Scale: 8})
+	lo := testProfile()
+	lo.Name = "unit-entropy" // same name => same placement for both runs
+	lo.HDP = 2
+	hi := testProfile()
+	hi.Name = "unit-entropy"
+	hi.HDP = 32
+	cfg := RunConfig{TREFP: 2.283, TempC: 60, RecordWER: true}
+	wLo := run(t, d, lo, cfg).WER
+	wHi := run(t, d, hi, cfg).WER
+	if wHi <= wLo {
+		t.Fatalf("entropy effect missing: high=%v low=%v", wHi, wLo)
+	}
+	if wLo > 0 && wHi/wLo > 15 {
+		t.Fatalf("entropy effect too strong: %vx", wHi/wLo)
+	}
+}
+
+func TestDisturbanceIncreasesWithAccessRate(t *testing.T) {
+	// Same reuse structure, 8x the traffic: the busier profile must err
+	// more (the access-rate channel, paper Fig. 10).
+	d := MustNewDevice(Config{Scale: 8})
+	slow := syntheticProfile("unit-rate", 2.0, 5e7)
+	fast := syntheticProfile("unit-rate", 2.0, 4e8)
+	cfg := RunConfig{TREFP: 2.283, TempC: 60, RecordWER: true}
+	wSlow := run(t, d, slow, cfg).WER
+	wFast := run(t, d, fast, cfg).WER
+	if wFast <= wSlow {
+		t.Fatalf("disturbance channel missing: fast=%v slow=%v", wFast, wSlow)
+	}
+}
+
+func TestScaleInvarianceOfWER(t *testing.T) {
+	// WER is a rate: its expectation must not depend on the capacity
+	// divisor. Compare two scales within generous sampling tolerance.
+	cfg := RunConfig{TREFP: 2.283, TempC: 60, RecordWER: true}
+	w8 := run(t, MustNewDevice(Config{Scale: 8}), testProfile(), cfg).WER
+	w32 := run(t, MustNewDevice(Config{Scale: 32}), testProfile(), cfg).WER
+	if w8 == 0 || w32 == 0 {
+		t.Skip("no errors at test scale")
+	}
+	ratio := w8 / w32
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Fatalf("WER not scale-invariant: scale8=%v scale32=%v", w8, w32)
+	}
+}
+
+func TestCERecordsWellFormed(t *testing.T) {
+	d := MustNewDevice(Config{Scale: 8})
+	res := run(t, d, testProfile(), RunConfig{TREFP: 2.283, TempC: 60, RecordWER: true})
+	for _, rec := range res.CERecords {
+		if rec.Addr.DIMM < 0 || rec.Addr.DIMM >= NumDIMMs ||
+			rec.Addr.Bank < 0 || rec.Addr.Bank >= BanksPerRank ||
+			rec.Addr.Row < 0 || rec.Addr.Row >= RowsPerBank ||
+			rec.Addr.Col < 0 || rec.Addr.Col >= WordsPerRow {
+			t.Fatalf("malformed CE address %+v", rec.Addr)
+		}
+		if rec.Bit < 0 || rec.Bit > 63 {
+			t.Fatalf("malformed CE bit %d", rec.Bit)
+		}
+		if rec.Epoch < 0 || rec.Epoch >= res.Epochs {
+			t.Fatalf("malformed CE epoch %d", rec.Epoch)
+		}
+	}
+}
+
+func TestPerDIMMTemperatureGradient(t *testing.T) {
+	// The thermal testbed controls each DIMM independently (paper
+	// Section IV-A): with one DIMM held 15 °C hotter, its two ranks must
+	// err far more than at the uniform baseline, and the others must be
+	// unaffected within noise.
+	d := MustNewDevice(Config{Scale: 8})
+	uniform := run(t, d, testProfile(), RunConfig{TREFP: 2.283, TempC: 50, RecordWER: true})
+	temps := [NumDIMMs]float64{50, 65, 50, 50}
+	gradient := run(t, d, testProfile(), RunConfig{
+		TREFP: 2.283, TempC: 50, DIMMTempC: &temps, RecordWER: true,
+	})
+	// DIMM1's ranks (flat ids 2 and 3) get hot.
+	hotBoost := (gradient.WERByRank[2] + gradient.WERByRank[3]) /
+		(uniform.WERByRank[2] + uniform.WERByRank[3] + 1e-15)
+	if hotBoost < 5 {
+		t.Fatalf("hot DIMM boost = %vx, want large (15°C ~ x30)", hotBoost)
+	}
+	coldRatio := (gradient.WERByRank[0] + gradient.WERByRank[1] + 1e-15) /
+		(uniform.WERByRank[0] + uniform.WERByRank[1] + 1e-15)
+	if coldRatio < 0.3 || coldRatio > 3 {
+		t.Fatalf("unheated DIMM changed by %vx", coldRatio)
+	}
+}
+
+func TestPerDIMMTemperatureValidation(t *testing.T) {
+	d := MustNewDevice(Config{Scale: 64})
+	bad := [NumDIMMs]float64{50, 200, 50, 50}
+	if _, err := d.Run(testProfile(), RunConfig{TREFP: 1, TempC: 50, DIMMTempC: &bad}); err == nil {
+		t.Fatal("absurd per-DIMM temperature accepted")
+	}
+}

@@ -1,0 +1,201 @@
+// Package ecc implements the SECDED (single-error-correct, double-error-
+// detect) Hamming(72,64) code used by server-grade DRAM, in the Hsiao
+// odd-weight-column construction.
+//
+// The paper's Table I classifies DRAM errors by what the ECC hardware does
+// with them: 1 corrupted bit is corrected (CE), 2 corrupted bits are detected
+// but not corrected (UE), and 3 or more corrupted bits may alias to a valid
+// or single-error syndrome, producing silent data corruption (SDC). This
+// package derives those classes from an actual code rather than a lookup
+// table, so the simulator's UE/SDC behaviour is faithful to real hardware.
+package ecc
+
+import "math/bits"
+
+// Width constants of the (72,64) code.
+const (
+	DataBits  = 64 // payload bits per ECC word
+	CheckBits = 8  // check bits per ECC word
+	TotalBits = DataBits + CheckBits
+)
+
+// Class is the outcome of decoding a (possibly corrupted) codeword.
+type Class int
+
+const (
+	// NoError: the syndrome is zero and the data is intact.
+	NoError Class = iota
+	// CE: a correctable error; the decoder repaired a single flipped bit.
+	CE
+	// UE: an uncorrectable but detected error (SECDED "detected" case);
+	// on the X-Gene2 an UE reported by SLIMpro crashes the system.
+	UE
+	// SDC: silent data corruption; the decoder believed the word was clean
+	// or performed a miscorrection, but the returned data is wrong. Only
+	// possible with 3 or more flipped bits.
+	SDC
+)
+
+// String returns the conventional abbreviation for the class.
+func (c Class) String() string {
+	switch c {
+	case NoError:
+		return "OK"
+	case CE:
+		return "CE"
+	case UE:
+		return "UE"
+	case SDC:
+		return "SDC"
+	}
+	return "INVALID"
+}
+
+// columns holds the 8-bit H-matrix column for each of the 72 bit positions.
+// Positions 0..63 are data bits, 64..71 are check bits. All columns are
+// distinct and of odd weight (Hsiao construction): the 64 data columns are
+// the 56 weight-3 vectors plus 8 weight-5 vectors; the 8 check columns are
+// the weight-1 identity vectors.
+var columns [TotalBits]uint8
+
+func init() {
+	idx := 0
+	// Weight-3 columns: C(8,3) = 56 of them.
+	for a := 0; a < 8 && idx < 56; a++ {
+		for b := a + 1; b < 8 && idx < 56; b++ {
+			for c := b + 1; c < 8 && idx < 56; c++ {
+				columns[idx] = 1<<a | 1<<b | 1<<c
+				idx++
+			}
+		}
+	}
+	// Weight-5 columns: take the first 8 (complements of weight-3 columns
+	// are weight-5 and automatically distinct from the weight-3 set).
+	for a := 0; a < 8 && idx < DataBits; a++ {
+		columns[idx] = ^(uint8(1<<a | 1<<((a+1)%8) | 1<<((a+2)%8)))
+		idx++
+	}
+	// Identity columns for the check bits.
+	for j := 0; j < CheckBits; j++ {
+		columns[DataBits+j] = 1 << j
+	}
+	// Sanity: all 72 columns must be distinct and odd weight. A violation
+	// here is a programming error, not a runtime condition.
+	seen := map[uint8]bool{}
+	for _, c := range columns {
+		if bits.OnesCount8(c)%2 == 0 || seen[c] {
+			panic("ecc: invalid Hsiao column set")
+		}
+		seen[c] = true
+	}
+}
+
+// syndromeToPos maps each single-bit-error syndrome to the bit position it
+// identifies, with 0xFF marking syndromes that match no column.
+var syndromeToPos [256]uint8
+
+func init() {
+	for i := range syndromeToPos {
+		syndromeToPos[i] = 0xff
+	}
+	for pos, c := range columns {
+		syndromeToPos[c] = uint8(pos)
+	}
+}
+
+// Codeword is a 72-bit ECC word: 64 data bits plus 8 check bits.
+type Codeword struct {
+	Data  uint64
+	Check uint8
+}
+
+// computeCheck returns the check bits for the given data under H = [A | I].
+func computeCheck(data uint64) uint8 {
+	var chk uint8
+	for d := data; d != 0; d &= d - 1 {
+		chk ^= columns[bits.TrailingZeros64(d)]
+	}
+	return chk
+}
+
+// Encode produces the codeword protecting data.
+func Encode(data uint64) Codeword {
+	return Codeword{Data: data, Check: computeCheck(data)}
+}
+
+// FlipBit returns cw with the bit at position pos (0..71) inverted.
+// Positions 0..63 flip data bits; 64..71 flip check bits.
+func FlipBit(cw Codeword, pos int) Codeword {
+	if pos < 0 || pos >= TotalBits {
+		panic("ecc: FlipBit position out of range")
+	}
+	if pos < DataBits {
+		cw.Data ^= 1 << uint(pos)
+	} else {
+		cw.Check ^= 1 << uint(pos-DataBits)
+	}
+	return cw
+}
+
+// DecodeResult describes what the decoder did with a received word.
+type DecodeResult struct {
+	// Class is the decoder's verdict: NoError, CE or UE. The decoder can
+	// never report SDC — silence is the defining property of SDC; use
+	// Classify with ground truth to detect it.
+	Class Class
+	// CorrectedBit is the position repaired when Class == CE, else -1.
+	CorrectedBit int
+	// Syndrome is the raw 8-bit syndrome.
+	Syndrome uint8
+}
+
+// Decode checks and (if possible) repairs a received codeword. It returns
+// the best-effort data and the decode verdict. Its Class is what the memory
+// controller would report to SLIMpro: OK, CE or UE.
+func Decode(cw Codeword) (uint64, DecodeResult) {
+	syn := computeCheck(cw.Data) ^ cw.Check
+	if syn == 0 {
+		return cw.Data, DecodeResult{Class: NoError, CorrectedBit: -1}
+	}
+	if bits.OnesCount8(syn)%2 == 1 {
+		// Odd-weight syndrome: assume single-bit error if it matches a
+		// column; otherwise it is a detected multi-bit error.
+		if pos := syndromeToPos[syn]; pos != 0xff {
+			fixed := FlipBit(cw, int(pos))
+			return fixed.Data, DecodeResult{Class: CE, CorrectedBit: int(pos), Syndrome: syn}
+		}
+		return cw.Data, DecodeResult{Class: UE, CorrectedBit: -1, Syndrome: syn}
+	}
+	// Even-weight non-zero syndrome: detected double (or even-count) error.
+	return cw.Data, DecodeResult{Class: UE, CorrectedBit: -1, Syndrome: syn}
+}
+
+// Classify injects the given bit flips into the codeword protecting data,
+// decodes, and compares against ground truth. This is the oracle the DRAM
+// simulator uses to classify a physical multi-bit upset: it returns CE when
+// the decoder restored the data, UE when the decoder detected but could not
+// correct, and SDC when the decoder's output is wrong without detection.
+func Classify(data uint64, flips []int) Class {
+	if len(flips) == 0 {
+		return NoError
+	}
+	cw := Encode(data)
+	for _, pos := range flips {
+		cw = FlipBit(cw, pos)
+	}
+	decoded, res := Decode(cw)
+	switch res.Class {
+	case NoError:
+		if decoded == data {
+			return NoError // flips cancelled out exactly
+		}
+		return SDC
+	case CE:
+		if decoded == data {
+			return CE
+		}
+		return SDC // miscorrection
+	default:
+		return UE
+	}
+}

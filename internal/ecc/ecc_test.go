@@ -1,0 +1,210 @@
+package ecc
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestEncodeDecodeClean(t *testing.T) {
+	for _, data := range []uint64{0, 1, 0xdeadbeefcafebabe, ^uint64(0)} {
+		cw := Encode(data)
+		got, res := Decode(cw)
+		if res.Class != NoError || got != data {
+			t.Fatalf("clean decode of %#x: class=%v data=%#x", data, res.Class, got)
+		}
+	}
+}
+
+func TestAllSingleBitErrorsCorrected(t *testing.T) {
+	data := uint64(0x0123456789abcdef)
+	for pos := 0; pos < TotalBits; pos++ {
+		cw := FlipBit(Encode(data), pos)
+		got, res := Decode(cw)
+		if res.Class != CE {
+			t.Fatalf("single flip at %d: class=%v, want CE", pos, res.Class)
+		}
+		if got != data {
+			t.Fatalf("single flip at %d: data not restored", pos)
+		}
+		if res.CorrectedBit != pos {
+			t.Fatalf("single flip at %d: corrected %d", pos, res.CorrectedBit)
+		}
+	}
+}
+
+func TestAllDoubleBitErrorsDetected(t *testing.T) {
+	// Exhaustive over all C(72,2) = 2556 pairs: SECDED must flag every
+	// double error as UE and never miscorrect.
+	data := uint64(0xfedcba9876543210)
+	for a := 0; a < TotalBits; a++ {
+		for b := a + 1; b < TotalBits; b++ {
+			cw := FlipBit(FlipBit(Encode(data), a), b)
+			_, res := Decode(cw)
+			if res.Class != UE {
+				t.Fatalf("double flip (%d,%d): class=%v, want UE", a, b, res.Class)
+			}
+		}
+	}
+}
+
+func TestTripleBitErrorsNeverSilentlyOK(t *testing.T) {
+	// Triple errors must decode to either UE (detected) or a miscorrection.
+	// Classify must label the miscorrections SDC — never NoError or CE.
+	data := uint64(0xa5a5a5a55a5a5a5a)
+	rng := stats.NewRNG(1)
+	sdc, ue := 0, 0
+	for trial := 0; trial < 5000; trial++ {
+		perm := rng.Perm(TotalBits)
+		flips := perm[:3]
+		switch Classify(data, flips) {
+		case SDC:
+			sdc++
+		case UE:
+			ue++
+		case CE, NoError:
+			t.Fatalf("triple flip %v classified as CE/NoError", flips)
+		}
+	}
+	if sdc == 0 {
+		t.Fatal("expected some triple errors to alias to SDC")
+	}
+	if ue == 0 {
+		t.Fatal("expected some triple errors to be detected as UE")
+	}
+}
+
+func TestClassifyTable1(t *testing.T) {
+	// Paper Table I: 1 bit -> corrected (CE); >1 -> uncorrected/detected
+	// (UE); >2 -> possibly undetected (SDC).
+	data := uint64(0x1122334455667788)
+	if got := Classify(data, nil); got != NoError {
+		t.Fatalf("0 flips: %v", got)
+	}
+	if got := Classify(data, []int{17}); got != CE {
+		t.Fatalf("1 flip: %v", got)
+	}
+	if got := Classify(data, []int{3, 44}); got != UE {
+		t.Fatalf("2 flips: %v", got)
+	}
+}
+
+func TestClassifyDuplicateFlipsCancel(t *testing.T) {
+	// Flipping the same bit twice restores the word.
+	data := uint64(42)
+	if got := Classify(data, []int{5, 5}); got != NoError {
+		t.Fatalf("cancelled flips: %v, want NoError", got)
+	}
+}
+
+func TestColumnsDistinctOddWeight(t *testing.T) {
+	seen := map[uint8]bool{}
+	for pos, c := range columns {
+		if bits.OnesCount8(c)%2 != 1 {
+			t.Fatalf("column %d has even weight %#x", pos, c)
+		}
+		if seen[c] {
+			t.Fatalf("column %d duplicates %#x", pos, c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestCheckBitColumnsAreIdentity(t *testing.T) {
+	for j := 0; j < CheckBits; j++ {
+		if columns[DataBits+j] != 1<<j {
+			t.Fatalf("check column %d = %#x", j, columns[DataBits+j])
+		}
+	}
+}
+
+func TestFlipBitRoundTrip(t *testing.T) {
+	cw := Encode(0xffff0000ffff0000)
+	for pos := 0; pos < TotalBits; pos++ {
+		if FlipBit(FlipBit(cw, pos), pos) != cw {
+			t.Fatalf("FlipBit not involutive at %d", pos)
+		}
+	}
+}
+
+func TestFlipBitPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FlipBit(Encode(0), TotalBits)
+}
+
+// Property: encode/decode round-trips for arbitrary data.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(data uint64) bool {
+		got, res := Decode(Encode(data))
+		return got == data && res.Class == NoError
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any single-bit error on arbitrary data is corrected.
+func TestSingleErrorProperty(t *testing.T) {
+	f := func(data uint64, rawPos uint8) bool {
+		pos := int(rawPos) % TotalBits
+		got, res := Decode(FlipBit(Encode(data), pos))
+		return got == data && res.Class == CE
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any double-bit error on arbitrary data is detected, not
+// miscorrected.
+func TestDoubleErrorProperty(t *testing.T) {
+	f := func(data uint64, rawA, rawB uint8) bool {
+		a := int(rawA) % TotalBits
+		b := int(rawB) % TotalBits
+		if a == b {
+			return true
+		}
+		_, res := Decode(FlipBit(FlipBit(Encode(data), a), b))
+		return res.Class == UE
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{NoError: "OK", CE: "CE", UE: "UE", SDC: "SDC", Class(99): "INVALID"}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Encode(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}
+
+func BenchmarkDecodeClean(b *testing.B) {
+	cw := Encode(0x0123456789abcdef)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decode(cw)
+	}
+}
+
+func BenchmarkDecodeSingleError(b *testing.B) {
+	cw := FlipBit(Encode(0x0123456789abcdef), 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decode(cw)
+	}
+}

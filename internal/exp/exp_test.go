@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+var (
+	suiteOnce sync.Once
+	suiteVal  *Suite
+	suiteErr  error
+)
+
+// testSuite builds one shared fast suite (test-size kernels, coarse scale).
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	suiteOnce.Do(func() {
+		suiteVal, suiteErr = NewSuite(Options{
+			Size: workload.SizeTest, Scale: 32, Reps: 4, Seed: 0,
+		})
+		if suiteErr == nil {
+			suiteErr = suiteVal.EnsureDataset()
+		}
+	})
+	if suiteErr != nil {
+		t.Fatal(suiteErr)
+	}
+	return suiteVal
+}
+
+func TestSuiteCoversAllWorkloads(t *testing.T) {
+	s := testSuite(t)
+	if len(s.Specs) != 14 {
+		t.Fatalf("paper set has %d workloads", len(s.Specs))
+	}
+	if len(s.Profiles) != 17 {
+		t.Fatalf("profiles for %d workloads", len(s.Profiles))
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	s := testSuite(t)
+	tables, err := s.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []string{"fig2", "fig4", "tab2", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "vdd", "ablation"}
+	if len(tables) != len(wantIDs) {
+		t.Fatalf("%d tables, want %d", len(tables), len(wantIDs))
+	}
+	for i, tbl := range tables {
+		if tbl.ID != wantIDs[i] {
+			t.Fatalf("table %d is %q, want %q", i, tbl.ID, wantIDs[i])
+		}
+		if len(tbl.Rows) == 0 {
+			t.Fatalf("%s has no rows", tbl.ID)
+		}
+		out := tbl.Render()
+		if !strings.Contains(out, tbl.ID) {
+			t.Fatalf("%s render missing id", tbl.ID)
+		}
+	}
+}
+
+func TestFig9ShapesMatchPaper(t *testing.T) {
+	s := testSuite(t)
+	tbl, err := s.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every benchmark's PUE at 2.283 s (last column) must be 1.00.
+	for _, row := range tbl.Rows {
+		if row[3] != "1.00" {
+			t.Fatalf("%s PUE at 2.283s = %s, want 1.00", row[0], row[3])
+		}
+	}
+}
+
+func TestFig4Saturates(t *testing.T) {
+	s := testSuite(t)
+	tbl, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 12 {
+		t.Fatalf("fig4 has %d epochs, want 12", len(tbl.Rows))
+	}
+}
+
+func TestTable2Orderings(t *testing.T) {
+	s := testSuite(t)
+	// memcached must have the smallest Treuse; nw the largest serial one
+	// (Table II's headline orderings).
+	mc := s.Profiles["memcached"].Treuse
+	nw := s.Profiles["nw"].Treuse
+	bp := s.Profiles["backprop"].Treuse
+	if mc >= nw || mc >= bp {
+		t.Fatalf("memcached Treuse %v not smallest (nw %v, backprop %v)", mc, nw, bp)
+	}
+	// Parallel versions run faster: smaller reuse time.
+	if s.Profiles["nw(par)"].Treuse >= nw {
+		t.Fatalf("nw(par) Treuse not below nw")
+	}
+}
+
+func TestRenderAlignment(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "t", Header: []string{"a", "bbbb"}}
+	tbl.AddRow("1", "2")
+	tbl.AddNote("n=%d", 1)
+	out := tbl.Render()
+	if !strings.Contains(out, "note: n=1") {
+		t.Fatal("note missing")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatalf("render too short: %q", out)
+	}
+}

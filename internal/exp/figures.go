@@ -1,0 +1,532 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/xgene"
+)
+
+// Fig2 reproduces Figure 2: the cumulative WER over a 2-hour run for
+// memcached, backprop and the random data-pattern micro-benchmark at
+// TREFP = 2.283 s, VDD = 1.428 V, 70 °C. The platform runs in ECC
+// report-only mode (at this operating point the real machine would crash;
+// the paper's Fig. 2 predates the crash study). The paper's observation:
+// backprop exceeds the worst-case data-pattern micro-benchmark by ~3.5x.
+func (s *Suite) Fig2() (*Table, error) {
+	t := &Table{
+		ID:    "fig2",
+		Title: "WER over time (TREFP=2.283s, VDD=1.428V, 70°C, report-only)",
+	}
+	labels := []string{"memcached", "backprop(par)", "random"}
+	if err := s.Server.SetTREFP(2.283); err != nil {
+		return nil, err
+	}
+	if err := s.Server.SetVDD(dram.MinVDD); err != nil {
+		return nil, err
+	}
+	series := map[string][]float64{}
+	for _, label := range labels {
+		prof := s.Profiles[label]
+		obs, err := s.Server.Run(prof.Access, xgene.Experiment{
+			TempC: 70, RecordWER: true, ReportOnly: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		series[label] = obs.WERSeries
+	}
+	t.Header = []string{"minutes"}
+	t.Header = append(t.Header, labels...)
+	n := len(series[labels[0]])
+	for e := 0; e < n; e++ {
+		row := []string{fmt.Sprintf("%d", (e+1)*10)}
+		for _, l := range labels {
+			row = append(row, fmtWER(series[l][e]))
+		}
+		t.AddRow(row...)
+	}
+	final := func(l string) float64 { return series[l][n-1] }
+	if final("random") > 0 {
+		t.AddNote("backprop(par) / random WER ratio = %.2fx (paper: ~3.5x)",
+			final("backprop(par)")/final("random"))
+	}
+	if final("memcached") > 0 {
+		t.AddNote("backprop(par) / memcached WER ratio = %.1fx",
+			final("backprop(par)")/final("memcached"))
+	}
+	return t, nil
+}
+
+// Fig4 reproduces Figure 4: cumulative WER over time for all 13 benchmark
+// configurations at TREFP = 2.283 s, 50 °C, showing saturation within the
+// 2-hour window (< 3 % change in the last 10 minutes).
+func (s *Suite) Fig4() (*Table, error) {
+	t := &Table{
+		ID:    "fig4",
+		Title: "WER over time, all benchmarks (TREFP=2.283s, 50°C)",
+	}
+	if err := s.Server.SetTREFP(2.283); err != nil {
+		return nil, err
+	}
+	if err := s.Server.SetVDD(dram.MinVDD); err != nil {
+		return nil, err
+	}
+	labels := sortedLabels(s.Specs)
+	series := map[string][]float64{}
+	for _, label := range labels {
+		obs, err := s.Server.Run(s.Profiles[label].Access, xgene.Experiment{
+			TempC: 50, RecordWER: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		series[label] = obs.WERSeries
+	}
+	t.Header = append([]string{"minutes"}, labels...)
+	n := len(series[labels[0]])
+	for e := 0; e < n; e++ {
+		row := []string{fmt.Sprintf("%d", (e+1)*10)}
+		for _, l := range labels {
+			row = append(row, fmtWER(series[l][e]))
+		}
+		t.AddRow(row...)
+	}
+	// Saturation check over benchmarks with enough errors.
+	worstDelta := 0.0
+	for _, l := range labels {
+		sr := series[l]
+		if sr[n-1] > 0 && sr[n-1] > 20.0/float64(1<<30) {
+			delta := (sr[n-1] - sr[n-2]) / sr[n-1]
+			if delta > worstDelta {
+				worstDelta = delta
+			}
+		}
+	}
+	t.AddNote("worst last-epoch WER change = %.1f%% (paper: < 3%%)", 100*worstDelta)
+	return t, nil
+}
+
+// Table2 reproduces Table II: the average DRAM reuse time per benchmark.
+func (s *Suite) Table2() (*Table, error) {
+	t := &Table{
+		ID:     "tab2",
+		Title:  "Average DRAM reuse time Treuse (seconds)",
+		Header: []string{"benchmark", "Treuse(s)", "threads"},
+	}
+	for _, spec := range s.Specs {
+		prof := s.Profiles[spec.Label]
+		t.AddRow(spec.Label, fmt.Sprintf("%.3f", prof.Treuse), fmt.Sprintf("%d", spec.Threads))
+	}
+	mc := s.Profiles["memcached"].Treuse
+	nw := s.Profiles["nw"].Treuse
+	if mc > 0 {
+		t.AddNote("nw / memcached Treuse ratio = %.0fx (paper: 10.93s vs 0.09s)", nw/mc)
+	}
+	return t, nil
+}
+
+// Fig7 reproduces Figure 7: WER for every benchmark under the four TREFP
+// levels at 50, 60 and 70 °C (panels a-e), plus the benchmark-averaged
+// WER-vs-TREFP curve (panel f).
+func (s *Suite) Fig7() (*Table, error) {
+	if err := s.EnsureDataset(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig7",
+		Title:  "WER per benchmark vs TREFP and temperature",
+		Header: []string{"benchmark", "temp(C)"},
+	}
+	for _, trefp := range core.WERTrefps {
+		t.Header = append(t.Header, fmt.Sprintf("%.3fs", trefp))
+	}
+	for _, temp := range core.WERTemps {
+		for _, spec := range s.Specs {
+			row := []string{spec.Label, fmt.Sprintf("%.0f", temp)}
+			for _, trefp := range core.WERTrefps {
+				if w, ok := meanWEROverRanks(s.Dataset, spec.Label, trefp, temp); ok {
+					row = append(row, fmtWER(w))
+				} else {
+					row = append(row, "crash")
+				}
+			}
+			t.AddRow(row...)
+		}
+	}
+	// Panel f: benchmark-mean WER vs TREFP at 50/60 °C.
+	for _, temp := range []float64{50, 60} {
+		for _, trefp := range core.WERTrefps {
+			sum, n := 0.0, 0
+			for _, spec := range s.Specs {
+				if w, ok := meanWEROverRanks(s.Dataset, spec.Label, trefp, temp); ok {
+					sum += w
+					n++
+				}
+			}
+			if n > 0 {
+				t.AddNote("panel f: mean WER at %.0f°C TREFP=%.3fs = %s",
+					temp, trefp, fmtWER(sum/float64(n)))
+			}
+		}
+	}
+	// The paper's spread observation.
+	if hi, ok1 := meanWEROverRanks(s.Dataset, "backprop(par)", 0.618, 70); ok1 {
+		if lo, ok2 := meanWEROverRanks(s.Dataset, "memcached", 0.618, 70); ok2 && lo > 0 {
+			t.AddNote("backprop(par)/memcached at 0.618s/70°C = %.1fx (paper: ~8x)", hi/lo)
+		}
+	}
+	return t, nil
+}
+
+// Fig8 reproduces Figure 8: WER per DIMM/rank for every benchmark at
+// TREFP = 2.283 s, 50 °C — the 188x DIMM-to-DIMM variation.
+func (s *Suite) Fig8() (*Table, error) {
+	if err := s.EnsureDataset(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig8",
+		Title:  "WER per DIMM/rank (TREFP=2.283s, 50°C)",
+		Header: []string{"benchmark"},
+	}
+	for r := 0; r < dram.NumRanks; r++ {
+		t.Header = append(t.Header, dram.RankName(r))
+	}
+	maxW, minW := 0.0, 0.0
+	for _, spec := range s.Specs {
+		row := []string{spec.Label}
+		for r := 0; r < dram.NumRanks; r++ {
+			w := 0.0
+			for _, smp := range s.Dataset.WER {
+				if smp.Workload == spec.Label && smp.TREFP == 2.283 &&
+					smp.TempC == 50 && smp.Rank == r {
+					w = smp.WER
+				}
+			}
+			row = append(row, fmtWER(w))
+			if w > core.WERFloor {
+				if w > maxW {
+					maxW = w
+				}
+				if minW == 0 || w < minW {
+					minW = w
+				}
+			}
+		}
+		t.AddRow(row...)
+	}
+	if minW > 0 {
+		t.AddNote("rank WER spread = %.0fx (paper: up to 188x)", maxW/minW)
+	}
+	return t, nil
+}
+
+// Fig9 reproduces Figure 9: (a) the probability of an uncorrectable error
+// per benchmark at 1.450/1.727/2.283 s and 70 °C, and (b) the distribution
+// of UE-crashes over DIMM/ranks.
+func (s *Suite) Fig9() (*Table, error) {
+	if err := s.EnsureDataset(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig9",
+		Title:  "PUE per benchmark (70°C) and crash distribution per rank",
+		Header: []string{"benchmark", "1.450s", "1.727s", "2.283s"},
+	}
+	pueOf := func(label string, trefp float64) float64 {
+		for _, smp := range s.Dataset.PUE {
+			if smp.Workload == label && smp.TREFP == trefp {
+				return smp.PUE
+			}
+		}
+		return -1
+	}
+	means := map[float64]float64{}
+	for _, spec := range s.Specs {
+		row := []string{spec.Label}
+		for _, trefp := range core.PUETrefps {
+			p := pueOf(spec.Label, trefp)
+			row = append(row, fmt.Sprintf("%.2f", p))
+			means[trefp] += p
+		}
+		t.AddRow(row...)
+	}
+	n := float64(len(s.Specs))
+	t.AddNote("mean PUE: 1.450s=%.2f 1.727s=%.2f 2.283s=%.2f (paper: <0.4, 2.15x growth, 1.0)",
+		means[1.450]/n, means[1.727]/n, means[2.283]/n)
+
+	// Panel b: crash attribution per rank, aggregated over the campaign.
+	rankHits := make([]int, dram.NumRanks)
+	total := 0
+	for _, smp := range s.Dataset.PUE {
+		for r, h := range smp.RankHits {
+			rankHits[r] += h
+			total += h
+		}
+	}
+	if total > 0 {
+		for r := 0; r < dram.NumRanks; r++ {
+			t.AddNote("panel b: %s takes %.2f of UEs (paper: D2/r0=0.67, D0/r1=0.24, D3/r1=0)",
+				dram.RankName(r), float64(rankHits[r])/float64(total))
+		}
+	}
+	return t, nil
+}
+
+// Fig10 reproduces Figure 10: the Spearman rank correlation of all 249
+// program features with WER and PUE.
+func (s *Suite) Fig10() (*Table, error) {
+	if err := s.EnsureDataset(); err != nil {
+		return nil, err
+	}
+	cors := core.CorrelateFeatures(s.Dataset)
+	t := &Table{
+		ID:     "fig10",
+		Title:  "Spearman rs of program features vs WER and PUE (top 15 by |rs WER|)",
+		Header: []string{"feature", "rs(WER)", "rs(PUE)"},
+	}
+	for _, c := range core.TopCorrelated(cors, 15) {
+		t.AddRow(c.Name, fmt.Sprintf("%+.3f", c.RsWER), fmt.Sprintf("%+.3f", c.RsPUE))
+	}
+	for _, name := range []string{"mem_accesses_per_kcycle", "wait_cycles", "hdp", "treuse"} {
+		if c, ok := core.CorrelationOf(cors, name); ok {
+			t.AddNote("%s: rs(WER)=%+.3f rs(PUE)=%+.3f", name, c.RsWER, c.RsPUE)
+		}
+	}
+	return t, nil
+}
+
+// Fig11 reproduces Figure 11: the mean percentage error of WER estimates
+// per DIMM/rank (panels a-c) and per application (panels d-f) for the three
+// models and three input sets.
+func (s *Suite) Fig11() (*Table, error) {
+	if err := s.EnsureDataset(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig11",
+		Title:  "WER estimation error (%) per model and input set",
+		Header: []string{"model", "input set", "avg", "worst rank", "worst app"},
+	}
+	ds := s.paperSetDataset()
+	type result struct {
+		kind core.ModelKind
+		set  core.InputSet
+		ev   *core.WEREval
+	}
+	var results []result
+	for _, kind := range core.ModelKinds() {
+		for _, set := range core.InputSets() {
+			ev, err := core.EvaluateWER(ds, kind, set)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, result{kind, set, ev})
+			worstRank := 0.0
+			for _, r := range ev.MPEByRank {
+				if r > worstRank {
+					worstRank = r
+				}
+			}
+			worstApp := 0.0
+			for _, a := range ev.MPEByWorkload {
+				if a > worstApp {
+					worstApp = a
+				}
+			}
+			t.AddRow(string(kind), set.String(),
+				fmt.Sprintf("%.1f%%", 100*ev.MPE),
+				fmt.Sprintf("%.1f%%", 100*worstRank),
+				fmt.Sprintf("%.1f%%", 100*worstApp))
+		}
+	}
+	best := results[0]
+	for _, r := range results {
+		if r.ev.MPE < best.ev.MPE {
+			best = r
+		}
+	}
+	t.AddNote("best: %s with %s at %.1f%% (paper: KNN with input set 1 at 10.1%%)",
+		best.kind, best.set, 100*best.ev.MPE)
+	return t, nil
+}
+
+// Fig12 reproduces Figure 12: the PUE estimation error per model and input
+// set, in probability points.
+func (s *Suite) Fig12() (*Table, error) {
+	if err := s.EnsureDataset(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig12",
+		Title:  "PUE estimation error (probability points) per model and input set",
+		Header: []string{"model", "input set", "MAE"},
+	}
+	ds := s.paperSetDataset()
+	bestKind, bestSet, bestMAE := core.ModelKind(""), core.InputSet(0), 1.0
+	for _, kind := range core.ModelKinds() {
+		for _, set := range core.InputSets() {
+			ev, err := core.EvaluatePUE(ds, kind, set)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(string(kind), set.String(), fmt.Sprintf("%.1f%%", 100*ev.MAE))
+			if ev.MAE < bestMAE {
+				bestKind, bestSet, bestMAE = kind, set, ev.MAE
+			}
+		}
+	}
+	t.AddNote("best: %s with %s at %.1f%% (paper: KNN with input set 2 at 4.1%%)",
+		bestKind, bestSet, 100*bestMAE)
+	return t, nil
+}
+
+// Fig13 reproduces Figure 13: measured vs KNN-predicted WER for the two
+// lulesh compiler-optimization builds and the random data-pattern
+// micro-benchmark at TREFP = 0.618 s and 70 °C. The workload-aware model
+// must track the ~29 % difference between the builds; the conventional
+// (random-pattern) model is off by ~2.9x.
+func (s *Suite) Fig13() (*Table, error) {
+	if err := s.EnsureDataset(); err != nil {
+		return nil, err
+	}
+	const (
+		trefp = 0.618
+		temp  = 70.0
+	)
+	// Leave-the-target-out training set: drop both lulesh builds so the
+	// prediction is for unseen workloads (the paper's validation style).
+	train := &core.Dataset{Profiles: s.Dataset.Profiles}
+	for _, smp := range s.Dataset.WER {
+		if smp.Workload == "lulesh(O2)" || smp.Workload == "lulesh(F)" {
+			continue
+		}
+		train.WER = append(train.WER, smp)
+	}
+	train.PUE = s.Dataset.PUE
+	pred, err := core.TrainWER(train, core.ModelKNN, core.InputSet1)
+	if err != nil {
+		return nil, err
+	}
+	conv, err := core.NewConventionalModel(s.Dataset, "random")
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:     "fig13",
+		Title:  "Measured vs predicted WER, lulesh builds (TREFP=0.618s, 70°C)",
+		Header: []string{"workload", "measured", "KNN predicted", "pred error"},
+	}
+	measured := map[string]float64{}
+	for _, label := range []string{"lulesh(O2)", "lulesh(F)", "random"} {
+		m, ok := meanWEROverRanks(s.Dataset, label, trefp, temp)
+		if !ok {
+			return nil, fmt.Errorf("exp: no measurement for %s at fig13 point", label)
+		}
+		measured[label] = m
+		p := pred.PredictMean(s.Profiles[label].Features, trefp, dram.MinVDD, temp)
+		errPct := "-"
+		if m > 0 {
+			errPct = fmt.Sprintf("%.0f%%", 100*absf(p-m)/m)
+		}
+		t.AddRow(label, fmtWER(m), fmtWER(p), errPct)
+	}
+	if measured["lulesh(O2)"] > 0 {
+		t.AddNote("lulesh(F)/lulesh(O2) measured ratio = %.2f (paper: ~1.29)",
+			measured["lulesh(F)"]/measured["lulesh(O2)"])
+	}
+	if base, err := conv.PredictMean(trefp, temp); err == nil && measured["lulesh(O2)"] > 0 {
+		t.AddNote("conventional (random-pattern) model overestimates lulesh(O2) by %.1fx (paper: 2.9x)",
+			base/measured["lulesh(O2)"])
+	}
+	return t, nil
+}
+
+// VddStudy reproduces the Section V finding that lowering VDD from 1.5 V
+// to 1.428 V has a negligible effect compared to TREFP scaling.
+func (s *Suite) VddStudy() (*Table, error) {
+	t := &Table{
+		ID:     "vdd",
+		Title:  "VDD sensitivity (backprop(par), 60°C)",
+		Header: []string{"TREFP", "WER @1.500V", "WER @1.428V", "ratio"},
+	}
+	prof := s.Profiles["backprop(par)"]
+	for _, trefp := range []float64{1.173, 2.283} {
+		if err := s.Server.SetTREFP(trefp); err != nil {
+			return nil, err
+		}
+		var wer [2]float64
+		for i, vdd := range []float64{dram.NominalVDD, dram.MinVDD} {
+			if err := s.Server.SetVDD(vdd); err != nil {
+				return nil, err
+			}
+			obs, err := s.Server.Run(prof.Access, xgene.Experiment{TempC: 60, RecordWER: true})
+			if err != nil {
+				return nil, err
+			}
+			wer[i] = obs.WER
+		}
+		ratio := "-"
+		if wer[0] > 0 {
+			ratio = fmt.Sprintf("%.2fx", wer[1]/wer[0])
+		}
+		t.AddRow(fmt.Sprintf("%.3fs", trefp), fmtWER(wer[0]), fmtWER(wer[1]), ratio)
+	}
+	t.AddNote("paper: the 5%% VDD reduction alone manifested almost no additional errors")
+	return t, nil
+}
+
+// All runs every experiment in paper order.
+func (s *Suite) All() ([]*Table, error) {
+	type step struct {
+		name string
+		fn   func() (*Table, error)
+	}
+	steps := []step{
+		{"fig2", s.Fig2}, {"fig4", s.Fig4}, {"tab2", s.Table2},
+		{"fig7", s.Fig7}, {"fig8", s.Fig8}, {"fig9", s.Fig9},
+		{"fig10", s.Fig10}, {"fig11", s.Fig11}, {"fig12", s.Fig12},
+		{"fig13", s.Fig13}, {"vdd", s.VddStudy}, {"ablation", s.Ablation},
+	}
+	var out []*Table
+	for _, st := range steps {
+		tbl, err := st.fn()
+		if err != nil {
+			return out, fmt.Errorf("exp: %s: %w", st.name, err)
+		}
+		out = append(out, tbl)
+	}
+	return out, nil
+}
+
+// paperSetDataset filters the campaign dataset to the paper's 14-benchmark
+// evaluation set (the Fig. 13 extras — lulesh builds and the random
+// micro-benchmark — are not part of the cross-validation corpus).
+func (s *Suite) paperSetDataset() *core.Dataset {
+	in := map[string]bool{}
+	for _, spec := range s.Specs {
+		in[spec.Label] = true
+	}
+	out := &core.Dataset{Profiles: s.Dataset.Profiles}
+	for _, smp := range s.Dataset.WER {
+		if in[smp.Workload] {
+			out.WER = append(out.WER, smp)
+		}
+	}
+	for _, smp := range s.Dataset.PUE {
+		if in[smp.Workload] {
+			out.PUE = append(out.PUE, smp)
+		}
+	}
+	return out
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

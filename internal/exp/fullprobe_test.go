@@ -1,0 +1,26 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestFullSuiteProbe exercises the complete reproduction at profiling scale
+// and logs every regenerated figure; skipped in -short runs.
+func TestFullSuiteProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite probe (slow)")
+	}
+	s, err := NewSuite(Options{Size: workload.SizeProfile, Scale: 8, Reps: 10, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := s.All()
+	for _, tbl := range tables {
+		t.Logf("\n%s", tbl.Render())
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}

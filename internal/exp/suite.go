@@ -1,0 +1,185 @@
+// Package exp regenerates every table and figure of the paper's evaluation:
+// the WER-over-time curves (Figs. 2 and 4), the DRAM reuse times
+// (Table II), the WER sweeps over TREFP and temperature (Fig. 7), the
+// per-DIMM/rank variation (Fig. 8), the crash-probability study (Fig. 9),
+// the feature correlations (Fig. 10), the model-accuracy comparison
+// (Figs. 11 and 12), the compiler-optimization case study (Fig. 13), and
+// the VDD sensitivity finding of Section V.
+//
+// Each experiment returns a Table whose rows mirror the series the paper
+// plots, so "regenerating a figure" means printing the numbers behind it.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/workload"
+	"repro/internal/xgene"
+)
+
+// Options configures a reproduction suite.
+type Options struct {
+	// Size selects kernel working sets: workload.SizeProfile for the
+	// paper reproduction, workload.SizeTest for fast smoke runs.
+	Size workload.Size
+	// Scale is the DRAM simulation capacity divisor (1 = full 32 GiB;
+	// larger is faster and noisier; WER is scale-invariant in
+	// expectation).
+	Scale int
+	// Reps is the number of repetitions per PUE experiment (paper: 10).
+	Reps int
+	// Seed selects the physical server and profiling randomness.
+	Seed uint64
+}
+
+func (o *Options) setDefaults() {
+	if o.Scale == 0 {
+		o.Scale = 8
+	}
+	if o.Reps == 0 {
+		o.Reps = 10
+	}
+}
+
+// Suite owns the expensive shared state of the reproduction: the workload
+// profiles, the simulated server, and the characterization dataset.
+type Suite struct {
+	Opts     Options
+	Specs    []workload.Spec // the paper's 14 benchmarks
+	Extended []workload.Spec // + lulesh variants and random
+	Profiles map[string]*profile.Result
+	Server   *xgene.Server
+	Dataset  *core.Dataset
+}
+
+// NewSuite profiles all workloads and boots the server. This is the slow
+// step (tens of seconds at SizeProfile); everything downstream reuses it.
+func NewSuite(opts Options) (*Suite, error) {
+	opts.setDefaults()
+	s := &Suite{
+		Opts:     opts,
+		Specs:    workload.PaperSet(),
+		Extended: workload.ExtendedSet(),
+	}
+	profiles, err := core.BuildProfiles(s.Extended, opts.Size, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s.Profiles = profiles
+	s.Server, err = xgene.NewServer(xgene.Config{Seed: opts.Seed, Scale: opts.Scale})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// EnsureDataset runs the characterization campaigns once (idempotent).
+// The dataset covers the extended workload set so the Fig. 13 lulesh
+// variants and the conventional baseline's micro-benchmark are included.
+func (s *Suite) EnsureDataset() error {
+	if s.Dataset != nil {
+		return nil
+	}
+	ds, err := core.BuildDataset(s.Server, s.Profiles, s.Extended,
+		core.CampaignOptions{Reps: s.Opts.Reps})
+	if err != nil {
+		return err
+	}
+	s.Dataset = ds
+	return nil
+}
+
+// Table is the textual form of one figure or table.
+type Table struct {
+	ID     string // experiment id, e.g. "fig7"
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes records observations the paper calls out (spread factors,
+	// crossovers) computed from this run's data.
+	Notes []string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends an observation line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render formats the table for terminal output.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// fmtWER renders an error rate the way the paper's axes do.
+func fmtWER(w float64) string {
+	if w <= 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%.3g", w)
+}
+
+// sortedLabels returns the workload labels of specs in campaign order.
+func sortedLabels(specs []workload.Spec) []string {
+	return workload.Labels(specs)
+}
+
+// meanWEROverRanks aggregates a dataset row group to a whole-device WER.
+func meanWEROverRanks(ds *core.Dataset, label string, trefp, temp float64) (float64, bool) {
+	sum, n := 0.0, 0
+	for _, smp := range ds.WER {
+		if smp.Workload == label && smp.TREFP == trefp && smp.TempC == temp {
+			sum += smp.WER
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// sortByValue returns the keys of m ordered by descending value.
+func sortByValue(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return m[keys[i]] > m[keys[j]] })
+	return keys
+}

@@ -1,0 +1,167 @@
+// Package memsys simulates the X-Gene2 memory hierarchy the paper's
+// workloads execute on: eight 2.4 GHz cores with private L1 caches, shared
+// L2 slices, and four DDR3 memory-controller units (MCUs), one DIMM each.
+//
+// The simulator is functional, not cycle-accurate: it tracks hit/miss
+// behaviour, row-buffer locality and queueing pressure well enough to
+// produce the hardware performance counters (the paper's 247 perf features)
+// and the DRAM traffic statistics (access rate, row activation rate) that
+// drive the reliability model.
+package memsys
+
+// CacheConfig sizes one cache level.
+type CacheConfig struct {
+	SizeBytes int // total capacity
+	Ways      int // associativity
+	LineBytes int // line size (64 B throughout the platform)
+}
+
+// Valid reports whether the configuration is well-formed.
+func (c CacheConfig) Valid() bool {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return false
+	}
+	lines := c.SizeBytes / c.LineBytes
+	sets := lines / c.Ways
+	return lines > 0 && sets > 0 && sets&(sets-1) == 0 && c.LineBytes&(c.LineBytes-1) == 0
+}
+
+// CacheStats counts the events of one cache instance.
+type CacheStats struct {
+	ReadHits    uint64
+	ReadMisses  uint64
+	WriteHits   uint64
+	WriteMisses uint64
+	Writebacks  uint64
+}
+
+// Accesses returns the total access count.
+func (s CacheStats) Accesses() uint64 {
+	return s.ReadHits + s.ReadMisses + s.WriteHits + s.WriteMisses
+}
+
+// Misses returns the total miss count.
+func (s CacheStats) Misses() uint64 { return s.ReadMisses + s.WriteMisses }
+
+// MissRate returns misses/accesses, or 0 when idle.
+func (s CacheStats) MissRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Misses()) / float64(a)
+}
+
+// cacheLine is one way of one set.
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint32 // last-touch tick for LRU replacement
+}
+
+// Cache is a set-associative write-back, write-allocate cache with LRU
+// replacement.
+type Cache struct {
+	cfg      CacheConfig
+	sets     int
+	setShift uint
+	setMask  uint64
+	lines    []cacheLine // sets*ways, set-major
+	tick     uint32
+	Stats    CacheStats
+}
+
+// NewCache builds a cache. It panics on invalid configuration (a build-time
+// error in this codebase, never a runtime condition).
+func NewCache(cfg CacheConfig) *Cache {
+	if !cfg.Valid() {
+		panic("memsys: invalid cache config")
+	}
+	sets := cfg.SizeBytes / cfg.LineBytes / cfg.Ways
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		setShift: shift,
+		setMask:  uint64(sets - 1),
+		lines:    make([]cacheLine, sets*cfg.Ways),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// AccessResult describes the outcome of one cache access.
+type AccessResult struct {
+	Hit bool
+	// Writeback is true when a dirty victim line was evicted; the
+	// victim's address is then in WritebackAddr.
+	Writeback     bool
+	WritebackAddr uint64
+}
+
+// Access performs a read or write of the line containing addr. It returns
+// whether the access hit and whether a dirty eviction occurred.
+func (c *Cache) Access(addr uint64, write bool) AccessResult {
+	c.tick++
+	set := int((addr >> c.setShift) & c.setMask)
+	tag := addr >> c.setShift
+	base := set * c.cfg.Ways
+	ways := c.lines[base : base+c.cfg.Ways]
+
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = c.tick
+			if write {
+				ways[i].dirty = true
+				c.Stats.WriteHits++
+			} else {
+				c.Stats.ReadHits++
+			}
+			return AccessResult{Hit: true}
+		}
+	}
+	// Miss: find victim (invalid first, else LRU).
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	res := AccessResult{}
+	if ways[victim].valid && ways[victim].dirty {
+		// The stored tag is the full line number (addr >> setShift), so
+		// shifting it back reconstructs the victim's line address.
+		res.Writeback = true
+		res.WritebackAddr = ways[victim].tag << c.setShift
+		c.Stats.Writebacks++
+	}
+	ways[victim] = cacheLine{tag: tag, valid: true, dirty: write, lru: c.tick}
+	if write {
+		c.Stats.WriteMisses++
+	} else {
+		c.Stats.ReadMisses++
+	}
+	return res
+}
+
+// Flush invalidates every line, returning the number of dirty lines that
+// would be written back.
+func (c *Cache) Flush() int {
+	dirty := 0
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			dirty++
+		}
+		c.lines[i] = cacheLine{}
+	}
+	return dirty
+}

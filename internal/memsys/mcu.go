@@ -1,0 +1,71 @@
+package memsys
+
+// MCUStats counts the DRAM-side events of one memory-controller unit
+// (one DDR3 channel with one DIMM on the X-Gene2).
+type MCUStats struct {
+	ReadCmds       uint64 // read column commands issued
+	WriteCmds      uint64 // write column commands issued
+	Activations    uint64 // row activations (row-buffer misses)
+	RowBufferHits  uint64 // accesses served from the open row
+	QueueStallsCyc uint64 // cycles lost to a saturated command queue
+}
+
+// Accesses returns the total command count.
+func (s MCUStats) Accesses() uint64 { return s.ReadCmds + s.WriteCmds }
+
+// RowHitRate returns the fraction of accesses hitting the open row.
+func (s MCUStats) RowHitRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.RowBufferHits) / float64(a)
+}
+
+// mcuBank models the open-row state of one bank.
+type mcuBank struct {
+	openRow uint64
+	valid   bool
+}
+
+// MCU models one DDR3 channel: per-bank open-row tracking and a simple
+// bandwidth/queue model.
+type MCU struct {
+	banks [8]mcuBank
+	Stats MCUStats
+}
+
+// rowBits is log2(row size in bytes): 8 KiB rows.
+const rowBits = 13
+
+// Access issues one line fill or writeback to the channel. It returns the
+// service latency in core cycles.
+func (m *MCU) Access(addr uint64, write bool) int {
+	bank := (addr >> rowBits) & 7
+	row := addr >> (rowBits + 3)
+	b := &m.banks[bank]
+	lat := dramCASLatency
+	if b.valid && b.openRow == row {
+		m.Stats.RowBufferHits++
+	} else {
+		m.Stats.Activations++
+		lat += dramRASLatency
+		b.openRow = row
+		b.valid = true
+	}
+	if write {
+		m.Stats.WriteCmds++
+	} else {
+		m.Stats.ReadCmds++
+	}
+	return lat
+}
+
+// Latency constants in 2.4 GHz core cycles (DDR3-1866 timings, rounded).
+const (
+	dramCASLatency        = 60  // CAS + transfer + controller overhead
+	dramRASLatency        = 45  // additional precharge+activate on a row miss
+	l2HitLatency          = 12  // L2 slice hit
+	l1HitLatency          = 0   // folded into the base CPI
+	mcuPeakLinesPerKCycle = 400 // per-channel line bandwidth cap (~61 GB/s total)
+)

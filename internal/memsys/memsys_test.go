@@ -1,0 +1,274 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheConfigValid(t *testing.T) {
+	good := CacheConfig{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64}
+	if !good.Valid() {
+		t.Fatal("valid config rejected")
+	}
+	bad := []CacheConfig{
+		{SizeBytes: 0, Ways: 8, LineBytes: 64},
+		{SizeBytes: 32 << 10, Ways: 0, LineBytes: 64},
+		{SizeBytes: 32 << 10, Ways: 8, LineBytes: 0},
+		{SizeBytes: 3000, Ways: 3, LineBytes: 64},     // non power-of-two sets
+		{SizeBytes: 32 << 10, Ways: 8, LineBytes: 48}, // non power-of-two line
+	}
+	for i, c := range bad {
+		if c.Valid() {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 1 << 10, Ways: 2, LineBytes: 64})
+	if c.Access(0x1000, false).Hit {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x1000, false).Hit {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(0x1020, false).Hit {
+		t.Fatal("same-line access missed")
+	}
+	if c.Stats.ReadHits != 2 || c.Stats.ReadMisses != 1 {
+		t.Fatalf("stats: %+v", c.Stats)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way cache: three conflicting lines evict the least recently used.
+	c := NewCache(CacheConfig{SizeBytes: 128, Ways: 2, LineBytes: 64})
+	// Only 1 set: every line conflicts.
+	c.Access(0<<6, false)
+	c.Access(1<<6, false)
+	c.Access(0<<6, false) // line 0 is now MRU
+	c.Access(2<<6, false) // evicts line 1
+	if !c.Access(0<<6, false).Hit {
+		t.Fatal("MRU line evicted")
+	}
+	if c.Access(1<<6, false).Hit {
+		t.Fatal("LRU line not evicted")
+	}
+}
+
+func TestCacheWritebackOnDirtyEviction(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 128, Ways: 2, LineBytes: 64})
+	c.Access(0<<6, true) // dirty
+	c.Access(1<<6, false)
+	res := c.Access(2<<6, false) // evicts dirty line 0
+	if !res.Writeback {
+		t.Fatal("dirty eviction produced no writeback")
+	}
+	if res.WritebackAddr != 0 {
+		t.Fatalf("writeback addr = %#x, want 0", res.WritebackAddr)
+	}
+	if c.Stats.Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Stats.Writebacks)
+	}
+}
+
+func TestCacheWritebackAddrReconstruction(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 1 << 12, Ways: 1, LineBytes: 64})
+	// Direct-mapped: two addresses one cache-size apart conflict.
+	const a = uint64(0x12340)
+	b := a + 1<<12
+	c.Access(a, true)
+	res := c.Access(b, false)
+	if !res.Writeback {
+		t.Fatal("expected writeback")
+	}
+	if res.WritebackAddr != a&^63 {
+		t.Fatalf("writeback addr %#x, want %#x", res.WritebackAddr, a&^63)
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 1 << 10, Ways: 2, LineBytes: 64})
+	c.Access(0, true)
+	c.Access(64, false)
+	if dirty := c.Flush(); dirty != 1 {
+		t.Fatalf("Flush dirty count = %d, want 1", dirty)
+	}
+	if c.Access(0, false).Hit {
+		t.Fatal("flushed line still resident")
+	}
+}
+
+func TestCacheStatsAggregation(t *testing.T) {
+	s := CacheStats{ReadHits: 3, ReadMisses: 1, WriteHits: 2, WriteMisses: 4}
+	if s.Accesses() != 10 || s.Misses() != 5 {
+		t.Fatalf("aggregation wrong: %+v", s)
+	}
+	if s.MissRate() != 0.5 {
+		t.Fatalf("miss rate = %v", s.MissRate())
+	}
+	if (CacheStats{}).MissRate() != 0 {
+		t.Fatal("idle miss rate != 0")
+	}
+}
+
+// Property: cache contents are a function of the access sequence; replaying
+// a sequence yields identical stats.
+func TestCacheDeterministicProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		a := NewCache(CacheConfig{SizeBytes: 1 << 10, Ways: 4, LineBytes: 64})
+		b := NewCache(CacheConfig{SizeBytes: 1 << 10, Ways: 4, LineBytes: 64})
+		for _, x := range addrs {
+			a.Access(uint64(x), x%3 == 0)
+		}
+		for _, x := range addrs {
+			b.Access(uint64(x), x%3 == 0)
+		}
+		return a.Stats == b.Stats
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMCURowBuffer(t *testing.T) {
+	m := &MCU{}
+	lat1 := m.Access(0, false)  // cold: activation
+	lat2 := m.Access(64, false) // same row: hit
+	if m.Stats.Activations != 1 || m.Stats.RowBufferHits != 1 {
+		t.Fatalf("row buffer stats: %+v", m.Stats)
+	}
+	if lat1 <= lat2 {
+		t.Fatalf("activation latency %d should exceed row hit %d", lat1, lat2)
+	}
+	// A different row in the same bank forces a new activation.
+	m.Access(1<<(rowBits+3), false)
+	if m.Stats.Activations != 2 {
+		t.Fatalf("activations = %d", m.Stats.Activations)
+	}
+}
+
+func TestMCUBankParallelism(t *testing.T) {
+	m := &MCU{}
+	// Different banks keep independent open rows.
+	m.Access(0<<rowBits, false)
+	m.Access(1<<rowBits, false)
+	m.Access(0<<rowBits, false)
+	m.Access(1<<rowBits, false)
+	if m.Stats.RowBufferHits != 2 {
+		t.Fatalf("bank-parallel row hits = %d, want 2", m.Stats.RowBufferHits)
+	}
+}
+
+func TestMCURowHitRate(t *testing.T) {
+	m := &MCU{}
+	m.Access(0, false)
+	m.Access(64, true)
+	m.Access(128, false)
+	if got := m.Stats.RowHitRate(); got < 0.6 || got > 0.7 {
+		t.Fatalf("row hit rate = %v, want 2/3", got)
+	}
+}
+
+func TestSystemRoutesThroughHierarchy(t *testing.T) {
+	s := NewSystem()
+	// First touch: L1 miss, L2 miss, DRAM access.
+	if !s.Access(0, 0x100000, false) {
+		t.Fatal("cold access did not reach DRAM")
+	}
+	// Second touch: L1 hit.
+	if s.Access(0, 0x100000, false) {
+		t.Fatal("warm access reached DRAM")
+	}
+	if s.DRAMAccesses() != 1 {
+		t.Fatalf("DRAM accesses = %d", s.DRAMAccesses())
+	}
+	if s.Core[0].MemReads != 2 {
+		t.Fatalf("core reads = %d", s.Core[0].MemReads)
+	}
+}
+
+func TestSystemMCUInterleaving(t *testing.T) {
+	s := NewSystem()
+	// Touch 4 consecutive lines: they must land on 4 different channels.
+	for i := uint64(0); i < 4; i++ {
+		s.Access(0, i*64, false)
+	}
+	for i := 0; i < NumMCUs; i++ {
+		if s.MCUOf(i).Stats.Accesses() != 1 {
+			t.Fatalf("channel %d accesses = %d, want 1", i, s.MCUOf(i).Stats.Accesses())
+		}
+	}
+}
+
+func TestSystemStallAccounting(t *testing.T) {
+	s := NewSystem()
+	s.Access(0, 0x40000, false) // DRAM access: large stall
+	dramStall := s.Core[0].StallCycles
+	if dramStall < dramCASLatency {
+		t.Fatalf("DRAM stall %d below CAS latency", dramStall)
+	}
+	s.Access(0, 0x40000, false) // L1 hit: no extra stall
+	if s.Core[0].StallCycles != dramStall {
+		t.Fatal("L1 hit added stall cycles")
+	}
+}
+
+func TestSystemComputeAdvancesIPC(t *testing.T) {
+	s := NewSystem()
+	s.Compute(2, 1000)
+	if s.Core[2].Instructions != 1000 || s.Core[2].BusyCycles != 1000 {
+		t.Fatalf("compute accounting: %+v", s.Core[2])
+	}
+	if ipc := s.Core[2].IPC(); ipc != 1 {
+		t.Fatalf("pure-compute IPC = %v", ipc)
+	}
+}
+
+func TestWallCyclesIsMaxOverCores(t *testing.T) {
+	s := NewSystem()
+	s.Compute(0, 100)
+	s.Compute(1, 5000)
+	if w := s.WallCycles(); w != 5000 {
+		t.Fatalf("wall cycles = %d, want 5000 (busiest core)", w)
+	}
+}
+
+func TestWallCyclesBandwidthStretch(t *testing.T) {
+	s := NewSystem()
+	// Generate heavy DRAM traffic from a single slow core so demand per
+	// cycle exceeds the channel peak: wall time must stretch.
+	addr := uint64(0)
+	for i := 0; i < 50000; i++ {
+		s.Access(0, addr, false)
+		addr += 4096 // new line, new row: maximal pressure
+	}
+	busiest := s.Core[0].Cycles()
+	if w := s.WallCycles(); w < busiest {
+		t.Fatalf("wall cycles %d below busiest core %d", w, busiest)
+	}
+}
+
+func TestCPIWeightsMemoryStalls(t *testing.T) {
+	s := NewSystem()
+	for i := 0; i < 1000; i++ {
+		s.Access(0, uint64(i)*4096, false) // all DRAM misses
+	}
+	if cpi := s.CPI(); cpi < 50 {
+		t.Fatalf("DRAM-bound CPI = %v, want >> 1", cpi)
+	}
+	s2 := NewSystem()
+	s2.Compute(0, 1000)
+	if cpi := s2.CPI(); cpi != 1 {
+		t.Fatalf("compute-bound CPI = %v", cpi)
+	}
+}
+
+func TestWallSecondsUsesCoreFrequency(t *testing.T) {
+	s := NewSystem()
+	s.Compute(0, 2_400_000)
+	got := s.WallSeconds()
+	if got < 0.0009 || got > 0.0011 {
+		t.Fatalf("2.4M cycles = %v s, want ~1 ms", got)
+	}
+}

@@ -1,0 +1,187 @@
+package memsys
+
+// Platform constants of the simulated X-Gene2 server.
+const (
+	NumCores    = 8
+	NumMCUs     = 4
+	CoreFreqHz  = 2.4e9
+	LineBytes   = 64
+	l1SizeBytes = 32 << 10  // 32 KiB L1D per core
+	l2SizeBytes = 256 << 10 // 256 KiB L2 per core pair (PMD)
+)
+
+// CoreStats counts the per-core pipeline events.
+type CoreStats struct {
+	Instructions uint64 // retired instructions (including loads/stores)
+	MemReads     uint64 // executed load instructions
+	MemWrites    uint64 // executed store instructions
+	BusyCycles   uint64 // base execution cycles
+	StallCycles  uint64 // cycles waiting for the memory hierarchy
+}
+
+// Cycles is the total cycle count of the core.
+func (c CoreStats) Cycles() uint64 { return c.BusyCycles + c.StallCycles }
+
+// IPC returns instructions per cycle.
+func (c CoreStats) IPC() float64 {
+	cyc := c.Cycles()
+	if cyc == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(cyc)
+}
+
+// System is the full memory hierarchy: per-core L1D caches, shared L2
+// slices (one per core pair), and four MCUs selected by line interleaving.
+type System struct {
+	l1   [NumCores]*Cache
+	l2   [NumCores / 2]*Cache
+	mcus [NumMCUs]*MCU
+	Core [NumCores]CoreStats
+}
+
+// NewSystem builds the hierarchy.
+func NewSystem() *System {
+	s := &System{}
+	for i := range s.l1 {
+		s.l1[i] = NewCache(CacheConfig{SizeBytes: l1SizeBytes, Ways: 8, LineBytes: LineBytes})
+	}
+	for i := range s.l2 {
+		s.l2[i] = NewCache(CacheConfig{SizeBytes: l2SizeBytes, Ways: 8, LineBytes: LineBytes})
+	}
+	for i := range s.mcus {
+		s.mcus[i] = &MCU{}
+	}
+	return s
+}
+
+// L1 returns core c's L1D cache (for stats inspection).
+func (s *System) L1(c int) *Cache { return s.l1[c] }
+
+// L2 returns slice i (core pair i) of the L2 (for stats inspection).
+func (s *System) L2(i int) *Cache { return s.l2[i] }
+
+// MCUOf returns channel i's controller (for stats inspection).
+func (s *System) MCUOf(i int) *MCU { return s.mcus[i] }
+
+// mcuIndex interleaves consecutive cache lines across the four channels.
+func mcuIndex(addr uint64) int { return int((addr >> 6) & (NumMCUs - 1)) }
+
+// Access executes one load or store on core tid. It updates the cache and
+// MCU state and charges the core the access latency. It reports whether the
+// access reached DRAM (an L2 miss).
+func (s *System) Access(tid int, addr uint64, write bool) bool {
+	core := tid % NumCores
+	cs := &s.Core[core]
+	cs.Instructions++
+	cs.BusyCycles++
+	if write {
+		cs.MemWrites++
+	} else {
+		cs.MemReads++
+	}
+
+	if s.l1[core].Access(addr, write).Hit {
+		cs.StallCycles += l1HitLatency
+		return false
+	}
+	l2 := s.l2[core/2]
+	r2 := l2.Access(addr, write)
+	if r2.Writeback {
+		// Dirty L2 victim goes to DRAM.
+		s.mcus[mcuIndex(r2.WritebackAddr)].Access(r2.WritebackAddr, true)
+	}
+	if r2.Hit {
+		cs.StallCycles += l2HitLatency
+		return false
+	}
+	lat := s.mcus[mcuIndex(addr)].Access(addr, false)
+	cs.StallCycles += uint64(lat)
+	return true
+}
+
+// Compute charges core tid with n ALU/branch instructions at one IPC.
+func (s *System) Compute(tid int, n int) {
+	core := tid % NumCores
+	s.Core[core].Instructions += uint64(n)
+	s.Core[core].BusyCycles += uint64(n)
+}
+
+// WallCycles returns the simulated wall-clock duration in cycles: the
+// busiest core bounds the run (threads execute concurrently), and a
+// saturated DRAM channel stretches it further.
+func (s *System) WallCycles() uint64 {
+	var maxCyc uint64
+	for i := range s.Core {
+		if c := s.Core[i].Cycles(); c > maxCyc {
+			maxCyc = c
+		}
+	}
+	if maxCyc == 0 {
+		return 0
+	}
+	// Bandwidth model: if any channel's line traffic exceeds its peak
+	// service rate, the run stretches by the overload factor.
+	stretch := 1.0
+	for _, m := range s.mcus {
+		demand := float64(m.Stats.Accesses()) / (float64(maxCyc) / 1000)
+		if ratio := demand / mcuPeakLinesPerKCycle; ratio > stretch {
+			stretch = ratio
+		}
+	}
+	return uint64(float64(maxCyc) * stretch)
+}
+
+// WallSeconds converts WallCycles to seconds at the core frequency.
+func (s *System) WallSeconds() float64 {
+	return float64(s.WallCycles()) / CoreFreqHz
+}
+
+// TotalInstructions sums retired instructions over all cores.
+func (s *System) TotalInstructions() uint64 {
+	var n uint64
+	for i := range s.Core {
+		n += s.Core[i].Instructions
+	}
+	return n
+}
+
+// TotalMemAccesses sums load/store instructions over all cores.
+func (s *System) TotalMemAccesses() uint64 {
+	var n uint64
+	for i := range s.Core {
+		n += s.Core[i].MemReads + s.Core[i].MemWrites
+	}
+	return n
+}
+
+// DRAMAccesses sums line transfers over all channels.
+func (s *System) DRAMAccesses() uint64 {
+	var n uint64
+	for _, m := range s.mcus {
+		n += m.Stats.Accesses()
+	}
+	return n
+}
+
+// DRAMActivations sums row activations over all channels.
+func (s *System) DRAMActivations() uint64 {
+	var n uint64
+	for _, m := range s.mcus {
+		n += m.Stats.Activations
+	}
+	return n
+}
+
+// CPI returns the aggregate cycles-per-instruction of the run.
+func (s *System) CPI() float64 {
+	instr := s.TotalInstructions()
+	if instr == 0 {
+		return 0
+	}
+	var cyc uint64
+	for i := range s.Core {
+		cyc += s.Core[i].Cycles()
+	}
+	return float64(cyc) / float64(instr)
+}

@@ -1,0 +1,49 @@
+package ml
+
+import "fmt"
+
+// LeaveOneGroupOut runs the paper's cross-validation protocol (Fig. 3):
+// for each distinct group (benchmark), the group's samples form the test
+// set and everything else the training set. It returns the out-of-group
+// prediction for every sample, aligned with the input order.
+//
+// Scaling is fit on each training fold only — no leakage from the held-out
+// workload.
+func LeaveOneGroupOut(trainer Trainer, X [][]float64, y []float64, groups []string) ([]float64, error) {
+	if len(X) != len(y) || len(X) != len(groups) {
+		return nil, fmt.Errorf("ml: CV input lengths differ (%d/%d/%d)", len(X), len(y), len(groups))
+	}
+	distinct := map[string]bool{}
+	for _, g := range groups {
+		distinct[g] = true
+	}
+	if len(distinct) < 2 {
+		return nil, fmt.Errorf("ml: need at least two groups, got %d", len(distinct))
+	}
+	preds := make([]float64, len(X))
+	for g := range distinct {
+		var trX [][]float64
+		var trY []float64
+		var teIdx []int
+		for i := range X {
+			if groups[i] == g {
+				teIdx = append(teIdx, i)
+			} else {
+				trX = append(trX, X[i])
+				trY = append(trY, y[i])
+			}
+		}
+		scaler, err := FitScaler(trX)
+		if err != nil {
+			return nil, fmt.Errorf("ml: fold %q: %w", g, err)
+		}
+		model, err := trainer.Train(scaler.TransformAll(trX), trY)
+		if err != nil {
+			return nil, fmt.Errorf("ml: fold %q: %w", g, err)
+		}
+		for _, i := range teIdx {
+			preds[i] = model.Predict(scaler.Transform(X[i]))
+		}
+	}
+	return preds, nil
+}

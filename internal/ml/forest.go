@@ -1,0 +1,207 @@
+package ml
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Forest is a random-decision-forest regressor: bootstrap-aggregated
+// variance-reduction regression trees with random feature subsets at every
+// split — the "RDF" of the paper's comparison. Its per-split feature
+// selection is what makes it the most robust of the three models when fed
+// all 249 features (Fig. 11c), while its axis-aligned rectangles make it
+// the weakest on the small curated feature set (Fig. 11 a vs c).
+type Forest struct {
+	// Trees is the ensemble size; 0 means 60.
+	Trees int
+	// MaxDepth bounds tree depth; 0 means 12.
+	MaxDepth int
+	// MinLeaf is the smallest splittable node; 0 means 3.
+	MinLeaf int
+	// Seed drives bootstrap and feature sampling.
+	Seed uint64
+}
+
+// Name implements Trainer.
+func (f Forest) Name() string { return "RDF" }
+
+// treeNode is one node of a regression tree, stored in a flat arena.
+type treeNode struct {
+	feature int     // split feature, -1 for leaves
+	thresh  float64 // split threshold
+	left    int32   // arena index
+	right   int32
+	value   float64 // leaf prediction
+}
+
+type tree struct{ nodes []treeNode }
+
+type forestModel struct{ trees []tree }
+
+// Train implements Trainer.
+func (f Forest) Train(X [][]float64, y []float64) (Regressor, error) {
+	if err := validate(X, y); err != nil {
+		return nil, err
+	}
+	nTrees := f.Trees
+	if nTrees == 0 {
+		nTrees = 60
+	}
+	maxDepth := f.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = 12
+	}
+	minLeaf := f.MinLeaf
+	if minLeaf == 0 {
+		minLeaf = 3
+	}
+	n := len(X)
+	d := len(X[0])
+	mtry := int(math.Ceil(math.Sqrt(float64(d))))
+	rng := stats.NewRNG(f.Seed ^ 0xF0E1D2C3B4A59687)
+
+	model := &forestModel{trees: make([]tree, nTrees)}
+	for t := 0; t < nTrees; t++ {
+		// Bootstrap sample.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		b := &treeBuilder{
+			X: X, y: y,
+			maxDepth: maxDepth, minLeaf: minLeaf, mtry: mtry,
+			rng: rng.Split(),
+		}
+		b.build(idx, 0)
+		model.trees[t] = tree{nodes: b.nodes}
+	}
+	return model, nil
+}
+
+// treeBuilder grows one tree over index sets.
+type treeBuilder struct {
+	X        [][]float64
+	y        []float64
+	maxDepth int
+	minLeaf  int
+	mtry     int
+	rng      *stats.RNG
+	nodes    []treeNode
+}
+
+// build grows the subtree over idx and returns its arena index.
+func (b *treeBuilder) build(idx []int, depth int) int32 {
+	me := int32(len(b.nodes))
+	b.nodes = append(b.nodes, treeNode{feature: -1})
+
+	// Leaf value: mean target of the node.
+	sum := 0.0
+	for _, i := range idx {
+		sum += b.y[i]
+	}
+	meanY := sum / float64(len(idx))
+	b.nodes[me].value = meanY
+
+	if depth >= b.maxDepth || len(idx) < 2*b.minLeaf {
+		return me
+	}
+	// Node variance; pure nodes stop.
+	varSum := 0.0
+	for _, i := range idx {
+		dv := b.y[i] - meanY
+		varSum += dv * dv
+	}
+	if varSum < 1e-18 {
+		return me
+	}
+
+	bestFeat, bestThresh, bestScore := -1, 0.0, varSum
+	d := len(b.X[0])
+	// Random feature subset (sample without replacement).
+	feats := b.rng.Perm(d)[:b.mtry]
+	vals := make([]float64, len(idx))
+	order := make([]int, len(idx))
+	for _, feat := range feats {
+		for k, i := range idx {
+			vals[k] = b.X[i][feat]
+			order[k] = k
+		}
+		sort.Slice(order, func(a, c int) bool { return vals[order[a]] < vals[order[c]] })
+		// Incremental split scan: left/right sums of y.
+		var lSum, lSq float64
+		rSum, rSq := 0.0, 0.0
+		for _, i := range idx {
+			rSum += b.y[i]
+			rSq += b.y[i] * b.y[i]
+		}
+		nL, nR := 0, len(idx)
+		for pos := 0; pos < len(idx)-1; pos++ {
+			i := idx[order[pos]]
+			yv := b.y[i]
+			lSum += yv
+			lSq += yv * yv
+			rSum -= yv
+			rSq -= yv * yv
+			nL++
+			nR--
+			if nL < b.minLeaf || nR < b.minLeaf {
+				continue
+			}
+			// Skip ties: can't split between equal values.
+			if vals[order[pos]] == vals[order[pos+1]] {
+				continue
+			}
+			score := (lSq - lSum*lSum/float64(nL)) + (rSq - rSum*rSum/float64(nR))
+			if score < bestScore {
+				bestScore = score
+				bestFeat = feat
+				bestThresh = (vals[order[pos]] + vals[order[pos+1]]) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return me
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.X[i][bestFeat] <= bestThresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return me
+	}
+	b.nodes[me].feature = bestFeat
+	b.nodes[me].thresh = bestThresh
+	b.nodes[me].left = b.build(left, depth+1)
+	b.nodes[me].right = b.build(right, depth+1)
+	return me
+}
+
+// Predict implements Regressor: the ensemble mean.
+func (m *forestModel) Predict(x []float64) float64 {
+	sum := 0.0
+	for _, t := range m.trees {
+		sum += t.predict(x)
+	}
+	return sum / float64(len(m.trees))
+}
+
+func (t *tree) predict(x []float64) float64 {
+	i := int32(0)
+	for {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return n.value
+		}
+		if x[n.feature] <= n.thresh {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// KNN is a K-nearest-neighbours regressor with inverse-distance weighting —
+// the method the paper finds most accurate for WER and PUE prediction
+// (Section VI-B), and fast enough to predict "within 300 ms".
+type KNN struct {
+	// K is the neighbourhood size; 0 means the default of 5.
+	K int
+}
+
+// Name implements Trainer.
+func (k KNN) Name() string { return "KNN" }
+
+// knnModel stores the training set (KNN is instance-based).
+type knnModel struct {
+	k int
+	X [][]float64
+	y []float64
+}
+
+// Train implements Trainer.
+func (k KNN) Train(X [][]float64, y []float64) (Regressor, error) {
+	if err := validate(X, y); err != nil {
+		return nil, err
+	}
+	kk := k.K
+	if kk <= 0 {
+		kk = 5
+	}
+	if kk > len(X) {
+		kk = len(X)
+	}
+	return &knnModel{k: kk, X: X, y: y}, nil
+}
+
+// Predict implements Regressor: the inverse-distance-weighted mean of the k
+// nearest training targets.
+func (m *knnModel) Predict(x []float64) float64 {
+	type cand struct {
+		d2 float64
+		y  float64
+	}
+	cands := make([]cand, len(m.X))
+	for i, row := range m.X {
+		d2 := 0.0
+		for j := range row {
+			dv := row[j] - x[j]
+			d2 += dv * dv
+		}
+		cands[i] = cand{d2: d2, y: m.y[i]}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].d2 < cands[b].d2 })
+
+	var num, den float64
+	for i := 0; i < m.k; i++ {
+		w := 1 / (math.Sqrt(cands[i].d2) + 1e-9)
+		num += w * cands[i].y
+		den += w
+	}
+	return num / den
+}

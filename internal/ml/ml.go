@@ -1,0 +1,166 @@
+// Package ml implements the three supervised learning methods the paper
+// evaluates for DRAM error prediction — K-nearest neighbours (KNN), support
+// vector machines (ε-SVR with an RBF kernel, trained by SMO) and random
+// decision forests (RDF) — together with feature standardization,
+// leave-one-group-out cross validation and the error metrics of Section VI.
+//
+// The paper uses scikit-learn; this package is a from-scratch stdlib-only
+// replacement with the same algorithm families and evaluation protocol.
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Regressor is a trained model predicting a scalar target from a feature
+// vector.
+type Regressor interface {
+	// Predict returns the model output for one standardized sample.
+	Predict(x []float64) float64
+}
+
+// Trainer fits a Regressor on a standardized training set.
+type Trainer interface {
+	// Name identifies the method ("KNN", "SVM", "RDF").
+	Name() string
+	// Train fits the model; rows of X are samples.
+	Train(X [][]float64, y []float64) (Regressor, error)
+}
+
+// validate checks the common preconditions of all trainers.
+func validate(X [][]float64, y []float64) error {
+	if len(X) == 0 {
+		return errors.New("ml: empty training set")
+	}
+	if len(X) != len(y) {
+		return fmt.Errorf("ml: %d samples but %d targets", len(X), len(y))
+	}
+	d := len(X[0])
+	if d == 0 {
+		return errors.New("ml: zero-dimensional samples")
+	}
+	for i, row := range X {
+		if len(row) != d {
+			return fmt.Errorf("ml: sample %d has %d features, want %d", i, len(row), d)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("ml: sample %d feature %d is %v", i, j, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Scaler standardizes features to zero mean and unit variance, the
+// preprocessing the paper's distance- and kernel-based models require.
+type Scaler struct {
+	Mean  []float64
+	Scale []float64
+}
+
+// FitScaler learns the per-feature statistics of X.
+func FitScaler(X [][]float64) (*Scaler, error) {
+	if err := validate(X, make([]float64, len(X))); err != nil {
+		return nil, err
+	}
+	d := len(X[0])
+	s := &Scaler{Mean: make([]float64, d), Scale: make([]float64, d)}
+	n := float64(len(X))
+	for _, row := range X {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			dv := v - s.Mean[j]
+			s.Scale[j] += dv * dv
+		}
+	}
+	for j := range s.Scale {
+		s.Scale[j] = math.Sqrt(s.Scale[j] / n)
+		if s.Scale[j] < 1e-12 {
+			// Constant feature: map to 0 rather than exploding.
+			s.Scale[j] = 1
+		}
+	}
+	return s, nil
+}
+
+// Transform standardizes one sample (out of place).
+func (s *Scaler) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Scale[j]
+	}
+	return out
+}
+
+// TransformAll standardizes a whole matrix.
+func (s *Scaler) TransformAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = s.Transform(row)
+	}
+	return out
+}
+
+// MeanPercentageError returns the mean of |pred-actual|/|actual| over the
+// samples, as a fraction (multiply by 100 for the paper's %). Samples with
+// zero actuals are skipped.
+func MeanPercentageError(pred, actual []float64) float64 {
+	if len(pred) != len(actual) {
+		panic("ml: MPE length mismatch")
+	}
+	sum, n := 0.0, 0
+	for i := range pred {
+		if actual[i] == 0 {
+			continue
+		}
+		sum += math.Abs(pred[i]-actual[i]) / math.Abs(actual[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MeanAbsoluteError returns the mean |pred-actual|.
+func MeanAbsoluteError(pred, actual []float64) float64 {
+	if len(pred) != len(actual) {
+		panic("ml: MAE length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range pred {
+		sum += math.Abs(pred[i] - actual[i])
+	}
+	return sum / float64(len(pred))
+}
+
+// GeometricMeanError returns exp(mean |ln(pred/actual)|), the multiplicative
+// error factor (used for the paper's "2.9x" style comparisons). Pairs with
+// non-positive values are skipped.
+func GeometricMeanError(pred, actual []float64) float64 {
+	sum, n := 0.0, 0
+	for i := range pred {
+		if pred[i] <= 0 || actual[i] <= 0 {
+			continue
+		}
+		sum += math.Abs(math.Log(pred[i] / actual[i]))
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return math.Exp(sum / float64(n))
+}

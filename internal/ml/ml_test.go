@@ -1,0 +1,293 @@
+package ml
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// synthRegression builds a noisy non-linear dataset y = f(x) + noise.
+func synthRegression(n, d int, seed uint64, f func([]float64) float64, noise float64) ([][]float64, []float64) {
+	rng := stats.NewRNG(seed)
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.Float64()*4 - 2
+		}
+		X[i] = row
+		y[i] = f(row) + noise*rng.NormFloat64()
+	}
+	return X, y
+}
+
+func targetFn(x []float64) float64 {
+	return 3*x[0] + math.Sin(2*x[1]) + 0.5*x[0]*x[1]
+}
+
+func trainEval(t *testing.T, tr Trainer, seed uint64) float64 {
+	t.Helper()
+	X, y := synthRegression(300, 4, seed, targetFn, 0.05)
+	Xte, yte := synthRegression(100, 4, seed+1, targetFn, 0)
+	sc, err := FitScaler(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := tr.Train(sc.TransformAll(X), y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := make([]float64, len(Xte))
+	for i := range Xte {
+		preds[i] = model.Predict(sc.Transform(Xte[i]))
+	}
+	return MeanAbsoluteError(preds, yte)
+}
+
+func TestKNNFitsNonLinearTarget(t *testing.T) {
+	mae := trainEval(t, KNN{K: 5}, 1)
+	if mae > 0.8 {
+		t.Fatalf("KNN MAE = %v, too high", mae)
+	}
+}
+
+func TestSVRFitsNonLinearTarget(t *testing.T) {
+	mae := trainEval(t, SVR{}, 2)
+	if mae > 0.7 {
+		t.Fatalf("SVR MAE = %v, too high", mae)
+	}
+}
+
+func TestForestFitsNonLinearTarget(t *testing.T) {
+	mae := trainEval(t, Forest{Trees: 40, Seed: 3}, 3)
+	if mae > 0.7 {
+		t.Fatalf("Forest MAE = %v, too high", mae)
+	}
+}
+
+func TestModelsBeatMeanBaseline(t *testing.T) {
+	X, y := synthRegression(300, 4, 9, targetFn, 0.05)
+	baseline := MeanAbsoluteError(constPreds(mean(y), len(y)), y)
+	for _, tr := range []Trainer{KNN{}, SVR{}, Forest{Seed: 1}} {
+		sc, _ := FitScaler(X)
+		model, err := tr.Train(sc.TransformAll(X), y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds := make([]float64, len(X))
+		for i := range X {
+			preds[i] = model.Predict(sc.Transform(X[i]))
+		}
+		mae := MeanAbsoluteError(preds, y)
+		if mae > baseline*0.5 {
+			t.Fatalf("%s in-sample MAE %v not well below baseline %v", tr.Name(), mae, baseline)
+		}
+	}
+}
+
+func TestKNNExactOnTrainingPoint(t *testing.T) {
+	X := [][]float64{{0, 0}, {1, 1}, {2, 2}, {5, 5}}
+	y := []float64{1, 2, 3, 10}
+	m, err := KNN{K: 1}.Train(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{5, 5}); math.Abs(got-10) > 1e-6 {
+		t.Fatalf("1-NN on training point = %v, want 10", got)
+	}
+}
+
+func TestKNNKLargerThanN(t *testing.T) {
+	X := [][]float64{{0}, {1}}
+	y := []float64{0, 1}
+	m, err := KNN{K: 10}.Train(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Predict([]float64{0.5})
+	if got < 0 || got > 1 {
+		t.Fatalf("prediction %v outside target hull", got)
+	}
+}
+
+func TestTrainersRejectBadInput(t *testing.T) {
+	for _, tr := range []Trainer{KNN{}, SVR{}, Forest{}} {
+		if _, err := tr.Train(nil, nil); err == nil {
+			t.Fatalf("%s accepted empty set", tr.Name())
+		}
+		if _, err := tr.Train([][]float64{{1}}, []float64{1, 2}); err == nil {
+			t.Fatalf("%s accepted length mismatch", tr.Name())
+		}
+		if _, err := tr.Train([][]float64{{1}, {1, 2}}, []float64{1, 2}); err == nil {
+			t.Fatalf("%s accepted ragged matrix", tr.Name())
+		}
+		if _, err := tr.Train([][]float64{{math.NaN()}}, []float64{1}); err == nil {
+			t.Fatalf("%s accepted NaN feature", tr.Name())
+		}
+	}
+}
+
+func TestScalerStandardizes(t *testing.T) {
+	X := [][]float64{{1, 100}, {2, 200}, {3, 300}}
+	sc, err := FitScaler(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Z := sc.TransformAll(X)
+	for j := 0; j < 2; j++ {
+		var m, v float64
+		for i := range Z {
+			m += Z[i][j]
+		}
+		m /= float64(len(Z))
+		for i := range Z {
+			v += (Z[i][j] - m) * (Z[i][j] - m)
+		}
+		v /= float64(len(Z))
+		if math.Abs(m) > 1e-9 || math.Abs(v-1) > 1e-9 {
+			t.Fatalf("feature %d: mean=%v var=%v", j, m, v)
+		}
+	}
+}
+
+func TestScalerConstantFeature(t *testing.T) {
+	X := [][]float64{{7, 1}, {7, 2}, {7, 3}}
+	sc, err := FitScaler(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := sc.Transform([]float64{7, 2})
+	if z[0] != 0 {
+		t.Fatalf("constant feature transformed to %v, want 0", z[0])
+	}
+}
+
+func TestForestDeterministicWithSeed(t *testing.T) {
+	X, y := synthRegression(100, 3, 5, targetFn, 0.1)
+	m1, _ := Forest{Trees: 10, Seed: 7}.Train(X, y)
+	m2, _ := Forest{Trees: 10, Seed: 7}.Train(X, y)
+	probe := []float64{0.3, -0.2, 0.9}
+	if m1.Predict(probe) != m2.Predict(probe) {
+		t.Fatal("same-seed forests disagree")
+	}
+}
+
+func TestForestPredictionWithinTargetHull(t *testing.T) {
+	X, y := synthRegression(200, 3, 11, targetFn, 0)
+	m, _ := Forest{Trees: 20, Seed: 2}.Train(X, y)
+	lo, hi := stats.Min(y), stats.Max(y)
+	f := func(a, b, c float64) bool {
+		p := m.Predict([]float64{clip(a), clip(b), clip(c)})
+		return p >= lo-1e-9 && p <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clip(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 2)
+}
+
+func TestLeaveOneGroupOut(t *testing.T) {
+	// Three groups drawn from the same function: LOGO predictions should
+	// generalize across groups.
+	X, y := synthRegression(150, 3, 13, targetFn, 0.05)
+	groups := make([]string, len(X))
+	for i := range groups {
+		groups[i] = []string{"a", "b", "c"}[i%3]
+	}
+	preds, err := LeaveOneGroupOut(KNN{K: 5}, X, y, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mae := MeanAbsoluteError(preds, y); mae > 0.8 {
+		t.Fatalf("LOGO MAE = %v", mae)
+	}
+}
+
+func TestLeaveOneGroupOutSingleGroupFails(t *testing.T) {
+	X := [][]float64{{1}, {2}}
+	y := []float64{1, 2}
+	if _, err := LeaveOneGroupOut(KNN{}, X, y, []string{"g", "g"}); err == nil {
+		t.Fatal("single group accepted")
+	}
+}
+
+func TestMeanPercentageError(t *testing.T) {
+	got := MeanPercentageError([]float64{110, 90}, []float64{100, 100})
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("MPE = %v, want 0.1", got)
+	}
+	if MeanPercentageError([]float64{1}, []float64{0}) != 0 {
+		t.Fatal("zero-actual sample should be skipped")
+	}
+}
+
+func TestGeometricMeanError(t *testing.T) {
+	got := GeometricMeanError([]float64{290}, []float64{100})
+	if math.Abs(got-2.9) > 1e-9 {
+		t.Fatalf("GME = %v, want 2.9", got)
+	}
+	// Symmetric: under-prediction by 2.9x scores the same.
+	got2 := GeometricMeanError([]float64{100}, []float64{290})
+	if math.Abs(got-got2) > 1e-9 {
+		t.Fatalf("GME asymmetric: %v vs %v", got, got2)
+	}
+}
+
+func TestIrrelevantFeaturesHurtKNNMoreThanForest(t *testing.T) {
+	// The paper's input-set-3 finding: distance-based models degrade when
+	// many irrelevant features are added; forests resist via per-split
+	// feature selection.
+	rng := stats.NewRNG(17)
+	n := 240
+	build := func(d int) ([][]float64, []float64) {
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			row := make([]float64, d)
+			for j := range row {
+				row[j] = rng.Float64()*4 - 2
+			}
+			X[i] = row
+			y[i] = targetFn(row[:4])
+		}
+		return X, y
+	}
+	evalCV := func(tr Trainer, d int) float64 {
+		X, y := build(d)
+		groups := make([]string, n)
+		for i := range groups {
+			groups[i] = []string{"a", "b", "c", "d"}[i%4]
+		}
+		preds, err := LeaveOneGroupOut(tr, X, y, groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return MeanAbsoluteError(preds, y)
+	}
+	knnSmall := evalCV(KNN{K: 5}, 4)
+	knnBig := evalCV(KNN{K: 5}, 60)
+	rdfBig := evalCV(Forest{Trees: 40, Seed: 5}, 60)
+	if knnBig <= knnSmall {
+		t.Fatalf("KNN not hurt by irrelevant features: %v vs %v", knnBig, knnSmall)
+	}
+	if rdfBig >= knnBig {
+		t.Fatalf("forest (%v) should beat KNN (%v) with many irrelevant features", rdfBig, knnBig)
+	}
+}
+
+func constPreds(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

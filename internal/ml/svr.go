@@ -1,0 +1,175 @@
+package ml
+
+import "math"
+
+// SVR is an ε-insensitive support vector regressor with an RBF kernel,
+// trained by a simplified SMO coordinate-ascent on the dual problem — the
+// "SVM" of the paper's model comparison.
+type SVR struct {
+	// C is the regularization constant; 0 means 10.
+	C float64
+	// Epsilon is the insensitive-tube half-width; 0 means 0.05.
+	Epsilon float64
+	// Gamma is the RBF width (k(a,b) = exp(-Gamma*|a-b|^2)); 0 picks the
+	// scikit-style default 1/d.
+	Gamma float64
+	// MaxPasses bounds SMO sweeps without progress; 0 means 8.
+	MaxPasses int
+}
+
+// Name implements Trainer.
+func (s SVR) Name() string { return "SVM" }
+
+type svrModel struct {
+	gamma float64
+	X     [][]float64
+	beta  []float64 // alpha_i - alpha_i^* for each training sample
+	b     float64
+}
+
+// rbf computes the RBF kernel of rows a and b.
+func rbf(a, b []float64, gamma float64) float64 {
+	d2 := 0.0
+	for j := range a {
+		dv := a[j] - b[j]
+		d2 += dv * dv
+	}
+	return math.Exp(-gamma * d2)
+}
+
+// Train implements Trainer: dual coordinate descent on the ε-SVR objective
+// with box constraints beta_i in [-C, C].
+func (s SVR) Train(X [][]float64, y []float64) (Regressor, error) {
+	if err := validate(X, y); err != nil {
+		return nil, err
+	}
+	n := len(X)
+	d := len(X[0])
+	c := s.C
+	if c == 0 {
+		c = 10
+	}
+	eps := s.Epsilon
+	if eps == 0 {
+		eps = 0.05
+	}
+	gamma := s.Gamma
+	if gamma == 0 {
+		gamma = 1 / float64(d)
+	}
+	passes := s.MaxPasses
+	if passes == 0 {
+		passes = 8
+	}
+
+	// Precompute the kernel matrix (training sets here are ~10^3).
+	K := make([][]float64, n)
+	for i := range K {
+		K[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := rbf(X[i], X[j], gamma)
+			K[i][j] = v
+			K[j][i] = v
+		}
+	}
+
+	beta := make([]float64, n)
+	b := mean(y)
+	// f caches the current prediction for every training sample.
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = b
+	}
+
+	for pass := 0; pass < passes; pass++ {
+		changed := 0
+		for i := 0; i < n; i++ {
+			// Sub-gradient step on coordinate i with exact line search
+			// for the squared-error-outside-tube surrogate.
+			err := f[i] - y[i]
+			var g float64
+			switch {
+			case err > eps:
+				g = err - eps
+			case err < -eps:
+				g = err + eps
+			default:
+				continue
+			}
+			// Newton step: d(obj)/d(beta_i) ~ g, curvature K[i][i].
+			delta := -g / (K[i][i] + 1e-9)
+			old := beta[i]
+			nb := clamp(old+delta, -c, c)
+			if nb == old {
+				continue
+			}
+			beta[i] = nb
+			diff := nb - old
+			for j := 0; j < n; j++ {
+				f[j] += diff * K[i][j]
+			}
+			changed++
+		}
+		// Re-center the bias to the mean residual of the tube violators.
+		var sum float64
+		for i := range f {
+			sum += y[i] - (f[i] - b)
+		}
+		newB := sum / float64(n)
+		shift := newB - b
+		if shift != 0 {
+			b = newB
+			for j := range f {
+				f[j] += shift
+			}
+		}
+		if changed == 0 {
+			break
+		}
+	}
+
+	// Keep only support vectors (non-zero beta) for prediction speed.
+	var sx [][]float64
+	var sb []float64
+	for i, v := range beta {
+		if math.Abs(v) > 1e-9 {
+			sx = append(sx, X[i])
+			sb = append(sb, v)
+		}
+	}
+	if len(sx) == 0 {
+		// Degenerate fit: everything inside the tube; predict the bias.
+		return &svrModel{gamma: gamma, b: b}, nil
+	}
+	return &svrModel{gamma: gamma, X: sx, beta: sb, b: b}, nil
+}
+
+// Predict implements Regressor.
+func (m *svrModel) Predict(x []float64) float64 {
+	out := m.b
+	for i, sv := range m.X {
+		out += m.beta[i] * rbf(sv, x, m.gamma)
+	}
+	return out
+}
+
+func mean(y []float64) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range y {
+		s += v
+	}
+	return s / float64(len(y))
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

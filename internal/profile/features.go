@@ -1,0 +1,328 @@
+package profile
+
+import (
+	"math"
+
+	"repro/internal/memsys"
+	"repro/internal/workload"
+)
+
+// NumFeatures is the size of the program feature vector: Treuse, HDP and
+// 247 counter-derived features, matching the paper's Section III-D.
+const NumFeatures = 249
+
+// Feature indices used by the model input sets (paper Table III).
+const (
+	// FeatTreuse is the average DRAM reuse time.
+	FeatTreuse = 0
+	// FeatHDP is the data-pattern entropy.
+	FeatHDP = 1
+	// FeatWaitCycles is the fraction of cycles spent waiting for memory.
+	FeatWaitCycles = 4
+	// FeatMemAccesses is the number of memory accesses per kilo-cycle —
+	// the feature the paper finds most correlated with WER (Fig. 10).
+	FeatMemAccesses = 7
+)
+
+// featureNames is built once at init; featureIndex inverts it.
+var (
+	featureNames []string
+	featureIndex map[string]int
+)
+
+// FeatureNames returns the ordered names of the 249 features.
+func FeatureNames() []string { return featureNames }
+
+// FeatureIndexOf returns the index of a named feature, or -1.
+func FeatureIndexOf(name string) int {
+	if i, ok := featureIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// builder accumulates (name, value) pairs in catalog order.
+type builder struct {
+	names  []string
+	values []float64
+}
+
+func (b *builder) add(name string, value float64) {
+	b.names = append(b.names, name)
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		value = 0
+	}
+	b.values = append(b.values, value)
+}
+
+// computeFeatures derives the full feature vector from an executed engine.
+// The first entries mirror the paper's named features; the long tail are
+// ARM-PMU-style events derived from the pipeline statistics — like the
+// paper's 247 perf counters, most are partially redundant with each other,
+// which is exactly the property that drives the input-set-3 overfitting
+// result (Fig. 11).
+func computeFeatures(eng *workload.Engine, treuse, hdp float64) []float64 {
+	b := &builder{}
+	buildFeatures(b, eng, treuse, hdp)
+	if len(b.values) != NumFeatures {
+		// The catalog is a compile-time artifact; a mismatch is a bug.
+		panic("profile: feature catalog size drifted")
+	}
+	return b.values
+}
+
+func buildFeatures(b *builder, eng *workload.Engine, treuse, hdp float64) {
+	sys := eng.Sys
+	wall := float64(sys.WallCycles())
+	if wall == 0 {
+		wall = 1
+	}
+	kcyc := wall / 1000
+	instr := float64(eng.Instructions())
+	if instr == 0 {
+		instr = 1
+	}
+	kinstr := instr / 1000
+
+	var busy, stall, reads, writes float64
+	for i := 0; i < memsys.NumCores; i++ {
+		busy += float64(sys.Core[i].BusyCycles)
+		stall += float64(sys.Core[i].StallCycles)
+		reads += float64(sys.Core[i].MemReads)
+		writes += float64(sys.Core[i].MemWrites)
+	}
+	mem := reads + writes
+	coreCycles := busy + stall
+	if coreCycles == 0 {
+		coreCycles = 1
+	}
+
+	// Group A: the paper's named program features.
+	b.add("treuse", treuse)
+	b.add("hdp", hdp)
+
+	// Group B: aggregate pipeline behaviour.
+	b.add("ipc", instr/wall)
+	b.add("cpi", wall/instr)
+	b.add("wait_cycles", stall/coreCycles) // paper's "wait cycles" ratio
+	b.add("cpu_util", coreCycles/(wall*memsys.NumCores))
+	b.add("instr_rate_mips", instr/(wall/memsys.CoreFreqHz)/1e6)
+	b.add("mem_accesses_per_kcycle", mem/kcyc)
+	b.add("mem_reads_per_kcycle", reads/kcyc)
+	b.add("mem_writes_per_kcycle", writes/kcyc)
+	b.add("mem_read_frac", safeDiv(reads, mem))
+	b.add("mem_write_frac", safeDiv(writes, mem))
+
+	// Group C: per-core pipeline counters (8 cores x 8).
+	for i := 0; i < memsys.NumCores; i++ {
+		cs := sys.Core[i]
+		cyc := float64(cs.Cycles())
+		if cyc == 0 {
+			cyc = 1
+		}
+		pfx := fmtCore(i)
+		b.add(pfx+"_ipc", float64(cs.Instructions)/cyc)
+		b.add(pfx+"_util", cyc/wall)
+		b.add(pfx+"_instr_frac", float64(cs.Instructions)/instr)
+		b.add(pfx+"_stall_frac", float64(cs.StallCycles)/cyc)
+		b.add(pfx+"_mem_per_kcycle", float64(cs.MemReads+cs.MemWrites)/(cyc/1000))
+		b.add(pfx+"_rd_per_kcycle", float64(cs.MemReads)/(cyc/1000))
+		b.add(pfx+"_wr_per_kcycle", float64(cs.MemWrites)/(cyc/1000))
+		b.add(pfx+"_l1d_miss_rate", sys.L1(i).Stats.MissRate())
+	}
+
+	// Group D: L1D aggregate.
+	var l1 memsys.CacheStats
+	for i := 0; i < memsys.NumCores; i++ {
+		st := sys.L1(i).Stats
+		l1.ReadHits += st.ReadHits
+		l1.ReadMisses += st.ReadMisses
+		l1.WriteHits += st.WriteHits
+		l1.WriteMisses += st.WriteMisses
+		l1.Writebacks += st.Writebacks
+	}
+	b.add("l1d_apki", float64(l1.Accesses())/kinstr)
+	b.add("l1d_mpki", float64(l1.Misses())/kinstr)
+	b.add("l1d_miss_rate", l1.MissRate())
+	b.add("l1d_wb_pki", float64(l1.Writebacks)/kinstr)
+	b.add("l1d_rd_share", safeDiv(float64(l1.ReadHits+l1.ReadMisses), float64(l1.Accesses())))
+	b.add("l1d_wr_share", safeDiv(float64(l1.WriteHits+l1.WriteMisses), float64(l1.Accesses())))
+
+	// Group E: per-L2-slice counters (4 slices x 5).
+	var l2 memsys.CacheStats
+	for i := 0; i < memsys.NumCores/2; i++ {
+		st := sys.L2(i).Stats
+		l2.ReadHits += st.ReadHits
+		l2.ReadMisses += st.ReadMisses
+		l2.WriteHits += st.WriteHits
+		l2.WriteMisses += st.WriteMisses
+		l2.Writebacks += st.Writebacks
+		pfx := fmtL2(i)
+		b.add(pfx+"_apki", float64(st.Accesses())/kinstr)
+		b.add(pfx+"_mpki", float64(st.Misses())/kinstr)
+		b.add(pfx+"_miss_rate", st.MissRate())
+		b.add(pfx+"_wb_pki", float64(st.Writebacks)/kinstr)
+		b.add(pfx+"_share", safeDiv(float64(st.Accesses()), float64(l1.Misses())))
+	}
+
+	// Group F: L2 aggregate.
+	b.add("l2_apki", float64(l2.Accesses())/kinstr)
+	b.add("l2_mpki", float64(l2.Misses())/kinstr)
+	b.add("l2_miss_rate", l2.MissRate())
+	b.add("l2_wb_pki", float64(l2.Writebacks)/kinstr)
+	b.add("l2_mpkc", float64(l2.Misses())/kcyc)
+
+	// Group G: per-MCU counters (4 channels x 6) — the paper's "issued
+	// memory read and write commands per cycle in different MCUs".
+	var dramAcc, dramRd, dramWr, dramAct float64
+	for i := 0; i < memsys.NumMCUs; i++ {
+		st := sys.MCUOf(i).Stats
+		dramAcc += float64(st.Accesses())
+		dramRd += float64(st.ReadCmds)
+		dramWr += float64(st.WriteCmds)
+		dramAct += float64(st.Activations)
+		pfx := fmtMCU(i)
+		b.add(pfx+"_rd_cmds_per_kcycle", float64(st.ReadCmds)/kcyc)
+		b.add(pfx+"_wr_cmds_per_kcycle", float64(st.WriteCmds)/kcyc)
+		b.add(pfx+"_acts_per_kcycle", float64(st.Activations)/kcyc)
+		b.add(pfx+"_row_hit_rate", st.RowHitRate())
+		b.add(pfx+"_share", safeDiv(float64(st.Accesses()), dramTotal(sys)))
+		b.add(pfx+"_util", float64(st.Accesses())/kcyc/400)
+	}
+
+	// Group H: DRAM aggregate.
+	b.add("dram_apki", dramAcc/kinstr)
+	b.add("dram_rd_pki", dramRd/kinstr)
+	b.add("dram_wr_pki", dramWr/kinstr)
+	b.add("dram_acts_pki", dramAct/kinstr)
+	b.add("dram_row_hit_rate", safeDiv(dramAcc-dramAct, dramAcc))
+	b.add("dram_bandwidth_gbps", dramAcc*memsys.LineBytes/(wall/memsys.CoreFreqHz)/1e9)
+	b.add("dram_apkc", dramAcc/kcyc)
+	b.add("dram_acts_pkc", dramAct/kcyc)
+
+	// Group I: ARM-PMU-style per-core events (8 cores x 10). The cache
+	// simulator does not model these units microarchitecturally; they
+	// are synthesized as fixed mixtures of the modelled quantities plus
+	// a deterministic per-event jitter — redundant-but-noisy counters,
+	// like most of a real perf capture.
+	for i := 0; i < memsys.NumCores; i++ {
+		cs := sys.Core[i]
+		cyc := float64(cs.Cycles())
+		if cyc == 0 {
+			cyc = 1
+		}
+		ins := float64(cs.Instructions)
+		memC := float64(cs.MemReads + cs.MemWrites)
+		pfx := fmtCore(i)
+		j := func(k int) float64 { return jitter(i*16 + k) }
+		b.add(pfx+"_br_retired_pki", 180*ins/kinstrOf(ins)*j(0)/1000)
+		b.add(pfx+"_br_mpki", 4.2*j(1)*safeDiv(memC, ins+1)*10)
+		b.add(pfx+"_dtlb_walk_pki", 0.9*j(2)*float64(sys.L1(i).Stats.Misses())/kinstrOf(ins))
+		b.add(pfx+"_itlb_walk_pki", 0.05*j(3))
+		b.add(pfx+"_l1i_apki", 950*j(4))
+		b.add(pfx+"_l1i_mpki", 1.3*j(5))
+		b.add(pfx+"_fe_stall_frac", 0.08*j(6)*(1-float64(cs.StallCycles)/cyc))
+		b.add(pfx+"_be_stall_frac", float64(cs.StallCycles)/cyc*j(7))
+		b.add(pfx+"_uops_per_cycle", float64(cs.Instructions)/cyc*1.3*j(8))
+		b.add(pfx+"_ld_spec_pki", safeDiv(float64(cs.MemReads), ins/1000)*1.05*j(9))
+	}
+
+	// Group J: system-wide ARM PMU events (30), again fixed mixtures.
+	sysEvents := []struct {
+		name string
+		val  float64
+	}{
+		{"bus_access_rd_pkc", dramRd / kcyc * 1.02},
+		{"bus_access_wr_pkc", dramWr / kcyc * 1.02},
+		{"bus_cycles_frac", math.Min(1, dramAcc/kcyc/1600)},
+		{"mem_bus_util", math.Min(1, dramAcc/kcyc/1600)},
+		{"page_faults_per_mop", 0.2 * jitter(301)},
+		{"context_switches_per_sec", 120 * jitter(302)},
+		{"cpu_migrations_per_sec", 2 * jitter(303)},
+		{"alignment_faults", 0},
+		{"emulation_faults", 0},
+		{"sw_incr_pki", 0.01 * jitter(304)},
+		{"exc_taken_pki", 0.4 * jitter(305)},
+		{"exc_return_pki", 0.4 * jitter(306)},
+		{"cid_write_pki", 0.02 * jitter(307)},
+		{"pc_write_pki", 110 * jitter(308)},
+		{"br_immed_pki", 140 * jitter(309)},
+		{"br_return_pki", 18 * jitter(310)},
+		{"unaligned_ldst_pki", 0.6 * jitter(311)},
+		{"ld_spec_pki", safeDiv(reads, kinstr) * 1.04},
+		{"st_spec_pki", safeDiv(writes, kinstr) * 1.04},
+		{"dp_spec_pki", safeDiv(instr-mem, kinstr) * 0.7},
+		{"ase_spec_pki", 12 * jitter(312)},
+		{"vfp_spec_pki", safeDiv(instr-mem, kinstr) * 0.25 * jitter(313)},
+		{"crypto_spec_pki", 0},
+		{"ldrex_spec_pki", 0.8 * jitter(314)},
+		{"strex_pass_pki", 0.8 * jitter(315)},
+		{"strex_fail_pki", 0.01 * jitter(316)},
+		{"dmb_spec_pki", 1.1 * jitter(317)},
+		{"dsb_spec_pki", 0.3 * jitter(318)},
+		{"isb_spec_pki", 0.2 * jitter(319)},
+		{"rc_ldst_spec_pki", 0.15 * jitter(320)},
+	}
+	for _, ev := range sysEvents {
+		b.add(ev.name, ev.val)
+	}
+}
+
+// dramTotal returns total DRAM accesses as float (min 1).
+func dramTotal(sys *memsys.System) float64 {
+	t := float64(sys.DRAMAccesses())
+	if t == 0 {
+		return 1
+	}
+	return t
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func kinstrOf(ins float64) float64 {
+	if ins == 0 {
+		return 1
+	}
+	return ins / 1000
+}
+
+// jitter returns a deterministic multiplier in [0.85, 1.15) keyed by the
+// event slot — stable across runs of the same benchmark, different across
+// events.
+func jitter(k int) float64 {
+	x := uint64(k+1) * 0x9E3779B97F4A7C15
+	x ^= x >> 29
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 32
+	return 0.85 + 0.3*float64(x&0xFFFF)/65536
+}
+
+func fmtCore(i int) string { return "core" + string(rune('0'+i)) }
+func fmtL2(i int) string   { return "l2s" + string(rune('0'+i)) }
+func fmtMCU(i int) string  { return "mcu" + string(rune('0'+i)) }
+
+func init() {
+	// Build the catalog once from a minimal engine so that FeatureNames
+	// is available before any profiling run.
+	e := workload.NewEngine(1, 0)
+	a := e.Alloc("probe", 64, workload.Capacity)
+	e.Write64(0, a, 0, 1)
+	b := &builder{}
+	buildFeatures(b, e, 0, 0)
+	if len(b.names) != NumFeatures {
+		panic("profile: feature catalog must have exactly 249 entries")
+	}
+	featureNames = b.names
+	featureIndex = make(map[string]int, len(b.names))
+	for i, n := range b.names {
+		if _, dup := featureIndex[n]; dup {
+			panic("profile: duplicate feature name " + n)
+		}
+		featureIndex[n] = i
+	}
+}

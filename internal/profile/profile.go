@@ -1,0 +1,263 @@
+// Package profile is the reproduction's substitute for the paper's
+// profiling toolchain: DynamoRIO binary instrumentation (for the DRAM reuse
+// time Treuse and the data-pattern entropy HDP) and the perf hardware
+// counters (247 further program features). It converts an executed
+// workload kernel into
+//
+//   - the 249-entry program feature vector used to train the ML models
+//     (paper Section III-D and Table III), and
+//   - a dram.AccessProfile: the workload's footprint partitioned into
+//     regions with reuse, row-activation and data-pattern statistics,
+//     scaled from the simulated working set to the paper's 8 GiB
+//     allocation.
+package profile
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dram"
+	"repro/internal/memsys"
+	"repro/internal/workload"
+)
+
+// VirtualFootprintWords is the allocation the paper gives every workload:
+// 8 GiB = 2^30 64-bit words (Section IV-C).
+const VirtualFootprintWords = 1 << 30
+
+// neverReused stands in for the reuse time of data touched at most once.
+const neverReused = 1e9
+
+// Result is the complete profile of one benchmark configuration.
+type Result struct {
+	Label   string
+	Threads int
+
+	// Treuse is the average DRAM reuse time in seconds (paper Eq. 4,
+	// Table II): the access-weighted mean over all memory accesses of
+	// the time between touches of the same 64-bit word, scaled to the
+	// 8 GiB footprint.
+	Treuse float64
+	// HDP is the data-pattern entropy in bits (paper Eq. 5).
+	HDP float64
+	// WallSeconds is the simulated execution time of the profiling run.
+	WallSeconds float64
+
+	// Features is the 249-entry feature vector (ordered as FeatureNames).
+	Features []float64
+
+	// Access is the DRAM-facing profile consumed by the reliability
+	// simulator.
+	Access *dram.AccessProfile
+}
+
+// Build executes the benchmark at profiling size and derives its profile.
+// The run is deterministic in (label, seed).
+func Build(spec workload.Spec, seed uint64) (*Result, error) {
+	return build(spec, workload.SizeProfile, profileIters(spec.Label), seed)
+}
+
+// BuildQuick is Build at unit-test scale.
+func BuildQuick(spec workload.Spec, seed uint64) (*Result, error) {
+	return build(spec, workload.SizeTest, 3, seed)
+}
+
+// profileIters returns the number of outer iterations profiled per kernel:
+// enough for every kernel to exhibit cross-iteration reuse.
+func profileIters(label string) int {
+	switch label {
+	case "memcached": // each iteration is a large op batch already
+		return 3
+	default:
+		return 3
+	}
+}
+
+func build(spec workload.Spec, size workload.Size, iters int, seed uint64) (*Result, error) {
+	eng := workload.Execute(spec, size, iters, seed)
+	sys := eng.Sys
+
+	wall := sys.WallSeconds()
+	instr := eng.Instructions()
+	if wall <= 0 || instr == 0 {
+		return nil, fmt.Errorf("profile: %s executed no work", spec.Label)
+	}
+	secPerInstr := wall / float64(instr)
+
+	// Partition the virtual 8 GiB footprint: resident structures keep
+	// their absolute size, capacity structures share the rest in
+	// proportion to their simulated size.
+	var capWords, resWords uint64
+	for _, a := range eng.Arrays() {
+		if a.Class == workload.Capacity {
+			capWords += a.Words()
+		} else {
+			resWords += a.Words()
+		}
+	}
+	if capWords == 0 {
+		return nil, fmt.Errorf("profile: %s has no capacity region", spec.Label)
+	}
+	if resWords >= VirtualFootprintWords/2 {
+		return nil, fmt.Errorf("profile: %s resident set implausibly large", spec.Label)
+	}
+	capScale := float64(VirtualFootprintWords-resWords) / float64(capWords)
+
+	var (
+		regions     []dram.Region
+		totalAcc    float64
+		totalDRAM   float64
+		treuseNum   float64
+		treuseDenom float64
+	)
+	for _, a := range eng.Arrays() {
+		totalAcc += float64(a.Accesses())
+		totalDRAM += float64(a.DRAMAccesses())
+	}
+	if totalDRAM == 0 {
+		totalDRAM = 1
+	}
+	for _, a := range eng.SortedArrays() {
+		scale := 1.0
+		frac := float64(a.Words()) / VirtualFootprintWords
+		if a.Class == workload.Capacity {
+			scale = capScale
+			frac = float64(a.Words()) * capScale / VirtualFootprintWords
+		}
+		reuse := a.MeanWordGapInstr() * secPerInstr * scale
+		if reuse <= 0 {
+			reuse = neverReused
+		}
+		rowReuse := rescueRowReuse(a, secPerInstr*scale)
+		rewrites := float64(a.Writes()) / wall / float64(a.Words()) / scale
+		regions = append(regions, dram.Region{
+			Name:            a.Name,
+			FootprintFrac:   frac,
+			AccessFrac:      float64(a.DRAMAccesses()) / totalDRAM,
+			ReuseSeconds:    reuse,
+			RowReuseSeconds: rowReuse,
+			BitOneProb:      a.BitOneFraction(),
+			RewritesPerSec:  rewrites,
+		})
+		// Treuse (Eq. 4) weights each region's reuse interval by its
+		// rate of DRAM reuse *events*. Structures that stay cache-
+		// resident refresh nothing in DRAM and are invisible to the
+		// metric, just as they are invisible to the DIMM; capacity
+		// regions scaled up by capScale yield events capScale x more
+		// rarely in any fixed observation window.
+		if reuse < neverReused {
+			w := float64(a.DRAMAccesses()) / scale
+			treuseNum += w * reuse
+			treuseDenom += w
+		}
+	}
+	normalizeFractions(regions)
+
+	treuse := 0.0
+	if treuseDenom > 0 {
+		treuse = treuseNum / treuseDenom
+	}
+	hdp := eng.HDP()
+
+	readFrac := 0.5
+	if tot := sys.DRAMAccesses(); tot > 0 {
+		var reads uint64
+		for i := 0; i < memsys.NumMCUs; i++ {
+			reads += sys.MCUOf(i).Stats.ReadCmds
+		}
+		readFrac = float64(reads) / float64(tot)
+	}
+
+	access := &dram.AccessProfile{
+		Name:                 spec.Label,
+		Threads:              spec.Threads,
+		FootprintWords:       VirtualFootprintWords,
+		Regions:              regions,
+		DRAMAccessesPerSec:   float64(sys.DRAMAccesses()) / wall,
+		RowActivationsPerSec: float64(sys.DRAMActivations()) / wall,
+		ReadFrac:             readFrac,
+		HDP:                  hdp,
+		Seed:                 hashLabel(spec.Label),
+	}
+	if err := access.Validate(); err != nil {
+		return nil, err
+	}
+
+	return &Result{
+		Label:       spec.Label,
+		Threads:     spec.Threads,
+		Treuse:      treuse,
+		HDP:         hdp,
+		WallSeconds: wall,
+		Features:    computeFeatures(eng, treuse, hdp),
+		Access:      access,
+	}, nil
+}
+
+// rescueRowReuse derives the region's effective row-activation interval
+// from the gap histogram. Accesses to a row arrive in bursts (sequential
+// sweeps keep a row open for hundreds of touches); only the long gaps
+// between bursts leave the row unrefreshed. The effective interval is the
+// mean of the scaled gaps longer than burstCutoffSec; if every gap is
+// shorter, the row is effectively continuously refreshed and the overall
+// mean (a tiny value) is returned.
+func rescueRowReuse(a *workload.Array, secPerGapInstr float64) float64 {
+	const burstCutoffSec = 1e-3
+	hist := a.RowGapHistogram()
+	var longSum, longN, shortSum, shortN float64
+	for b, cnt := range hist {
+		if cnt == 0 {
+			continue
+		}
+		gapInstr := 1.5 * math.Pow(2, float64(b-1))
+		if b == 0 {
+			gapInstr = 1
+		}
+		sec := gapInstr * secPerGapInstr
+		if sec > burstCutoffSec {
+			longSum += float64(cnt) * sec
+			longN += float64(cnt)
+		} else {
+			shortSum += float64(cnt) * sec
+			shortN += float64(cnt)
+		}
+	}
+	switch {
+	case longN > 0:
+		return longSum / longN
+	case shortN > 0:
+		return shortSum / shortN
+	default:
+		return neverReused
+	}
+}
+
+// normalizeFractions rescales footprint and access fractions to sum to 1
+// (they can drift by rounding and by untracked accesses).
+func normalizeFractions(regions []dram.Region) {
+	var fp, af float64
+	for _, r := range regions {
+		fp += r.FootprintFrac
+		af += r.AccessFrac
+	}
+	for i := range regions {
+		if fp > 0 {
+			regions[i].FootprintFrac /= fp
+		}
+		if af > 0 {
+			regions[i].AccessFrac /= af
+		} else {
+			regions[i].AccessFrac = 1 / float64(len(regions))
+		}
+	}
+}
+
+// hashLabel folds a benchmark label into a placement seed.
+func hashLabel(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

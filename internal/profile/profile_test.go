@@ -1,0 +1,162 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/workload"
+)
+
+func quickProfile(t *testing.T, label string) *Result {
+	t.Helper()
+	spec, err := workload.FindSpec(label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BuildQuick(spec, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFeatureCatalogSize(t *testing.T) {
+	if len(FeatureNames()) != NumFeatures {
+		t.Fatalf("catalog has %d features, want %d", len(FeatureNames()), NumFeatures)
+	}
+	if NumFeatures != 249 {
+		t.Fatalf("the paper extracts 249 features, catalog says %d", NumFeatures)
+	}
+}
+
+func TestFeatureNamesUniqueAndIndexed(t *testing.T) {
+	seen := map[string]bool{}
+	for i, n := range FeatureNames() {
+		if seen[n] {
+			t.Fatalf("duplicate feature %q", n)
+		}
+		seen[n] = true
+		if FeatureIndexOf(n) != i {
+			t.Fatalf("index mismatch for %q", n)
+		}
+	}
+	if FeatureIndexOf("no_such_feature") != -1 {
+		t.Fatal("unknown feature resolved")
+	}
+}
+
+func TestNamedFeatureIndices(t *testing.T) {
+	cases := map[int]string{
+		FeatTreuse:      "treuse",
+		FeatHDP:         "hdp",
+		FeatWaitCycles:  "wait_cycles",
+		FeatMemAccesses: "mem_accesses_per_kcycle",
+	}
+	names := FeatureNames()
+	for idx, want := range cases {
+		if names[idx] != want {
+			t.Fatalf("feature[%d] = %q, want %q", idx, names[idx], want)
+		}
+	}
+}
+
+func TestBuildQuickProducesValidProfile(t *testing.T) {
+	for _, label := range []string{"backprop", "memcached", "nw(par)", "random"} {
+		res := quickProfile(t, label)
+		if len(res.Features) != NumFeatures {
+			t.Fatalf("%s: %d features", label, len(res.Features))
+		}
+		for i, v := range res.Features {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: feature %s is %v", label, FeatureNames()[i], v)
+			}
+		}
+		if err := res.Access.Validate(); err != nil {
+			t.Fatalf("%s: invalid access profile: %v", label, err)
+		}
+		if res.Access.FootprintWords != VirtualFootprintWords {
+			t.Fatalf("%s: footprint %d", label, res.Access.FootprintWords)
+		}
+		if res.Treuse <= 0 {
+			t.Fatalf("%s: Treuse = %v", label, res.Treuse)
+		}
+	}
+}
+
+func TestProfileDeterministic(t *testing.T) {
+	a := quickProfile(t, "srad")
+	b := quickProfile(t, "srad")
+	if a.Treuse != b.Treuse || a.HDP != b.HDP {
+		t.Fatal("profiles differ between identical builds")
+	}
+	for i := range a.Features {
+		if a.Features[i] != b.Features[i] {
+			t.Fatalf("feature %s differs", FeatureNames()[i])
+		}
+	}
+}
+
+func TestRegionFractionsNormalized(t *testing.T) {
+	res := quickProfile(t, "fmm(par)")
+	var fp, af float64
+	for _, r := range res.Access.Regions {
+		fp += r.FootprintFrac
+		af += r.AccessFrac
+	}
+	if math.Abs(fp-1) > 1e-9 || math.Abs(af-1) > 1e-9 {
+		t.Fatalf("fractions not normalized: fp=%v af=%v", fp, af)
+	}
+}
+
+func TestCapacityRegionsDominateFootprint(t *testing.T) {
+	// Resident structures must be a sliver of the virtual 8 GiB.
+	res := quickProfile(t, "kmeans")
+	centroids := regionByName(res, "centroids")
+	points := regionByName(res, "points")
+	if centroids == nil || points == nil {
+		t.Fatal("expected kmeans regions missing")
+	}
+	if centroids.FootprintFrac > 0.001 {
+		t.Fatalf("resident centroids take %.4f of footprint", centroids.FootprintFrac)
+	}
+	if points.FootprintFrac < 0.3 {
+		t.Fatalf("points take only %.4f of footprint", points.FootprintFrac)
+	}
+}
+
+func TestMemcachedTreuseSmallest(t *testing.T) {
+	// Table II: memcached has by far the smallest DRAM reuse time.
+	mc := quickProfile(t, "memcached")
+	nw := quickProfile(t, "nw")
+	if mc.Treuse*2 > nw.Treuse {
+		t.Fatalf("Treuse(memcached)=%v not << Treuse(nw)=%v", mc.Treuse, nw.Treuse)
+	}
+}
+
+func TestRandomHasHighestEntropy(t *testing.T) {
+	rnd := quickProfile(t, "random")
+	for _, label := range []string{"nw", "memcached", "kmeans"} {
+		other := quickProfile(t, label)
+		if other.HDP >= rnd.HDP {
+			t.Fatalf("HDP(%s)=%v >= HDP(random)=%v", label, other.HDP, rnd.HDP)
+		}
+	}
+}
+
+func TestWaitCyclesWithinUnit(t *testing.T) {
+	res := quickProfile(t, "backprop(par)")
+	w := res.Features[FeatWaitCycles]
+	if w < 0 || w > 1 {
+		t.Fatalf("wait_cycles = %v outside [0,1]", w)
+	}
+}
+
+func regionByName(res *Result, name string) *dram.Region {
+	for i := range res.Access.Regions {
+		if res.Access.Regions[i].Name == name {
+			return &res.Access.Regions[i]
+		}
+	}
+	return nil
+}

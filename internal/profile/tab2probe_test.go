@@ -1,0 +1,23 @@
+package profile
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestTable2Probe(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	for _, label := range []string{"nw", "nw(par)", "backprop", "backprop(par)", "memcached", "kmeans", "srad", "fmm", "pagerank", "random"} {
+		spec, _ := workload.FindSpec(label)
+		res, err := Build(spec, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-14s Treuse=%8.3fs HDP=%5.2f wall=%6.3fs dramAps=%.3g rowActs=%.3g memPKC=%.1f wait=%.3f",
+			label, res.Treuse, res.HDP, res.WallSeconds, res.Access.DRAMAccessesPerSec, res.Access.RowActivationsPerSec,
+			res.Features[FeatMemAccesses], res.Features[FeatWaitCycles])
+	}
+}

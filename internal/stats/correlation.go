@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Ranks returns the fractional ranks of xs (1-based), assigning tied values
+// the average of the ranks they span. This is the tie handling required for
+// Spearman's rank correlation coefficient.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group [i, j].
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Pearson returns the Pearson product-moment correlation of xs and ys.
+// It returns 0 when either input is constant (undefined correlation).
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Pearson with mismatched lengths")
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns Spearman's rank correlation coefficient r_s of xs and ys,
+// the statistic the paper uses for feature selection (Section VI-A). It
+// captures both linear and monotonic non-linear relationships and lies in
+// [-1, +1].
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Spearman with mismatched lengths")
+	}
+	return Pearson(Ranks(xs), Ranks(ys))
+}

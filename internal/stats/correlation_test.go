@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRanksSimple(t *testing.T) {
+	got := Ranks([]float64{10, 30, 20})
+	want := []float64{1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	got := Ranks([]float64{1, 2, 2, 3})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); !approx(got, 1, 1e-12) {
+		t.Fatalf("Pearson = %v, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, neg); !approx(got, -1, 1e-12) {
+		t.Fatalf("Pearson = %v, want -1", got)
+	}
+}
+
+func TestPearsonConstantInput(t *testing.T) {
+	if got := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Fatalf("Pearson with constant x = %v, want 0", got)
+	}
+}
+
+func TestSpearmanMonotoneNonLinear(t *testing.T) {
+	// y = exp(x) is monotone but non-linear: Spearman must see a perfect
+	// relationship where Pearson does not.
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = math.Exp(x)
+	}
+	if got := Spearman(xs, ys); !approx(got, 1, 1e-12) {
+		t.Fatalf("Spearman = %v, want 1", got)
+	}
+	if p := Pearson(xs, ys); p >= 0.999 {
+		t.Fatalf("Pearson = %v, expected <1 for non-linear data", p)
+	}
+}
+
+func TestSpearmanAntiMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{100, 10, 1, 0.1}
+	if got := Spearman(xs, ys); !approx(got, -1, 1e-12) {
+		t.Fatalf("Spearman = %v, want -1", got)
+	}
+}
+
+func TestSpearmanUncorrelated(t *testing.T) {
+	r := NewRNG(99)
+	n := 5000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = r.Float64()
+		ys[i] = r.Float64()
+	}
+	if got := Spearman(xs, ys); math.Abs(got) > 0.05 {
+		t.Fatalf("Spearman of independent data = %v, want ~0", got)
+	}
+}
+
+func TestSpearmanMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Spearman([]float64{1}, []float64{1, 2})
+}
+
+// Property: Spearman is invariant under any strictly monotone transform of
+// either argument.
+func TestSpearmanMonotoneInvarianceProperty(t *testing.T) {
+	r := NewRNG(7)
+	f := func(seed uint32) bool {
+		rr := NewRNG(uint64(seed))
+		n := 20 + rr.Intn(30)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rr.NormFloat64()
+			ys[i] = xs[i] + 0.5*rr.NormFloat64()
+		}
+		base := Spearman(xs, ys)
+		tx := make([]float64, n)
+		for i, x := range xs {
+			tx[i] = math.Atan(x) * 3 // strictly monotone
+		}
+		return approx(Spearman(tx, ys), base, 1e-9)
+	}
+	_ = r
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: |Spearman| <= 1.
+func TestSpearmanBoundedProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		rr := NewRNG(uint64(seed))
+		n := 3 + rr.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rr.Float64()
+			ys[i] = rr.Float64()
+		}
+		s := Spearman(xs, ys)
+		return s >= -1-1e-9 && s <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

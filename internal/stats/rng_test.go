@@ -1,0 +1,239 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGDistinctSeeds(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("distinct seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	x := r.Uint64()
+	y := r.Uint64()
+	if x == 0 && y == 0 {
+		t.Fatal("zero seed produced degenerate stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(9)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(11)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := NewRNG(13)
+	const buckets = 10
+	const draws = 100000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(draws) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.05 {
+			t.Fatalf("bucket %d count %d deviates >5%% from %v", b, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(17)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := NewRNG(19)
+	const n = 100001
+	xs := make([]float64, n)
+	mu, sigma := 2.0, 0.5
+	for i := range xs {
+		xs[i] = r.LogNormal(mu, sigma)
+	}
+	med := Median(xs)
+	want := math.Exp(mu)
+	if math.Abs(med-want)/want > 0.03 {
+		t.Fatalf("lognormal median = %v, want ~%v", med, want)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(23)
+	const n = 100000
+	rate := 3.0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(rate)
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate)/(1/rate) > 0.03 {
+		t.Fatalf("exp mean = %v, want ~%v", mean, 1/rate)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := NewRNG(29)
+	for _, mean := range []float64{0.5, 3, 20, 500} {
+		const n = 20000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(mean))
+		}
+		got := sum / n
+		tol := 4 * math.Sqrt(mean/float64(n)) // 4 sigma of the sample mean
+		if math.Abs(got-mean) > tol {
+			t.Fatalf("Poisson(%v) sample mean = %v (tol %v)", mean, got, tol)
+		}
+	}
+}
+
+func TestPoissonNonNegative(t *testing.T) {
+	r := NewRNG(31)
+	for i := 0; i < 10000; i++ {
+		if r.Poisson(100) < 0 {
+			t.Fatal("Poisson returned negative count")
+		}
+	}
+	if r.Poisson(0) != 0 || r.Poisson(-1) != 0 {
+		t.Fatal("Poisson of non-positive mean should be 0")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(37)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid/duplicate element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRNG(41)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams overlap: %d/100 identical", same)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(43)
+	z := NewZipf(r, 1.0, 1000)
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[100] {
+		t.Fatalf("Zipf counts not monotone: c0=%d c10=%d c100=%d",
+			counts[0], counts[10], counts[100])
+	}
+}
+
+func TestZipfRangeProperty(t *testing.T) {
+	r := NewRNG(47)
+	z := NewZipf(r, 0.8, 64)
+	f := func(_ uint32) bool {
+		v := z.Draw()
+		return v >= 0 && v < 64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := NewRNG(53)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package thermal simulates the paper's DRAM thermal testbed: a resistive
+// heating element with thermally conductive tape on each DIMM, a
+// thermocouple, and a closed-loop PID controller per channel (Section IV-A,
+// Figs. 5 and 6). Characterization campaigns drive the testbed to each
+// setpoint (50/60/70 °C) and wait for convergence before starting a run.
+package thermal
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Plant is the first-order thermal model of one DIMM with its heating
+// element: the temperature relaxes toward ambient plus a term proportional
+// to heater power.
+type Plant struct {
+	AmbientC   float64 // ambient temperature
+	GainCPerW  float64 // steady-state °C above ambient per watt
+	TauSeconds float64 // thermal time constant
+	MaxPowerW  float64 // heater power limit
+
+	tempC float64
+	noise *stats.RNG
+}
+
+// NewPlant returns a DIMM thermal plant at ambient temperature.
+func NewPlant(ambientC float64, seed uint64) *Plant {
+	return &Plant{
+		AmbientC:   ambientC,
+		GainCPerW:  3.2, // 3.2 °C per watt of heater power
+		TauSeconds: 40,  // tape+chip thermal mass
+		MaxPowerW:  25,  // resistive element limit
+		tempC:      ambientC,
+		noise:      stats.NewRNG(seed),
+	}
+}
+
+// TempC returns the thermocouple reading.
+func (p *Plant) TempC() float64 { return p.tempC }
+
+// Step advances the plant by dt seconds under the given heater power.
+func (p *Plant) Step(powerW, dt float64) {
+	if powerW < 0 {
+		powerW = 0
+	}
+	if powerW > p.MaxPowerW {
+		powerW = p.MaxPowerW
+	}
+	target := p.AmbientC + p.GainCPerW*powerW
+	p.tempC += (target - p.tempC) * dt / p.TauSeconds
+	// Thermocouple measurement noise (~0.05 °C).
+	p.tempC += 0.05 * p.noise.NormFloat64() * dt
+}
+
+// PID is a discrete proportional-integral-derivative controller, like the
+// ir33 controllers on the testbed's controller board.
+type PID struct {
+	Kp, Ki, Kd float64
+	OutMin     float64
+	OutMax     float64
+
+	integral float64
+	prevErr  float64
+	primed   bool
+}
+
+// NewPID returns a controller tuned for the DIMM plant.
+func NewPID(maxPowerW float64) *PID {
+	return &PID{Kp: 2.0, Ki: 0.08, Kd: 4.0, OutMin: 0, OutMax: maxPowerW}
+}
+
+// Update computes the next actuation for the measured value and setpoint.
+func (c *PID) Update(setpoint, measured, dt float64) float64 {
+	err := setpoint - measured
+	c.integral += err * dt
+	// Anti-windup: clamp the integral to what the actuator can express.
+	if c.Ki > 0 {
+		lim := c.OutMax / c.Ki
+		if c.integral > lim {
+			c.integral = lim
+		}
+		if c.integral < -lim {
+			c.integral = -lim
+		}
+	}
+	deriv := 0.0
+	if c.primed && dt > 0 {
+		deriv = (err - c.prevErr) / dt
+	}
+	c.prevErr = err
+	c.primed = true
+	out := c.Kp*err + c.Ki*c.integral + c.Kd*deriv
+	if out < c.OutMin {
+		out = c.OutMin
+	}
+	if out > c.OutMax {
+		out = c.OutMax
+	}
+	return out
+}
+
+// Testbed couples one plant and controller per DIMM.
+type Testbed struct {
+	plants [4]*Plant
+	pids   [4]*PID
+}
+
+// NewTestbed builds the 4-DIMM testbed at the given ambient temperature.
+func NewTestbed(ambientC float64, seed uint64) *Testbed {
+	tb := &Testbed{}
+	for i := range tb.plants {
+		tb.plants[i] = NewPlant(ambientC, seed^uint64(i+1)*0x9E3779B97F4A7C15)
+		tb.pids[i] = NewPID(tb.plants[i].MaxPowerW)
+	}
+	return tb
+}
+
+// TempC returns DIMM i's current temperature.
+func (tb *Testbed) TempC(dimm int) float64 { return tb.plants[dimm].TempC() }
+
+// SettleEach drives every DIMM to its own setpoint (the testbed has an
+// independent PID loop per module) and returns the settling time.
+func (tb *Testbed) SettleEach(setpointsC [4]float64, tolC, maxSeconds float64) (float64, error) {
+	const dt = 1.0
+	for t := 0.0; t < maxSeconds; t += dt {
+		allIn := true
+		for i := range tb.plants {
+			power := tb.pids[i].Update(setpointsC[i], tb.plants[i].TempC(), dt)
+			tb.plants[i].Step(power, dt)
+			if diff := tb.plants[i].TempC() - setpointsC[i]; diff > tolC || diff < -tolC {
+				allIn = false
+			}
+		}
+		if allIn && t > 5*dt {
+			return t, nil
+		}
+	}
+	return maxSeconds, fmt.Errorf("thermal: per-DIMM setpoints %v not reached within %.0fs",
+		setpointsC, maxSeconds)
+}
+
+// SettleAll drives every DIMM to the setpoint and returns the settling time
+// in seconds, or an error if the loop cannot converge within maxSeconds
+// (e.g. a setpoint beyond the heater's reach).
+func (tb *Testbed) SettleAll(setpointC, tolC, maxSeconds float64) (float64, error) {
+	const dt = 1.0
+	for t := 0.0; t < maxSeconds; t += dt {
+		allIn := true
+		for i := range tb.plants {
+			power := tb.pids[i].Update(setpointC, tb.plants[i].TempC(), dt)
+			tb.plants[i].Step(power, dt)
+			if diff := tb.plants[i].TempC() - setpointC; diff > tolC || diff < -tolC {
+				allIn = false
+			}
+		}
+		if allIn && t > 5*dt {
+			return t, nil
+		}
+	}
+	return maxSeconds, fmt.Errorf("thermal: setpoint %.1f°C not reached within %.0fs", setpointC, maxSeconds)
+}

@@ -1,0 +1,106 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlantRelaxesToAmbient(t *testing.T) {
+	p := NewPlant(25, 1)
+	for i := 0; i < 1000; i++ {
+		p.Step(0, 1)
+	}
+	if math.Abs(p.TempC()-25) > 1 {
+		t.Fatalf("unpowered plant at %v°C, want ~25", p.TempC())
+	}
+}
+
+func TestPlantSteadyStateGain(t *testing.T) {
+	p := NewPlant(25, 2)
+	for i := 0; i < 2000; i++ {
+		p.Step(10, 1)
+	}
+	want := 25 + 3.2*10
+	if math.Abs(p.TempC()-want) > 2 {
+		t.Fatalf("steady state %v°C, want ~%v", p.TempC(), want)
+	}
+}
+
+func TestPlantPowerClamped(t *testing.T) {
+	p := NewPlant(25, 3)
+	for i := 0; i < 2000; i++ {
+		p.Step(10000, 1) // absurd power request
+	}
+	maxReachable := 25 + 3.2*p.MaxPowerW
+	if p.TempC() > maxReachable+2 {
+		t.Fatalf("plant exceeded power-limited maximum: %v", p.TempC())
+	}
+}
+
+func TestPIDConvergesToSetpoints(t *testing.T) {
+	// The paper's three campaign temperatures must all be reachable.
+	for _, sp := range []float64{50, 60, 70} {
+		tb := NewTestbed(25, 7)
+		settle, err := tb.SettleAll(sp, 0.5, 3600)
+		if err != nil {
+			t.Fatalf("setpoint %v: %v", sp, err)
+		}
+		if settle <= 0 {
+			t.Fatalf("setpoint %v: zero settle time", sp)
+		}
+		for d := 0; d < 4; d++ {
+			if math.Abs(tb.TempC(d)-sp) > 1 {
+				t.Fatalf("DIMM%d at %v°C after settling to %v", d, tb.TempC(d), sp)
+			}
+		}
+	}
+}
+
+func TestPIDUnreachableSetpointErrors(t *testing.T) {
+	tb := NewTestbed(25, 9)
+	// 25 + 3.2*25W = 105 °C max; 200 °C is beyond the heater.
+	if _, err := tb.SettleAll(200, 0.5, 600); err == nil {
+		t.Fatal("unreachable setpoint reported success")
+	}
+}
+
+func TestPIDAntiWindup(t *testing.T) {
+	c := NewPID(25)
+	// Long saturation period must not wind the integral up indefinitely.
+	for i := 0; i < 10000; i++ {
+		c.Update(500, 25, 1)
+	}
+	if c.integral > 25/c.Ki+1 {
+		t.Fatalf("integral wound up to %v", c.integral)
+	}
+}
+
+func TestPIDOutputBounded(t *testing.T) {
+	c := NewPID(25)
+	for _, m := range []float64{-100, 0, 50, 500} {
+		out := c.Update(70, m, 1)
+		if out < 0 || out > 25 {
+			t.Fatalf("PID output %v outside actuator range", out)
+		}
+	}
+}
+
+func TestSettleEachIndependentSetpoints(t *testing.T) {
+	tb := NewTestbed(25, 11)
+	setpoints := [4]float64{50, 60, 70, 55}
+	if _, err := tb.SettleEach(setpoints, 0.5, 3600); err != nil {
+		t.Fatal(err)
+	}
+	for d, sp := range setpoints {
+		if math.Abs(tb.TempC(d)-sp) > 1 {
+			t.Fatalf("DIMM%d at %v°C, setpoint %v", d, tb.TempC(d), sp)
+		}
+	}
+}
+
+func TestSettleEachUnreachable(t *testing.T) {
+	tb := NewTestbed(25, 12)
+	if _, err := tb.SettleEach([4]float64{50, 50, 50, 300}, 0.5, 600); err == nil {
+		t.Fatal("unreachable per-DIMM setpoint reported success")
+	}
+}

@@ -1,0 +1,142 @@
+package workload
+
+import "math"
+
+// Backprop is the Rodinia backpropagation benchmark: training of a
+// two-layer perceptron with a very wide input layer. The dominant traffic
+// is the repeated forward/backward sweep of the input-to-hidden weight
+// matrix — a capacity-bound streaming pattern whose reuse interval is the
+// epoch time, which is why backprop shows one of the highest WERs in the
+// paper's campaigns (Figs. 2 and 4).
+type Backprop struct {
+	nIn, nHid int
+
+	weights *Array // nIn x nHid input->hidden weights (capacity)
+	deltaW  *Array // momentum/previous-update matrix (capacity)
+	input   *Array // input layer activations (capacity)
+	hidden  *Array // hidden layer state (resident)
+	outW    *Array // hidden->output weights (resident)
+
+	// host-side mirrors for the real computation
+	w     []float64
+	dw    []float64
+	in    []float64
+	hid   []float64
+	wOut  []float64
+	seeds uint64
+}
+
+// NewBackprop returns the benchmark.
+func NewBackprop() *Backprop { return &Backprop{} }
+
+// Name implements Kernel.
+func (b *Backprop) Name() string { return "backprop" }
+
+// Setup implements Kernel.
+func (b *Backprop) Setup(e *Engine, size Size) {
+	switch size {
+	case SizeTest:
+		b.nIn, b.nHid = 1<<14, 8
+	default:
+		b.nIn, b.nHid = 1<<16, 16 // 1M-word weight matrix, Rodinia's 64k x 16 layout
+	}
+	n := b.nIn * b.nHid
+	b.weights = e.Alloc("weights", uint64(n), Capacity)
+	b.deltaW = e.Alloc("delta_w", uint64(n), Capacity)
+	b.input = e.Alloc("input", uint64(b.nIn), Capacity)
+	b.hidden = e.Alloc("hidden", uint64(b.nHid)*2, Resident)
+	b.outW = e.Alloc("out_w", uint64(b.nHid)*2, Resident)
+
+	b.w = make([]float64, n)
+	b.dw = make([]float64, n)
+	b.in = make([]float64, b.nIn)
+	b.hid = make([]float64, b.nHid)
+	b.wOut = make([]float64, b.nHid)
+
+	rng := e.RNG()
+	for i := 0; i < b.nIn; i++ {
+		b.in[i] = rng.Float64()
+		e.Write64(0, b.input, uint64(i), math.Float64bits(b.in[i]))
+	}
+	for i := 0; i < n; i++ {
+		b.w[i] = rng.NormFloat64() * 0.1
+		// Initialization sweeps are part of the program, but sample the
+		// simulated traffic to keep setup fast: every 4th word stands in
+		// for its neighbours (the cache line is touched either way).
+		if i%4 == 0 {
+			e.Write64(i%e.Threads(), b.weights, uint64(i), math.Float64bits(b.w[i]))
+		}
+	}
+	for j := 0; j < b.nHid; j++ {
+		b.wOut[j] = rng.NormFloat64() * 0.1
+		e.Write64(0, b.outW, uint64(j), math.Float64bits(b.wOut[j]))
+	}
+}
+
+// RunIter implements Kernel: one training epoch (forward pass, output
+// error, backward weight update) partitioned across threads by input index.
+func (b *Backprop) RunIter(e *Engine) {
+	threads := e.Threads()
+	target := 0.75
+
+	// Forward: hidden[j] = sigmoid(sum_i in[i] * w[i][j]), with
+	// per-thread partial sums reduced at the end.
+	partial := make([]float64, threads*b.nHid)
+	for tid := 0; tid < threads; tid++ {
+		lo, hi := span(b.nIn, threads, tid)
+		for i := lo; i < hi; i++ {
+			e.Read64(tid, b.input, uint64(i))
+			base := i * b.nHid
+			for j := 0; j < b.nHid; j++ {
+				e.Read64(tid, b.weights, uint64(base+j))
+				partial[tid*b.nHid+j] += b.in[i] * b.w[base+j]
+				e.Compute(tid, 2) // multiply-add + index arithmetic
+			}
+		}
+	}
+	out := 0.0
+	for j := 0; j < b.nHid; j++ {
+		sum := 0.0
+		for t := 0; t < threads; t++ {
+			sum += partial[t*b.nHid+j]
+		}
+		b.hid[j] = 1 / (1 + math.Exp(-sum/float64(b.nIn)))
+		e.Write64(0, b.hidden, uint64(j), math.Float64bits(b.hid[j]))
+		e.Read64(0, b.outW, uint64(j))
+		out += b.hid[j] * b.wOut[j]
+		e.Compute(0, 6)
+	}
+	outErr := (target - out) * out * (1 - out)
+
+	// Backward: hidden deltas, then the weight-matrix update sweep.
+	for j := 0; j < b.nHid; j++ {
+		b.wOut[j] += 0.3 * outErr * b.hid[j]
+		e.Write64(0, b.outW, uint64(j), math.Float64bits(b.wOut[j]))
+		e.Compute(0, 3)
+	}
+	for tid := 0; tid < threads; tid++ {
+		lo, hi := span(b.nIn, threads, tid)
+		for i := lo; i < hi; i++ {
+			e.Read64(tid, b.input, uint64(i))
+			base := i * b.nHid
+			for j := 0; j < b.nHid; j++ {
+				hidDelta := outErr * b.wOut[j] * b.hid[j] * (1 - b.hid[j])
+				idx := uint64(base + j)
+				e.Read64(tid, b.deltaW, idx)
+				upd := 0.3*hidDelta*b.in[i] + 0.3*b.dw[base+j]
+				b.dw[base+j] = upd
+				b.w[base+j] += upd
+				e.Write64(tid, b.deltaW, idx, math.Float64bits(upd))
+				e.Write64(tid, b.weights, idx, math.Float64bits(b.w[base+j]))
+				e.Compute(tid, 5)
+			}
+		}
+	}
+}
+
+// span partitions n items across threads, returning thread tid's range.
+func span(n, threads, tid int) (lo, hi int) {
+	lo = n * tid / threads
+	hi = n * (tid + 1) / threads
+	return
+}

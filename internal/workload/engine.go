@@ -1,0 +1,236 @@
+// Package workload implements the paper's benchmark set as real algorithms
+// executing against the simulated memory hierarchy: the Rodinia/Parsec
+// compute kernels (backprop, kmeans, nw, srad, fmm), the caching and
+// analytics workloads (memcached, pagerank, bfs, bc), the lulesh proxy used
+// in Fig. 13, and the random data-pattern micro-benchmark.
+//
+// Kernels run at reduced footprint (tens of MiB instead of 8 GiB) but with
+// the real algorithm, so their access and data patterns — reuse structure,
+// read/write mix, row locality, value distributions — are produced by the
+// computation itself. The profiler then scales capacity-bound regions to
+// the paper's 8 GiB allocation (see internal/profile).
+package workload
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/memsys"
+	"repro/internal/stats"
+)
+
+// ScaleClass describes how a data structure grows when the kernel's
+// footprint is scaled from the simulated size to the paper's 8 GiB.
+type ScaleClass int
+
+const (
+	// Capacity structures grow with the footprint (matrices, graphs,
+	// key-value stores): their reuse intervals stretch proportionally.
+	Capacity ScaleClass = iota
+	// Resident structures keep their size (centroid tables, hot keys,
+	// tree tops, accumulators): their reuse intervals stay fixed.
+	Resident
+)
+
+// Size selects a kernel's working-set scale.
+type Size int
+
+const (
+	// SizeTest is a tiny configuration for unit tests.
+	SizeTest Size = iota
+	// SizeProfile is the configuration used to build the paper dataset:
+	// large enough that capacity structures dwarf the caches (as the
+	// 8 GiB originals dwarf them), small enough to simulate in seconds.
+	SizeProfile
+)
+
+// Kernel is one benchmark program.
+type Kernel interface {
+	// Name returns the paper's benchmark label.
+	Name() string
+	// Setup allocates and initializes the kernel's data structures.
+	Setup(e *Engine, size Size)
+	// RunIter executes one outer iteration of the algorithm.
+	RunIter(e *Engine)
+}
+
+// reuseSampleShift subsamples words for reuse tracking (1 in 64).
+const reuseSampleShift = 6
+
+// rowShift converts a word index to a DRAM-row-sized block (1024 words).
+const rowShift = 10
+
+// Array is one simulated allocation; kernels address it by word index.
+type Array struct {
+	Name  string
+	Class ScaleClass
+	base  uint64 // byte address of word 0
+	words uint64
+
+	reads      uint64 // load instructions touching this array
+	writes     uint64 // store instructions touching this array
+	dramReads  uint64 // loads that reached DRAM
+	dramWrites uint64 // stores that reached DRAM
+	onesSample uint64 // sampled 1-bits of written values
+	bitsSample uint64 // sampled total bits
+
+	lastWord []int64 // per sampled word: global instruction of last access
+	gapSum   float64
+	gapN     uint64
+	lastRow  []int64 // per row block: global instruction of last access
+	// rowHist buckets row-gap lengths by log2(instructions): accesses to
+	// an open row arrive in bursts, and only the long gaps between bursts
+	// leave a row unrefreshed, so the profiler needs the gap
+	// *distribution*, not its mean.
+	rowHist [48]uint64
+}
+
+// Words returns the allocation size in 64-bit words.
+func (a *Array) Words() uint64 { return a.words }
+
+// Engine executes kernels on the memory-system simulator and collects the
+// raw measurements the profiler needs.
+type Engine struct {
+	Sys     *memsys.System
+	threads int
+	rng     *stats.RNG
+	arrays  []*Array
+	nextVA  uint64
+	instr   uint64 // global retired-instruction counter (all cores)
+
+	entropy     map[uint32]uint32
+	entropyN    uint64
+	entropyOver uint64 // samples beyond the histogram cap (treated as unique)
+}
+
+// entropyCap bounds the value histogram; values past the cap are counted as
+// singletons, which under-estimates nothing for high-entropy streams.
+const entropyCap = 1 << 20
+
+// NewEngine builds an engine for a run with the given thread count.
+func NewEngine(threads int, seed uint64) *Engine {
+	if threads < 1 || threads > memsys.NumCores {
+		panic(fmt.Sprintf("workload: thread count %d outside 1..%d", threads, memsys.NumCores))
+	}
+	return &Engine{
+		Sys:     memsys.NewSystem(),
+		threads: threads,
+		rng:     stats.NewRNG(seed),
+		nextVA:  1 << 20, // leave a guard page at the bottom
+		entropy: make(map[uint32]uint32),
+	}
+}
+
+// Threads returns the configured worker count.
+func (e *Engine) Threads() int { return e.threads }
+
+// RNG exposes the engine's deterministic random stream for kernels that
+// need input data or traffic randomness.
+func (e *Engine) RNG() *stats.RNG { return e.rng }
+
+// Arrays lists the kernel's allocations.
+func (e *Engine) Arrays() []*Array { return e.arrays }
+
+// Instructions returns the global retired-instruction count.
+func (e *Engine) Instructions() uint64 { return e.instr }
+
+// Alloc reserves a words-long array. Allocations are page-aligned and laid
+// out sequentially in the simulated address space.
+func (e *Engine) Alloc(name string, words uint64, class ScaleClass) *Array {
+	if words == 0 {
+		panic("workload: zero-size allocation " + name)
+	}
+	a := &Array{
+		Name:     name,
+		Class:    class,
+		base:     e.nextVA,
+		words:    words,
+		lastWord: make([]int64, (words>>reuseSampleShift)+1),
+		lastRow:  make([]int64, (words>>rowShift)+1),
+	}
+	for i := range a.lastWord {
+		a.lastWord[i] = -1
+	}
+	for i := range a.lastRow {
+		a.lastRow[i] = -1
+	}
+	// 64 KiB pages on the platform; align and pad so arrays do not share
+	// DRAM rows.
+	e.nextVA += (words*8 + 0xFFFF) &^ 0xFFFF
+	e.arrays = append(e.arrays, a)
+	return a
+}
+
+// track records reuse statistics for one access.
+func (a *Array) track(idx uint64, instr uint64) {
+	if idx&(1<<reuseSampleShift-1) == 0 {
+		slot := idx >> reuseSampleShift
+		if last := a.lastWord[slot]; last >= 0 {
+			a.gapSum += float64(int64(instr) - last)
+			a.gapN++
+		}
+		a.lastWord[slot] = int64(instr)
+	}
+	row := idx >> rowShift
+	if last := a.lastRow[row]; last >= 0 {
+		gap := uint64(int64(instr) - last)
+		a.rowHist[bits.Len64(gap)]++
+	}
+	a.lastRow[row] = int64(instr)
+}
+
+// Read64 simulates a load of a[idx] on thread tid.
+func (e *Engine) Read64(tid int, a *Array, idx uint64) {
+	if idx >= a.words {
+		panic(fmt.Sprintf("workload: %s read out of bounds: %d >= %d", a.Name, idx, a.words))
+	}
+	e.instr++
+	a.reads++
+	a.track(idx, e.instr)
+	if e.Sys.Access(tid, a.base+idx*8, false) {
+		a.dramReads++
+	}
+}
+
+// Write64 simulates a store of value into a[idx] on thread tid. The stored
+// bits feed the data-pattern statistics (bit density and HDP entropy).
+func (e *Engine) Write64(tid int, a *Array, idx uint64, value uint64) {
+	if idx >= a.words {
+		panic(fmt.Sprintf("workload: %s write out of bounds: %d >= %d", a.Name, idx, a.words))
+	}
+	e.instr++
+	a.writes++
+	a.track(idx, e.instr)
+	// Sample data-pattern statistics on 1/8 of writes. Entropy is
+	// estimated on 16-bit chunks (Eq. 5's 32-bit histogram needs more
+	// samples than a scaled-down run produces; the 16-bit estimate is
+	// doubled to the 32-bit-equivalent in HDP).
+	if e.instr&7 == 0 {
+		a.onesSample += uint64(bits.OnesCount64(value))
+		a.bitsSample += 64
+		e.sampleEntropy(uint32(value & 0xFFFF))
+		e.sampleEntropy(uint32(value >> 24 & 0xFFFF))
+		e.sampleEntropy(uint32(value >> 48))
+	}
+	if e.Sys.Access(tid, a.base+idx*8, true) {
+		a.dramWrites++
+	}
+}
+
+// Compute charges n ALU/branch/address instructions to thread tid.
+func (e *Engine) Compute(tid int, n int) {
+	e.instr += uint64(n)
+	e.Sys.Compute(tid, n)
+}
+
+// sampleEntropy records one written 32-bit value (paper Eq. 5 sampling).
+func (e *Engine) sampleEntropy(v uint32) {
+	e.entropyN++
+	if len(e.entropy) >= entropyCap {
+		if _, ok := e.entropy[v]; !ok {
+			e.entropyOver++
+			return
+		}
+	}
+	e.entropy[v]++
+}

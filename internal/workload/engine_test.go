@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestAllocLayout(t *testing.T) {
+	e := NewEngine(1, 1)
+	a := e.Alloc("a", 100, Capacity)
+	b := e.Alloc("b", 100, Resident)
+	if a.base == b.base {
+		t.Fatal("allocations overlap")
+	}
+	if b.base < a.base+100*8 {
+		t.Fatal("allocation b inside a")
+	}
+	if a.base%0x10000 != 0 && a.base < 1<<20 {
+		t.Fatal("allocation below guard page")
+	}
+}
+
+func TestAllocZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size alloc accepted")
+		}
+	}()
+	NewEngine(1, 1).Alloc("z", 0, Capacity)
+}
+
+func TestNewEngineThreadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("9 threads accepted")
+		}
+	}()
+	NewEngine(9, 1)
+}
+
+func TestOutOfBoundsAccessPanics(t *testing.T) {
+	e := NewEngine(1, 1)
+	a := e.Alloc("a", 10, Capacity)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OOB read accepted")
+		}
+	}()
+	e.Read64(0, a, 10)
+}
+
+func TestReuseTracking(t *testing.T) {
+	e := NewEngine(1, 1)
+	a := e.Alloc("a", 1024, Capacity)
+	// Two sweeps: sampled words see a gap of ~2*n instructions... the
+	// second sweep accesses each word once, so the measured gap equals
+	// the sweep length in instructions.
+	for sweep := 0; sweep < 3; sweep++ {
+		for i := uint64(0); i < 1024; i++ {
+			e.Read64(0, a, i)
+		}
+	}
+	gap := a.MeanWordGapInstr()
+	if gap < 900 || gap > 1100 {
+		t.Fatalf("word gap = %v, want ~1024 (one sweep)", gap)
+	}
+	rowGap := a.MeanRowGapInstr()
+	if rowGap <= 0 || rowGap > gap+1 {
+		t.Fatalf("row gap = %v, want <= word gap %v", rowGap, gap)
+	}
+}
+
+func TestRowReuseShorterForRandomAccess(t *testing.T) {
+	// Random accesses within an array touch each row far more often than
+	// each word: the row gap must be much smaller than the word gap.
+	e := NewEngine(1, 7)
+	const words = 1 << 16
+	a := e.Alloc("a", words, Capacity)
+	rng := e.RNG()
+	for i := 0; i < 1_000_000; i++ {
+		e.Read64(0, a, uint64(rng.Intn(words)))
+	}
+	wordGap := a.MeanWordGapInstr()
+	rowGap := a.MeanRowGapInstr()
+	if rowGap*20 > wordGap {
+		t.Fatalf("random access: row gap %v not << word gap %v", rowGap, wordGap)
+	}
+}
+
+func TestBitOneFraction(t *testing.T) {
+	e := NewEngine(1, 1)
+	a := e.Alloc("ones", 4096, Capacity)
+	for i := uint64(0); i < 4096; i++ {
+		e.Write64(0, a, i, ^uint64(0))
+	}
+	if got := a.BitOneFraction(); got != 1 {
+		t.Fatalf("all-ones fraction = %v", got)
+	}
+	b := e.Alloc("zeros", 4096, Capacity)
+	for i := uint64(0); i < 4096; i++ {
+		e.Write64(0, b, i, 0)
+	}
+	if got := b.BitOneFraction(); got != 0 {
+		t.Fatalf("all-zeros fraction = %v", got)
+	}
+	c := e.Alloc("untouched", 16, Capacity)
+	if got := c.BitOneFraction(); got != 0.5 {
+		t.Fatalf("unwritten prior = %v, want 0.5", got)
+	}
+}
+
+func TestHDPExtremes(t *testing.T) {
+	// Constant data: ~0 bits. Random data: close to log2(samples).
+	low := NewEngine(1, 1)
+	a := low.Alloc("const", 1<<14, Capacity)
+	for i := uint64(0); i < 1<<14; i++ {
+		low.Write64(0, a, i, 0x4141414141414141)
+	}
+	if h := low.HDP(); h > 0.01 {
+		t.Fatalf("constant-data HDP = %v, want ~0", h)
+	}
+	hi := NewEngine(1, 2)
+	b := hi.Alloc("rand", 1<<16, Capacity)
+	rng := hi.RNG()
+	for i := uint64(0); i < 1<<16; i++ {
+		hi.Write64(0, b, i, rng.Uint64())
+	}
+	if h := hi.HDP(); h < 10 {
+		t.Fatalf("random-data HDP = %v, want high", h)
+	}
+	if h := hi.HDP(); h > 32 {
+		t.Fatalf("HDP = %v exceeds 32 bits", h)
+	}
+}
+
+func TestHDPOrdersPatterns(t *testing.T) {
+	// ASCII text < random binary in entropy.
+	text := NewEngine(1, 3)
+	a := text.Alloc("text", 1<<14, Capacity)
+	rng := text.RNG()
+	for i := uint64(0); i < 1<<14; i++ {
+		text.Write64(0, a, i, asciiWord(rng))
+	}
+	random := NewEngine(1, 4)
+	b := random.Alloc("rand", 1<<14, Capacity)
+	rng2 := random.RNG()
+	for i := uint64(0); i < 1<<14; i++ {
+		random.Write64(0, b, i, rng2.Uint64())
+	}
+	if text.HDP() >= random.HDP() {
+		t.Fatalf("HDP(text)=%v !< HDP(random)=%v", text.HDP(), random.HDP())
+	}
+}
+
+func TestDRAMAttributionPerArray(t *testing.T) {
+	e := NewEngine(1, 1)
+	big := e.Alloc("big", 1<<18, Capacity) // 2 MiB: misses in L1/L2
+	for i := uint64(0); i < 1<<18; i++ {
+		e.Read64(0, big, i)
+	}
+	if big.DRAMAccesses() == 0 {
+		t.Fatal("streaming array produced no DRAM traffic")
+	}
+	// A tiny array re-read in a loop stays cached.
+	small := e.Alloc("small", 64, Resident)
+	for r := 0; r < 100; r++ {
+		for i := uint64(0); i < 64; i++ {
+			e.Read64(0, small, i)
+		}
+	}
+	if float64(small.DRAMAccesses()) > 0.05*float64(small.Accesses()) {
+		t.Fatalf("resident array leaked to DRAM: %d/%d",
+			small.DRAMAccesses(), small.Accesses())
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() (uint64, float64) {
+		e := Execute(Spec{"nw", 2, func() Kernel { return NewNW() }}, SizeTest, 2, 42)
+		return e.Instructions(), e.HDP()
+	}
+	i1, h1 := run()
+	i2, h2 := run()
+	if i1 != i2 || h1 != h2 {
+		t.Fatal("identical executions diverged")
+	}
+}
+
+func TestSortedArraysOrder(t *testing.T) {
+	e := NewEngine(1, 1)
+	e.Alloc("small", 10, Capacity)
+	e.Alloc("large", 1000, Capacity)
+	got := e.SortedArrays()
+	if got[0].Name != "large" {
+		t.Fatalf("sorted order wrong: %v first", got[0].Name)
+	}
+	if e.TotalWords() != 1010 {
+		t.Fatalf("TotalWords = %d", e.TotalWords())
+	}
+}

@@ -1,0 +1,188 @@
+package workload
+
+import "math"
+
+// FMM is the Parsec fmm (fast multipole method) benchmark, modelled as a
+// Barnes-Hut-style N-body step: a spatial tree is rebuilt every iteration
+// and every body traverses it from the root. The tree's top levels are
+// hammered by all threads concurrently — the concentrated row-activation
+// pattern that makes fmm(par) the most crash-prone workload in the paper's
+// Fig. 9a — while the body array is streamed (capacity traffic).
+type FMM struct {
+	nBodies int
+	levels  int
+
+	bodies *Array // x, y, mass, acc per body (capacity)
+	tree   *Array // implicit quadtree nodes: mass + cx + cy + count (resident)
+
+	bx, by, bm, ba []float64
+	tm, tx, ty     []float64
+	theta          float64
+}
+
+// NewFMM returns the benchmark.
+func NewFMM() *FMM { return &FMM{theta: 0.7} }
+
+// Name implements Kernel.
+func (f *FMM) Name() string { return "fmm" }
+
+// treeNodes returns the node count of a complete 4-ary tree with l levels.
+func treeNodes(l int) int {
+	n := 0
+	for i, w := 0, 1; i < l; i, w = i+1, w*4 {
+		n += w
+	}
+	return n
+}
+
+// Setup implements Kernel.
+func (f *FMM) Setup(e *Engine, size Size) {
+	switch size {
+	case SizeTest:
+		f.nBodies, f.levels = 1<<14, 5
+	default:
+		f.nBodies, f.levels = 1<<18, 7 // 1M-word body array, 5461-node tree
+	}
+	nodes := treeNodes(f.levels)
+	f.bodies = e.Alloc("bodies", uint64(f.nBodies*4), Capacity)
+	f.tree = e.Alloc("tree", uint64(nodes*4), Resident)
+
+	f.bx = make([]float64, f.nBodies)
+	f.by = make([]float64, f.nBodies)
+	f.bm = make([]float64, f.nBodies)
+	f.ba = make([]float64, f.nBodies)
+	f.tm = make([]float64, nodes)
+	f.tx = make([]float64, nodes)
+	f.ty = make([]float64, nodes)
+
+	rng := e.RNG()
+	for i := 0; i < f.nBodies; i++ {
+		f.bx[i] = rng.Float64()
+		f.by[i] = rng.Float64()
+		f.bm[i] = 0.5 + rng.Float64()
+		if i%2 == 0 {
+			e.Write64(i%e.Threads(), f.bodies, uint64(i*4), math.Float64bits(f.bx[i]))
+			e.Write64(i%e.Threads(), f.bodies, uint64(i*4+1), math.Float64bits(f.by[i]))
+		}
+	}
+}
+
+// cellOf returns the node index of the quadtree cell containing (x,y) at
+// the given level (level 0 is the root).
+func cellOf(x, y float64, level int) int {
+	// Offset of the level in the implicit layout plus the Morton index.
+	off := treeNodes(level)
+	side := 1 << level
+	cx := int(x * float64(side))
+	cy := int(y * float64(side))
+	if cx >= side {
+		cx = side - 1
+	}
+	if cy >= side {
+		cy = side - 1
+	}
+	return off + cy*side + cx
+}
+
+// RunIter implements Kernel: rebuild the tree bottom-up, then compute
+// far-field accelerations with a theta-criterion traversal.
+func (f *FMM) RunIter(e *Engine) {
+	threads := e.Threads()
+	nodes := treeNodes(f.levels)
+
+	// Clear tree accumulators (resident; cheap).
+	for n := 0; n < nodes; n++ {
+		f.tm[n], f.tx[n], f.ty[n] = 0, 0, 0
+		if n%4 == 0 {
+			e.Write64(0, f.tree, uint64(n*4), 0)
+		}
+	}
+	// Insert bodies into leaf cells (every thread funnels into the tree:
+	// the leaf level is wide, upper levels are shared and hot).
+	for tid := 0; tid < threads; tid++ {
+		lo, hi := span(f.nBodies, threads, tid)
+		for i := lo; i < hi; i++ {
+			e.Read64(tid, f.bodies, uint64(i*4))
+			e.Read64(tid, f.bodies, uint64(i*4+1))
+			leaf := cellOf(f.bx[i], f.by[i], f.levels-1)
+			f.tm[leaf] += f.bm[i]
+			f.tx[leaf] += f.bx[i] * f.bm[i]
+			f.ty[leaf] += f.by[i] * f.bm[i]
+			e.Read64(tid, f.tree, uint64(leaf*4))
+			e.Write64(tid, f.tree, uint64(leaf*4), math.Float64bits(f.tm[leaf]))
+			e.Compute(tid, 8)
+		}
+	}
+	// Upward pass: aggregate each level into its parent.
+	for level := f.levels - 1; level > 0; level-- {
+		side := 1 << level
+		off := treeNodes(level)
+		pOff := treeNodes(level - 1)
+		for cy := 0; cy < side; cy++ {
+			for cx := 0; cx < side; cx++ {
+				n := off + cy*side + cx
+				p := pOff + (cy/2)*(side/2) + cx/2
+				f.tm[p] += f.tm[n]
+				f.tx[p] += f.tx[n]
+				f.ty[p] += f.ty[n]
+				e.Read64(0, f.tree, uint64(n*4))
+				e.Write64(0, f.tree, uint64(p*4), math.Float64bits(f.tm[p]))
+				e.Compute(0, 4)
+			}
+		}
+	}
+	// Force pass: the near field dominates — each body interacts with a
+	// scattered set of neighbour bodies (random access over the body
+	// array drives a high row-activation rate), plus a handful of
+	// far-field cells from the shared tree top.
+	for tid := 0; tid < threads; tid++ {
+		lo, hi := span(f.nBodies, threads, tid)
+		for i := lo; i < hi; i++ {
+			e.Read64(tid, f.bodies, uint64(i*4))
+			e.Read64(tid, f.bodies, uint64(i*4+1))
+			acc := 0.0
+			// Near field: 12 neighbours from the leaf cell's interaction
+			// list. Bodies are stored in space-filling order, so the
+			// interaction list is memory-local (±128 slots), with an
+			// occasional far partner from an adjacent tree branch.
+			h := uint64(i) * 0x9E3779B97F4A7C15
+			for k := 0; k < 12; k++ {
+				h ^= h >> 29
+				h *= 0xBF58476D1CE4E5B9
+				var j int
+				if k == 0 && i%16 == 0 {
+					j = int(h % uint64(f.nBodies)) // far partner
+				} else {
+					off := int(h%257) - 128
+					j = i + off
+					if j < 0 {
+						j = -j
+					}
+					if j >= f.nBodies {
+						j = 2*f.nBodies - 2 - j
+					}
+				}
+				e.Read64(tid, f.bodies, uint64(j*4))
+				e.Read64(tid, f.bodies, uint64(j*4+1))
+				dx := f.bx[i] - f.bx[j]
+				dy := f.by[i] - f.by[j]
+				r2 := dx*dx + dy*dy + 1e-6
+				acc += f.bm[j] / r2
+				e.Compute(tid, 9)
+			}
+			// Far field: the body's cells on the top two levels.
+			for level := 0; level < 2 && level < f.levels-1; level++ {
+				n := cellOf(f.bx[i], f.by[i], level)
+				e.Read64(tid, f.tree, uint64(n*4))
+				dx := f.bx[i] - f.tx[n]/(f.tm[n]+1e-9)
+				dy := f.by[i] - f.ty[n]/(f.tm[n]+1e-9)
+				r2 := dx*dx + dy*dy + 1e-6
+				acc += f.tm[n] / r2
+				e.Compute(tid, 9)
+			}
+			f.ba[i] = acc
+			e.Write64(tid, f.bodies, uint64(i*4+3), math.Float64bits(acc))
+			e.Compute(tid, 2)
+		}
+	}
+}

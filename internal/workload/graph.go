@@ -1,0 +1,296 @@
+package workload
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// csrGraph is a compressed-sparse-row graph over a synthetic power-law
+// degree distribution (the shape of the web/social graphs the paper's
+// Ligra/GraphGrind workloads process).
+type csrGraph struct {
+	n      int
+	rowPtr []int32
+	colIdx []int32
+}
+
+// buildPowerLawGraph generates a graph with Zipf-distributed target
+// popularity, deterministic in the RNG stream.
+func buildPowerLawGraph(rng *stats.RNG, n, avgDeg int) *csrGraph {
+	z := stats.NewZipf(rng, 0.8, n)
+	deg := make([]int32, n)
+	targets := make([][]int32, n)
+	for u := 0; u < n; u++ {
+		d := 1 + rng.Intn(2*avgDeg-1) // mean ~avgDeg
+		targets[u] = make([]int32, d)
+		for k := 0; k < d; k++ {
+			targets[u][k] = int32(z.Draw())
+		}
+		deg[u] = int32(d)
+	}
+	g := &csrGraph{n: n, rowPtr: make([]int32, n+1)}
+	for u := 0; u < n; u++ {
+		g.rowPtr[u+1] = g.rowPtr[u] + deg[u]
+	}
+	g.colIdx = make([]int32, g.rowPtr[n])
+	for u := 0; u < n; u++ {
+		copy(g.colIdx[g.rowPtr[u]:], targets[u])
+	}
+	return g
+}
+
+// graphBase holds the shared simulated arrays of the graph workloads.
+type graphBase struct {
+	g      *csrGraph
+	rowPtr *Array // CSR offsets (capacity)
+	colIdx *Array // CSR targets, streamed every iteration (capacity)
+	vprop  *Array // per-vertex property, randomly accessed (capacity)
+	vaux   *Array // second per-vertex property (capacity)
+}
+
+// setupGraph allocates and writes the graph structures.
+func (gb *graphBase) setupGraph(e *Engine, size Size, avgDeg int) {
+	n := 1 << 18 // 256k vertices, ~2M edges at avgDeg 8
+	if size == SizeTest {
+		n = 1 << 13
+	}
+	gb.g = buildPowerLawGraph(e.RNG().Split(), n, avgDeg)
+	gb.rowPtr = e.Alloc("row_ptr", uint64(n+1), Capacity)
+	gb.colIdx = e.Alloc("col_idx", uint64(len(gb.g.colIdx)), Capacity)
+	gb.vprop = e.Alloc("vertex_prop", uint64(n), Capacity)
+	gb.vaux = e.Alloc("vertex_aux", uint64(n), Capacity)
+	for u := 0; u <= n; u += 4 {
+		e.Write64(0, gb.rowPtr, uint64(u), uint64(gb.g.rowPtr[u]))
+	}
+	for i := 0; i < len(gb.g.colIdx); i += 4 {
+		e.Write64(0, gb.colIdx, uint64(i), uint64(gb.g.colIdx[i]))
+	}
+}
+
+// PageRank is the pagerank analytics workload: every iteration streams the
+// edge array and scatters rank mass to randomly-ordered targets. The
+// random vertex access keeps DRAM rows implicitly refreshed (short row
+// reuse), which is why the analytics workloads sit low in Fig. 4.
+type PageRank struct {
+	graphBase
+	rank, next []float64
+}
+
+// NewPageRank returns the benchmark.
+func NewPageRank() *PageRank { return &PageRank{} }
+
+// Name implements Kernel.
+func (p *PageRank) Name() string { return "pagerank" }
+
+// Setup implements Kernel.
+func (p *PageRank) Setup(e *Engine, size Size) {
+	p.setupGraph(e, size, 8)
+	n := p.g.n
+	p.rank = make([]float64, n)
+	p.next = make([]float64, n)
+	for u := 0; u < n; u++ {
+		p.rank[u] = 1 / float64(n)
+		if u%4 == 0 {
+			e.Write64(0, p.vprop, uint64(u), math.Float64bits(p.rank[u]))
+		}
+	}
+}
+
+// RunIter implements Kernel: one push-style pagerank sweep.
+func (p *PageRank) RunIter(e *Engine) {
+	threads := e.Threads()
+	n := p.g.n
+	for i := range p.next {
+		p.next[i] = 0.15 / float64(n)
+	}
+	for tid := 0; tid < threads; tid++ {
+		lo, hi := span(n, threads, tid)
+		for u := lo; u < hi; u++ {
+			e.Read64(tid, p.rowPtr, uint64(u))
+			e.Read64(tid, p.vprop, uint64(u))
+			start, end := p.g.rowPtr[u], p.g.rowPtr[u+1]
+			if end == start {
+				continue
+			}
+			share := 0.85 * p.rank[u] / float64(end-start)
+			for k := start; k < end; k++ {
+				e.Read64(tid, p.colIdx, uint64(k))
+				v := p.g.colIdx[k]
+				// Scatter: random-access read-modify-write.
+				e.Read64(tid, p.vaux, uint64(v))
+				p.next[v] += share
+				e.Write64(tid, p.vaux, uint64(v), math.Float64bits(p.next[v]))
+				e.Compute(tid, 4)
+			}
+		}
+	}
+	copy(p.rank, p.next)
+	for u := 0; u < n; u += 4 {
+		e.Read64(0, p.vaux, uint64(u))
+		e.Write64(0, p.vprop, uint64(u), math.Float64bits(p.rank[u]))
+	}
+}
+
+// Ranks exposes the rank vector for correctness tests.
+func (p *PageRank) Ranks() []float64 { return p.rank }
+
+// BFS is the breadth-first-search analytics workload (Ligra-style
+// level-synchronous traversal from a set of sources).
+type BFS struct {
+	graphBase
+	dist    []int32
+	sources []int
+	// Reached counts visited vertices in the last run (for tests).
+	Reached int
+}
+
+// NewBFS returns the benchmark.
+func NewBFS() *BFS { return &BFS{} }
+
+// Name implements Kernel.
+func (b *BFS) Name() string { return "bfs" }
+
+// Setup implements Kernel.
+func (b *BFS) Setup(e *Engine, size Size) {
+	b.setupGraph(e, size, 8)
+	b.dist = make([]int32, b.g.n)
+	rng := e.RNG()
+	for i := 0; i < 4; i++ {
+		b.sources = append(b.sources, rng.Intn(b.g.n))
+	}
+}
+
+// RunIter implements Kernel: full BFS from each source.
+func (b *BFS) RunIter(e *Engine) {
+	threads := e.Threads()
+	for _, src := range b.sources {
+		for i := range b.dist {
+			b.dist[i] = -1
+		}
+		b.dist[src] = 0
+		frontier := []int32{int32(src)}
+		level := int32(0)
+		b.Reached = 1
+		for len(frontier) > 0 {
+			level++
+			var next []int32
+			// Frontier partitioned across threads.
+			for tid := 0; tid < threads; tid++ {
+				lo, hi := span(len(frontier), threads, tid)
+				for _, u := range frontier[lo:hi] {
+					e.Read64(tid, b.rowPtr, uint64(u))
+					for k := b.g.rowPtr[u]; k < b.g.rowPtr[u+1]; k++ {
+						e.Read64(tid, b.colIdx, uint64(k))
+						v := b.g.colIdx[k]
+						e.Read64(tid, b.vprop, uint64(v)) // dist check
+						if b.dist[v] == -1 {
+							b.dist[v] = level
+							b.Reached++
+							e.Write64(tid, b.vprop, uint64(v), uint64(uint32(level)))
+							next = append(next, v)
+						}
+						e.Compute(tid, 3)
+					}
+				}
+			}
+			frontier = next
+		}
+	}
+}
+
+// BC is the betweenness-centrality workload: a forward BFS that counts
+// shortest paths followed by a backward dependency accumulation
+// (Brandes' algorithm), as in the Ligra/GraphGrind suites.
+type BC struct {
+	graphBase
+	sigma []float64
+	delta []float64
+	dist  []int32
+	bcVal []float64
+}
+
+// NewBC returns the benchmark.
+func NewBC() *BC { return &BC{} }
+
+// Name implements Kernel.
+func (b *BC) Name() string { return "bc" }
+
+// Setup implements Kernel.
+func (b *BC) Setup(e *Engine, size Size) {
+	b.setupGraph(e, size, 8)
+	n := b.g.n
+	b.sigma = make([]float64, n)
+	b.delta = make([]float64, n)
+	b.dist = make([]int32, n)
+	b.bcVal = make([]float64, n)
+}
+
+// RunIter implements Kernel: one Brandes source iteration.
+func (b *BC) RunIter(e *Engine) {
+	threads := e.Threads()
+	n := b.g.n
+	src := e.RNG().Intn(n)
+	for i := 0; i < n; i++ {
+		b.dist[i] = -1
+		b.sigma[i] = 0
+		b.delta[i] = 0
+	}
+	b.dist[src] = 0
+	b.sigma[src] = 1
+
+	// Forward: level-synchronous shortest-path counting.
+	var levels [][]int32
+	frontier := []int32{int32(src)}
+	levels = append(levels, frontier)
+	depth := int32(0)
+	for len(frontier) > 0 {
+		depth++
+		var next []int32
+		for tid := 0; tid < threads; tid++ {
+			lo, hi := span(len(frontier), threads, tid)
+			for _, u := range frontier[lo:hi] {
+				e.Read64(tid, b.rowPtr, uint64(u))
+				for k := b.g.rowPtr[u]; k < b.g.rowPtr[u+1]; k++ {
+					e.Read64(tid, b.colIdx, uint64(k))
+					v := b.g.colIdx[k]
+					e.Read64(tid, b.vprop, uint64(v))
+					if b.dist[v] == -1 {
+						b.dist[v] = depth
+						next = append(next, v)
+						e.Write64(tid, b.vprop, uint64(v), uint64(uint32(depth)))
+					}
+					if b.dist[v] == depth {
+						b.sigma[v] += b.sigma[u]
+						e.Write64(tid, b.vaux, uint64(v), math.Float64bits(b.sigma[v]))
+					}
+					e.Compute(tid, 4)
+				}
+			}
+		}
+		if len(next) > 0 {
+			levels = append(levels, next)
+		}
+		frontier = next
+	}
+	// Backward: dependency accumulation from the deepest level.
+	for l := len(levels) - 1; l > 0; l-- {
+		for tid := 0; tid < threads; tid++ {
+			lo, hi := span(len(levels[l]), threads, tid)
+			for _, u := range levels[l][lo:hi] {
+				e.Read64(tid, b.rowPtr, uint64(u))
+				for k := b.g.rowPtr[u]; k < b.g.rowPtr[u+1]; k++ {
+					e.Read64(tid, b.colIdx, uint64(k))
+					v := b.g.colIdx[k]
+					if b.dist[v] == b.dist[u]+1 && b.sigma[v] > 0 {
+						e.Read64(tid, b.vaux, uint64(v))
+						b.delta[u] += b.sigma[u] / b.sigma[v] * (1 + b.delta[v])
+						e.Compute(tid, 5)
+					}
+				}
+				b.bcVal[u] += b.delta[u]
+				e.Write64(tid, b.vaux, uint64(u), math.Float64bits(b.delta[u]))
+			}
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// runKernel executes a kernel at test size and returns the engine.
+func runKernel(t *testing.T, label string, iters int) *Engine {
+	t.Helper()
+	spec, err := FindSpec(label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Execute(spec, SizeTest, iters, 99)
+}
+
+func TestAllKernelsRun(t *testing.T) {
+	for _, spec := range ExtendedSet() {
+		spec := spec
+		t.Run(spec.Label, func(t *testing.T) {
+			e := Execute(spec, SizeTest, 2, 7)
+			if e.Instructions() == 0 {
+				t.Fatal("no instructions retired")
+			}
+			if e.Sys.TotalMemAccesses() == 0 {
+				t.Fatal("no memory accesses")
+			}
+			if len(e.Arrays()) == 0 {
+				t.Fatal("no allocations")
+			}
+			if e.Sys.WallSeconds() <= 0 {
+				t.Fatal("no simulated time elapsed")
+			}
+		})
+	}
+}
+
+func TestPaperSetHas14Benchmarks(t *testing.T) {
+	if n := len(PaperSet()); n != 14 {
+		t.Fatalf("paper set has %d entries, want 14", n)
+	}
+	if n := len(ExtendedSet()); n != 17 {
+		t.Fatalf("extended set has %d entries, want 17", n)
+	}
+}
+
+func TestFindSpecUnknown(t *testing.T) {
+	if _, err := FindSpec("no-such-benchmark"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestNWComputesAlignment(t *testing.T) {
+	// Verify nw really runs Needleman-Wunsch: identical sequences score
+	// n * match (5 per match with our toy matrix).
+	e := NewEngine(1, 5)
+	nw := NewNW()
+	nw.Setup(e, SizeTest)
+	// Force identical sequences and re-run.
+	copy(nw.s2, nw.s1)
+	nw.RunIter(e)
+	want := int32(nw.n * 5)
+	if nw.Score() != want {
+		t.Fatalf("self-alignment score = %d, want %d", nw.Score(), want)
+	}
+}
+
+func TestPageRankConverges(t *testing.T) {
+	e := NewEngine(2, 5)
+	pr := NewPageRank()
+	pr.Setup(e, SizeTest)
+	for i := 0; i < 10; i++ {
+		pr.RunIter(e)
+	}
+	sum := 0.0
+	for _, r := range pr.Ranks() {
+		if r < 0 {
+			t.Fatal("negative rank")
+		}
+		sum += r
+	}
+	// Push-style pagerank with damping 0.85 keeps total mass near 1.
+	if math.Abs(sum-1) > 0.2 {
+		t.Fatalf("rank mass = %v, want ~1", sum)
+	}
+}
+
+func TestBFSReachesVertices(t *testing.T) {
+	e := NewEngine(2, 5)
+	b := NewBFS()
+	b.Setup(e, SizeTest)
+	b.RunIter(e)
+	if b.Reached < 10 {
+		t.Fatalf("BFS reached only %d vertices", b.Reached)
+	}
+}
+
+func TestMemcachedSelfRefreshes(t *testing.T) {
+	// The hot slab's row reuse must be far shorter than a streaming
+	// kernel's: that is the mechanism behind memcached's low WER.
+	mc := runKernel(t, "memcached", 8)
+	hot := mc.ArrayByName("hot_slab")
+	if hot == nil {
+		t.Fatal("no hot slab")
+	}
+	bp := runKernel(t, "backprop(par)", 8)
+	weights := bp.ArrayByName("weights")
+	// Compare row gaps normalized by total instructions (the engines
+	// retire different instruction counts).
+	mcGap := hot.MeanRowGapInstr() / float64(mc.Instructions())
+	bpGap := weights.MeanRowGapInstr() / float64(bp.Instructions())
+	if mcGap*1.5 > bpGap {
+		t.Fatalf("memcached hot rows (%.3g) not refreshed faster than backprop weights (%.3g)",
+			mcGap, bpGap)
+	}
+}
+
+func TestNWLowEntropyVsRandomHigh(t *testing.T) {
+	nw := runKernel(t, "nw", 2)
+	rnd := runKernel(t, "random", 1)
+	if nw.HDP() >= rnd.HDP() {
+		t.Fatalf("HDP(nw)=%v !< HDP(random)=%v", nw.HDP(), rnd.HDP())
+	}
+	if rnd.HDP() < 10 {
+		t.Fatalf("random micro-benchmark entropy = %v, want near max", rnd.HDP())
+	}
+}
+
+func TestParallelFasterWallClock(t *testing.T) {
+	// 8 threads must finish the same work in less wall time than 1.
+	one := Execute(Spec{"srad", 1, func() Kernel { return NewSRAD() }}, SizeTest, 2, 3)
+	eight := Execute(Spec{"srad", 8, func() Kernel { return NewSRAD() }}, SizeTest, 2, 3)
+	if eight.Sys.WallSeconds() >= one.Sys.WallSeconds() {
+		t.Fatalf("8-thread wall %.4g not faster than 1-thread %.4g",
+			eight.Sys.WallSeconds(), one.Sys.WallSeconds())
+	}
+}
+
+func TestLuleshVariantsDiffer(t *testing.T) {
+	o2 := Execute(Spec{"lulesh(O2)", 8, func() Kernel { return NewLulesh("O2") }}, SizeTest, 2, 3)
+	f := Execute(Spec{"lulesh(F)", 8, func() Kernel { return NewLulesh("F") }}, SizeTest, 2, 3)
+	// Same memory work, fewer instructions: -F has a higher memory
+	// access rate per cycle.
+	rateO2 := float64(o2.Sys.DRAMAccesses()) / o2.Sys.WallSeconds()
+	rateF := float64(f.Sys.DRAMAccesses()) / f.Sys.WallSeconds()
+	if rateF <= rateO2 {
+		t.Fatalf("lulesh(F) DRAM rate %.3g not above lulesh(O2) %.3g", rateF, rateO2)
+	}
+}
+
+func TestRandomPatternIsIdleHeavy(t *testing.T) {
+	rnd := runKernel(t, "random", 2)
+	// Memory instructions must be a small share of total instructions.
+	memShare := float64(rnd.Sys.TotalMemAccesses()) / float64(rnd.Instructions())
+	if memShare > 0.35 {
+		t.Fatalf("random micro-benchmark memory share = %v, want low", memShare)
+	}
+}
+
+func TestMemcachedComputeHeavy(t *testing.T) {
+	mc := runKernel(t, "memcached", 2)
+	memShare := float64(mc.Sys.TotalMemAccesses()) / float64(mc.Instructions())
+	if memShare > 0.25 {
+		t.Fatalf("memcached memory-instruction share = %v, want low (protocol-bound)", memShare)
+	}
+}
+
+func TestKernelFootprintsClassified(t *testing.T) {
+	// Every kernel must declare at least one capacity region (the paper
+	// scales every workload to 8 GiB).
+	for _, spec := range ExtendedSet() {
+		e := Execute(spec, SizeTest, 1, 3)
+		hasCapacity := false
+		for _, a := range e.Arrays() {
+			if a.Class == Capacity {
+				hasCapacity = true
+			}
+		}
+		if !hasCapacity {
+			t.Fatalf("%s has no capacity region", spec.Label)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package workload
+
+import "math"
+
+// KMeans is the Rodinia k-means clustering benchmark: points are streamed
+// every iteration (capacity traffic), centroids are a small hot structure
+// (resident). Membership assignments are small integers — a low-entropy
+// data pattern.
+type KMeans struct {
+	n, k, dim int
+
+	points     *Array // n x dim features (capacity)
+	membership *Array // n cluster ids (capacity)
+	centroids  *Array // k x dim (resident)
+	accum      *Array // k x (dim+1) accumulators (resident)
+
+	pts  []float64
+	cent []float64
+	memb []int
+}
+
+// NewKMeans returns the benchmark.
+func NewKMeans() *KMeans { return &KMeans{} }
+
+// Name implements Kernel.
+func (k *KMeans) Name() string { return "kmeans" }
+
+// Setup implements Kernel.
+func (km *KMeans) Setup(e *Engine, size Size) {
+	switch size {
+	case SizeTest:
+		km.n, km.k, km.dim = 1<<14, 4, 4
+	default:
+		km.n, km.k, km.dim = 1<<18, 16, 8 // 2M-word point set
+	}
+	km.points = e.Alloc("points", uint64(km.n*km.dim), Capacity)
+	km.membership = e.Alloc("membership", uint64(km.n), Capacity)
+	km.centroids = e.Alloc("centroids", uint64(km.k*km.dim), Resident)
+	km.accum = e.Alloc("accum", uint64(km.k*(km.dim+1)), Resident)
+
+	km.pts = make([]float64, km.n*km.dim)
+	km.cent = make([]float64, km.k*km.dim)
+	km.memb = make([]int, km.n)
+	rng := e.RNG()
+	for i := range km.pts {
+		km.pts[i] = rng.Float64() * 100
+		if i%4 == 0 {
+			e.Write64(i%e.Threads(), km.points, uint64(i), math.Float64bits(km.pts[i]))
+		}
+	}
+	for c := range km.cent {
+		km.cent[c] = rng.Float64() * 100
+		e.Write64(0, km.centroids, uint64(c), math.Float64bits(km.cent[c]))
+	}
+}
+
+// RunIter implements Kernel: one outer iteration of the Rodinia kernel,
+// which internally loops assignment + update until the membership deltas
+// settle (three passes here).
+func (km *KMeans) RunIter(e *Engine) {
+	for pass := 0; pass < 3; pass++ {
+		km.runPass(e)
+	}
+}
+
+func (km *KMeans) runPass(e *Engine) {
+	threads := e.Threads()
+	// Per-thread private accumulators (the standard parallel k-means
+	// optimization); only the final reduction touches the shared table.
+	acc := make([]float64, threads*km.k*(km.dim+1))
+
+	for tid := 0; tid < threads; tid++ {
+		lo, hi := span(km.n, threads, tid)
+		for i := lo; i < hi; i++ {
+			// Load the point.
+			for d := 0; d < km.dim; d++ {
+				e.Read64(tid, km.points, uint64(i*km.dim+d))
+			}
+			// Distance to each centroid (centroids stay cache-hot).
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < km.k; c++ {
+				dist := 0.0
+				for d := 0; d < km.dim; d++ {
+					e.Read64(tid, km.centroids, uint64(c*km.dim+d))
+					diff := km.pts[i*km.dim+d] - km.cent[c*km.dim+d]
+					dist += diff * diff
+					e.Compute(tid, 2)
+				}
+				if dist < bestD {
+					best, bestD = c, dist
+				}
+				e.Compute(tid, 1)
+			}
+			km.memb[i] = best
+			e.Write64(tid, km.membership, uint64(i), uint64(best))
+			base := tid*km.k*(km.dim+1) + best*(km.dim+1)
+			for d := 0; d < km.dim; d++ {
+				acc[base+d] += km.pts[i*km.dim+d]
+			}
+			acc[base+km.dim]++
+			e.Compute(tid, km.dim+2)
+		}
+	}
+
+	// Reduction and centroid update on thread 0.
+	for c := 0; c < km.k; c++ {
+		cnt := 0.0
+		sums := make([]float64, km.dim)
+		for t := 0; t < threads; t++ {
+			base := t*km.k*(km.dim+1) + c*(km.dim+1)
+			for d := 0; d < km.dim; d++ {
+				sums[d] += acc[base+d]
+			}
+			cnt += acc[base+km.dim]
+			e.Read64(0, km.accum, uint64(c*(km.dim+1)))
+			e.Compute(0, km.dim+1)
+		}
+		if cnt > 0 {
+			for d := 0; d < km.dim; d++ {
+				km.cent[c*km.dim+d] = sums[d] / cnt
+				e.Write64(0, km.centroids, uint64(c*km.dim+d),
+					math.Float64bits(km.cent[c*km.dim+d]))
+			}
+		}
+	}
+}

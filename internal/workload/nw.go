@@ -1,0 +1,127 @@
+package workload
+
+// NW is the Rodinia Needleman-Wunsch benchmark: global sequence alignment
+// by dynamic programming over an (N+1)^2 score matrix. Every cell is
+// written once per kernel run and read three times by its down/right
+// neighbours; the whole matrix is revisited only on the next run, giving nw
+// the longest DRAM reuse time of the benchmark set (Table II: 10.93 s
+// single-threaded). Scores are small integers — the lowest-entropy data
+// pattern of the suite.
+type NW struct {
+	n       int
+	penalty int
+
+	seq1   *Array // first sequence per thread block (capacity)
+	seq2   *Array // second sequence per thread block (capacity)
+	matrix *Array // DP score matrix (capacity)
+	rowBuf *Array // previous-row working buffer, one per thread (resident)
+
+	s1, s2 []int8
+	score  []int32
+}
+
+// NewNW returns the benchmark.
+func NewNW() *NW { return &NW{penalty: 10} }
+
+// Name implements Kernel.
+func (n *NW) Name() string { return "nw" }
+
+// blosum is a toy similarity score for the 4-letter alphabet.
+func blosum(a, b int8) int32 {
+	if a == b {
+		return 5
+	}
+	return -3
+}
+
+// Setup implements Kernel.
+func (nw *NW) Setup(e *Engine, size Size) {
+	switch size {
+	case SizeTest:
+		nw.n = 256
+	default:
+		nw.n = 1400 // ~2M-word DP matrix
+	}
+	dim := nw.n + 1
+	nw.seq1 = e.Alloc("seq1", uint64(nw.n), Capacity)
+	nw.seq2 = e.Alloc("seq2", uint64(nw.n), Capacity)
+	nw.matrix = e.Alloc("dp_matrix", uint64(dim*dim), Capacity)
+	nw.rowBuf = e.Alloc("row_buf", uint64(dim*8), Resident)
+
+	nw.s1 = make([]int8, nw.n)
+	nw.s2 = make([]int8, nw.n)
+	nw.score = make([]int32, dim*dim)
+	rng := e.RNG()
+	for i := 0; i < nw.n; i++ {
+		nw.s1[i] = int8(rng.Intn(4))
+		nw.s2[i] = int8(rng.Intn(4))
+		e.Write64(0, nw.seq1, uint64(i), uint64(nw.s1[i]))
+		e.Write64(0, nw.seq2, uint64(i), uint64(nw.s2[i]))
+	}
+	// Boundary conditions.
+	for i := 0; i <= nw.n; i++ {
+		nw.score[i*dim] = int32(-i * nw.penalty)
+		nw.score[i] = int32(-i * nw.penalty)
+		if i%4 == 0 {
+			e.Write64(0, nw.matrix, uint64(i*dim), uint64(uint32(nw.score[i*dim])))
+			e.Write64(0, nw.matrix, uint64(i), uint64(uint32(nw.score[i])))
+		}
+	}
+}
+
+// RunIter implements Kernel: one full alignment. Threads process
+// independent horizontal bands in a coarse wavefront (the Rodinia blocked
+// decomposition): each band row depends only on the previous row, which the
+// previous band has already produced by the time the next band starts in
+// this sequential simulation.
+func (nw *NW) RunIter(e *Engine) {
+	threads := e.Threads()
+	dim := nw.n + 1
+	for tid := 0; tid < threads; tid++ {
+		lo, hi := span(nw.n, threads, tid)
+		rowBase := uint64(tid * dim)
+		for i := lo + 1; i <= hi; i++ {
+			if threads > 1 {
+				// Wavefront dependency: each band row waits for the
+				// previous band's row to clear the block boundary. The
+				// spin-wait costs a large fraction of the row time,
+				// which is why nw scales poorly with threads.
+				e.Compute(tid, 2*dim)
+			}
+			e.Read64(tid, nw.seq1, uint64(i-1))
+			for j := 1; j <= nw.n; j++ {
+				e.Read64(tid, nw.seq2, uint64(j-1))
+				// The blocked Rodinia kernel keeps the previous row in
+				// a per-thread working buffer: up/diag dependencies are
+				// served from it, left stays in a register. Only the
+				// final score of each cell streams to the matrix.
+				diagIdx := uint64((i-1)*dim + (j - 1))
+				upIdx := uint64((i-1)*dim + j)
+				leftIdx := uint64(i*dim + (j - 1))
+				e.Read64(tid, nw.rowBuf, rowBase+uint64(j-1))
+				e.Read64(tid, nw.rowBuf, rowBase+uint64(j))
+				diag := nw.score[diagIdx] + blosum(nw.s1[i-1], nw.s2[j-1])
+				up := nw.score[upIdx] - int32(nw.penalty)
+				left := nw.score[leftIdx] - int32(nw.penalty)
+				best := diag
+				if up > best {
+					best = up
+				}
+				if left > best {
+					best = left
+				}
+				nw.score[i*dim+j] = best
+				e.Write64(tid, nw.rowBuf, rowBase+uint64(j), uint64(uint32(best)))
+				e.Write64(tid, nw.matrix, uint64(i*dim+j), uint64(uint32(best)))
+				e.Compute(tid, 6)
+			}
+		}
+	}
+}
+
+// Score returns the final alignment score (used by tests to check the
+// algorithm actually computes the alignment).
+func (nw *NW) Score() int32 {
+	dim := nw.n + 1
+	return nw.score[nw.n*dim+nw.n]
+}

@@ -1,0 +1,52 @@
+package workload
+
+// RandomPattern is the random data-pattern micro-benchmark used for
+// conventional retention-time profiling (paper Section II-C and Fig. 13):
+// it fills memory with uniformly random data — the worst-case coupling
+// pattern — then idles between slow verification scans. Its memory access
+// rate is minimal (almost all time is spent waiting), so it exercises pure
+// retention behaviour: maximal data-pattern stress, no implicit refresh,
+// no disturbance.
+type RandomPattern struct {
+	words  uint64
+	buf    *Array // the pattern buffer (capacity)
+	filled bool
+}
+
+// NewRandomPattern returns the micro-benchmark.
+func NewRandomPattern() *RandomPattern { return &RandomPattern{} }
+
+// Name implements Kernel. The paper labels this workload "random".
+func (r *RandomPattern) Name() string { return "random" }
+
+// Setup implements Kernel.
+func (r *RandomPattern) Setup(e *Engine, size Size) {
+	switch size {
+	case SizeTest:
+		r.words = 1 << 17
+	default:
+		r.words = 1 << 21 // 2M-word pattern buffer
+	}
+	r.buf = e.Alloc("pattern", r.words, Capacity)
+}
+
+// RunIter implements Kernel: one write-wait-verify cycle. The wait is a
+// pure-CPU delay loop (the real micro-benchmark sleeps; a polling loop
+// models the same absence of memory traffic).
+func (r *RandomPattern) RunIter(e *Engine) {
+	rng := e.RNG()
+	if !r.filled {
+		// Initial fill with uniformly random words: maximum entropy.
+		for i := uint64(0); i < r.words; i++ {
+			e.Write64(0, r.buf, i, rng.Uint64())
+		}
+		r.filled = true
+	}
+	// Idle wait: the dominant phase of a retention test.
+	e.Compute(0, int(r.words)*8)
+	// Verification scan (reads only; errors would be checked here).
+	for i := uint64(0); i < r.words; i++ {
+		e.Read64(0, r.buf, i)
+		e.Compute(0, 2)
+	}
+}

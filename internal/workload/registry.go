@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Spec names one benchmark configuration of the paper's campaign: a kernel
+// and a thread count. The paper's labels use "(par)" for the 8-thread
+// variants of the compute kernels; the caching/analytics workloads run
+// with 8 threads only (Section IV-C).
+type Spec struct {
+	Label   string
+	Threads int
+	New     func() Kernel
+}
+
+// PaperSet returns the 14 benchmark configurations characterized in
+// Figs. 4, 7, 8 and 9.
+func PaperSet() []Spec {
+	return []Spec{
+		{"backprop", 1, func() Kernel { return NewBackprop() }},
+		{"backprop(par)", 8, func() Kernel { return NewBackprop() }},
+		{"kmeans", 1, func() Kernel { return NewKMeans() }},
+		{"kmeans(par)", 8, func() Kernel { return NewKMeans() }},
+		{"nw", 1, func() Kernel { return NewNW() }},
+		{"nw(par)", 8, func() Kernel { return NewNW() }},
+		{"srad", 1, func() Kernel { return NewSRAD() }},
+		{"srad(par)", 8, func() Kernel { return NewSRAD() }},
+		{"fmm", 1, func() Kernel { return NewFMM() }},
+		{"fmm(par)", 8, func() Kernel { return NewFMM() }},
+		{"pagerank", 8, func() Kernel { return NewPageRank() }},
+		{"bfs", 8, func() Kernel { return NewBFS() }},
+		{"bc", 8, func() Kernel { return NewBC() }},
+		{"memcached", 8, func() Kernel { return NewMemcached() }},
+	}
+}
+
+// ExtendedSet returns PaperSet plus the Fig. 13 workloads: the two lulesh
+// compiler-optimization variants and the random data-pattern
+// micro-benchmark.
+func ExtendedSet() []Spec {
+	return append(PaperSet(),
+		Spec{"lulesh(O2)", 1, func() Kernel { return NewLulesh("O2") }},
+		Spec{"lulesh(F)", 1, func() Kernel { return NewLulesh("F") }},
+		Spec{"random", 1, func() Kernel { return NewRandomPattern() }},
+	)
+}
+
+// FindSpec returns the spec with the given label.
+func FindSpec(label string) (Spec, error) {
+	for _, s := range ExtendedSet() {
+		if s.Label == label {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown benchmark %q", label)
+}
+
+// Labels lists the labels of a spec set in order.
+func Labels(specs []Spec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Label
+	}
+	return out
+}
+
+// Execute runs the kernel for the given number of outer iterations on a
+// fresh engine and returns the engine with all measurements accumulated.
+func Execute(spec Spec, size Size, iters int, seed uint64) *Engine {
+	e := NewEngine(spec.Threads, seed)
+	k := spec.New()
+	k.Setup(e, size)
+	for i := 0; i < iters; i++ {
+		k.RunIter(e)
+	}
+	return e
+}
+
+// HDP computes the data-pattern entropy of the sampled written values in
+// bits (paper Eq. 5), expressed on the paper's 32-bit-value scale: the
+// 16-bit chunk entropy is doubled, capped at 32.
+func (e *Engine) HDP() float64 {
+	total := e.entropyN
+	if total == 0 {
+		return 0
+	}
+	// Sum in sorted order: map iteration order varies between runs and
+	// float addition is not associative, so an unordered sum would make
+	// HDP non-deterministic in its last bits.
+	counts := make([]uint32, 0, len(e.entropy))
+	for _, cnt := range e.entropy {
+		counts = append(counts, cnt)
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] < counts[j] })
+	h := 0.0
+	for _, cnt := range counts {
+		p := float64(cnt) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	if e.entropyOver > 0 {
+		// Values past the histogram cap are all distinct in the worst
+		// case: each contributes -1/N log2(1/N).
+		p := 1 / float64(total)
+		h -= float64(e.entropyOver) * p * math.Log2(p)
+	}
+	if h = 2 * h; h > 32 {
+		h = 32
+	}
+	return h
+}
+
+// ArrayByName returns the named allocation, or nil.
+func (e *Engine) ArrayByName(name string) *Array {
+	for _, a := range e.arrays {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// MeanWordGapInstr returns the measured mean instruction distance between
+// accesses to the same word of the array (the Direuse of paper Eq. 4),
+// or 0 when no reuse was observed.
+func (a *Array) MeanWordGapInstr() float64 {
+	if a.gapN == 0 {
+		return 0
+	}
+	return a.gapSum / float64(a.gapN)
+}
+
+// RowGapHistogram returns the log2-bucketed distribution of instruction
+// distances between accesses to the same DRAM-row-sized block.
+func (a *Array) RowGapHistogram() [48]uint64 {
+	return a.rowHist
+}
+
+// MeanRowGapInstr returns the mean instruction distance between accesses
+// to the same DRAM-row-sized block of the array (all gaps, bucketed).
+func (a *Array) MeanRowGapInstr() float64 {
+	var sum, n float64
+	for b, cnt := range a.rowHist {
+		if cnt == 0 {
+			continue
+		}
+		sum += float64(cnt) * bucketMidInstr(b)
+		n += float64(cnt)
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// bucketMidInstr returns the representative gap length of log2 bucket b.
+func bucketMidInstr(b int) float64 {
+	if b <= 0 {
+		return 1
+	}
+	return 1.5 * math.Pow(2, float64(b-1))
+}
+
+// ReuseEvents returns the number of sampled reuse events observed (word
+// accesses with a prior reference).
+func (a *Array) ReuseEvents() uint64 { return a.gapN }
+
+// Accesses returns the array's load+store instruction count.
+func (a *Array) Accesses() uint64 { return a.reads + a.writes }
+
+// DRAMAccesses returns the array's post-cache access count.
+func (a *Array) DRAMAccesses() uint64 { return a.dramReads + a.dramWrites }
+
+// Writes returns the array's store count.
+func (a *Array) Writes() uint64 { return a.writes }
+
+// BitOneFraction returns the fraction of 1 bits in the values written to
+// the array (0.5 when nothing was sampled, the uninformative prior).
+func (a *Array) BitOneFraction() float64 {
+	if a.bitsSample == 0 {
+		return 0.5
+	}
+	return float64(a.onesSample) / float64(a.bitsSample)
+}
+
+// SortedArrays returns the engine's allocations ordered by descending
+// footprint (a stable report order).
+func (e *Engine) SortedArrays() []*Array {
+	out := append([]*Array(nil), e.arrays...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].words != out[j].words {
+			return out[i].words > out[j].words
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// TotalWords sums the allocation sizes.
+func (e *Engine) TotalWords() uint64 {
+	var n uint64
+	for _, a := range e.arrays {
+		n += a.words
+	}
+	return n
+}

@@ -1,0 +1,135 @@
+package workload
+
+import "math"
+
+// SRAD is the Rodinia speckle-reducing anisotropic diffusion benchmark: an
+// iterative 4-point stencil over an image. Unlike nw, srad *rewrites* its
+// image every iteration with freshly computed floating-point values — the
+// data-turnover behaviour that makes srad the one single-threaded benchmark
+// with a non-zero crash probability in the paper's Fig. 9a.
+type SRAD struct {
+	rows, cols int
+	lambda     float64
+
+	image *Array // the image being diffused (capacity, rewritten per iter)
+	coeff *Array // diffusion coefficients (capacity, rewritten per iter)
+
+	img []float64
+	c   []float64
+}
+
+// NewSRAD returns the benchmark.
+func NewSRAD() *SRAD { return &SRAD{lambda: 0.5} }
+
+// Name implements Kernel.
+func (s *SRAD) Name() string { return "srad" }
+
+// Setup implements Kernel.
+func (s *SRAD) Setup(e *Engine, size Size) {
+	switch size {
+	case SizeTest:
+		s.rows, s.cols = 256, 256
+	default:
+		s.rows, s.cols = 1024, 1024 // 1M-word image + 1M-word coefficients
+	}
+	n := s.rows * s.cols
+	s.image = e.Alloc("image", uint64(n), Capacity)
+	s.coeff = e.Alloc("coeff", uint64(n), Capacity)
+	s.img = make([]float64, n)
+	s.c = make([]float64, n)
+	rng := e.RNG()
+	for i := range s.img {
+		s.img[i] = math.Exp(rng.Float64()) // speckled image
+		if i%4 == 0 {
+			e.Write64(i%e.Threads(), s.image, uint64(i), math.Float64bits(s.img[i]))
+		}
+	}
+}
+
+// RunIter implements Kernel: one diffusion step (coefficient pass + update
+// pass), rows partitioned across threads.
+func (s *SRAD) RunIter(e *Engine) {
+	threads := e.Threads()
+	rows, cols := s.rows, s.cols
+
+	// Mean/variance of a window (Rodinia uses a fixed ROI).
+	var sum, sum2 float64
+	roi := 64
+	if roi > rows {
+		roi = rows
+	}
+	for i := 0; i < roi; i++ {
+		idx := i*cols + i
+		e.Read64(0, s.image, uint64(idx))
+		sum += s.img[idx]
+		sum2 += s.img[idx] * s.img[idx]
+		e.Compute(0, 3)
+	}
+	mean := sum / float64(roi)
+	variance := sum2/float64(roi) - mean*mean
+	q0sqr := variance / (mean*mean + 1e-12)
+
+	// Pass 1: diffusion coefficient from the 4-neighbour gradient.
+	for tid := 0; tid < threads; tid++ {
+		lo, hi := span(rows, threads, tid)
+		for i := lo; i < hi; i++ {
+			for j := 0; j < cols; j++ {
+				idx := i*cols + j
+				up := clampIdx(i-1, rows)*cols + j
+				down := clampIdx(i+1, rows)*cols + j
+				left := i*cols + clampIdx(j-1, cols)
+				right := i*cols + clampIdx(j+1, cols)
+				e.Read64(tid, s.image, uint64(idx))
+				e.Read64(tid, s.image, uint64(up))
+				e.Read64(tid, s.image, uint64(down))
+				e.Read64(tid, s.image, uint64(left))
+				e.Read64(tid, s.image, uint64(right))
+				v := s.img[idx] + 1e-12
+				dN := s.img[up] - s.img[idx]
+				dS := s.img[down] - s.img[idx]
+				dW := s.img[left] - s.img[idx]
+				dE := s.img[right] - s.img[idx]
+				g2 := (dN*dN + dS*dS + dW*dW + dE*dE) / (v * v)
+				l := (dN + dS + dW + dE) / v
+				num := 0.5*g2 - (1.0/16.0)*l*l
+				den := 1 + 0.25*l
+				qsqr := num / (den*den + 1e-12)
+				cc := 1.0 / (1.0 + (qsqr-q0sqr)/(q0sqr*(1+q0sqr)+1e-12))
+				cc = math.Max(0, math.Min(1, cc))
+				s.c[idx] = cc
+				e.Write64(tid, s.coeff, uint64(idx), math.Float64bits(cc))
+				e.Compute(tid, 18)
+			}
+		}
+	}
+	// Pass 2: divergence update rewrites the image.
+	for tid := 0; tid < threads; tid++ {
+		lo, hi := span(rows, threads, tid)
+		for i := lo; i < hi; i++ {
+			for j := 0; j < cols; j++ {
+				idx := i*cols + j
+				down := clampIdx(i+1, rows)*cols + j
+				right := i*cols + clampIdx(j+1, cols)
+				e.Read64(tid, s.coeff, uint64(idx))
+				e.Read64(tid, s.coeff, uint64(down))
+				e.Read64(tid, s.coeff, uint64(right))
+				e.Read64(tid, s.image, uint64(idx))
+				div := s.c[down] + s.c[right] + 2*s.c[idx]
+				s.img[idx] += 0.25 * s.lambda * div * (s.img[idx] * 0.01)
+				e.Write64(tid, s.image, uint64(idx), math.Float64bits(s.img[idx]))
+				e.Compute(tid, 8)
+			}
+		}
+	}
+}
+
+// clampIdx clamps a stencil neighbour index to the grid.
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}

@@ -1,0 +1,195 @@
+// Package xgene models the experimental platform of the paper: an
+// AppliedMicro X-Gene2 server-on-chip with eight ARMv8 cores, four DDR3
+// MCUs (one Micron 8 GB DIMM each), the SLIMpro management core that
+// configures MCU parameters (TREFP, VDD) and reports ECC errors, and the
+// custom thermal testbed that holds each DIMM at a setpoint.
+//
+// A Server executes characterization experiments (Fig. 3's "DRAM
+// characterization phase"): settle the DIMM temperature, program the MCU
+// parameters, run the workload for two hours, and collect the SLIMpro
+// error log. A detected UE crashes the platform, aborting the run.
+package xgene
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/thermal"
+)
+
+// SLIMpro parameter limits of the platform (paper Section IV-B).
+const (
+	// MinTREFP and MaxTREFP bound the refresh period the MCU accepts.
+	MinTREFP = dram.NominalTREFP
+	MaxTREFP = dram.MaxTREFP
+	// MinVDD is the lowest supply voltage at which the DRAM circuitry
+	// still operates; below it the DIMMs stop responding.
+	MinVDD = dram.MinVDD
+	// MaxVDD is the nominal supply.
+	MaxVDD = dram.NominalVDD
+	// MaxDIMMTempC is the vendor's maximum operating temperature.
+	MaxDIMMTempC = 70
+	// AmbientC is the machine-room ambient temperature.
+	AmbientC = 25
+)
+
+// Server is one X-Gene2 machine with its DRAM and thermal testbed.
+type Server struct {
+	device  *dram.Device
+	testbed *thermal.Testbed
+
+	trefp float64
+	vdd   float64
+}
+
+// Config selects the physical machine and simulation fidelity.
+type Config struct {
+	// Seed selects the physical DIMM population (device seed).
+	Seed uint64
+	// Scale is the dram.Device capacity divisor (see dram.Config).
+	Scale int
+	// Params optionally overrides the DRAM physics.
+	Params *dram.Params
+}
+
+// NewServer boots the platform with nominal DRAM parameters.
+func NewServer(cfg Config) (*Server, error) {
+	dev, err := dram.NewDevice(dram.Config{Seed: cfg.Seed, Scale: cfg.Scale, Params: cfg.Params})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		device:  dev,
+		testbed: thermal.NewTestbed(AmbientC, cfg.Seed^0xD6E8FEB86659FD93),
+		trefp:   dram.NominalTREFP,
+		vdd:     dram.NominalVDD,
+	}, nil
+}
+
+// MustNewServer is NewServer for known-good configs.
+func MustNewServer(cfg Config) *Server {
+	s, err := NewServer(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Device exposes the underlying DRAM (for population inspection).
+func (s *Server) Device() *dram.Device { return s.device }
+
+// SetTREFP programs the refresh period through SLIMpro. The platform
+// rejects values outside its register range.
+func (s *Server) SetTREFP(seconds float64) error {
+	if seconds < MinTREFP || seconds > MaxTREFP {
+		return fmt.Errorf("xgene: TREFP %.3fs outside SLIMpro range [%.3f, %.3f]",
+			seconds, MinTREFP, MaxTREFP)
+	}
+	s.trefp = seconds
+	return nil
+}
+
+// SetVDD programs the DRAM supply voltage. Below MinVDD the memory stops
+// working (the paper determined 1.428 V experimentally).
+func (s *Server) SetVDD(volts float64) error {
+	if volts < MinVDD || volts > MaxVDD {
+		return fmt.Errorf("xgene: VDD %.3fV outside operational range [%.3f, %.3f]",
+			volts, MinVDD, MaxVDD)
+	}
+	s.vdd = volts
+	return nil
+}
+
+// TREFP returns the programmed refresh period.
+func (s *Server) TREFP() float64 { return s.trefp }
+
+// VDD returns the programmed supply voltage.
+func (s *Server) VDD() float64 { return s.vdd }
+
+// Experiment describes one characterization run request.
+type Experiment struct {
+	// TempC is the DIMM temperature setpoint.
+	TempC float64
+	// DIMMTempC optionally sets each DIMM's setpoint independently (the
+	// testbed has one PID loop per module).
+	DIMMTempC *[dram.NumDIMMs]float64
+	// DurationSec defaults to the paper's 7200 s.
+	DurationSec float64
+	// Rep distinguishes repetitions (VRT state differs between runs).
+	Rep int
+	// RecordWER enables CE accounting (needed for WER campaigns).
+	RecordWER bool
+	// ReportOnly logs UEs without crashing (not available on the real
+	// platform; used to look past the crash horizon, e.g. Fig. 2).
+	ReportOnly bool
+}
+
+// Observation is the outcome of one experiment.
+type Observation struct {
+	*dram.RunResult
+	// SettleSeconds is the thermal testbed's settling time.
+	SettleSeconds float64
+	// TempC is the achieved DIMM temperature.
+	TempC float64
+}
+
+// Run performs one experiment with the currently programmed parameters.
+func (s *Server) Run(profile *dram.AccessProfile, exp Experiment) (*Observation, error) {
+	if exp.TempC < AmbientC || exp.TempC > MaxDIMMTempC {
+		return nil, fmt.Errorf("xgene: DIMM setpoint %.1f°C outside testbed range [%d, %d]",
+			exp.TempC, AmbientC, MaxDIMMTempC)
+	}
+	var settle float64
+	var err error
+	if exp.DIMMTempC != nil {
+		for d, sp := range exp.DIMMTempC {
+			if sp < AmbientC || sp > MaxDIMMTempC {
+				return nil, fmt.Errorf("xgene: DIMM%d setpoint %.1f°C outside testbed range [%d, %d]",
+					d, sp, AmbientC, MaxDIMMTempC)
+			}
+		}
+		settle, err = s.testbed.SettleEach(*exp.DIMMTempC, 0.5, 3600)
+	} else {
+		settle, err = s.testbed.SettleAll(exp.TempC, 0.5, 3600)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.device.Run(profile, dram.RunConfig{
+		TREFP:        s.trefp,
+		VDD:          s.vdd,
+		TempC:        exp.TempC,
+		DIMMTempC:    exp.DIMMTempC,
+		DurationSec:  exp.DurationSec,
+		Rep:          exp.Rep,
+		RecordWER:    exp.RecordWER,
+		DisableCrash: exp.ReportOnly,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Observation{RunResult: res, SettleSeconds: settle, TempC: exp.TempC}, nil
+}
+
+// MeasurePUE repeats a run reps times and returns the fraction that ended
+// in a system crash (paper Eq. 3).
+func (s *Server) MeasurePUE(profile *dram.AccessProfile, tempC float64, reps int) (float64, []int, error) {
+	if reps <= 0 {
+		return 0, nil, fmt.Errorf("xgene: MeasurePUE needs at least one repetition")
+	}
+	crashes := 0
+	rankHits := make([]int, dram.NumRanks)
+	for rep := 0; rep < reps; rep++ {
+		obs, err := s.Run(profile, Experiment{TempC: tempC, Rep: rep})
+		if err != nil {
+			return 0, nil, err
+		}
+		if obs.Crashed {
+			crashes++
+			if obs.UERank >= 0 {
+				rankHits[obs.UERank]++
+			}
+		}
+	}
+	return float64(crashes) / float64(reps), rankHits, nil
+}

@@ -1,0 +1,155 @@
+package xgene
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+)
+
+func testProfile() *dram.AccessProfile {
+	return &dram.AccessProfile{
+		Name:           "xgene-test",
+		Threads:        8,
+		FootprintWords: 1 << 30,
+		Regions: []dram.Region{
+			{Name: "bulk", FootprintFrac: 1.0, AccessFrac: 1.0,
+				ReuseSeconds: 2, RowReuseSeconds: 2, BitOneProb: 0.5, RewritesPerSec: 0.5},
+		},
+		DRAMAccessesPerSec:   2e8,
+		RowActivationsPerSec: 6e7,
+		ReadFrac:             0.7,
+		HDP:                  16,
+	}
+}
+
+func TestServerParameterLimits(t *testing.T) {
+	s := MustNewServer(Config{Scale: 256})
+	if err := s.SetTREFP(3.0); err == nil {
+		t.Fatal("TREFP beyond register range accepted")
+	}
+	if err := s.SetTREFP(0.01); err == nil {
+		t.Fatal("TREFP below nominal accepted")
+	}
+	if err := s.SetVDD(1.2); err == nil {
+		t.Fatal("VDD below operational point accepted")
+	}
+	if err := s.SetVDD(1.6); err == nil {
+		t.Fatal("VDD above nominal accepted")
+	}
+	if err := s.SetTREFP(2.283); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetVDD(1.428); err != nil {
+		t.Fatal(err)
+	}
+	if s.TREFP() != 2.283 || s.VDD() != 1.428 {
+		t.Fatal("programmed parameters not retained")
+	}
+}
+
+func TestServerRejectsBadSetpoint(t *testing.T) {
+	s := MustNewServer(Config{Scale: 256})
+	if _, err := s.Run(testProfile(), Experiment{TempC: 90}); err == nil {
+		t.Fatal("setpoint beyond DIMM spec accepted")
+	}
+	if _, err := s.Run(testProfile(), Experiment{TempC: 10}); err == nil {
+		t.Fatal("setpoint below ambient accepted")
+	}
+}
+
+func TestServerRunProducesObservation(t *testing.T) {
+	s := MustNewServer(Config{Scale: 64})
+	if err := s.SetTREFP(2.283); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetVDD(1.428); err != nil {
+		t.Fatal(err)
+	}
+	obs, err := s.Run(testProfile(), Experiment{TempC: 60, RecordWER: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.SettleSeconds <= 0 {
+		t.Fatal("no thermal settling recorded")
+	}
+	if !obs.WERValid {
+		t.Fatal("WER invalid on a 60°C run")
+	}
+	if obs.WER <= 0 {
+		t.Fatal("no errors at 2.283s/60°C")
+	}
+}
+
+func TestMeasurePUEAtCrashPoint(t *testing.T) {
+	s := MustNewServer(Config{Scale: 256})
+	if err := s.SetTREFP(2.283); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetVDD(1.428); err != nil {
+		t.Fatal(err)
+	}
+	pue, rankHits, err := s.MeasurePUE(testProfile(), 70, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pue != 1.0 {
+		t.Fatalf("PUE at 2.283s/70°C = %v, want 1.0 (paper: all runs crash)", pue)
+	}
+	total := 0
+	for _, h := range rankHits {
+		total += h
+	}
+	if total != 5 {
+		t.Fatalf("crash ranks account for %d of 5 crashes", total)
+	}
+	if rankHits[7] != 0 {
+		t.Fatal("DIMM3/rank1 crashed but has no UE pairs")
+	}
+}
+
+func TestMeasurePUEValidation(t *testing.T) {
+	s := MustNewServer(Config{Scale: 256})
+	if _, _, err := s.MeasurePUE(testProfile(), 60, 0); err == nil {
+		t.Fatal("zero reps accepted")
+	}
+}
+
+func TestReportOnlySurvivesCrashPoint(t *testing.T) {
+	s := MustNewServer(Config{Scale: 64})
+	_ = s.SetTREFP(2.283)
+	_ = s.SetVDD(1.428)
+	obs, err := s.Run(testProfile(), Experiment{TempC: 70, RecordWER: true, ReportOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Crashed {
+		t.Fatal("report-only run crashed")
+	}
+	if obs.UECount == 0 {
+		t.Fatal("expected UE reports at 2.283s/70°C")
+	}
+}
+
+func TestPerDIMMExperiment(t *testing.T) {
+	s := MustNewServer(Config{Scale: 16})
+	if err := s.SetTREFP(2.283); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetVDD(1.428); err != nil {
+		t.Fatal(err)
+	}
+	temps := [dram.NumDIMMs]float64{50, 65, 50, 50}
+	obs, err := s.Run(testProfile(), Experiment{TempC: 50, DIMMTempC: &temps, RecordWER: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := obs.WERByRank[2] + obs.WERByRank[3]  // DIMM1's ranks
+	cold := obs.WERByRank[0] + obs.WERByRank[1] // DIMM0's ranks
+	if hot <= cold {
+		t.Fatalf("heated DIMM1 (%v) not above DIMM0 (%v)", hot, cold)
+	}
+	bad := [dram.NumDIMMs]float64{50, 90, 50, 50}
+	if _, err := s.Run(testProfile(), Experiment{TempC: 50, DIMMTempC: &bad}); err == nil {
+		t.Fatal("per-DIMM setpoint above vendor limit accepted")
+	}
+}
