@@ -13,12 +13,15 @@ package repro
 // simulation; see EXPERIMENTS.md for how that maps to the paper's numbers.
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/workload"
 )
@@ -110,7 +113,7 @@ func BenchmarkAblation(b *testing.B) { benchTable(b, benchSuite(b).Ablation) }
 // the paper's "predict DRAM errors within 300 ms" claim (Section VI-C).
 func BenchmarkPredictionLatency(b *testing.B) {
 	s := benchSuite(b)
-	model, err := core.TrainWER(s.Dataset, core.ModelKNN, core.InputSet1)
+	model, err := core.TrainWER(s.Dataset, core.ModelKNN, core.InputSet1, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -126,6 +129,44 @@ func BenchmarkPredictionLatency(b *testing.B) {
 		if perQuery > 300*time.Millisecond {
 			b.Fatalf("prediction took %v per query, paper promises < 300ms", perQuery)
 		}
+	}
+}
+
+// BenchmarkCampaignWorkers records the campaign engine's parallel speedup:
+// the same Fig. 7-class characterization grid (4 benchmarks x 4 TREFP x 3
+// temperatures, WER recording on) executed batch-wise on the device at 1,
+// 2, 4 and GOMAXPROCS workers. The tables assembled from these runs are
+// identical at every worker count; only the wall clock changes. On a
+// 4-core runner workers=4 completes the grid in less than half the
+// workers=1 time (see EXPERIMENTS.md for recorded numbers).
+func BenchmarkCampaignWorkers(b *testing.B) {
+	s := benchSuite(b)
+	labels := []string{"backprop(par)", "memcached", "srad(par)", "kmeans(par)"}
+	var jobs []dram.BatchJob
+	for _, label := range labels {
+		for _, trefp := range core.WERTrefps {
+			for _, temp := range core.WERTemps {
+				jobs = append(jobs, dram.BatchJob{
+					Profile: s.Profiles[label].Access,
+					Config: dram.RunConfig{
+						TREFP: trefp, VDD: dram.MinVDD, TempC: temp, RecordWER: true,
+					},
+				})
+			}
+		}
+	}
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Server.Device().RunBatch(jobs, engine.Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

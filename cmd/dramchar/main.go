@@ -5,15 +5,17 @@
 // Usage:
 //
 //	dramchar -bench backprop(par) -trefp 2.283 -temp 60 [-vdd 1.428]
-//	         [-scale 8] [-quick] [-reps 1] [-report-only]
+//	         [-scale 8] [-quick] [-reps 1] [-workers N] [-report-only]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/dram"
+	"repro/internal/engine"
 	"repro/internal/profile"
 	"repro/internal/workload"
 	"repro/internal/xgene"
@@ -29,6 +31,7 @@ func main() {
 		scale      = flag.Int("scale", 8, "simulation capacity divisor")
 		quick      = flag.Bool("quick", false, "use test-size kernels")
 		reps       = flag.Int("reps", 1, "repetitions")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent repetitions")
 		reportOnly = flag.Bool("report-only", false, "log UEs without crashing")
 		seed       = flag.Uint64("seed", 0, "server seed")
 	)
@@ -57,20 +60,35 @@ func main() {
 	fmt.Printf("profile: Treuse=%.3fs HDP=%.2f bits, DRAM %.3g acc/s, %.3g act/s\n",
 		prof.Treuse, prof.HDP, prof.Access.DRAMAccessesPerSec, prof.Access.RowActivationsPerSec)
 
+	if *reps <= 0 {
+		fatal(fmt.Errorf("-reps must be positive, got %d", *reps))
+	}
 	srv := xgene.MustNewServer(xgene.Config{Seed: *seed, Scale: *scale})
+	// Validate the operating point up front (and program it, as the real
+	// protocol would) so a bad -trefp/-vdd fails before any run — including
+	// an explicit -vdd 0, which Campaign would otherwise default to MinVDD.
 	if err := srv.SetTREFP(*trefp); err != nil {
 		fatal(err)
 	}
 	if err := srv.SetVDD(*vdd); err != nil {
 		fatal(err)
 	}
-	for rep := 0; rep < *reps; rep++ {
-		obs, err := srv.Run(prof.Access, xgene.Experiment{
-			TempC: *temp, Rep: rep, RecordWER: true, ReportOnly: *reportOnly,
-		})
-		if err != nil {
-			fatal(err)
+	// Repetitions are independent campaign jobs: run them concurrently and
+	// report in repetition order.
+	reqs := make([]xgene.Request, *reps)
+	for rep := range reqs {
+		reqs[rep] = xgene.Request{
+			Profile: prof.Access,
+			TREFP:   *trefp,
+			VDD:     *vdd,
+			Exp:     xgene.Experiment{TempC: *temp, Rep: rep, RecordWER: true, ReportOnly: *reportOnly},
 		}
+	}
+	observations, err := srv.Campaign(reqs, engine.Options{Workers: *workers})
+	if err != nil {
+		fatal(err)
+	}
+	for rep, obs := range observations {
 		fmt.Printf("\nrun %d: thermal settle %.0fs, TREFP=%.3fs VDD=%.3fV %.0f°C\n",
 			rep, obs.SettleSeconds, *trefp, *vdd, *temp)
 		if obs.Crashed {

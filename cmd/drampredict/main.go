@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -26,12 +27,13 @@ import (
 
 func main() {
 	var (
-		bench = flag.String("bench", "lulesh(F)", "workload to predict")
-		trefp = flag.Float64("trefp", 0.618, "refresh period in seconds")
-		temp  = flag.Float64("temp", 70, "DIMM temperature in °C")
-		scale = flag.Int("scale", 8, "simulation capacity divisor")
-		quick = flag.Bool("quick", false, "use test-size kernels")
-		seed  = flag.Uint64("seed", 0, "server and profiling seed")
+		bench   = flag.String("bench", "lulesh(F)", "workload to predict")
+		trefp   = flag.Float64("trefp", 0.618, "refresh period in seconds")
+		temp    = flag.Float64("temp", 70, "DIMM temperature in °C")
+		scale   = flag.Int("scale", 8, "simulation capacity divisor")
+		quick   = flag.Bool("quick", false, "use test-size kernels")
+		seed    = flag.Uint64("seed", 0, "server and profiling seed")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent campaign jobs")
 	)
 	flag.Parse()
 
@@ -54,27 +56,27 @@ func main() {
 		}
 	}
 	fmt.Fprintln(os.Stderr, "building training dataset (one-time cost)...")
-	profiles, err := core.BuildProfiles(trainSpecs, size, *seed)
+	profiles, err := core.BuildProfiles(trainSpecs, size, *seed, *workers)
 	if err != nil {
 		fatal(err)
 	}
 	srv := xgene.MustNewServer(xgene.Config{Seed: *seed, Scale: *scale})
-	ds, err := core.BuildDataset(srv, profiles, trainSpecs, core.CampaignOptions{Reps: 5})
+	ds, err := core.BuildDataset(srv, profiles, trainSpecs, core.CampaignOptions{Reps: 5, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}
-	werModel, err := core.TrainWER(ds, core.ModelKNN, core.InputSet1)
+	werModel, err := core.TrainWER(ds, core.ModelKNN, core.InputSet1, *workers)
 	if err != nil {
 		fatal(err)
 	}
-	pueModel, err := core.TrainPUE(ds, core.ModelKNN, core.InputSet2)
+	pueModel, err := core.TrainPUE(ds, core.ModelKNN, core.InputSet2, *workers)
 	if err != nil {
 		fatal(err)
 	}
 
 	// Profile the target workload (the paper's "Profiling phase": fast,
 	// no DRAM characterization involved).
-	targetProfiles, err := core.BuildProfiles([]workload.Spec{spec}, size, *seed)
+	targetProfiles, err := core.BuildProfiles([]workload.Spec{spec}, size, *seed, 1)
 	if err != nil {
 		fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"repro/internal/core"
@@ -24,6 +25,7 @@ func main() {
 		reps     = flag.Int("reps", 10, "repetitions per PUE experiment")
 		quick    = flag.Bool("quick", false, "use test-size kernels")
 		seed     = flag.Uint64("seed", 0, "server and profiling seed")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent campaign jobs")
 		savePath = flag.String("save", "", "write the campaign dataset artifact to this path")
 		loadPath = flag.String("load", "", "skip the campaign; load a saved dataset artifact")
 	)
@@ -44,13 +46,13 @@ func main() {
 		}
 		specs := workload.ExtendedSet()
 		fmt.Fprintf(os.Stderr, "profiling %d workloads...\n", len(specs))
-		profiles, err := core.BuildProfiles(specs, size, *seed)
+		profiles, err := core.BuildProfiles(specs, size, *seed, *workers)
 		if err != nil {
 			fatal(err)
 		}
 		srv := xgene.MustNewServer(xgene.Config{Seed: *seed, Scale: *scale})
-		fmt.Fprintln(os.Stderr, "running characterization campaigns...")
-		ds, err = core.BuildDataset(srv, profiles, specs, core.CampaignOptions{Reps: *reps})
+		fmt.Fprintf(os.Stderr, "running characterization campaigns (%d workers)...\n", *workers)
+		ds, err = core.BuildDataset(srv, profiles, specs, core.CampaignOptions{Reps: *reps, Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}
@@ -74,7 +76,7 @@ func main() {
 	fmt.Printf("%-6s %-12s %-8s %-10s\n", "model", "input set", "avg", "median app")
 	for _, kind := range core.ModelKinds() {
 		for _, set := range core.InputSets() {
-			ev, err := core.EvaluateWER(ds, kind, set)
+			ev, err := core.EvaluateWER(ds, kind, set, *workers)
 			if err != nil {
 				fatal(err)
 			}
@@ -87,7 +89,7 @@ func main() {
 	fmt.Printf("%-6s %-12s %-8s\n", "model", "input set", "MAE")
 	for _, kind := range core.ModelKinds() {
 		for _, set := range core.InputSets() {
-			ev, err := core.EvaluatePUE(ds, kind, set)
+			ev, err := core.EvaluatePUE(ds, kind, set, *workers)
 			if err != nil {
 				fatal(err)
 			}

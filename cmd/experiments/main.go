@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/exp"
 	"repro/internal/workload"
@@ -22,11 +23,12 @@ import (
 
 func main() {
 	var (
-		runID = flag.String("run", "", "run a single experiment id (default: all)")
-		scale = flag.Int("scale", 8, "DRAM simulation capacity divisor (1 = full 32 GiB)")
-		reps  = flag.Int("reps", 10, "repetitions per PUE experiment")
-		quick = flag.Bool("quick", false, "use test-size kernels (fast smoke run)")
-		seed  = flag.Uint64("seed", 0, "server and profiling seed")
+		runID   = flag.String("run", "", "run a single experiment id (default: all)")
+		scale   = flag.Int("scale", 8, "DRAM simulation capacity divisor (1 = full 32 GiB)")
+		reps    = flag.Int("reps", 10, "repetitions per PUE experiment")
+		quick   = flag.Bool("quick", false, "use test-size kernels (fast smoke run)")
+		seed    = flag.Uint64("seed", 0, "server and profiling seed")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent campaign jobs")
 	)
 	flag.Parse()
 
@@ -34,9 +36,11 @@ func main() {
 	if *quick {
 		size = workload.SizeTest
 	}
-	fmt.Fprintf(os.Stderr, "profiling %d workloads (size=%v, scale=%d)...\n",
-		len(workload.ExtendedSet()), size, *scale)
-	suite, err := exp.NewSuite(exp.Options{Size: size, Scale: *scale, Reps: *reps, Seed: *seed})
+	fmt.Fprintf(os.Stderr, "profiling %d workloads (size=%v, scale=%d, workers=%d)...\n",
+		len(workload.ExtendedSet()), size, *scale, *workers)
+	suite, err := exp.NewSuite(exp.Options{
+		Size: size, Scale: *scale, Reps: *reps, Seed: *seed, Workers: *workers,
+	})
 	if err != nil {
 		fatal(err)
 	}

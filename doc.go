@@ -10,6 +10,11 @@
 // features. This repository rebuilds every layer of that experiment in
 // software:
 //
+//   - internal/engine  — deterministic parallel job executor: every
+//     campaign-shaped loop (characterization runs, profiling passes,
+//     CV folds, forest tree fits) fans out over a bounded worker pool
+//     with job-keyed RNG derivation, so parallel results are
+//     bit-identical to sequential ones
 //   - internal/dram    — mechanistic DRAM reliability simulator (weak-cell
 //     retention tails, variable retention time, true/anti cells,
 //     neighbour-row disturbance, bitline-coupled pairs)

@@ -32,7 +32,7 @@ func main() {
 		}
 		trainSpecs = append(trainSpecs, s)
 	}
-	profiles, err := core.BuildProfiles(trainSpecs, workload.SizeTest, 0)
+	profiles, err := core.BuildProfiles(trainSpecs, workload.SizeTest, 0, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	model, err := core.TrainWER(ds, core.ModelKNN, core.InputSet1)
+	model, err := core.TrainWER(ds, core.ModelKNN, core.InputSet1, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func main() {
 			log.Fatal(err)
 		}
 		// Profile the new build (fast) and predict.
-		p, err := core.BuildProfiles([]workload.Spec{spec}, workload.SizeTest, 0)
+		p, err := core.BuildProfiles([]workload.Spec{spec}, workload.SizeTest, 0, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

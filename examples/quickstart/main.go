@@ -20,7 +20,7 @@ func main() {
 	// SizeTest keeps this quickstart fast; use SizeProfile for the real
 	// reproduction.
 	specs := workload.ExtendedSet()
-	profiles, err := core.BuildProfiles(specs, workload.SizeTest, 0)
+	profiles, err := core.BuildProfiles(specs, workload.SizeTest, 0, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func main() {
 
 	// 3. Train the paper's published model: KNN on input set 1
 	// (TEMPDRAM, TREFP, wait cycles, memory access rate, HDP, Treuse).
-	model, err := core.TrainWER(ds, core.ModelKNN, core.InputSet1)
+	model, err := core.TrainWER(ds, core.ModelKNN, core.InputSet1, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func main() {
 	}
 
 	// 5. Crash-probability prediction from the PUE model.
-	pueModel, err := core.TrainPUE(ds, core.ModelKNN, core.InputSet2)
+	pueModel, err := core.TrainPUE(ds, core.ModelKNN, core.InputSet2, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

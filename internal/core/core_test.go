@@ -37,13 +37,13 @@ func testDataset(t *testing.T) *Dataset {
 	t.Helper()
 	dsOnce.Do(func() {
 		specs := testSpecs()
-		profiles, err := BuildProfiles(specs, workload.SizeTest, 3)
+		profiles, err := BuildProfiles(specs, workload.SizeTest, 3, 0)
 		if err != nil {
 			dsErr = err
 			return
 		}
 		srv := xgene.MustNewServer(xgene.Config{Scale: 32})
-		dsVal, dsErr = BuildDataset(srv, profiles, specs, CampaignOptions{Reps: 4})
+		dsVal, dsErr = BuildDataset(srv, profiles, specs, CampaignOptions{Reps: 4, Workers: 0})
 	})
 	if dsErr != nil {
 		t.Fatal(dsErr)
@@ -150,7 +150,7 @@ func TestInputSetVectors(t *testing.T) {
 
 func TestTrainAndPredictWER(t *testing.T) {
 	ds := testDataset(t)
-	pred, err := TrainWER(ds, ModelKNN, InputSet1)
+	pred, err := TrainWER(ds, ModelKNN, InputSet1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestTrainAndPredictWER(t *testing.T) {
 
 func TestPredictMeanAveragesRanks(t *testing.T) {
 	ds := testDataset(t)
-	pred, err := TrainWER(ds, ModelKNN, InputSet1)
+	pred, err := TrainWER(ds, ModelKNN, InputSet1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestPredictMeanAveragesRanks(t *testing.T) {
 
 func TestTrainPUEPredicts(t *testing.T) {
 	ds := testDataset(t)
-	pred, err := TrainPUE(ds, ModelKNN, InputSet2)
+	pred, err := TrainPUE(ds, ModelKNN, InputSet2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestTrainPUEPredicts(t *testing.T) {
 func TestEvaluateWERAllModels(t *testing.T) {
 	ds := testDataset(t)
 	for _, kind := range ModelKinds() {
-		ev, err := EvaluateWER(ds, kind, InputSet1)
+		ev, err := EvaluateWER(ds, kind, InputSet1, 0)
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
@@ -229,7 +229,7 @@ func TestEvaluateWERAllModels(t *testing.T) {
 func TestEvaluatePUEAllModels(t *testing.T) {
 	ds := testDataset(t)
 	for _, kind := range ModelKinds() {
-		ev, err := EvaluatePUE(ds, kind, InputSet2)
+		ev, err := EvaluatePUE(ds, kind, InputSet2, 0)
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
@@ -327,7 +327,7 @@ func TestModelKindsAndSets(t *testing.T) {
 	if InputSet1.String() != "Input set 1" {
 		t.Fatalf("set name %q", InputSet1.String())
 	}
-	if _, err := trainerFor(ModelKind("bogus")); err == nil {
+	if _, err := trainerFor(ModelKind("bogus"), 1); err == nil {
 		t.Fatal("unknown model kind accepted")
 	}
 }

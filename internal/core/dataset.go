@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"repro/internal/dram"
+	"repro/internal/engine"
 	"repro/internal/profile"
 	"repro/internal/workload"
 	"repro/internal/xgene"
@@ -75,6 +76,13 @@ type CampaignOptions struct {
 	Reps int
 	// VDD is the supply voltage of the campaign (paper: 1.428 V).
 	VDD float64
+	// Workers bounds the number of characterization runs in flight;
+	// 0 means GOMAXPROCS. The assembled dataset is identical for every
+	// worker count.
+	Workers int
+	// OnProgress, when non-nil, observes campaign completion (runs done,
+	// runs total).
+	OnProgress func(done, total int)
 }
 
 func (o *CampaignOptions) setDefaults() {
@@ -86,23 +94,33 @@ func (o *CampaignOptions) setDefaults() {
 	}
 }
 
-// BuildProfiles profiles every benchmark in specs at the given size.
-func BuildProfiles(specs []workload.Spec, size workload.Size, seed uint64) (map[string]*profile.Result, error) {
-	out := make(map[string]*profile.Result, len(specs))
-	for _, spec := range specs {
+// BuildProfiles profiles every benchmark in specs at the given size,
+// running up to workers profiling passes concurrently (0 = GOMAXPROCS).
+// Each pass executes its kernel on a fresh engine deterministically keyed
+// by (label, seed), so the resulting profiles are independent of the
+// worker count.
+func BuildProfiles(specs []workload.Spec, size workload.Size, seed uint64, workers int) (map[string]*profile.Result, error) {
+	results, err := engine.Map(len(specs), func(i int) (*profile.Result, error) {
 		var (
 			res *profile.Result
 			err error
 		)
 		if size == workload.SizeTest {
-			res, err = profile.BuildQuick(spec, seed)
+			res, err = profile.BuildQuick(specs[i], seed)
 		} else {
-			res, err = profile.Build(spec, seed)
+			res, err = profile.Build(specs[i], seed)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("core: profiling %s: %w", spec.Label, err)
+			return nil, fmt.Errorf("core: profiling %s: %w", specs[i].Label, err)
 		}
-		out[spec.Label] = res
+		return res, nil
+	}, engine.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*profile.Result, len(specs))
+	for i, res := range results {
+		out[specs[i].Label] = res
 	}
 	return out, nil
 }
@@ -116,10 +134,19 @@ func BuildProfiles(specs []workload.Spec, size workload.Size, seed uint64) (map[
 //   - PUE rows for every (workload, TREFP) of the 70 °C crash study.
 func BuildDataset(srv *xgene.Server, profiles map[string]*profile.Result, specs []workload.Spec, opts CampaignOptions) (*Dataset, error) {
 	opts.setDefaults()
-	if err := srv.SetVDD(opts.VDD); err != nil {
-		return nil, err
+
+	// Flatten both campaigns into one request list — the unit of work the
+	// engine schedules is a single simulated 2-hour run. pue marks the
+	// crash-study runs; each PUE experiment contributes Reps requests that
+	// are aggregated back into one sample during assembly.
+	type runMeta struct {
+		spec  workload.Spec
+		temp  float64
+		trefp float64
+		pue   bool
 	}
-	ds := &Dataset{Profiles: profiles}
+	var reqs []xgene.Request
+	var metas []runMeta
 	for _, spec := range specs {
 		prof, ok := profiles[spec.Label]
 		if !ok {
@@ -128,57 +155,86 @@ func BuildDataset(srv *xgene.Server, profiles map[string]*profile.Result, specs 
 		// WER campaign.
 		for _, temp := range WERTemps {
 			for _, trefp := range WERTrefps {
-				if err := srv.SetTREFP(trefp); err != nil {
-					return nil, err
-				}
-				obs, err := srv.Run(prof.Access, xgene.Experiment{TempC: temp, RecordWER: true})
-				if err != nil {
-					return nil, err
-				}
-				if !obs.WERValid {
-					continue // crashed: no WER measurement, as in the paper
-				}
-				for rank := 0; rank < dram.NumRanks; rank++ {
-					wer := obs.WERByRank[rank]
-					// Fewer than 3 observed error words cannot support
-					// a rate estimate; record the observation floor
-					// (such rows render as "no errors" and are skipped
-					// by model training and scoring).
-					if obs.CEWords[rank] < 3 {
-						wer = WERFloor
-					}
-					ds.WER = append(ds.WER, WERSample{
-						Workload: spec.Label,
-						Threads:  spec.Threads,
-						TREFP:    trefp,
-						VDD:      opts.VDD,
-						TempC:    temp,
-						Rank:     rank,
-						Features: prof.Features,
-						WER:      wer,
-					})
-				}
+				reqs = append(reqs, xgene.Request{
+					Profile: prof.Access,
+					TREFP:   trefp,
+					VDD:     opts.VDD,
+					Exp:     xgene.Experiment{TempC: temp, RecordWER: true},
+				})
+				metas = append(metas, runMeta{spec: spec, temp: temp, trefp: trefp})
 			}
 		}
 		// PUE campaign at 70 °C.
 		for _, trefp := range PUETrefps {
-			if err := srv.SetTREFP(trefp); err != nil {
-				return nil, err
+			for rep := 0; rep < opts.Reps; rep++ {
+				reqs = append(reqs, xgene.Request{
+					Profile: prof.Access,
+					TREFP:   trefp,
+					VDD:     opts.VDD,
+					Exp:     xgene.Experiment{TempC: PUETemp, Rep: rep},
+				})
+				metas = append(metas, runMeta{spec: spec, temp: PUETemp, trefp: trefp, pue: true})
 			}
-			pue, rankHits, err := srv.MeasurePUE(prof.Access, PUETemp, opts.Reps)
-			if err != nil {
-				return nil, err
+		}
+	}
+
+	observations, err := srv.Campaign(reqs, engine.Options{
+		Workers:    opts.Workers,
+		OnProgress: opts.OnProgress,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Assemble the dataset in request order, so rows appear exactly as the
+	// sequential campaign produced them regardless of worker count.
+	ds := &Dataset{Profiles: profiles}
+	var pueGroup []*xgene.Observation
+	for i, obs := range observations {
+		m := metas[i]
+		prof := profiles[m.spec.Label]
+		if !m.pue {
+			if !obs.WERValid {
+				continue // crashed: no WER measurement, as in the paper
 			}
+			for rank := 0; rank < dram.NumRanks; rank++ {
+				wer := obs.WERByRank[rank]
+				// Fewer than 3 observed error words cannot support
+				// a rate estimate; record the observation floor
+				// (such rows render as "no errors" and are skipped
+				// by model training and scoring).
+				if obs.CEWords[rank] < 3 {
+					wer = WERFloor
+				}
+				ds.WER = append(ds.WER, WERSample{
+					Workload: m.spec.Label,
+					Threads:  m.spec.Threads,
+					TREFP:    m.trefp,
+					VDD:      opts.VDD,
+					TempC:    m.temp,
+					Rank:     rank,
+					Features: prof.Features,
+					WER:      wer,
+				})
+			}
+			continue
+		}
+		// PUE repetitions of one (workload, TREFP) experiment are
+		// consecutive requests; fold them into one sample (paper Eq. 3).
+		pueGroup = append(pueGroup, obs)
+		if len(pueGroup) == opts.Reps {
+			crashes, rankHits := xgene.CrashStats(pueGroup)
 			ds.PUE = append(ds.PUE, PUESample{
-				Workload: spec.Label,
-				Threads:  spec.Threads,
-				TREFP:    trefp,
+				Workload: m.spec.Label,
+				Threads:  m.spec.Threads,
+				TREFP:    m.trefp,
 				VDD:      opts.VDD,
 				TempC:    PUETemp,
 				Features: prof.Features,
-				PUE:      pue,
+				PUE:      float64(crashes) / float64(opts.Reps),
 				RankHits: rankHits,
 			})
+			pueGroup = pueGroup[:0]
 		}
 	}
 	if len(ds.WER) == 0 {

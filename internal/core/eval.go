@@ -25,12 +25,16 @@ type WEREval struct {
 
 // EvaluateWER runs the paper's cross-validation (Fig. 3): for each
 // workload, train on all other workloads' samples and test on the held-out
-// one; aggregate mean percentage errors per rank and per application.
-func EvaluateWER(ds *Dataset, kind ModelKind, set InputSet) (*WEREval, error) {
+// one; aggregate mean percentage errors per rank and per application. Up
+// to workers folds evaluate concurrently (0 = GOMAXPROCS); the result is
+// identical for every worker count.
+func EvaluateWER(ds *Dataset, kind ModelKind, set InputSet, workers int) (*WEREval, error) {
 	if len(ds.WER) == 0 {
 		return nil, fmt.Errorf("core: empty WER dataset")
 	}
-	trainer, err := trainerFor(kind)
+	// CV folds already fan out over workers; each fold's trainer stays
+	// sequential so the workers knob bounds total parallelism.
+	trainer, err := trainerFor(kind, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +58,7 @@ func EvaluateWER(ds *Dataset, kind ModelKind, set InputSet) (*WEREval, error) {
 		y[k] = logWER(ds.WER[i].WER)
 		groups[k] = ds.WER[i].Workload
 	}
-	logPreds, err := ml.LeaveOneGroupOut(trainer, X, y, groups)
+	logPreds, err := ml.LeaveOneGroupOut(trainer, X, y, groups, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -101,12 +105,15 @@ type PUEEval struct {
 	Predictions []float64
 }
 
-// EvaluatePUE cross-validates a PUE predictor.
-func EvaluatePUE(ds *Dataset, kind ModelKind, set InputSet) (*PUEEval, error) {
+// EvaluatePUE cross-validates a PUE predictor; up to workers folds run
+// concurrently (0 = GOMAXPROCS).
+func EvaluatePUE(ds *Dataset, kind ModelKind, set InputSet, workers int) (*PUEEval, error) {
 	if len(ds.PUE) == 0 {
 		return nil, fmt.Errorf("core: empty PUE dataset")
 	}
-	trainer, err := trainerFor(kind)
+	// CV folds already fan out over workers; each fold's trainer stays
+	// sequential so the workers knob bounds total parallelism.
+	trainer, err := trainerFor(kind, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +125,7 @@ func EvaluatePUE(ds *Dataset, kind ModelKind, set InputSet) (*PUEEval, error) {
 		y[i] = ds.PUE[i].PUE
 		groups[i] = ds.PUE[i].Workload
 	}
-	preds, err := ml.LeaveOneGroupOut(trainer, X, y, groups)
+	preds, err := ml.LeaveOneGroupOut(trainer, X, y, groups, workers)
 	if err != nil {
 		return nil, err
 	}

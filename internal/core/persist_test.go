@@ -29,11 +29,11 @@ func TestDatasetSaveLoadRoundTrip(t *testing.T) {
 		}
 	}
 	// A model trained from the loaded artifact predicts identically.
-	orig, err := TrainWER(ds, ModelKNN, InputSet1)
+	orig, err := TrainWER(ds, ModelKNN, InputSet1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := TrainWER(back, ModelKNN, InputSet1)
+	loaded, err := TrainWER(back, ModelKNN, InputSet1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/dram"
 	"repro/internal/ml"
 	"repro/internal/stats"
 )
@@ -20,15 +21,17 @@ const (
 // ModelKinds lists them in the paper's order.
 func ModelKinds() []ModelKind { return []ModelKind{ModelSVM, ModelKNN, ModelRDF} }
 
-// trainerFor builds the ml.Trainer for a kind.
-func trainerFor(kind ModelKind) (ml.Trainer, error) {
+// trainerFor builds the ml.Trainer for a kind. workers bounds the
+// trainer's own parallelism (forest tree fits); callers that already fan
+// out (CV folds) pass 1 so one knob bounds the total.
+func trainerFor(kind ModelKind, workers int) (ml.Trainer, error) {
 	switch kind {
 	case ModelSVM:
 		return ml.SVR{}, nil
 	case ModelKNN:
 		return ml.KNN{K: 5}, nil
 	case ModelRDF:
-		return ml.Forest{Trees: 60, Seed: 42}, nil
+		return ml.Forest{Trees: 60, Seed: 42, Workers: workers}, nil
 	}
 	return nil, fmt.Errorf("core: unknown model kind %q", kind)
 }
@@ -45,12 +48,14 @@ type WERPredictor struct {
 }
 
 // TrainWER fits a WER predictor on the dataset. The regression target is
-// log10(WER): the rate spans four decades.
-func TrainWER(ds *Dataset, kind ModelKind, set InputSet) (*WERPredictor, error) {
+// log10(WER): the rate spans four decades. workers bounds the trainer's
+// parallelism (0 = GOMAXPROCS); the fitted model is identical for every
+// worker count.
+func TrainWER(ds *Dataset, kind ModelKind, set InputSet, workers int) (*WERPredictor, error) {
 	if len(ds.WER) == 0 {
 		return nil, fmt.Errorf("core: empty WER dataset")
 	}
-	trainer, err := trainerFor(kind)
+	trainer, err := trainerFor(kind, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -88,10 +93,10 @@ func (p *WERPredictor) Predict(features []float64, trefp, vdd, tempC float64, ra
 // PredictMean averages the per-rank predictions — the whole-device WER.
 func (p *WERPredictor) PredictMean(features []float64, trefp, vdd, tempC float64) float64 {
 	sum := 0.0
-	for r := 0; r < 8; r++ {
+	for r := 0; r < dram.NumRanks; r++ {
 		sum += p.Predict(features, trefp, vdd, tempC, r)
 	}
-	return sum / 8
+	return sum / dram.NumRanks
 }
 
 // PUEPredictor predicts the crash probability of a workload.
@@ -102,12 +107,13 @@ type PUEPredictor struct {
 	model  ml.Regressor
 }
 
-// TrainPUE fits a PUE predictor on the dataset.
-func TrainPUE(ds *Dataset, kind ModelKind, set InputSet) (*PUEPredictor, error) {
+// TrainPUE fits a PUE predictor on the dataset; workers bounds the
+// trainer's parallelism (0 = GOMAXPROCS).
+func TrainPUE(ds *Dataset, kind ModelKind, set InputSet, workers int) (*PUEPredictor, error) {
 	if len(ds.PUE) == 0 {
 		return nil, fmt.Errorf("core: empty PUE dataset")
 	}
-	trainer, err := trainerFor(kind)
+	trainer, err := trainerFor(kind, workers)
 	if err != nil {
 		return nil, err
 	}

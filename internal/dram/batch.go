@@ -1,0 +1,22 @@
+package dram
+
+import "repro/internal/engine"
+
+// BatchJob is one run of a batch characterization campaign: a workload
+// profile executed under one operating point.
+type BatchJob struct {
+	Profile *AccessProfile
+	Config  RunConfig
+}
+
+// RunBatch executes the jobs concurrently on the campaign engine and
+// returns the results in job order. Run derives all of its randomness from
+// (device seed, profile, config), so a parallel batch is bit-identical to
+// running the same jobs sequentially; the shared weak-cell populations are
+// generated lazily under the device mutex from fixed per-tier seeds and
+// are immutable afterwards, which is what makes concurrent Run calls safe.
+func (d *Device) RunBatch(jobs []BatchJob, opts engine.Options) ([]*RunResult, error) {
+	return engine.Map(len(jobs), func(i int) (*RunResult, error) {
+		return d.Run(jobs[i].Profile, jobs[i].Config)
+	}, opts)
+}

@@ -1,0 +1,57 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// batchJobs builds a campaign-shaped grid over TREFP, temperature and reps
+// mixing WER and crash-study runs.
+func batchJobs() []BatchJob {
+	var jobs []BatchJob
+	for _, trefp := range []float64{1.727, 2.283} {
+		for _, temp := range []float64{50, 60} {
+			for rep := 0; rep < 2; rep++ {
+				jobs = append(jobs, BatchJob{
+					Profile: testProfile(),
+					Config:  RunConfig{TREFP: trefp, TempC: temp, Rep: rep, RecordWER: rep == 0},
+				})
+			}
+		}
+	}
+	return jobs
+}
+
+// TestRunBatchWorkerInvariance verifies a parallel batch is bit-identical
+// to the sequential execution of the same jobs, including lazily generated
+// weak-cell populations being requested in a scheduling-dependent order.
+func TestRunBatchWorkerInvariance(t *testing.T) {
+	seqDev := MustNewDevice(Config{Scale: 64})
+	seq, err := seqDev.RunBatch(batchJobs(), engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parDev := MustNewDevice(Config{Scale: 64})
+	par, err := parDev.RunBatch(batchJobs(), engine.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i].WER != par[i].WER || seq[i].UECount != par[i].UECount ||
+			seq[i].CrashEpoch != par[i].CrashEpoch || seq[i].CEWords != par[i].CEWords {
+			t.Fatalf("job %d diverged between worker counts", i)
+		}
+	}
+}
+
+// TestRunBatchPropagatesJobErrors verifies an invalid job config surfaces
+// with its index and does not poison other jobs' results.
+func TestRunBatchPropagatesJobErrors(t *testing.T) {
+	d := MustNewDevice(Config{Scale: 64})
+	jobs := batchJobs()
+	jobs[1].Config.TREFP = -1
+	if _, err := d.RunBatch(jobs, engine.Options{Workers: 2}); err == nil {
+		t.Fatal("invalid TREFP accepted")
+	}
+}

@@ -1,0 +1,161 @@
+// Package engine is the campaign execution substrate of the reproduction:
+// a generic, deterministic parallel job executor for campaign-shaped work —
+// fixed sets of independent jobs (characterization runs, profiling passes,
+// cross-validation folds, tree fits) whose results must not depend on how
+// many workers execute them or in which order they finish.
+//
+// Determinism is achieved by construction rather than by locking:
+//
+//   - results are collected into a slice indexed by job, so output order is
+//     the submission order regardless of completion order;
+//   - any per-job randomness is derived *before* dispatch with SplitRNGs
+//     (sequential stats.RNG Split calls), so job i sees the same stream
+//     whether it runs first on one worker or last on sixteen;
+//   - jobs receive no shared mutable state from the engine — callers hand
+//     each job its own clone or immutable snapshot.
+//
+// Under those rules a campaign executed with Workers: 1 is bit-identical to
+// the same campaign with Workers: N, which the exp package's determinism
+// tests assert end to end.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// Options configures one parallel execution.
+type Options struct {
+	// Workers bounds the number of concurrently running jobs. Zero or
+	// negative means runtime.GOMAXPROCS(0).
+	Workers int
+	// Context, when set, cancels outstanding work: jobs not yet started
+	// are skipped and Map returns the context's error. In-flight jobs run
+	// to completion (jobs are pure computations with no cancellation
+	// points of their own).
+	Context context.Context
+	// OnProgress, when non-nil, is invoked after every completed job with
+	// the number of jobs finished so far and the total. Invocations are
+	// serialized; done is strictly increasing.
+	OnProgress func(done, total int)
+}
+
+// EffectiveWorkers resolves the worker count: the configured value, or
+// GOMAXPROCS when unset.
+func (o Options) EffectiveWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map executes fn(i) for every i in [0, n) on a bounded worker pool and
+// returns the n results in job order. A job error stops the dispatch of
+// not-yet-started jobs; Map waits for in-flight jobs and returns every
+// error observed, wrapped with its job index and joined in index order.
+// The partial result slice is returned alongside the error: results of
+// jobs that completed successfully are valid, the rest are zero values.
+func Map[T any](n int, fn func(i int) (T, error), opts Options) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.EffectiveWorkers()
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		next   atomic.Int64 // next job index to dispatch
+		failed atomic.Bool  // a job has errored: stop dispatching
+		errs   = make([]error, n)
+		progMu sync.Mutex
+		done   int // completed job count; guarded by progMu
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				res, err := fn(i)
+				if err != nil {
+					errs[i] = fmt.Errorf("engine: job %d: %w", i, err)
+					failed.Store(true)
+				} else {
+					results[i] = res
+				}
+				if opts.OnProgress != nil {
+					// Count and report under one lock so done is
+					// strictly increasing across workers.
+					progMu.Lock()
+					done++
+					opts.OnProgress(done, n)
+					progMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return results, fmt.Errorf("engine: campaign canceled: %w", err)
+	}
+	var joined []error
+	for _, e := range errs {
+		if e != nil {
+			joined = append(joined, e)
+		}
+	}
+	if len(joined) > 0 {
+		return results, errors.Join(joined...)
+	}
+	return results, nil
+}
+
+// ForEach is Map for jobs that produce no result.
+func ForEach(n int, fn func(i int) error, opts Options) error {
+	_, err := Map(n, func(i int) (struct{}, error) { return struct{}{}, fn(i) }, opts)
+	return err
+}
+
+// SplitRNGs derives n independent random streams from seed, one per job.
+// The derivation is a fixed sequence of stats.RNG Split calls performed
+// up front, so rngs[i] is a function of (seed, i) alone — independent of
+// worker count and completion order. Callers hand rngs[i] to job i.
+func SplitRNGs(seed uint64, n int) []*stats.RNG {
+	parent := stats.NewRNG(seed)
+	out := make([]*stats.RNG, n)
+	for i := range out {
+		out[i] = parent.Split()
+	}
+	return out
+}
+
+// SplitSeeds is SplitRNGs for jobs that seed their own generators: it
+// returns n per-job seeds derived deterministically from seed.
+func SplitSeeds(seed uint64, n int) []uint64 {
+	parent := stats.NewRNG(seed)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = parent.Split().Uint64()
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dram"
+	"repro/internal/engine"
 	"repro/internal/xgene"
 )
 
@@ -37,31 +38,44 @@ func (s *Suite) Ablation() (*Table, error) {
 		{"uniform true/anti cells", func(p *dram.Params) { p.TrueCellProb = 0.5 }},
 		{"no VRT", func(p *dram.Params) { p.VRTFraction = 0 }},
 	}
-	for _, v := range variants {
+	// One job per variant: each job builds a fresh server from the mutated
+	// physics and runs the five probe workloads as one sequential campaign
+	// (the variant fan-out already uses the worker budget, so the inner
+	// campaign stays at one worker to bound total parallelism).
+	labels := []string{"backprop", "backprop(par)", "memcached", "nw", "random"}
+	variantWERs, err := engine.Map(len(variants), func(vi int) (map[string]float64, error) {
 		params := base
-		v.mut(&params)
+		variants[vi].mut(&params)
 		srv, err := xgene.NewServer(xgene.Config{
 			Seed: s.Opts.Seed, Scale: s.Opts.Scale, Params: &params,
 		})
 		if err != nil {
 			return nil, err
 		}
-		if err := srv.SetTREFP(2.283); err != nil {
-			return nil, err
-		}
-		if err := srv.SetVDD(dram.MinVDD); err != nil {
-			return nil, err
-		}
-		wer := map[string]float64{}
-		for _, label := range []string{"backprop", "backprop(par)", "memcached", "nw", "random"} {
-			obs, err := srv.Run(s.Profiles[label].Access, xgene.Experiment{
-				TempC: 60, RecordWER: true,
-			})
-			if err != nil {
-				return nil, err
+		reqs := make([]xgene.Request, len(labels))
+		for li, label := range labels {
+			reqs[li] = xgene.Request{
+				Profile: s.Profiles[label].Access,
+				TREFP:   2.283,
+				VDD:     dram.MinVDD,
+				Exp:     xgene.Experiment{TempC: 60, RecordWER: true},
 			}
-			wer[label] = obs.WER
 		}
+		obs, err := srv.Campaign(reqs, engine.Options{Workers: 1})
+		if err != nil {
+			return nil, err
+		}
+		wer := make(map[string]float64, len(labels))
+		for li, label := range labels {
+			wer[label] = obs[li].WER
+		}
+		return wer, nil
+	}, engine.Options{Workers: s.Opts.Workers})
+	if err != nil {
+		return nil, err
+	}
+	for vi, v := range variants {
+		wer := variantWERs[vi]
 		t.AddRow(v.name,
 			fmtRatio(wer["backprop(par)"], wer["memcached"]),
 			fmtRatio(wer["random"], wer["nw"]),

@@ -41,3 +41,41 @@ func TestEndToEndDeterminism(t *testing.T) {
 		t.Fatal("different seeds produced identical figures (no DIMM-to-DIMM variation)")
 	}
 }
+
+// TestWorkerCountInvariance is the campaign engine's determinism contract
+// end to end: a suite whose campaigns run on 4 workers regenerates byte-
+// identical tables to the same suite on 1 worker. The probed figures cover
+// every parallel path — profiling (NewSuite), the WER/PUE characterization
+// campaigns (EnsureDataset → Fig8/Fig9), the figure-level sweeps (Fig4),
+// cross-validation folds and forest training (Fig12), and the per-variant
+// ablation fan-out.
+func TestWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("worker-count invariance (slow)")
+	}
+	build := func(workers int) string {
+		s, err := NewSuite(Options{
+			Size: workload.SizeTest, Scale: 32, Reps: 3, Seed: 7, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.EnsureDataset(); err != nil {
+			t.Fatal(err)
+		}
+		var out string
+		for _, fn := range []func() (*Table, error){s.Fig4, s.Fig8, s.Fig9, s.Fig12, s.Ablation} {
+			tbl, err := fn()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out += tbl.Render()
+		}
+		return out
+	}
+	sequential := build(1)
+	parallel := build(4)
+	if sequential != parallel {
+		t.Fatal("workers=4 produced different tables than workers=1")
+	}
+}

@@ -5,8 +5,39 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/engine"
 	"repro/internal/xgene"
 )
+
+// campaign fans a batch of characterization requests out over the engine
+// with the suite's worker budget.
+func (s *Suite) campaign(reqs []xgene.Request) ([]*xgene.Observation, error) {
+	return s.Server.Campaign(reqs, engine.Options{Workers: s.Opts.Workers})
+}
+
+// werSeriesCampaign runs one 2-hour WER experiment per label concurrently
+// and returns each label's cumulative WER series — the shape of the Fig. 2
+// and Fig. 4 sweeps.
+func (s *Suite) werSeriesCampaign(labels []string, trefp float64, exp xgene.Experiment) (map[string][]float64, error) {
+	reqs := make([]xgene.Request, len(labels))
+	for i, label := range labels {
+		reqs[i] = xgene.Request{
+			Profile: s.Profiles[label].Access,
+			TREFP:   trefp,
+			VDD:     dram.MinVDD,
+			Exp:     exp,
+		}
+	}
+	obs, err := s.campaign(reqs)
+	if err != nil {
+		return nil, err
+	}
+	series := make(map[string][]float64, len(labels))
+	for i, label := range labels {
+		series[label] = obs[i].WERSeries
+	}
+	return series, nil
+}
 
 // Fig2 reproduces Figure 2: the cumulative WER over a 2-hour run for
 // memcached, backprop and the random data-pattern micro-benchmark at
@@ -20,22 +51,11 @@ func (s *Suite) Fig2() (*Table, error) {
 		Title: "WER over time (TREFP=2.283s, VDD=1.428V, 70°C, report-only)",
 	}
 	labels := []string{"memcached", "backprop(par)", "random"}
-	if err := s.Server.SetTREFP(2.283); err != nil {
+	series, err := s.werSeriesCampaign(labels, 2.283, xgene.Experiment{
+		TempC: 70, RecordWER: true, ReportOnly: true,
+	})
+	if err != nil {
 		return nil, err
-	}
-	if err := s.Server.SetVDD(dram.MinVDD); err != nil {
-		return nil, err
-	}
-	series := map[string][]float64{}
-	for _, label := range labels {
-		prof := s.Profiles[label]
-		obs, err := s.Server.Run(prof.Access, xgene.Experiment{
-			TempC: 70, RecordWER: true, ReportOnly: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		series[label] = obs.WERSeries
 	}
 	t.Header = []string{"minutes"}
 	t.Header = append(t.Header, labels...)
@@ -67,22 +87,12 @@ func (s *Suite) Fig4() (*Table, error) {
 		ID:    "fig4",
 		Title: "WER over time, all benchmarks (TREFP=2.283s, 50°C)",
 	}
-	if err := s.Server.SetTREFP(2.283); err != nil {
-		return nil, err
-	}
-	if err := s.Server.SetVDD(dram.MinVDD); err != nil {
-		return nil, err
-	}
 	labels := sortedLabels(s.Specs)
-	series := map[string][]float64{}
-	for _, label := range labels {
-		obs, err := s.Server.Run(s.Profiles[label].Access, xgene.Experiment{
-			TempC: 50, RecordWER: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		series[label] = obs.WERSeries
+	series, err := s.werSeriesCampaign(labels, 2.283, xgene.Experiment{
+		TempC: 50, RecordWER: true,
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Header = append([]string{"minutes"}, labels...)
 	n := len(series[labels[0]])
@@ -319,7 +329,7 @@ func (s *Suite) Fig11() (*Table, error) {
 	var results []result
 	for _, kind := range core.ModelKinds() {
 		for _, set := range core.InputSets() {
-			ev, err := core.EvaluateWER(ds, kind, set)
+			ev, err := core.EvaluateWER(ds, kind, set, s.Opts.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -368,7 +378,7 @@ func (s *Suite) Fig12() (*Table, error) {
 	bestKind, bestSet, bestMAE := core.ModelKind(""), core.InputSet(0), 1.0
 	for _, kind := range core.ModelKinds() {
 		for _, set := range core.InputSets() {
-			ev, err := core.EvaluatePUE(ds, kind, set)
+			ev, err := core.EvaluatePUE(ds, kind, set, s.Opts.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -406,7 +416,7 @@ func (s *Suite) Fig13() (*Table, error) {
 		train.WER = append(train.WER, smp)
 	}
 	train.PUE = s.Dataset.PUE
-	pred, err := core.TrainWER(train, core.ModelKNN, core.InputSet1)
+	pred, err := core.TrainWER(train, core.ModelKNN, core.InputSet1, s.Opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -454,21 +464,25 @@ func (s *Suite) VddStudy() (*Table, error) {
 		Header: []string{"TREFP", "WER @1.500V", "WER @1.428V", "ratio"},
 	}
 	prof := s.Profiles["backprop(par)"]
-	for _, trefp := range []float64{1.173, 2.283} {
-		if err := s.Server.SetTREFP(trefp); err != nil {
-			return nil, err
+	trefps := []float64{1.173, 2.283}
+	vdds := []float64{dram.NominalVDD, dram.MinVDD}
+	var reqs []xgene.Request
+	for _, trefp := range trefps {
+		for _, vdd := range vdds {
+			reqs = append(reqs, xgene.Request{
+				Profile: prof.Access,
+				TREFP:   trefp,
+				VDD:     vdd,
+				Exp:     xgene.Experiment{TempC: 60, RecordWER: true},
+			})
 		}
-		var wer [2]float64
-		for i, vdd := range []float64{dram.NominalVDD, dram.MinVDD} {
-			if err := s.Server.SetVDD(vdd); err != nil {
-				return nil, err
-			}
-			obs, err := s.Server.Run(prof.Access, xgene.Experiment{TempC: 60, RecordWER: true})
-			if err != nil {
-				return nil, err
-			}
-			wer[i] = obs.WER
-		}
+	}
+	obs, err := s.campaign(reqs)
+	if err != nil {
+		return nil, err
+	}
+	for ti, trefp := range trefps {
+		wer := [2]float64{obs[2*ti].WER, obs[2*ti+1].WER}
 		ratio := "-"
 		if wer[0] > 0 {
 			ratio = fmt.Sprintf("%.2fx", wer[1]/wer[0])

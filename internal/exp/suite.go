@@ -34,6 +34,10 @@ type Options struct {
 	Reps int
 	// Seed selects the physical server and profiling randomness.
 	Seed uint64
+	// Workers bounds the number of concurrent jobs (profiling passes,
+	// characterization runs, CV folds) per campaign; 0 means GOMAXPROCS.
+	// Every table is identical for every worker count.
+	Workers int
 }
 
 func (o *Options) setDefaults() {
@@ -65,7 +69,7 @@ func NewSuite(opts Options) (*Suite, error) {
 		Specs:    workload.PaperSet(),
 		Extended: workload.ExtendedSet(),
 	}
-	profiles, err := core.BuildProfiles(s.Extended, opts.Size, opts.Seed)
+	profiles, err := core.BuildProfiles(s.Extended, opts.Size, opts.Seed, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +89,7 @@ func (s *Suite) EnsureDataset() error {
 		return nil
 	}
 	ds, err := core.BuildDataset(s.Server, s.Profiles, s.Extended,
-		core.CampaignOptions{Reps: s.Opts.Reps})
+		core.CampaignOptions{Reps: s.Opts.Reps, Workers: s.Opts.Workers})
 	if err != nil {
 		return err
 	}

@@ -1,15 +1,26 @@
 package ml
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/engine"
+)
 
 // LeaveOneGroupOut runs the paper's cross-validation protocol (Fig. 3):
 // for each distinct group (benchmark), the group's samples form the test
 // set and everything else the training set. It returns the out-of-group
 // prediction for every sample, aligned with the input order.
 //
+// Folds are independent of one another, so they execute concurrently on
+// the campaign engine with up to workers folds in flight (0 = GOMAXPROCS).
+// Each fold writes predictions only at its own test indices, and fold
+// training is deterministic, so the output is identical for every worker
+// count.
+//
 // Scaling is fit on each training fold only — no leakage from the held-out
 // workload.
-func LeaveOneGroupOut(trainer Trainer, X [][]float64, y []float64, groups []string) ([]float64, error) {
+func LeaveOneGroupOut(trainer Trainer, X [][]float64, y []float64, groups []string, workers int) ([]float64, error) {
 	if len(X) != len(y) || len(X) != len(groups) {
 		return nil, fmt.Errorf("ml: CV input lengths differ (%d/%d/%d)", len(X), len(y), len(groups))
 	}
@@ -20,8 +31,15 @@ func LeaveOneGroupOut(trainer Trainer, X [][]float64, y []float64, groups []stri
 	if len(distinct) < 2 {
 		return nil, fmt.Errorf("ml: need at least two groups, got %d", len(distinct))
 	}
-	preds := make([]float64, len(X))
+	folds := make([]string, 0, len(distinct))
 	for g := range distinct {
+		folds = append(folds, g)
+	}
+	sort.Strings(folds)
+
+	preds := make([]float64, len(X))
+	err := engine.ForEach(len(folds), func(f int) error {
+		g := folds[f]
 		var trX [][]float64
 		var trY []float64
 		var teIdx []int
@@ -35,15 +53,19 @@ func LeaveOneGroupOut(trainer Trainer, X [][]float64, y []float64, groups []stri
 		}
 		scaler, err := FitScaler(trX)
 		if err != nil {
-			return nil, fmt.Errorf("ml: fold %q: %w", g, err)
+			return fmt.Errorf("ml: fold %q: %w", g, err)
 		}
 		model, err := trainer.Train(scaler.TransformAll(trX), trY)
 		if err != nil {
-			return nil, fmt.Errorf("ml: fold %q: %w", g, err)
+			return fmt.Errorf("ml: fold %q: %w", g, err)
 		}
 		for _, i := range teIdx {
 			preds[i] = model.Predict(scaler.Transform(X[i]))
 		}
+		return nil
+	}, engine.Options{Workers: workers})
+	if err != nil {
+		return nil, err
 	}
 	return preds, nil
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
@@ -22,6 +23,11 @@ type Forest struct {
 	MinLeaf int
 	// Seed drives bootstrap and feature sampling.
 	Seed uint64
+	// Workers bounds concurrent tree fits; 0 means GOMAXPROCS. The
+	// trained model is identical for every worker count: bootstrap
+	// samples and per-tree RNG streams are drawn sequentially from the
+	// seed before the fits are dispatched.
+	Workers int
 }
 
 // Name implements Trainer.
@@ -62,22 +68,31 @@ func (f Forest) Train(X [][]float64, y []float64) (Regressor, error) {
 	mtry := int(math.Ceil(math.Sqrt(float64(d))))
 	rng := stats.NewRNG(f.Seed ^ 0xF0E1D2C3B4A59687)
 
-	model := &forestModel{trees: make([]tree, nTrees)}
+	// Draw every tree's bootstrap sample and RNG stream sequentially from
+	// the shared generator, then fit the trees concurrently: the ensemble
+	// is bit-identical to a sequential fit at any worker count.
+	builders := make([]*treeBuilder, nTrees)
+	bootstraps := make([][]int, nTrees)
 	for t := 0; t < nTrees; t++ {
-		// Bootstrap sample.
 		idx := make([]int, n)
 		for i := range idx {
 			idx[i] = rng.Intn(n)
 		}
-		b := &treeBuilder{
+		bootstraps[t] = idx
+		builders[t] = &treeBuilder{
 			X: X, y: y,
 			maxDepth: maxDepth, minLeaf: minLeaf, mtry: mtry,
 			rng: rng.Split(),
 		}
-		b.build(idx, 0)
-		model.trees[t] = tree{nodes: b.nodes}
 	}
-	return model, nil
+	trees, err := engine.Map(nTrees, func(t int) (tree, error) {
+		builders[t].build(bootstraps[t], 0)
+		return tree{nodes: builders[t].nodes}, nil
+	}, engine.Options{Workers: f.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return &forestModel{trees: trees}, nil
 }
 
 // treeBuilder grows one tree over index sets.

@@ -203,7 +203,7 @@ func TestLeaveOneGroupOut(t *testing.T) {
 	for i := range groups {
 		groups[i] = []string{"a", "b", "c"}[i%3]
 	}
-	preds, err := LeaveOneGroupOut(KNN{K: 5}, X, y, groups)
+	preds, err := LeaveOneGroupOut(KNN{K: 5}, X, y, groups, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestLeaveOneGroupOut(t *testing.T) {
 func TestLeaveOneGroupOutSingleGroupFails(t *testing.T) {
 	X := [][]float64{{1}, {2}}
 	y := []float64{1, 2}
-	if _, err := LeaveOneGroupOut(KNN{}, X, y, []string{"g", "g"}); err == nil {
+	if _, err := LeaveOneGroupOut(KNN{}, X, y, []string{"g", "g"}, 1); err == nil {
 		t.Fatal("single group accepted")
 	}
 }
@@ -267,7 +267,7 @@ func TestIrrelevantFeaturesHurtKNNMoreThanForest(t *testing.T) {
 		for i := range groups {
 			groups[i] = []string{"a", "b", "c", "d"}[i%4]
 		}
-		preds, err := LeaveOneGroupOut(tr, X, y, groups)
+		preds, err := LeaveOneGroupOut(tr, X, y, groups, 2)
 		if err != nil {
 			t.Fatal(err)
 		}

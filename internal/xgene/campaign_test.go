@@ -1,0 +1,101 @@
+package xgene
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/engine"
+)
+
+// campaignRequests builds a small mixed campaign over operating points and
+// repetitions.
+func campaignRequests(reps int) []Request {
+	var reqs []Request
+	for _, trefp := range []float64{1.727, 2.283} {
+		for rep := 0; rep < reps; rep++ {
+			reqs = append(reqs, Request{
+				Profile: testProfile(),
+				TREFP:   trefp,
+				VDD:     dram.MinVDD,
+				Exp:     Experiment{TempC: 60, RecordWER: true, Rep: rep},
+			})
+		}
+	}
+	return reqs
+}
+
+// TestCampaignWorkerInvariance verifies a parallel campaign is bit-identical
+// to the same campaign on one worker, including the per-job thermal
+// settling times.
+func TestCampaignWorkerInvariance(t *testing.T) {
+	s := MustNewServer(Config{Scale: 64})
+	seq, err := s.Campaign(campaignRequests(2), engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := s.Campaign(campaignRequests(2), engine.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i].WER != par[i].WER || seq[i].Crashed != par[i].Crashed ||
+			seq[i].SettleSeconds != par[i].SettleSeconds {
+			t.Fatalf("request %d diverged between worker counts", i)
+		}
+		if seq[i].WERSeries != nil {
+			for e := range seq[i].WERSeries {
+				if seq[i].WERSeries[e] != par[i].WERSeries[e] {
+					t.Fatalf("request %d epoch %d WER diverged", i, e)
+				}
+			}
+		}
+	}
+}
+
+// TestCampaignMatchesSequentialProtocol verifies the campaign path produces
+// the same DRAM outcome as the legacy SetTREFP/SetVDD/Run protocol: the
+// physical result is keyed by (device, profile, operating point, rep), not
+// by which execution path requested it.
+func TestCampaignMatchesSequentialProtocol(t *testing.T) {
+	s := MustNewServer(Config{Scale: 64})
+	if err := s.SetTREFP(2.283); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetVDD(dram.MinVDD); err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := s.Run(testProfile(), Experiment{TempC: 60, RecordWER: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := s.Campaign([]Request{{
+		Profile: testProfile(),
+		TREFP:   2.283,
+		VDD:     dram.MinVDD,
+		Exp:     Experiment{TempC: 60, RecordWER: true},
+	}}, engine.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs[0].WER != legacy.WER || obs[0].UECount != legacy.UECount {
+		t.Fatalf("campaign WER %v / UE %d, sequential %v / %d",
+			obs[0].WER, obs[0].UECount, legacy.WER, legacy.UECount)
+	}
+}
+
+// TestCampaignRejectsBadOperatingPoint verifies SLIMpro range checks apply
+// per request and name the failing job.
+func TestCampaignRejectsBadOperatingPoint(t *testing.T) {
+	s := MustNewServer(Config{Scale: 256})
+	reqs := []Request{
+		{Profile: testProfile(), TREFP: 2.283, Exp: Experiment{TempC: 60}},
+		{Profile: testProfile(), TREFP: 9.9, Exp: Experiment{TempC: 60}},
+	}
+	if _, err := s.Campaign(reqs, engine.Options{Workers: 1}); err == nil {
+		t.Fatal("out-of-range TREFP accepted")
+	}
+	reqs[1] = Request{Profile: testProfile(), TREFP: 2.283, VDD: 1.2, Exp: Experiment{TempC: 60}}
+	if _, err := s.Campaign(reqs, engine.Options{Workers: 1}); err == nil {
+		t.Fatal("out-of-range VDD accepted")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/dram"
+	"repro/internal/engine"
 	"repro/internal/thermal"
 )
 
@@ -34,12 +35,20 @@ const (
 )
 
 // Server is one X-Gene2 machine with its DRAM and thermal testbed.
+//
+// The machine identity (device populations, seed) is immutable after
+// construction; the programmed parameters (TREFP, VDD) and the thermal
+// testbed are the per-run mutable state of the sequential SetTREFP/SetVDD/
+// Run protocol. Campaign bypasses that mutable state entirely: every job
+// names its operating point explicitly and settles its own testbed, so
+// campaign runs are independent jobs the engine may execute in any order.
 type Server struct {
-	device  *dram.Device
-	testbed *thermal.Testbed
+	device *dram.Device
+	seed   uint64
 
-	trefp float64
-	vdd   float64
+	testbed *thermal.Testbed
+	trefp   float64
+	vdd     float64
 }
 
 // Config selects the physical machine and simulation fidelity.
@@ -60,6 +69,7 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	return &Server{
 		device:  dev,
+		seed:    cfg.Seed,
 		testbed: thermal.NewTestbed(AmbientC, cfg.Seed^0xD6E8FEB86659FD93),
 		trefp:   dram.NominalTREFP,
 		vdd:     dram.NominalVDD,
@@ -78,12 +88,29 @@ func MustNewServer(cfg Config) *Server {
 // Device exposes the underlying DRAM (for population inspection).
 func (s *Server) Device() *dram.Device { return s.device }
 
-// SetTREFP programs the refresh period through SLIMpro. The platform
-// rejects values outside its register range.
-func (s *Server) SetTREFP(seconds float64) error {
+// validateTREFP checks a refresh period against the SLIMpro register range.
+func validateTREFP(seconds float64) error {
 	if seconds < MinTREFP || seconds > MaxTREFP {
 		return fmt.Errorf("xgene: TREFP %.3fs outside SLIMpro range [%.3f, %.3f]",
 			seconds, MinTREFP, MaxTREFP)
+	}
+	return nil
+}
+
+// validateVDD checks a supply voltage against the operational range.
+func validateVDD(volts float64) error {
+	if volts < MinVDD || volts > MaxVDD {
+		return fmt.Errorf("xgene: VDD %.3fV outside operational range [%.3f, %.3f]",
+			volts, MinVDD, MaxVDD)
+	}
+	return nil
+}
+
+// SetTREFP programs the refresh period through SLIMpro. The platform
+// rejects values outside its register range.
+func (s *Server) SetTREFP(seconds float64) error {
+	if err := validateTREFP(seconds); err != nil {
+		return err
 	}
 	s.trefp = seconds
 	return nil
@@ -92,9 +119,8 @@ func (s *Server) SetTREFP(seconds float64) error {
 // SetVDD programs the DRAM supply voltage. Below MinVDD the memory stops
 // working (the paper determined 1.428 V experimentally).
 func (s *Server) SetVDD(volts float64) error {
-	if volts < MinVDD || volts > MaxVDD {
-		return fmt.Errorf("xgene: VDD %.3fV outside operational range [%.3f, %.3f]",
-			volts, MinVDD, MaxVDD)
+	if err := validateVDD(volts); err != nil {
+		return err
 	}
 	s.vdd = volts
 	return nil
@@ -135,6 +161,12 @@ type Observation struct {
 
 // Run performs one experiment with the currently programmed parameters.
 func (s *Server) Run(profile *dram.AccessProfile, exp Experiment) (*Observation, error) {
+	return s.runOn(s.testbed, profile, exp, s.trefp, s.vdd)
+}
+
+// runOn executes one experiment on an explicit testbed and operating point;
+// it touches no Server mutable state beyond the (concurrency-safe) device.
+func (s *Server) runOn(tb *thermal.Testbed, profile *dram.AccessProfile, exp Experiment, trefp, vdd float64) (*Observation, error) {
 	if exp.TempC < AmbientC || exp.TempC > MaxDIMMTempC {
 		return nil, fmt.Errorf("xgene: DIMM setpoint %.1f°C outside testbed range [%d, %d]",
 			exp.TempC, AmbientC, MaxDIMMTempC)
@@ -148,16 +180,16 @@ func (s *Server) Run(profile *dram.AccessProfile, exp Experiment) (*Observation,
 					d, sp, AmbientC, MaxDIMMTempC)
 			}
 		}
-		settle, err = s.testbed.SettleEach(*exp.DIMMTempC, 0.5, 3600)
+		settle, err = tb.SettleEach(*exp.DIMMTempC, 0.5, 3600)
 	} else {
-		settle, err = s.testbed.SettleAll(exp.TempC, 0.5, 3600)
+		settle, err = tb.SettleAll(exp.TempC, 0.5, 3600)
 	}
 	if err != nil {
 		return nil, err
 	}
 	res, err := s.device.Run(profile, dram.RunConfig{
-		TREFP:        s.trefp,
-		VDD:          s.vdd,
+		TREFP:        trefp,
+		VDD:          vdd,
 		TempC:        exp.TempC,
 		DIMMTempC:    exp.DIMMTempC,
 		DurationSec:  exp.DurationSec,
@@ -171,19 +203,52 @@ func (s *Server) Run(profile *dram.AccessProfile, exp Experiment) (*Observation,
 	return &Observation{RunResult: res, SettleSeconds: settle, TempC: exp.TempC}, nil
 }
 
-// MeasurePUE repeats a run reps times and returns the fraction that ended
-// in a system crash (paper Eq. 3).
-func (s *Server) MeasurePUE(profile *dram.AccessProfile, tempC float64, reps int) (float64, []int, error) {
-	if reps <= 0 {
-		return 0, nil, fmt.Errorf("xgene: MeasurePUE needs at least one repetition")
-	}
-	crashes := 0
-	rankHits := make([]int, dram.NumRanks)
-	for rep := 0; rep < reps; rep++ {
-		obs, err := s.Run(profile, Experiment{TempC: tempC, Rep: rep})
-		if err != nil {
-			return 0, nil, err
+// Request is one campaign run: an experiment at an explicitly named
+// operating point. Unlike the sequential SetTREFP/SetVDD/Run protocol, a
+// Request carries everything the run needs, so a batch of Requests is a set
+// of independent jobs.
+type Request struct {
+	Profile *dram.AccessProfile
+	TREFP   float64 // refresh period in seconds
+	VDD     float64 // supply voltage in volts; 0 means the paper's MinVDD
+	Exp     Experiment
+}
+
+// Campaign executes the requests concurrently on the campaign engine and
+// returns the observations in request order.
+//
+// Each job settles a private thermal testbed whose noise stream is derived
+// from (server seed, request index) via the engine's job-keyed RNG split,
+// so every observation — including its settling time — is a function of the
+// request alone: a campaign at Workers: N is bit-identical to Workers: 1.
+// The DRAM outcome itself is keyed by (device seed, profile, operating
+// point, rep) inside dram.Run and shares the device's immutable weak-cell
+// populations across jobs.
+func (s *Server) Campaign(reqs []Request, opts engine.Options) ([]*Observation, error) {
+	seeds := engine.SplitSeeds(s.seed^0xA3C59AC2E193AF9D, len(reqs))
+	return engine.Map(len(reqs), func(i int) (*Observation, error) {
+		req := reqs[i]
+		vdd := req.VDD
+		if vdd == 0 {
+			vdd = MinVDD
 		}
+		if err := validateTREFP(req.TREFP); err != nil {
+			return nil, err
+		}
+		if err := validateVDD(vdd); err != nil {
+			return nil, err
+		}
+		tb := thermal.NewTestbed(AmbientC, seeds[i])
+		return s.runOn(tb, req.Profile, req.Exp, req.TREFP, vdd)
+	}, opts)
+}
+
+// CrashStats folds the crash outcomes of a set of repetitions into the
+// paper's Eq. 3 quantities: the number of crashed runs and the per-rank
+// attribution of each crash's first UE (Fig. 9b).
+func CrashStats(observations []*Observation) (crashes int, rankHits []int) {
+	rankHits = make([]int, dram.NumRanks)
+	for _, obs := range observations {
 		if obs.Crashed {
 			crashes++
 			if obs.UERank >= 0 {
@@ -191,5 +256,23 @@ func (s *Server) MeasurePUE(profile *dram.AccessProfile, tempC float64, reps int
 			}
 		}
 	}
+	return crashes, rankHits
+}
+
+// MeasurePUE repeats a run reps times and returns the fraction that ended
+// in a system crash (paper Eq. 3).
+func (s *Server) MeasurePUE(profile *dram.AccessProfile, tempC float64, reps int) (float64, []int, error) {
+	if reps <= 0 {
+		return 0, nil, fmt.Errorf("xgene: MeasurePUE needs at least one repetition")
+	}
+	observations := make([]*Observation, reps)
+	for rep := 0; rep < reps; rep++ {
+		obs, err := s.Run(profile, Experiment{TempC: tempC, Rep: rep})
+		if err != nil {
+			return 0, nil, err
+		}
+		observations[rep] = obs
+	}
+	crashes, rankHits := CrashStats(observations)
 	return float64(crashes) / float64(reps), rankHits, nil
 }
