@@ -13,8 +13,12 @@ package repro
 // simulation; see EXPERIMENTS.md for how that maps to the paper's numbers.
 
 import (
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -23,6 +27,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/engine"
 	"repro/internal/exp"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -128,6 +133,53 @@ func BenchmarkPredictionLatency(b *testing.B) {
 		perQuery := time.Since(start) / time.Duration(b.N)
 		if perQuery > 300*time.Millisecond {
 			b.Fatalf("prediction took %v per query, paper promises < 300ms", perQuery)
+		}
+	}
+}
+
+// BenchmarkServePredict measures the serving path end to end: an HTTP
+// round trip through the prediction service (profile cache and model
+// registry warm after the first request), the deployment form of the
+// paper's "predict DRAM errors within 300 ms" claim. Warm-cache latency
+// must stay well under that budget.
+func BenchmarkServePredict(b *testing.B) {
+	s := benchSuite(b)
+	srv := serve.New(s.Dataset, serve.Options{Seed: 0})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const body = `{"workload":"srad(par)","trefp":2.283,"temp_c":60}`
+	post := func() serve.PredictResponse {
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("predict status %d", resp.StatusCode)
+		}
+		var r serve.PredictResponse
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}
+	warm := post() // pays profiling + training once, like a deployed server
+	if warm.WERMean <= 0 {
+		b.Fatalf("implausible warm prediction %v", warm.WERMean)
+	}
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post()
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		perQuery := time.Since(start) / time.Duration(b.N)
+		b.ReportMetric(float64(perQuery.Microseconds())/1e3, "ms/query")
+		if perQuery > 300*time.Millisecond {
+			b.Fatalf("warm serve query took %v, paper promises < 300ms", perQuery)
 		}
 	}
 }

@@ -5,82 +5,83 @@
 //
 // It trains the published KNN model once on the campaign dataset, then
 // answers WER/PUE queries for the given workload and operating point,
-// reporting the prediction latency.
+// reporting the prediction latency. With -load the campaign is skipped
+// entirely: the corpus comes from a saved artifact (see dramtrain -save),
+// with the target workload's rows excluded so the model still has to
+// generalize to it.
 //
 // Usage:
 //
-//	drampredict -bench lulesh(F) -trefp 0.618 -temp 70 [-quick] [-scale 8]
+//	drampredict -bench lulesh(F) -trefp 0.618 -temp 70 [-quick] [-scale 8] [-load dfault.json.gz]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
+	"repro/internal/cliflag"
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/profile"
 	"repro/internal/workload"
 	"repro/internal/xgene"
 )
 
 func main() {
 	var (
-		bench   = flag.String("bench", "lulesh(F)", "workload to predict")
-		trefp   = flag.Float64("trefp", 0.618, "refresh period in seconds")
-		temp    = flag.Float64("temp", 70, "DIMM temperature in °C")
-		scale   = flag.Int("scale", 8, "simulation capacity divisor")
-		quick   = flag.Bool("quick", false, "use test-size kernels")
-		seed    = flag.Uint64("seed", 0, "server and profiling seed")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent campaign jobs")
+		bench = flag.String("bench", "lulesh(F)", "workload to predict")
+		trefp = flag.Float64("trefp", 0.618, "refresh period in seconds")
+		temp  = flag.Float64("temp", 70, "DIMM temperature in °C")
+		camp  = cliflag.Campaign{Reps: 5}
 	)
+	camp.Register(flag.CommandLine)
 	flag.Parse()
 
-	size := workload.SizeProfile
-	if *quick {
-		size = workload.SizeTest
-	}
 	spec, err := workload.FindSpec(*bench)
 	if err != nil {
 		fatal(err)
 	}
+	if camp.Save != "" {
+		// The corpus built here excludes -bench; persisting it would hand
+		// later loads a silently incomplete artifact.
+		fatal(fmt.Errorf("-save is not supported: drampredict's corpus excludes %q; build the artifact with dramtrain -save", spec.Label))
+	}
 
 	// Training corpus: every workload except the prediction target (the
 	// model must generalize to unseen programs, as in the paper's
-	// validation).
+	// validation). A loaded artifact is filtered the same way.
 	var trainSpecs []workload.Spec
 	for _, s := range workload.ExtendedSet() {
 		if s.Label != spec.Label {
 			trainSpecs = append(trainSpecs, s)
 		}
 	}
-	fmt.Fprintln(os.Stderr, "building training dataset (one-time cost)...")
-	profiles, err := core.BuildProfiles(trainSpecs, size, *seed, *workers)
+	if camp.Load == "" {
+		fmt.Fprintln(os.Stderr, "building training dataset (one-time cost; use -load to reuse an artifact)...")
+	}
+	ds, srv, err := camp.DatasetAndServer(trainSpecs, logf)
 	if err != nil {
 		fatal(err)
 	}
-	srv := xgene.MustNewServer(xgene.Config{Seed: *seed, Scale: *scale})
-	ds, err := core.BuildDataset(srv, profiles, trainSpecs, core.CampaignOptions{Reps: 5, Workers: *workers})
+	ds = ds.WithoutWorkload(spec.Label)
+	werModel, err := core.TrainWER(ds, core.ModelKNN, core.InputSet1, camp.Workers)
 	if err != nil {
 		fatal(err)
 	}
-	werModel, err := core.TrainWER(ds, core.ModelKNN, core.InputSet1, *workers)
-	if err != nil {
-		fatal(err)
-	}
-	pueModel, err := core.TrainPUE(ds, core.ModelKNN, core.InputSet2, *workers)
+	pueModel, err := core.TrainPUE(ds, core.ModelKNN, core.InputSet2, camp.Workers)
 	if err != nil {
 		fatal(err)
 	}
 
 	// Profile the target workload (the paper's "Profiling phase": fast,
 	// no DRAM characterization involved).
-	targetProfiles, err := core.BuildProfiles([]workload.Spec{spec}, size, *seed, 1)
+	targetProf, err := profile.BuildAt(spec, camp.Size(), camp.Seed)
 	if err != nil {
 		fatal(err)
 	}
-	features := targetProfiles[spec.Label].Features
+	features := targetProf.Features
 
 	start := time.Now()
 	wer := werModel.PredictMean(features, *trefp, dram.MinVDD, *temp)
@@ -100,10 +101,15 @@ func main() {
 	fmt.Printf("  PUE (crash probability): %.2f\n", pue)
 	fmt.Printf("  prediction latency: %v (paper: within 300 ms)\n", elapsed)
 
-	// Validate against a real characterization run when it is survivable.
+	// Validate against a real characterization run when a campaign server
+	// exists (skipped with -load: the whole point is not to characterize)
+	// and the operating point is survivable.
+	if srv == nil {
+		return
+	}
 	if err := srv.SetTREFP(*trefp); err == nil && *temp <= 70 {
 		_ = srv.SetVDD(dram.MinVDD)
-		obs, err := srv.Run(targetProfiles[spec.Label].Access,
+		obs, err := srv.Run(targetProf.Access,
 			xgene.Experiment{TempC: *temp, RecordWER: true})
 		if err == nil && obs.WERValid && obs.WER > 0 {
 			fmt.Printf("  measured (2h characterization): %.4g (%.1fx off)\n",
@@ -122,6 +128,10 @@ func ratio(a, b float64) float64 {
 		return 0
 	}
 	return a / b
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
 }
 
 func fatal(err error) {

@@ -1,0 +1,90 @@
+// Command dramserve runs the prediction service: a long-running HTTP
+// server that answers WER/PUE queries from a saved campaign dataset
+// artifact, the deployment the paper describes (a periodically-updated
+// model that predicts DRAM errors within 300 ms).
+//
+// Build the artifact once, then serve it:
+//
+//	dramtrain -quick -save dfault.json.gz
+//	dramserve -load dfault.json.gz -addr :8080
+//	curl -s localhost:8080/v1/predict -d '{"workload":"memcached","trefp":2.283,"temp_c":60}'
+//
+// Without -load it builds the campaign dataset in-process first (slow; use
+// -quick for a demonstration corpus). Loading adopts the artifact's
+// recorded build settings (profiling size, seed), so query-workload
+// profiles stay commensurate with the training rows. SIGINT/SIGTERM drain
+// in-flight requests and shut down gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliflag"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		camp     cliflag.Campaign
+		drainFor = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+	)
+	camp.Register(flag.CommandLine)
+	flag.Parse()
+
+	ds, err := camp.Dataset(workload.ExtendedSet(), logf)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	srv := serve.New(ds, serve.Options{
+		Quick:   camp.Quick,
+		Seed:    camp.Seed,
+		Workers: camp.Workers,
+	})
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		logf("signal received; draining for up to %v...", *drainFor)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			logf("shutdown: %v", err)
+		}
+		// Only after the listener has drained: cancel the engine context
+		// and wake any stragglers.
+		srv.Close()
+	}()
+
+	logf("serving %d WER rows / %d PUE rows on %s", len(ds.WER), len(ds.PUE), *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	<-shutdownDone
+	logf("bye")
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dramserve: "+format+"\n", args...)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dramserve:", err)
+	os.Exit(1)
+}

@@ -4,64 +4,28 @@
 //
 // Usage:
 //
-//	dramtrain [-scale 8] [-reps 10] [-quick] [-seed 0]
+//	dramtrain [-scale 8] [-reps 10] [-quick] [-seed 0] [-save dfault.json.gz | -load dfault.json.gz]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"sort"
 
+	"repro/internal/cliflag"
 	"repro/internal/core"
 	"repro/internal/workload"
-	"repro/internal/xgene"
 )
 
 func main() {
-	var (
-		scale    = flag.Int("scale", 8, "simulation capacity divisor")
-		reps     = flag.Int("reps", 10, "repetitions per PUE experiment")
-		quick    = flag.Bool("quick", false, "use test-size kernels")
-		seed     = flag.Uint64("seed", 0, "server and profiling seed")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent campaign jobs")
-		savePath = flag.String("save", "", "write the campaign dataset artifact to this path")
-		loadPath = flag.String("load", "", "skip the campaign; load a saved dataset artifact")
-	)
+	var camp cliflag.Campaign
+	camp.Register(flag.CommandLine)
 	flag.Parse()
 
-	var ds *core.Dataset
-	if *loadPath != "" {
-		var err error
-		ds, err = core.LoadDataset(*loadPath)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "loaded dataset artifact %s\n", *loadPath)
-	} else {
-		size := workload.SizeProfile
-		if *quick {
-			size = workload.SizeTest
-		}
-		specs := workload.ExtendedSet()
-		fmt.Fprintf(os.Stderr, "profiling %d workloads...\n", len(specs))
-		profiles, err := core.BuildProfiles(specs, size, *seed, *workers)
-		if err != nil {
-			fatal(err)
-		}
-		srv := xgene.MustNewServer(xgene.Config{Seed: *seed, Scale: *scale})
-		fmt.Fprintf(os.Stderr, "running characterization campaigns (%d workers)...\n", *workers)
-		ds, err = core.BuildDataset(srv, profiles, specs, core.CampaignOptions{Reps: *reps, Workers: *workers})
-		if err != nil {
-			fatal(err)
-		}
-	}
-	if *savePath != "" {
-		if err := ds.Save(*savePath); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "saved dataset artifact to %s\n", *savePath)
+	ds, err := camp.Dataset(workload.ExtendedSet(), logf)
+	if err != nil {
+		fatal(err)
 	}
 	observed := 0
 	for _, s := range ds.WER {
@@ -76,7 +40,7 @@ func main() {
 	fmt.Printf("%-6s %-12s %-8s %-10s\n", "model", "input set", "avg", "median app")
 	for _, kind := range core.ModelKinds() {
 		for _, set := range core.InputSets() {
-			ev, err := core.EvaluateWER(ds, kind, set, *workers)
+			ev, err := core.EvaluateWER(ds, kind, set, camp.Workers)
 			if err != nil {
 				fatal(err)
 			}
@@ -89,7 +53,7 @@ func main() {
 	fmt.Printf("%-6s %-12s %-8s\n", "model", "input set", "MAE")
 	for _, kind := range core.ModelKinds() {
 		for _, set := range core.InputSets() {
-			ev, err := core.EvaluatePUE(ds, kind, set, *workers)
+			ev, err := core.EvaluatePUE(ds, kind, set, camp.Workers)
 			if err != nil {
 				fatal(err)
 			}
@@ -131,6 +95,10 @@ func medianOf(m map[string]float64) float64 {
 		return 0
 	}
 	return vals[len(vals)/2]
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
 }
 
 func fatal(err error) {

@@ -28,6 +28,13 @@
 //   - internal/core    — the paper's contribution: the workload-aware
 //     DRAM error model and its evaluation protocol
 //   - internal/exp     — regeneration of every table and figure
+//   - internal/serve   — the deployment layer: a long-running HTTP
+//     prediction service over a saved dataset artifact, with a
+//     singleflight model registry, a workload profile cache,
+//     micro-batched PredictBatch dispatch and a /metrics exposition
+//     (cmd/dramserve is the entry point)
+//   - internal/cliflag — the dataset-acquisition flags (-load/-save/
+//     -quick/-scale/...) shared by the dram* commands
 //
 // See README.md for a tour, DESIGN.md for the system inventory and the
 // simulation-for-hardware substitutions, and EXPERIMENTS.md for the

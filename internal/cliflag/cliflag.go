@@ -1,0 +1,113 @@
+// Package cliflag bundles the dataset-acquisition flags shared by the
+// dram* commands. Every command that needs the campaign corpus either
+// loads a saved artifact (-load) or builds profiles + characterization
+// campaigns from scratch, and can persist the result (-save); registering
+// one Campaign keeps the flag names, defaults and resolution logic
+// identical across dramtrain, drampredict and dramserve.
+package cliflag
+
+import (
+	"flag"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+	"repro/internal/xgene"
+)
+
+// Campaign holds the shared flags. Set a field before Register to change
+// that command's default (drampredict defaults Reps to 5, for example).
+type Campaign struct {
+	Scale   int
+	Reps    int
+	Quick   bool
+	Seed    uint64
+	Workers int
+	Load    string
+	Save    string
+}
+
+// Register installs the shared flags on fs, using the current field values
+// as defaults (zero fields get the dramtrain defaults).
+func (c *Campaign) Register(fs *flag.FlagSet) {
+	if c.Scale == 0 {
+		c.Scale = 8
+	}
+	if c.Reps == 0 {
+		c.Reps = 10
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	fs.IntVar(&c.Scale, "scale", c.Scale, "simulation capacity divisor")
+	fs.IntVar(&c.Reps, "reps", c.Reps, "repetitions per PUE experiment")
+	fs.BoolVar(&c.Quick, "quick", c.Quick, "use test-size kernels")
+	fs.Uint64Var(&c.Seed, "seed", c.Seed, "server and profiling seed")
+	fs.IntVar(&c.Workers, "workers", c.Workers, "concurrent campaign jobs")
+	fs.StringVar(&c.Load, "load", c.Load, "skip the campaign; load a saved dataset artifact")
+	fs.StringVar(&c.Save, "save", c.Save, "write the campaign dataset artifact to this path")
+}
+
+// Size maps -quick to the workload size.
+func (c *Campaign) Size() workload.Size {
+	if c.Quick {
+		return workload.SizeTest
+	}
+	return workload.SizeProfile
+}
+
+// Dataset resolves the flags into a training corpus: the artifact at -load
+// when given, otherwise profiles + characterization campaigns over specs.
+// The result is saved to -save when set. logf reports progress.
+func (c *Campaign) Dataset(specs []workload.Spec, logf func(format string, args ...any)) (*core.Dataset, error) {
+	ds, _, err := c.DatasetAndServer(specs, logf)
+	return ds, err
+}
+
+// DatasetAndServer is Dataset, additionally returning the characterization
+// server when a campaign was run (nil when the artifact was loaded) — for
+// commands that validate predictions against a real run afterwards.
+func (c *Campaign) DatasetAndServer(specs []workload.Spec, logf func(format string, args ...any)) (*core.Dataset, *xgene.Server, error) {
+	var (
+		ds  *core.Dataset
+		srv *xgene.Server
+	)
+	if c.Load != "" {
+		var err error
+		ds, err = core.LoadDataset(c.Load)
+		if err != nil {
+			return nil, nil, err
+		}
+		logf("loaded dataset artifact %s", c.Load)
+		// Adopt the artifact's build settings: query-workload profiling
+		// must match how the training rows were profiled, or features are
+		// silently incommensurate.
+		if b := ds.Build; b.Known() {
+			if c.Quick != b.Quick() || c.Seed != b.Seed {
+				logf("adopting artifact build settings (quick=%v seed=%d)", b.Quick(), b.Seed)
+			}
+			c.Quick = b.Quick()
+			c.Seed = b.Seed
+		}
+	} else {
+		logf("profiling %d workloads...", len(specs))
+		profiles, err := core.BuildProfiles(specs, c.Size(), c.Seed, c.Workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		srv = xgene.MustNewServer(xgene.Config{Seed: c.Seed, Scale: c.Scale})
+		logf("running characterization campaigns (%d workers)...", c.Workers)
+		ds, err = core.BuildDataset(srv, profiles, specs, core.CampaignOptions{Reps: c.Reps, Workers: c.Workers})
+		if err != nil {
+			return nil, nil, err
+		}
+		ds.StampBuild(c.Size(), c.Seed)
+	}
+	if c.Save != "" {
+		if err := ds.Save(c.Save); err != nil {
+			return nil, nil, err
+		}
+		logf("saved dataset artifact to %s", c.Save)
+	}
+	return ds, srv, nil
+}

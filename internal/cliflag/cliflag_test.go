@@ -1,0 +1,105 @@
+package cliflag
+
+import (
+	"flag"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func testSpecs(t *testing.T) []workload.Spec {
+	t.Helper()
+	var specs []workload.Spec
+	for _, l := range []string{"backprop", "random"} {
+		s, err := workload.FindSpec(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	return specs
+}
+
+func TestRegisterDefaults(t *testing.T) {
+	var c Campaign
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	c.Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Scale != 8 || c.Reps != 10 || c.Quick || c.Workers != runtime.GOMAXPROCS(0) {
+		t.Fatalf("defaults: %+v", c)
+	}
+	if c.Size() != workload.SizeProfile {
+		t.Fatal("default size not SizeProfile")
+	}
+}
+
+func TestRegisterPresetDefaultsAndParse(t *testing.T) {
+	c := Campaign{Reps: 5}
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	c.Register(fs)
+	if err := fs.Parse([]string{"-quick", "-scale", "32", "-workers", "2", "-load", "x.gz"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reps != 5 {
+		t.Fatalf("preset default lost: reps = %d", c.Reps)
+	}
+	if !c.Quick || c.Scale != 32 || c.Workers != 2 || c.Load != "x.gz" {
+		t.Fatalf("parse: %+v", c)
+	}
+	if c.Size() != workload.SizeTest {
+		t.Fatal("-quick size not SizeTest")
+	}
+}
+
+func TestDatasetBuildSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dfault.json.gz")
+	build := Campaign{Scale: 32, Reps: 2, Quick: true, Workers: 2, Save: path}
+	var msgs []string
+	logf := func(format string, args ...any) { msgs = append(msgs, format) }
+
+	ds, srv, err := build.DatasetAndServer(testSpecs(t), logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv == nil {
+		t.Fatal("campaign build returned no server")
+	}
+	if len(ds.WER) == 0 || len(ds.PUE) == 0 {
+		t.Fatalf("empty dataset: %d/%d rows", len(ds.WER), len(ds.PUE))
+	}
+	if len(msgs) == 0 {
+		t.Fatal("no progress logged")
+	}
+
+	load := Campaign{Load: path}
+	back, srv2, err := load.DatasetAndServer(nil, logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv2 != nil {
+		t.Fatal("artifact load returned a server")
+	}
+	if len(back.WER) != len(ds.WER) || len(back.PUE) != len(ds.PUE) {
+		t.Fatalf("loaded artifact shape %d/%d, want %d/%d",
+			len(back.WER), len(back.PUE), len(ds.WER), len(ds.PUE))
+	}
+	// The loader adopts the artifact's build settings, so query-workload
+	// profiling matches the training rows even when flags disagree.
+	if !back.Build.Known() || !back.Build.Quick() {
+		t.Fatalf("build info not persisted: %+v", back.Build)
+	}
+	if !load.Quick || load.Size() != workload.SizeTest {
+		t.Fatalf("loader did not adopt -quick from artifact: %+v", load)
+	}
+}
+
+func TestDatasetLoadMissing(t *testing.T) {
+	c := Campaign{Load: filepath.Join(t.TempDir(), "missing.gz")}
+	if _, err := c.Dataset(nil, func(string, ...any) {}); err == nil {
+		t.Fatal("missing artifact accepted")
+	}
+}

@@ -62,12 +62,42 @@ type PUESample struct {
 	RankHits []int
 }
 
+// BuildInfo records how a corpus was produced. It travels with the saved
+// artifact so loaders profile query workloads the same way the training
+// rows were profiled — a size or seed mismatch yields silently
+// incommensurate features, never an error.
+type BuildInfo struct {
+	// ProfileSize is "test" (built with -quick) or "profile"; empty in
+	// artifacts predating the field.
+	ProfileSize string `json:"profile_size,omitempty"`
+	// Seed keyed the profiling and characterization runs.
+	Seed uint64 `json:"seed"`
+}
+
+// Known reports whether the artifact declared its build settings.
+func (b BuildInfo) Known() bool { return b.ProfileSize != "" }
+
+// Quick reports whether the corpus was profiled at test size.
+func (b BuildInfo) Quick() bool { return b.ProfileSize == "test" }
+
 // Dataset is the paper's full training corpus.
 type Dataset struct {
 	WER []WERSample
 	PUE []PUESample
 	// Profiles indexes the program profiles by workload label.
 	Profiles map[string]*profile.Result
+	// Build describes how the corpus was produced (persisted with the
+	// artifact; zero when unknown).
+	Build BuildInfo
+}
+
+// StampBuild records the corpus build settings for persistence.
+func (ds *Dataset) StampBuild(size workload.Size, seed uint64) {
+	name := "profile"
+	if size == workload.SizeTest {
+		name = "test"
+	}
+	ds.Build = BuildInfo{ProfileSize: name, Seed: seed}
 }
 
 // CampaignOptions tunes dataset collection.
@@ -101,15 +131,7 @@ func (o *CampaignOptions) setDefaults() {
 // worker count.
 func BuildProfiles(specs []workload.Spec, size workload.Size, seed uint64, workers int) (map[string]*profile.Result, error) {
 	results, err := engine.Map(len(specs), func(i int) (*profile.Result, error) {
-		var (
-			res *profile.Result
-			err error
-		)
-		if size == workload.SizeTest {
-			res, err = profile.BuildQuick(specs[i], seed)
-		} else {
-			res, err = profile.Build(specs[i], seed)
-		}
+		res, err := profile.BuildAt(specs[i], size, seed)
 		if err != nil {
 			return nil, fmt.Errorf("core: profiling %s: %w", specs[i].Label, err)
 		}
@@ -241,6 +263,32 @@ func BuildDataset(srv *xgene.Server, profiles map[string]*profile.Result, specs 
 		return nil, fmt.Errorf("core: campaign produced no WER samples")
 	}
 	return ds, nil
+}
+
+// WithoutWorkload returns a copy of the dataset with every row (and
+// profile) of the labeled workload removed — the leave-one-out corpus used
+// when predicting a workload that is present in a saved artifact.
+func (ds *Dataset) WithoutWorkload(label string) *Dataset {
+	out := &Dataset{Build: ds.Build}
+	for _, s := range ds.WER {
+		if s.Workload != label {
+			out.WER = append(out.WER, s)
+		}
+	}
+	for _, s := range ds.PUE {
+		if s.Workload != label {
+			out.PUE = append(out.PUE, s)
+		}
+	}
+	if ds.Profiles != nil {
+		out.Profiles = make(map[string]*profile.Result, len(ds.Profiles))
+		for k, v := range ds.Profiles {
+			if k != label {
+				out.Profiles[k] = v
+			}
+		}
+	}
+	return out
 }
 
 // Workloads lists the distinct workload labels in the WER set.

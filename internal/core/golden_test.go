@@ -1,0 +1,128 @@
+package core
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/profile"
+)
+
+// The golden fixtures pin the on-disk artifact format: a checked-in v1
+// artifact must keep loading bit-for-bit across PRs (catalog or layout
+// drift fails loudly here, not in a production reload), and an artifact
+// with a bumped version must keep being rejected with a clear error.
+//
+// Regenerate after an *intentional* format change:
+//
+//	go test ./internal/core -run TestGoldenArtifact -update-golden
+
+var updateGolden = flag.Bool("update-golden", false, "regenerate the golden artifact fixtures")
+
+// goldenDataset is fully synthetic with fixed values: the fixture must not
+// depend on simulator behaviour, only on the artifact format and the
+// feature catalog.
+func goldenDataset() *Dataset {
+	feats := func(k int) []float64 {
+		f := make([]float64, profile.NumFeatures)
+		for i := range f {
+			f[i] = float64((i*7+k*3)%13) / 13
+		}
+		return f
+	}
+	ds := &Dataset{Build: BuildInfo{ProfileSize: "test", Seed: 3}}
+	for w, label := range []string{"golden-a", "golden-b"} {
+		for rank := 0; rank < 2; rank++ {
+			ds.WER = append(ds.WER, WERSample{
+				Workload: label,
+				Threads:  1 + w*7,
+				TREFP:    0.618,
+				VDD:      1.428,
+				TempC:    60,
+				Rank:     rank,
+				Features: feats(w),
+				WER:      1e-7 * float64(1+w+rank),
+			})
+		}
+		ds.PUE = append(ds.PUE, PUESample{
+			Workload: label,
+			Threads:  1 + w*7,
+			TREFP:    2.283,
+			VDD:      1.428,
+			TempC:    70,
+			Features: feats(w),
+			PUE:      0.5 * float64(w+1),
+			RankHits: []int{w, 0, 0, 0, 1, 0, 0, 0},
+		})
+	}
+	return ds
+}
+
+func goldenPath(t *testing.T, name string) string {
+	t.Helper()
+	return filepath.Join("testdata", name)
+}
+
+func writeBadVersionFixture(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	if err := json.NewEncoder(zw).Encode(map[string]any{
+		"version":       99,
+		"feature_names": profile.FeatureNames(),
+	}); err != nil {
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func TestGoldenArtifactRoundTrip(t *testing.T) {
+	path := goldenPath(t, "golden_v1.json.gz")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := goldenDataset().Save(path); err != nil {
+			t.Fatal(err)
+		}
+		if err := writeBadVersionFixture(goldenPath(t, "golden_badversion.json.gz")); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("golden fixtures regenerated")
+	}
+	got, err := LoadDataset(path)
+	if err != nil {
+		t.Fatalf("golden artifact no longer loads: %v (after an intentional format change, regenerate with -update-golden and bump artifactVersion)", err)
+	}
+	want := goldenDataset()
+	if !reflect.DeepEqual(got.WER, want.WER) {
+		t.Fatal("golden WER rows drifted from the checked-in fixture")
+	}
+	if !reflect.DeepEqual(got.PUE, want.PUE) {
+		t.Fatal("golden PUE rows drifted from the checked-in fixture")
+	}
+	if got.Build != want.Build {
+		t.Fatalf("golden build info drifted: %+v != %+v", got.Build, want.Build)
+	}
+}
+
+func TestGoldenArtifactRejectsBumpedVersion(t *testing.T) {
+	_, err := LoadDataset(goldenPath(t, "golden_badversion.json.gz"))
+	if err == nil {
+		t.Fatal("bumped-version artifact accepted")
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version error not clear: %v", err)
+	}
+}

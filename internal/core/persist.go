@@ -24,6 +24,7 @@ const artifactVersion = 1
 // artifact is the serialized form of a Dataset.
 type artifact struct {
 	Version      int         `json:"version"`
+	Build        BuildInfo   `json:"build"`
 	FeatureNames []string    `json:"feature_names"`
 	WER          []WERSample `json:"wer"`
 	PUE          []PUESample `json:"pue"`
@@ -48,6 +49,7 @@ func (ds *Dataset) Encode(w io.Writer) error {
 	enc := json.NewEncoder(zw)
 	art := artifact{
 		Version:      artifactVersion,
+		Build:        ds.Build,
 		FeatureNames: profile.FeatureNames(),
 		WER:          ds.WER,
 		PUE:          ds.PUE,
@@ -95,7 +97,7 @@ func ReadDataset(r io.Reader) (*Dataset, error) {
 				i, n, names[i])
 		}
 	}
-	ds := &Dataset{WER: art.WER, PUE: art.PUE}
+	ds := &Dataset{WER: art.WER, PUE: art.PUE, Build: art.Build}
 	for _, s := range ds.WER {
 		if len(s.Features) != len(names) {
 			return nil, fmt.Errorf("core: WER row for %s has %d features", s.Workload, len(s.Features))

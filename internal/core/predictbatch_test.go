@@ -1,0 +1,132 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// batchWorkerCounts are the pool sizes the equivalence tests sweep.
+var batchWorkerCounts = []int{1, 2, 3, 8, 17}
+
+func TestWERPredictBatchMatchesPredict(t *testing.T) {
+	ds := testDataset(t)
+	for _, kind := range ModelKinds() {
+		pred, err := TrainWER(ds, kind, InputSet1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var qs []WERQuery
+		for i, s := range ds.WER {
+			if i >= 64 {
+				break
+			}
+			qs = append(qs, WERQuery{
+				Features: s.Features, TREFP: s.TREFP, VDD: s.VDD,
+				TempC: s.TempC, Rank: s.Rank,
+			})
+		}
+		want := make([]float64, len(qs))
+		for i, q := range qs {
+			want[i] = pred.Predict(q.Features, q.TREFP, q.VDD, q.TempC, q.Rank)
+		}
+		for _, w := range batchWorkerCounts {
+			got, err := pred.PredictBatch(qs, engine.Options{Workers: w})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", kind, w, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s workers=%d query %d: batch %v != looped %v",
+						kind, w, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPUEPredictBatchMatchesPredict(t *testing.T) {
+	ds := testDataset(t)
+	pred, err := TrainPUE(ds, ModelKNN, InputSet2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qs []PUEQuery
+	for _, s := range ds.PUE {
+		qs = append(qs, PUEQuery{
+			Features: s.Features, TREFP: s.TREFP, VDD: s.VDD, TempC: s.TempC,
+		})
+	}
+	want := make([]float64, len(qs))
+	for i, q := range qs {
+		want[i] = pred.Predict(q.Features, q.TREFP, q.VDD, q.TempC)
+	}
+	for _, w := range batchWorkerCounts {
+		got, err := pred.PredictBatch(qs, engine.Options{Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d query %d: batch %v != looped %v", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPredictBatchEmpty(t *testing.T) {
+	ds := testDataset(t)
+	pred, err := TrainWER(ds, ModelKNN, InputSet1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pred.PredictBatch(nil, engine.Options{})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: %v, %v", got, err)
+	}
+}
+
+func TestPredictBatchCancellation(t *testing.T) {
+	ds := testDataset(t)
+	pred, err := TrainWER(ds, ModelKNN, InputSet1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	qs := make([]WERQuery, 32)
+	for i := range qs {
+		qs[i] = WERQuery{Features: ds.WER[0].Features, TREFP: 1, VDD: 1.428, TempC: 60}
+	}
+	if _, err := pred.PredictBatch(qs, engine.Options{Workers: 2, Context: ctx}); err == nil {
+		t.Fatal("canceled context accepted")
+	}
+}
+
+func TestWithoutWorkload(t *testing.T) {
+	ds := testDataset(t)
+	label := ds.WER[0].Workload
+	werBefore, pueBefore := len(ds.WER), len(ds.PUE)
+	out := ds.WithoutWorkload(label)
+	if len(out.WER) >= werBefore {
+		t.Fatalf("no WER rows removed for %s", label)
+	}
+	for _, s := range out.WER {
+		if s.Workload == label {
+			t.Fatalf("WER row for %s survived", label)
+		}
+	}
+	for _, s := range out.PUE {
+		if s.Workload == label {
+			t.Fatalf("PUE row for %s survived", label)
+		}
+	}
+	if out.Profiles != nil && out.Profiles[label] != nil {
+		t.Fatalf("profile for %s survived", label)
+	}
+	// The receiver is untouched.
+	if len(ds.WER) != werBefore || len(ds.PUE) != pueBefore {
+		t.Fatal("WithoutWorkload mutated its receiver")
+	}
+}

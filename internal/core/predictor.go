@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dram"
+	"repro/internal/engine"
 	"repro/internal/ml"
 	"repro/internal/stats"
 )
@@ -99,6 +100,28 @@ func (p *WERPredictor) PredictMean(features []float64, trefp, vdd, tempC float64
 	return sum / dram.NumRanks
 }
 
+// WERQuery is one WER prediction request: a workload's program features
+// under an operating point on a specific rank.
+type WERQuery struct {
+	Features []float64
+	TREFP    float64
+	VDD      float64
+	TempC    float64
+	Rank     int
+}
+
+// PredictBatch evaluates the queries on a bounded worker pool and returns
+// the predictions in query order. Each query is independent and the model
+// is immutable after training, so the result is bit-identical to calling
+// Predict per query, at every worker count. The options' context cancels
+// outstanding queries (the serving layer threads shutdown through here).
+func (p *WERPredictor) PredictBatch(qs []WERQuery, opts engine.Options) ([]float64, error) {
+	return engine.Map(len(qs), func(i int) (float64, error) {
+		q := &qs[i]
+		return p.Predict(q.Features, q.TREFP, q.VDD, q.TempC, q.Rank), nil
+	}, opts)
+}
+
 // PUEPredictor predicts the crash probability of a workload.
 type PUEPredictor struct {
 	Kind   ModelKind
@@ -139,4 +162,22 @@ func (p *PUEPredictor) Predict(features []float64, trefp, vdd, tempC float64) fl
 	smp := PUESample{TREFP: trefp, VDD: vdd, TempC: tempC, Features: features}
 	x := p.scaler.Transform(p.Set.pueVector(&smp))
 	return stats.Clamp(p.model.Predict(x), 0, 1)
+}
+
+// PUEQuery is one crash-probability prediction request.
+type PUEQuery struct {
+	Features []float64
+	TREFP    float64
+	VDD      float64
+	TempC    float64
+}
+
+// PredictBatch evaluates the queries on a bounded worker pool and returns
+// the predictions in query order, bit-identical to per-query Predict calls
+// at every worker count.
+func (p *PUEPredictor) PredictBatch(qs []PUEQuery, opts engine.Options) ([]float64, error) {
+	return engine.Map(len(qs), func(i int) (float64, error) {
+		q := &qs[i]
+		return p.Predict(q.Features, q.TREFP, q.VDD, q.TempC), nil
+	}, opts)
 }

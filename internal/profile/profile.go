@@ -62,6 +62,16 @@ func BuildQuick(spec workload.Spec, seed uint64) (*Result, error) {
 	return build(spec, workload.SizeTest, 3, seed)
 }
 
+// BuildAt dispatches to Build or BuildQuick by size: the one entry point
+// for callers (campaign assembly, the serving layer's profile cache) that
+// carry the size as data.
+func BuildAt(spec workload.Spec, size workload.Size, seed uint64) (*Result, error) {
+	if size == workload.SizeTest {
+		return BuildQuick(spec, seed)
+	}
+	return Build(spec, seed)
+}
+
 // profileIters returns the number of outer iterations profiled per kernel:
 // enough for every kernel to exhibit cross-iteration reuse.
 func profileIters(label string) int {

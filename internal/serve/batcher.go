@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errClosed reports a request caught by server shutdown.
+var errClosed = errors.New("serve: server closed")
+
+// maxBatchItems bounds how many in-flight requests one flush coalesces.
+const maxBatchItems = 256
+
+// batcher coalesces concurrent prediction calls into one PredictBatch
+// invocation. Callers hand in their query slice and block; a dispatcher
+// goroutine gathers every slice queued at that moment (up to
+// maxBatchItems), runs them as a single batch on the engine's worker pool,
+// and hands each caller back its window of the results. Because every
+// query is independent and deterministic, coalescing never changes a
+// result — it only amortizes dispatch overhead, which is what keeps warm
+// tail latency flat under concurrent load.
+type batcher[Q, R any] struct {
+	run  func([]Q) ([]R, error)
+	ch   chan batchItem[Q, R]
+	stop <-chan struct{}
+	m    *metrics
+}
+
+type batchItem[Q, R any] struct {
+	qs  []Q
+	out chan batchResult[R]
+}
+
+type batchResult[R any] struct {
+	rs  []R
+	err error
+}
+
+// newBatcher starts the dispatcher goroutine; it exits when stop closes.
+func newBatcher[Q, R any](run func([]Q) ([]R, error), stop <-chan struct{}, m *metrics) *batcher[Q, R] {
+	b := &batcher[Q, R]{
+		run:  run,
+		ch:   make(chan batchItem[Q, R], maxBatchItems),
+		stop: stop,
+		m:    m,
+	}
+	go b.loop()
+	return b
+}
+
+func (b *batcher[Q, R]) loop() {
+	for {
+		var first batchItem[Q, R]
+		select {
+		case <-b.stop:
+			return
+		case first = <-b.ch:
+		}
+		items := []batchItem[Q, R]{first}
+	gather:
+		for len(items) < maxBatchItems {
+			select {
+			case it := <-b.ch:
+				items = append(items, it)
+			default:
+				break gather
+			}
+		}
+		var all []Q
+		for _, it := range items {
+			all = append(all, it.qs...)
+		}
+		rs, err := b.run(all)
+		if err == nil && len(rs) != len(all) {
+			err = fmt.Errorf("serve: batch returned %d results for %d queries", len(rs), len(all))
+		}
+		b.m.batches.inc()
+		b.m.batchedQueries.add(int64(len(all)))
+		off := 0
+		for _, it := range items {
+			if err != nil {
+				it.out <- batchResult[R]{err: err}
+				continue
+			}
+			it.out <- batchResult[R]{rs: rs[off : off+len(it.qs)]}
+			off += len(it.qs)
+		}
+	}
+}
+
+// do submits qs and blocks until the batch containing them completes (or
+// the server shuts down). The returned slice holds one result per query,
+// in query order.
+func (b *batcher[Q, R]) do(qs []Q) ([]R, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	it := batchItem[Q, R]{qs: qs, out: make(chan batchResult[R], 1)}
+	select {
+	case b.ch <- it:
+	case <-b.stop:
+		return nil, errClosed
+	}
+	select {
+	case res := <-it.out:
+		return res.rs, res.err
+	case <-b.stop:
+		return nil, errClosed
+	}
+}

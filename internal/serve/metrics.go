@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// counter is a monotonically increasing metric.
+type counter struct{ v atomic.Int64 }
+
+func (c *counter) inc()         { c.v.Add(1) }
+func (c *counter) add(n int64)  { c.v.Add(n) }
+func (c *counter) value() int64 { return c.v.Load() }
+
+// latencyBuckets are the histogram upper bounds in seconds: a log scale
+// from 100 µs to 10 s bracketing the paper's 300 ms budget.
+var latencyBuckets = []float64{
+	0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10,
+}
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	mu     sync.Mutex
+	counts []int64 // one per bucket, plus +Inf at the end
+	sum    float64
+	n      int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]int64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets, sec)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += sec
+	h.n++
+	h.mu.Unlock()
+}
+
+// render writes the histogram in the Prometheus text exposition format.
+func (h *histogram) render(w io.Writer, name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := int64(0)
+	for i, le := range latencyBuckets {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", le), cum)
+	}
+	cum += h.counts[len(latencyBuckets)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.n)
+}
+
+// metrics aggregates every observable of the serving layer. All fields are
+// safe for concurrent use.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[requestKey]*counter // per (endpoint, status code)
+
+	profileHits   counter
+	profileMisses counter
+	modelHits     counter
+	modelMisses   counter
+
+	batches        counter // micro-batch flushes
+	batchedQueries counter // queries carried by those flushes
+
+	trainSeconds   *histogram // one observation per model fit
+	predictSeconds *histogram // one observation per /v1/predict request
+	profileSeconds *histogram // one observation per profile build
+}
+
+type requestKey struct {
+	endpoint string
+	code     int
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:       map[requestKey]*counter{},
+		trainSeconds:   newHistogram(),
+		predictSeconds: newHistogram(),
+		profileSeconds: newHistogram(),
+	}
+}
+
+func (m *metrics) countRequest(endpoint string, code int) {
+	k := requestKey{endpoint, code}
+	m.mu.Lock()
+	c, ok := m.requests[k]
+	if !ok {
+		c = &counter{}
+		m.requests[k] = c
+	}
+	m.mu.Unlock()
+	c.inc()
+}
+
+// render writes the full exposition: request counts, cache accounting,
+// batching totals and the latency histograms.
+func (m *metrics) render(w io.Writer) {
+	m.mu.Lock()
+	keys := make([]requestKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	m.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		return keys[i].code < keys[j].code
+	})
+	for _, k := range keys {
+		m.mu.Lock()
+		c := m.requests[k]
+		m.mu.Unlock()
+		fmt.Fprintf(w, "dramserve_requests_total{endpoint=%q,code=\"%d\"} %d\n",
+			k.endpoint, k.code, c.value())
+	}
+	fmt.Fprintf(w, "dramserve_profile_cache_hits_total %d\n", m.profileHits.value())
+	fmt.Fprintf(w, "dramserve_profile_cache_misses_total %d\n", m.profileMisses.value())
+	fmt.Fprintf(w, "dramserve_model_registry_hits_total %d\n", m.modelHits.value())
+	fmt.Fprintf(w, "dramserve_model_registry_misses_total %d\n", m.modelMisses.value())
+	fmt.Fprintf(w, "dramserve_predict_batches_total %d\n", m.batches.value())
+	fmt.Fprintf(w, "dramserve_predict_batched_queries_total %d\n", m.batchedQueries.value())
+	m.trainSeconds.render(w, "dramserve_train_seconds")
+	m.predictSeconds.render(w, "dramserve_predict_seconds")
+	m.profileSeconds.render(w, "dramserve_profile_seconds")
+}

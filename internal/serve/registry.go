@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/profile"
+	"repro/internal/workload"
+)
+
+// The registry and cache below share one shape: a map of lazily-filled
+// entries, each guarded by its own sync.Once. The map lock is held only to
+// find-or-create an entry, never across the expensive fill, so concurrent
+// first requests for the same key block on one fill (singleflight) while
+// requests for other keys proceed — and repeat requests are a lock, a map
+// probe and a closed Once. Entry fields are published under the map lock
+// because the introspection endpoints read them without going through the
+// Once.
+
+// modelKey identifies one trained predictor.
+type modelKey struct {
+	kind core.ModelKind
+	set  core.InputSet
+}
+
+// modelEntry is a lazily-trained predictor of type P plus the micro-batcher
+// for its query type Q.
+type modelEntry[P, Q any] struct {
+	once     sync.Once
+	pred     P
+	err      error
+	trainDur time.Duration
+	batch    *batcher[Q, float64] // non-nil exactly when training succeeded
+}
+
+// modelRegistry trains and caches predictors per (kind, input set, target).
+type modelRegistry struct {
+	mu  sync.Mutex
+	wer map[modelKey]*modelEntry[*core.WERPredictor, core.WERQuery]
+	pue map[modelKey]*modelEntry[*core.PUEPredictor, core.PUEQuery]
+}
+
+func newModelRegistry() *modelRegistry {
+	return &modelRegistry{
+		wer: map[modelKey]*modelEntry[*core.WERPredictor, core.WERQuery]{},
+		pue: map[modelKey]*modelEntry[*core.PUEPredictor, core.PUEQuery]{},
+	}
+}
+
+// getModel is the singleflight find-or-train shared by both targets. A
+// registry miss is counted only by the request that creates the entry;
+// concurrent requests arriving while it trains block on the Once and count
+// as hits (they pay no training).
+func getModel[P, Q any](s *Server, entries map[modelKey]*modelEntry[P, Q], k modelKey,
+	train func() (P, error),
+	predictBatch func(P, []Q) ([]float64, error)) (*modelEntry[P, Q], error) {
+	if err := s.closedErr(); err != nil {
+		return nil, err
+	}
+	s.registry.mu.Lock()
+	e, ok := entries[k]
+	if !ok {
+		e = &modelEntry[P, Q]{}
+		entries[k] = e
+		s.metrics.modelMisses.inc()
+	} else {
+		s.metrics.modelHits.inc()
+	}
+	s.registry.mu.Unlock()
+	e.once.Do(func() {
+		start := time.Now()
+		pred, err := train()
+		dur := time.Since(start)
+		s.metrics.trainSeconds.observe(dur)
+		var b *batcher[Q, float64]
+		if err == nil {
+			b = newBatcher(func(qs []Q) ([]float64, error) {
+				return predictBatch(pred, qs)
+			}, s.stop, s.metrics)
+		}
+		s.registry.mu.Lock()
+		e.pred, e.err, e.trainDur, e.batch = pred, err, dur, b
+		s.registry.mu.Unlock()
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e, nil
+}
+
+// werModel returns the trained WER predictor for (kind, set), fitting it on
+// the first request.
+func (s *Server) werModel(kind core.ModelKind, set core.InputSet) (*modelEntry[*core.WERPredictor, core.WERQuery], error) {
+	return getModel(s, s.registry.wer, modelKey{kind, set},
+		func() (*core.WERPredictor, error) { return core.TrainWER(s.ds, kind, set, s.workers) },
+		func(p *core.WERPredictor, qs []core.WERQuery) ([]float64, error) {
+			return p.PredictBatch(qs, engine.Options{Workers: s.workers, Context: s.ctx})
+		})
+}
+
+// pueModel is werModel for the crash-probability target.
+func (s *Server) pueModel(kind core.ModelKind, set core.InputSet) (*modelEntry[*core.PUEPredictor, core.PUEQuery], error) {
+	return getModel(s, s.registry.pue, modelKey{kind, set},
+		func() (*core.PUEPredictor, error) { return core.TrainPUE(s.ds, kind, set, s.workers) },
+		func(p *core.PUEPredictor, qs []core.PUEQuery) ([]float64, error) {
+			return p.PredictBatch(qs, engine.Options{Workers: s.workers, Context: s.ctx})
+		})
+}
+
+// trainedModel describes one registry entry for /v1/models.
+type trainedModel struct {
+	Kind     core.ModelKind `json:"kind"`
+	InputSet int            `json:"input_set"`
+	Target   string         `json:"target"`
+	TrainMS  float64        `json:"train_ms"`
+}
+
+// trained snapshots the registry's ready entries.
+func (s *Server) trained() []trainedModel {
+	s.registry.mu.Lock()
+	defer s.registry.mu.Unlock()
+	var out []trainedModel
+	for k, e := range s.registry.wer {
+		if e.batch != nil {
+			out = append(out, trainedModel{k.kind, int(k.set), "wer", float64(e.trainDur.Microseconds()) / 1e3})
+		}
+	}
+	for k, e := range s.registry.pue {
+		if e.batch != nil {
+			out = append(out, trainedModel{k.kind, int(k.set), "pue", float64(e.trainDur.Microseconds()) / 1e3})
+		}
+	}
+	return out
+}
+
+// profileKey identifies one cached workload profile.
+type profileKey struct {
+	label string
+	size  workload.Size
+	seed  uint64
+}
+
+// profileEntry is a lazily-built workload profile.
+type profileEntry struct {
+	once sync.Once
+	res  *profile.Result
+	err  error
+}
+
+// profileCache caches profile.Build results so repeat queries for the same
+// workload skip the profiling pass entirely.
+type profileCache struct {
+	mu      sync.Mutex
+	entries map[profileKey]*profileEntry
+}
+
+func newProfileCache() *profileCache {
+	return &profileCache{entries: map[profileKey]*profileEntry{}}
+}
+
+// profileFor resolves the features of a workload, building and caching the
+// profile on first use.
+func (s *Server) profileFor(spec workload.Spec) (*profile.Result, error) {
+	if err := s.closedErr(); err != nil {
+		return nil, err
+	}
+	k := profileKey{spec.Label, s.size, s.seed}
+	s.profiles.mu.Lock()
+	e, ok := s.profiles.entries[k]
+	if !ok {
+		e = &profileEntry{}
+		s.profiles.entries[k] = e
+		s.metrics.profileMisses.inc()
+	} else {
+		s.metrics.profileHits.inc()
+	}
+	s.profiles.mu.Unlock()
+	e.once.Do(func() {
+		start := time.Now()
+		res, err := profile.BuildAt(spec, s.size, s.seed)
+		s.metrics.profileSeconds.observe(time.Since(start))
+		s.profiles.mu.Lock()
+		e.res, e.err = res, err
+		s.profiles.mu.Unlock()
+	})
+	return e.res, e.err
+}
+
+// profiledLabels lists the labels with a ready profile.
+func (s *Server) profiledLabels() map[string]bool {
+	s.profiles.mu.Lock()
+	defer s.profiles.mu.Unlock()
+	out := map[string]bool{}
+	for k, e := range s.profiles.entries {
+		if e.res != nil {
+			out[k.label] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,479 @@
+// Package serve is the deployment layer of the reproduction: a long-running
+// prediction service over the trained workload-aware DRAM error model. The
+// paper's deliverable is a model that answers WER/PUE queries "within
+// 300 ms" from a periodically-updated artifact (the DFault model); this
+// package serves exactly that from a saved campaign dataset
+// (core.LoadDataset) over an HTTP JSON API:
+//
+//	POST /v1/predict   one query or a {"queries": [...]} batch
+//	GET  /v1/workloads the servable benchmark catalog
+//	GET  /v1/models    model kinds, input sets, and trained entries
+//	GET  /healthz      liveness and dataset shape
+//	GET  /metrics      request/cache/batch counters and latency histograms
+//
+// Three mechanisms keep the warm path far under the 300 ms budget while the
+// cold path stays correct under concurrency:
+//
+//   - a model registry trains each (kind, input set, target) predictor once,
+//     singleflight-style: concurrent first requests block on one fit;
+//   - a profile cache keyed by (workload, size, seed) makes repeat queries
+//     skip the expensive profiling pass;
+//   - a micro-batcher per predictor coalesces in-flight queries into
+//     PredictBatch calls that fan out on the engine's bounded worker pool.
+//
+// Shutdown is graceful: Close cancels the server's context (threaded into
+// every engine dispatch), wakes all batcher waiters, and makes new
+// requests fail fast before starting a cold profile build or model fit.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// maxBatchBody bounds the number of queries in one request body.
+const maxBatchBody = 1024
+
+// Options configures a Server.
+type Options struct {
+	// Quick profiles query workloads at test size instead of SizeProfile.
+	// It must match how the dataset was built (dramtrain's -quick), so
+	// query-time features are commensurate with the training rows.
+	Quick bool
+	// Seed keys the profiling passes.
+	Seed uint64
+	// Workers bounds the engine parallelism of training and batched
+	// prediction; 0 means GOMAXPROCS.
+	Workers int
+	// Context, when set, is the base context; its cancellation stops the
+	// server like Close does.
+	Context context.Context
+}
+
+// Server answers prediction queries from one loaded campaign dataset.
+type Server struct {
+	ds      *core.Dataset
+	size    workload.Size
+	seed    uint64
+	workers int
+
+	metrics  *metrics
+	registry *modelRegistry
+	profiles *profileCache
+
+	ctx       context.Context
+	cancel    context.CancelFunc
+	stop      chan struct{}
+	closeOnce sync.Once
+	start     time.Time
+}
+
+// New builds a Server over the dataset. The caller must Close it.
+func New(ds *core.Dataset, opts Options) *Server {
+	base := opts.Context
+	if base == nil {
+		base = context.Background()
+	}
+	ctx, cancel := context.WithCancel(base)
+	size := workload.SizeProfile
+	if opts.Quick {
+		size = workload.SizeTest
+	}
+	s := &Server{
+		ds:       ds,
+		size:     size,
+		seed:     opts.Seed,
+		workers:  opts.Workers,
+		metrics:  newMetrics(),
+		registry: newModelRegistry(),
+		profiles: newProfileCache(),
+		ctx:      ctx,
+		cancel:   cancel,
+		stop:     make(chan struct{}),
+		start:    time.Now(),
+	}
+	context.AfterFunc(ctx, func() { s.Close() })
+	return s
+}
+
+// Close stops the server: batcher dispatchers exit, blocked requests
+// return errClosed, in-flight engine dispatch is canceled, and new
+// requests fail fast before paying for profiling or training (an
+// already-running model fit completes, as an in-flight HTTP request
+// would). Idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.cancel()
+		close(s.stop)
+	})
+	return nil
+}
+
+// closedErr fails fast once the server is closed, so post-shutdown
+// requests cannot start expensive cold fills.
+func (s *Server) closedErr() error {
+	select {
+	case <-s.stop:
+		return errClosed
+	default:
+		return nil
+	}
+}
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", s.counted("/v1/predict", s.handlePredict))
+	mux.HandleFunc("/v1/workloads", s.counted("/v1/workloads", s.handleWorkloads))
+	mux.HandleFunc("/v1/models", s.counted("/v1/models", s.handleModels))
+	mux.HandleFunc("/healthz", s.counted("/healthz", s.handleHealthz))
+	mux.HandleFunc("/metrics", s.counted("/metrics", s.handleMetrics))
+	return mux
+}
+
+// statusRecorder captures the response code for request accounting.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// counted wraps a handler with per-(endpoint, code) request counting.
+func (s *Server) counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.metrics.countRequest(endpoint, rec.code)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// PredictRequest is one prediction query.
+type PredictRequest struct {
+	Workload string  `json:"workload"`
+	TREFP    float64 `json:"trefp"`
+	TempC    float64 `json:"temp_c"`
+	// VDD defaults to the campaign voltage (dram.MinVDD) when zero.
+	VDD float64 `json:"vdd,omitempty"`
+	// Model defaults to the paper's published KNN variant.
+	Model string `json:"model,omitempty"`
+	// InputSet (1–3) selects the feature set for both targets; zero means
+	// the paper's best per target (set 1 for WER, set 2 for PUE).
+	InputSet int `json:"input_set,omitempty"`
+}
+
+// PredictResponse is the answer to one query.
+type PredictResponse struct {
+	Workload  string    `json:"workload"`
+	TREFP     float64   `json:"trefp"`
+	TempC     float64   `json:"temp_c"`
+	VDD       float64   `json:"vdd"`
+	Model     string    `json:"model"`
+	WERMean   float64   `json:"wer_mean"`
+	WERByRank []float64 `json:"wer_by_rank"`
+	PUE       float64   `json:"pue"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+}
+
+// predictBody accepts either a single query or a batch.
+type predictBody struct {
+	PredictRequest
+	Queries []PredictRequest `json:"queries,omitempty"`
+}
+
+// resolved is a validated query bound to its feature vector and models.
+type resolved struct {
+	req    PredictRequest
+	feats  []float64
+	kind   core.ModelKind
+	werSet core.InputSet
+	pueSet core.InputSet
+}
+
+// resolve validates one query and resolves its workload profile. The int
+// is the HTTP status for the error case.
+func (s *Server) resolve(req PredictRequest) (*resolved, int, error) {
+	spec, err := workload.FindSpec(req.Workload)
+	if err != nil {
+		return nil, http.StatusNotFound, err
+	}
+	if req.TREFP <= 0 || math.IsNaN(req.TREFP) || math.IsInf(req.TREFP, 0) {
+		return nil, http.StatusBadRequest, fmt.Errorf("serve: trefp %v out of range", req.TREFP)
+	}
+	if math.IsNaN(req.TempC) || math.IsInf(req.TempC, 0) {
+		return nil, http.StatusBadRequest, fmt.Errorf("serve: temp_c %v out of range", req.TempC)
+	}
+	if req.VDD == 0 {
+		req.VDD = dram.MinVDD
+	}
+	if req.VDD < 0 || math.IsNaN(req.VDD) || math.IsInf(req.VDD, 0) {
+		return nil, http.StatusBadRequest, fmt.Errorf("serve: vdd %v out of range", req.VDD)
+	}
+	if req.Model == "" {
+		req.Model = string(core.ModelKNN)
+	}
+	kind := core.ModelKind(req.Model)
+	valid := false
+	for _, k := range core.ModelKinds() {
+		if k == kind {
+			valid = true
+		}
+	}
+	if !valid {
+		return nil, http.StatusBadRequest, fmt.Errorf("serve: unknown model %q", req.Model)
+	}
+	werSet, pueSet := core.InputSet1, core.InputSet2
+	switch req.InputSet {
+	case 0:
+	case 1, 2, 3:
+		werSet = core.InputSet(req.InputSet)
+		pueSet = core.InputSet(req.InputSet)
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("serve: input_set %d out of range", req.InputSet)
+	}
+	prof, err := s.profileFor(spec)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	return &resolved{req: req, feats: prof.Features, kind: kind, werSet: werSet, pueSet: pueSet}, 0, nil
+}
+
+// predictOne answers one resolved query through the micro-batchers.
+func (s *Server) predictOne(r *resolved) (*PredictResponse, error) {
+	start := time.Now()
+	we, err := s.werModel(r.kind, r.werSet)
+	if err != nil {
+		return nil, err
+	}
+	pe, err := s.pueModel(r.kind, r.pueSet)
+	if err != nil {
+		return nil, err
+	}
+	werQs := make([]core.WERQuery, dram.NumRanks)
+	for rank := range werQs {
+		werQs[rank] = core.WERQuery{
+			Features: r.feats, TREFP: r.req.TREFP, VDD: r.req.VDD,
+			TempC: r.req.TempC, Rank: rank,
+		}
+	}
+	// The two targets are independent: submit both batchers at once so a
+	// query pays one dispatch cycle, not two, and a wave of requests lands
+	// in both batchers in the same flush.
+	var (
+		pue    []float64
+		pueErr error
+		done   = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		pue, pueErr = pe.batch.do([]core.PUEQuery{{
+			Features: r.feats, TREFP: r.req.TREFP, VDD: r.req.VDD, TempC: r.req.TempC,
+		}})
+	}()
+	byRank, err := we.batch.do(werQs)
+	<-done
+	if err != nil {
+		return nil, err
+	}
+	if pueErr != nil {
+		return nil, pueErr
+	}
+	mean := 0.0
+	for _, v := range byRank {
+		mean += v
+	}
+	mean /= float64(len(byRank))
+	return &PredictResponse{
+		Workload:  r.req.Workload,
+		TREFP:     r.req.TREFP,
+		TempC:     r.req.TempC,
+		VDD:       r.req.VDD,
+		Model:     string(r.kind),
+		WERMean:   mean,
+		WERByRank: byRank,
+		PUE:       pue[0],
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
+	}, nil
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "serve: %s not allowed", r.Method)
+		return
+	}
+	start := time.Now()
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var body predictBody
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "serve: malformed body: %v", err)
+		return
+	}
+	defer func() { s.metrics.predictSeconds.observe(time.Since(start)) }()
+
+	// Batch body: resolve every query up front (all-or-nothing, so the
+	// response always has one result per query), then fan the predictions
+	// out concurrently — their batcher submissions coalesce.
+	if body.Queries != nil {
+		if len(body.Queries) == 0 {
+			writeError(w, http.StatusBadRequest, "serve: empty batch")
+			return
+		}
+		if len(body.Queries) > maxBatchBody {
+			writeError(w, http.StatusBadRequest, "serve: batch of %d exceeds %d", len(body.Queries), maxBatchBody)
+			return
+		}
+		// Resolve concurrently: a cold batch naming several unprofiled
+		// workloads pays for the slowest profile build, not their sum.
+		type resolveOut struct {
+			r    *resolved
+			code int
+			err  error
+		}
+		outs, err := engine.Map(len(body.Queries), func(i int) (resolveOut, error) {
+			r, code, err := s.resolve(body.Queries[i])
+			return resolveOut{r, code, err}, nil
+		}, engine.Options{Workers: s.workers, Context: s.ctx})
+		if err != nil {
+			// Only server shutdown cancels the resolve fan-out (per-query
+			// failures travel inside resolveOut); outs may hold skipped
+			// zero-valued entries, so bail before touching them.
+			writeError(w, http.StatusServiceUnavailable, "serve: %v", err)
+			return
+		}
+		rs := make([]*resolved, len(body.Queries))
+		for i, o := range outs {
+			if o.err != nil {
+				writeError(w, o.code, "serve: query %d: %v", i, o.err)
+				return
+			}
+			rs[i] = o.r
+		}
+		results := make([]*PredictResponse, len(rs))
+		errs := make([]error, len(rs))
+		var wg sync.WaitGroup
+		for i, rq := range rs {
+			wg.Add(1)
+			go func(i int, rq *resolved) {
+				defer wg.Done()
+				results[i], errs[i] = s.predictOne(rq)
+			}(i, rq)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, "serve: %v", err)
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": results})
+		return
+	}
+
+	rq, code, err := s.resolve(body.PredictRequest)
+	if err != nil {
+		writeError(w, code, "serve: %v", err)
+		return
+	}
+	resp, err := s.predictOne(rq)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "serve: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "serve: %s not allowed", r.Method)
+		return
+	}
+	type entry struct {
+		Label    string `json:"label"`
+		Threads  int    `json:"threads"`
+		Profiled bool   `json:"profiled"`
+		InCorpus bool   `json:"in_corpus"`
+	}
+	profiled := s.profiledLabels()
+	inCorpus := map[string]bool{}
+	for _, l := range s.ds.Workloads() {
+		inCorpus[l] = true
+	}
+	var out []entry
+	for _, spec := range workload.ExtendedSet() {
+		out = append(out, entry{spec.Label, spec.Threads, profiled[spec.Label], inCorpus[spec.Label]})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workloads": out})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "serve: %s not allowed", r.Method)
+		return
+	}
+	kinds := core.ModelKinds()
+	sets := make([]int, 0, 3)
+	for _, set := range core.InputSets() {
+		sets = append(sets, int(set))
+	}
+	trained := s.trained()
+	if trained == nil {
+		trained = []trainedModel{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"kinds":      kinds,
+		"input_sets": sets,
+		"trained":    trained,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "serve: %s not allowed", r.Method)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"wer_rows":       len(s.ds.WER),
+		"pue_rows":       len(s.ds.PUE),
+		"workloads":      len(s.ds.Workloads()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "serve: %s not allowed", r.Method)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.render(w)
+}
