@@ -12,7 +12,18 @@
 // Without -load it builds the campaign dataset in-process first (slow; use
 // -quick for a demonstration corpus). Loading adopts the artifact's
 // recorded build settings (profiling size, seed), so query-workload
-// profiles stay commensurate with the training rows. SIGINT/SIGTERM drain
+// profiles stay commensurate with the training rows.
+//
+// The model is meant to be retrained periodically, so an artifact-backed
+// server picks up a refreshed file without restarting, three ways:
+//
+//	curl -s -XPOST localhost:8080/v1/reload    # on demand
+//	kill -HUP <pid>                            # from a retraining cron
+//	dramserve -load ... -reload-interval 5m    # polled
+//
+// A reload whose artifact fingerprint matches the serving generation is a
+// no-op; otherwise the new dataset swaps in atomically while in-flight
+// queries finish on the generation they started with. SIGINT/SIGTERM drain
 // in-flight requests and shut down gracefully.
 package main
 
@@ -37,6 +48,7 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		camp     cliflag.Campaign
 		drainFor = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+		reload   = flag.Duration("reload-interval", 0, "poll the -load artifact for changes this often (0 disables)")
 	)
 	camp.Register(flag.CommandLine)
 	flag.Parse()
@@ -50,11 +62,23 @@ func main() {
 	defer stopSignals()
 
 	srv := serve.New(ds, serve.Options{
-		Quick:   camp.Quick,
-		Seed:    camp.Seed,
-		Workers: camp.Workers,
+		Quick:        camp.Quick,
+		Seed:         camp.Seed,
+		Workers:      camp.Workers,
+		ArtifactPath: camp.Load,
 	})
 	defer srv.Close()
+
+	// Hot reload is only meaningful for an artifact-backed server: a
+	// campaign built in-process has no file to re-read.
+	if camp.Load != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go reloadLoop(ctx, srv, camp.Load, *reload, hup)
+	} else if *reload > 0 {
+		logf("-reload-interval ignored without -load")
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	shutdownDone := make(chan struct{})
@@ -78,6 +102,67 @@ func main() {
 	}
 	<-shutdownDone
 	logf("bye")
+}
+
+// reloadLoop reloads the artifact on SIGHUP and, when interval > 0, on a
+// timer. Failures are logged and the server keeps serving the current
+// generation — a half-written artifact mid-retrain must never take the
+// service down. Poll ticks stat the file first and skip the reload (a
+// full decompress + parse + hash) while mtime and size are unchanged;
+// SIGHUP always forces a real reload, and the fingerprint no-op inside
+// Reload remains the correctness backstop when mtime does move.
+func reloadLoop(ctx context.Context, srv *serve.Server, path string, interval time.Duration, hup <-chan os.Signal) {
+	var tick <-chan time.Time
+	if interval > 0 {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		tick = t.C
+		logf("polling %s every %v", path, interval)
+	}
+	var seenMod time.Time
+	var seenSize int64
+	seen := false
+	for {
+		var why string
+		// candMod/candSize hold the stat observed before this attempt;
+		// they are committed to the seen-state only when the reload
+		// succeeds, so a transient failure keeps the poll retrying, and a
+		// file replaced mid-reload (stat predates the load) is re-checked
+		// on the next tick with the fingerprint no-op as the backstop.
+		var candMod time.Time
+		var candSize int64
+		haveCand := false
+		select {
+		case <-ctx.Done():
+			return
+		case <-hup:
+			why = "SIGHUP"
+		case <-tick:
+			why = "poll"
+			if fi, err := os.Stat(path); err == nil {
+				if seen && fi.ModTime().Equal(seenMod) && fi.Size() == seenSize {
+					continue
+				}
+				candMod, candSize, haveCand = fi.ModTime(), fi.Size(), true
+			}
+			// On a stat error fall through: Reload surfaces the real one.
+		}
+		res, err := srv.Reload(path)
+		switch {
+		case err != nil:
+			seen = false // never let a failed attempt suppress retries
+			logf("reload (%s): %v", why, err)
+		case res.Swapped:
+			logf("reload (%s): swapped in generation %d (%s) in %.1f ms",
+				why, res.Generation, res.Fingerprint, res.ElapsedMS)
+		default:
+			logf("reload (%s): artifact unchanged (%s), still generation %d",
+				why, res.Fingerprint, res.Generation)
+		}
+		if err == nil && haveCand {
+			seenMod, seenSize, seen = candMod, candSize, true
+		}
+	}
 }
 
 func logf(format string, args ...any) {

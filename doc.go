@@ -30,8 +30,12 @@
 //   - internal/exp     — regeneration of every table and figure
 //   - internal/serve   — the deployment layer: a long-running HTTP
 //     prediction service over a saved dataset artifact, with a
-//     singleflight model registry, a workload profile cache,
-//     micro-batched PredictBatch dispatch and a /metrics exposition
+//     singleflight model registry (errors are never cached — a failed
+//     fill clears and retries), a workload profile cache, micro-batched
+//     PredictBatch dispatch, a /metrics exposition, and generation-aware
+//     hot reload: the dataset and all state derived from it swap
+//     atomically on /v1/reload, SIGHUP or a -reload-interval poll, with a
+//     persisted artifact fingerprint making unchanged reloads no-ops
 //     (cmd/dramserve is the entry point)
 //   - internal/cliflag — the dataset-acquisition flags (-load/-save/
 //     -quick/-scale/...) shared by the dram* commands

@@ -342,3 +342,53 @@ func TestLogWERRoundTrip(t *testing.T) {
 		t.Fatal("zero WER should floor")
 	}
 }
+
+// TestEvaluateWERRowsAlignment pins the fixed Predictions indexing:
+// Predictions is indexed by the floor-filtered row subset, and Rows maps
+// each prediction back to its ds.WER index. A dataset with floor rows in
+// front must yield Rows that skip them.
+func TestEvaluateWERRowsAlignment(t *testing.T) {
+	base := testDataset(t)
+	// Force a few leading rows to the observation floor so the evaluated
+	// subset provably diverges from 0..n-1 indexing.
+	ds := &Dataset{Build: base.Build, PUE: base.PUE, Profiles: base.Profiles}
+	ds.WER = append([]WERSample(nil), base.WER...)
+	for i := 0; i < 3; i++ {
+		ds.WER[i].WER = WERFloor
+	}
+	ev, err := EvaluateWER(ds, ModelKNN, InputSet1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Rows) != len(ev.Predictions) {
+		t.Fatalf("Rows has %d entries for %d predictions", len(ev.Rows), len(ev.Predictions))
+	}
+	// Rows must be exactly the above-floor indices, in dataset order.
+	var want []int
+	for i := range ds.WER {
+		if ds.WER[i].WER > WERFloor {
+			want = append(want, i)
+		}
+	}
+	if len(want) != len(ev.Rows) {
+		t.Fatalf("Rows has %d entries, %d rows above the floor", len(ev.Rows), len(want))
+	}
+	for k := range want {
+		if ev.Rows[k] != want[k] {
+			t.Fatalf("Rows[%d] = %d, want %d", k, ev.Rows[k], want[k])
+		}
+	}
+	if ev.Rows[0] < 3 {
+		t.Fatalf("Rows[0] = %d points at a floored row", ev.Rows[0])
+	}
+	// Each prediction must be a plausible estimate of its mapped row (same
+	// target space; floored rows excluded).
+	for k, idx := range ev.Rows {
+		if ds.WER[idx].WER <= WERFloor {
+			t.Fatalf("prediction %d maps to floored row %d", k, idx)
+		}
+		if ev.Predictions[k] <= 0 || math.IsNaN(ev.Predictions[k]) {
+			t.Fatalf("prediction %d = %v", k, ev.Predictions[k])
+		}
+	}
+}

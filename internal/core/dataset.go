@@ -89,6 +89,9 @@ type Dataset struct {
 	// Build describes how the corpus was produced (persisted with the
 	// artifact; zero when unknown).
 	Build BuildInfo
+	// fp memoizes Fingerprint for loaded (immutable) datasets; empty
+	// means compute on demand. Never copied into derived datasets.
+	fp string
 }
 
 // StampBuild records the corpus build settings for persistence.
@@ -98,6 +101,7 @@ func (ds *Dataset) StampBuild(size workload.Size, seed uint64) {
 		name = "test"
 	}
 	ds.Build = BuildInfo{ProfileSize: name, Seed: seed}
+	ds.fp = "" // the build settings are part of the fingerprint
 }
 
 // CampaignOptions tunes dataset collection.

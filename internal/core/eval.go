@@ -19,8 +19,14 @@ type WEREval struct {
 	MPEByWorkload map[string]float64
 	// MPE is the grand average over all samples.
 	MPE float64
-	// Predictions aligns with the dataset's WER rows.
+	// Predictions holds the cross-validated estimate for each evaluated
+	// row. Rows at the observation floor are excluded from evaluation, so
+	// Predictions does NOT align with ds.WER index-for-index:
+	// Predictions[k] predicts ds.WER[Rows[k]].
 	Predictions []float64
+	// Rows maps each prediction back to its dataset row: Rows[k] is the
+	// index into ds.WER that Predictions[k] estimates.
+	Rows []int
 }
 
 // EvaluateWER runs the paper's cross-validation (Fig. 3): for each
@@ -65,6 +71,7 @@ func EvaluateWER(ds *Dataset, kind ModelKind, set InputSet, workers int) (*WEREv
 
 	ev := &WEREval{Kind: kind, Set: set, MPEByWorkload: map[string]float64{}}
 	ev.Predictions = make([]float64, len(logPreds))
+	ev.Rows = append([]int(nil), rows...)
 	var rankSum, rankN [dram.NumRanks]float64
 	wlSum := map[string]float64{}
 	wlN := map[string]float64{}

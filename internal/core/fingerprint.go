@@ -1,0 +1,104 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"math"
+	"strings"
+)
+
+// The serving layer reloads its dataset artifact in place (dramserve's
+// /v1/reload, SIGHUP and -reload-interval). A reload of an unchanged
+// artifact must be a no-op — no retraining, no cache invalidation — so the
+// dataset carries a cheap content fingerprint: a hash over every training
+// row plus the build settings. The fingerprint is persisted inside the
+// artifact and re-derived on load, which also catches a corrupt or
+// hand-edited artifact before it poisons a serving generation.
+
+// fingerprintScheme versions the hashing recipe. Loaders skip verification
+// of fingerprints written under a scheme they do not know, so the recipe
+// can evolve without breaking old artifacts.
+const fingerprintScheme = "fp1"
+
+// Fingerprint returns a deterministic content hash of the dataset: the
+// build settings and every WER/PUE row, features included. Two datasets
+// have equal fingerprints exactly when they would train identical models.
+// Profiles are excluded: they are derived query-time state, not training
+// rows, and artifacts do not carry them.
+//
+// Loaded datasets return the hash memoized by ReadDataset (their rows are
+// immutable in every serving path), so reload checks do not re-hash the
+// corpus; datasets built or mutated in process hash on each call.
+func (ds *Dataset) Fingerprint() string {
+	if ds.fp != "" {
+		return ds.fp
+	}
+	return ds.computeFingerprint()
+}
+
+// computeFingerprint derives the hash from the current rows.
+func (ds *Dataset) computeFingerprint() string {
+	h := sha256.New()
+	writeString(h, fingerprintScheme)
+	writeString(h, ds.Build.ProfileSize)
+	writeUint64(h, ds.Build.Seed)
+	writeUint64(h, uint64(len(ds.WER)))
+	for i := range ds.WER {
+		s := &ds.WER[i]
+		writeString(h, s.Workload)
+		writeUint64(h, uint64(s.Threads))
+		writeFloats(h, s.TREFP, s.VDD, s.TempC)
+		writeUint64(h, uint64(s.Rank))
+		writeFloats(h, s.Features...)
+		writeFloats(h, s.WER)
+	}
+	writeUint64(h, uint64(len(ds.PUE)))
+	for i := range ds.PUE {
+		s := &ds.PUE[i]
+		writeString(h, s.Workload)
+		writeUint64(h, uint64(s.Threads))
+		writeFloats(h, s.TREFP, s.VDD, s.TempC)
+		writeFloats(h, s.Features...)
+		writeFloats(h, s.PUE)
+		writeUint64(h, uint64(len(s.RankHits)))
+		for _, r := range s.RankHits {
+			writeUint64(h, uint64(r))
+		}
+	}
+	sum := h.Sum(nil)
+	const hexdigits = "0123456789abcdef"
+	var b strings.Builder
+	b.WriteString(fingerprintScheme)
+	b.WriteByte(':')
+	for _, c := range sum[:16] {
+		b.WriteByte(hexdigits[c>>4])
+		b.WriteByte(hexdigits[c&0xf])
+	}
+	return b.String()
+}
+
+// verifiableFingerprint reports whether fp was written under a scheme this
+// build knows how to re-derive.
+func verifiableFingerprint(fp string) bool {
+	return strings.HasPrefix(fp, fingerprintScheme+":")
+}
+
+func writeString(h hash.Hash, s string) {
+	writeUint64(h, uint64(len(s)))
+	h.Write([]byte(s))
+}
+
+func writeUint64(h hash.Hash, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	h.Write(buf[:])
+}
+
+func writeFloats(h hash.Hash, vs ...float64) {
+	var buf [8]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestFingerprintDeterministicAndSensitive(t *testing.T) {
+	ds := goldenDataset()
+	fp := ds.Fingerprint()
+	if !strings.HasPrefix(fp, "fp1:") {
+		t.Fatalf("fingerprint %q not scheme-prefixed", fp)
+	}
+	if again := ds.Fingerprint(); again != fp {
+		t.Fatalf("fingerprint not deterministic: %s vs %s", fp, again)
+	}
+
+	// Any row or build-setting change must move the fingerprint.
+	perturb := []struct {
+		name string
+		mut  func(*Dataset)
+	}{
+		{"wer value", func(d *Dataset) { d.WER[0].WER *= 2 }},
+		{"wer feature", func(d *Dataset) { d.WER[1].Features[3] += 0.25 }},
+		{"pue value", func(d *Dataset) { d.PUE[0].PUE = 0.123 }},
+		{"rank hits", func(d *Dataset) { d.PUE[0].RankHits[2]++ }},
+		{"build seed", func(d *Dataset) { d.Build.Seed++ }},
+		{"dropped workload", func(d *Dataset) { *d = *d.WithoutWorkload("golden-b") }},
+	}
+	for _, tc := range perturb {
+		t.Run(tc.name, func(t *testing.T) {
+			mod := cloneDataset(goldenDataset())
+			tc.mut(mod)
+			if mod.Fingerprint() == fp {
+				t.Fatalf("fingerprint unchanged after mutating %s", tc.name)
+			}
+		})
+	}
+}
+
+// cloneDataset deep-copies the rows so a perturbation cannot leak into the
+// shared golden fixture.
+func cloneDataset(ds *Dataset) *Dataset {
+	out := &Dataset{Build: ds.Build}
+	for _, s := range ds.WER {
+		s.Features = append([]float64(nil), s.Features...)
+		out.WER = append(out.WER, s)
+	}
+	for _, s := range ds.PUE {
+		s.Features = append([]float64(nil), s.Features...)
+		s.RankHits = append([]int(nil), s.RankHits...)
+		out.PUE = append(out.PUE, s)
+	}
+	return out
+}
+
+func TestFingerprintSurvivesSaveLoad(t *testing.T) {
+	ds := goldenDataset()
+	path := filepath.Join(t.TempDir(), "fp.json.gz")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != ds.Fingerprint() {
+		t.Fatalf("fingerprint changed across save/load: %s vs %s",
+			back.Fingerprint(), ds.Fingerprint())
+	}
+}
+
+// rewriteArtifact decodes an encoded artifact, applies mut to the raw JSON
+// object, and re-encodes it.
+func rewriteArtifact(t *testing.T, ds *Dataset, mut func(map[string]any)) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ds.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.NewDecoder(zr).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	mut(raw)
+	var out bytes.Buffer
+	zw := gzip.NewWriter(&out)
+	if err := json.NewEncoder(zw).Encode(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+func TestLoadDatasetRejectsFingerprintMismatch(t *testing.T) {
+	// Tamper with a row but keep the recorded fingerprint: the loader must
+	// notice the rows no longer hash to it.
+	tampered := rewriteArtifact(t, goldenDataset(), func(raw map[string]any) {
+		wer := raw["wer"].([]any)
+		row := wer[0].(map[string]any)
+		row["WER"] = row["WER"].(float64) * 3
+	})
+	if _, err := ReadDataset(tampered); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("tampered artifact accepted: %v", err)
+	}
+}
+
+func TestLoadDatasetSkipsUnknownFingerprintScheme(t *testing.T) {
+	// A future scheme this build cannot re-derive is skipped, not rejected.
+	future := rewriteArtifact(t, goldenDataset(), func(raw map[string]any) {
+		raw["fingerprint"] = "fp999:0000"
+	})
+	if _, err := ReadDataset(future); err != nil {
+		t.Fatalf("unknown fingerprint scheme rejected: %v", err)
+	}
+}
+
+func TestFingerprintMemoizedOnLoad(t *testing.T) {
+	ds := goldenDataset()
+	path := filepath.Join(t.TempDir(), "memo.json.gz")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loading hashes once and memoizes; the memo must match a recompute.
+	if back.fp == "" {
+		t.Fatal("loaded dataset did not memoize its fingerprint")
+	}
+	if back.fp != back.computeFingerprint() {
+		t.Fatalf("memo %s != recompute %s", back.fp, back.computeFingerprint())
+	}
+	// Mutating the build settings invalidates the memo so the fingerprint
+	// cannot go stale.
+	back.StampBuild(workload.SizeProfile, 123)
+	if back.fp != "" {
+		t.Fatal("StampBuild left a stale fingerprint memo")
+	}
+	if back.Fingerprint() == ds.Fingerprint() {
+		t.Fatal("restamped dataset kept the old fingerprint")
+	}
+}

@@ -23,8 +23,13 @@ const artifactVersion = 1
 
 // artifact is the serialized form of a Dataset.
 type artifact struct {
-	Version      int         `json:"version"`
-	Build        BuildInfo   `json:"build"`
+	Version int       `json:"version"`
+	Build   BuildInfo `json:"build"`
+	// Fingerprint is the content hash of the rows and build settings
+	// (Dataset.Fingerprint). Loaders re-derive it to detect corruption,
+	// and the serving layer's hot reload uses it to skip swapping in an
+	// unchanged artifact. Empty in artifacts predating the field.
+	Fingerprint  string      `json:"fingerprint,omitempty"`
 	FeatureNames []string    `json:"feature_names"`
 	WER          []WERSample `json:"wer"`
 	PUE          []PUESample `json:"pue"`
@@ -50,6 +55,7 @@ func (ds *Dataset) Encode(w io.Writer) error {
 	art := artifact{
 		Version:      artifactVersion,
 		Build:        ds.Build,
+		Fingerprint:  ds.Fingerprint(),
 		FeatureNames: profile.FeatureNames(),
 		WER:          ds.WER,
 		PUE:          ds.PUE,
@@ -103,5 +109,13 @@ func ReadDataset(r io.Reader) (*Dataset, error) {
 			return nil, fmt.Errorf("core: WER row for %s has %d features", s.Workload, len(s.Features))
 		}
 	}
+	// Hash the rows once and memoize: loaded datasets are immutable, and
+	// the serving layer's reload path compares fingerprints on every poll.
+	got := ds.computeFingerprint()
+	if art.Fingerprint != "" && verifiableFingerprint(art.Fingerprint) && got != art.Fingerprint {
+		return nil, fmt.Errorf("core: artifact fingerprint %s does not match its rows (%s): corrupt or hand-edited artifact",
+			art.Fingerprint, got)
+	}
+	ds.fp = got
 	return ds, nil
 }

@@ -1,8 +1,8 @@
 package ml
 
 import (
+	"fmt"
 	"math"
-	"sort"
 )
 
 // KNN is a K-nearest-neighbours regressor with inverse-distance weighting —
@@ -18,9 +18,10 @@ func (k KNN) Name() string { return "KNN" }
 
 // knnModel stores the training set (KNN is instance-based).
 type knnModel struct {
-	k int
-	X [][]float64
-	y []float64
+	k   int
+	dim int
+	X   [][]float64
+	y   []float64
 }
 
 // Train implements Trainer.
@@ -35,26 +36,46 @@ func (k KNN) Train(X [][]float64, y []float64) (Regressor, error) {
 	if kk > len(X) {
 		kk = len(X)
 	}
-	return &knnModel{k: kk, X: X, y: y}, nil
+	return &knnModel{k: kk, dim: len(X[0]), X: X, y: y}, nil
+}
+
+// neighbor is one training sample's squared distance to the query.
+type neighbor struct {
+	d2 float64
+	y  float64
 }
 
 // Predict implements Regressor: the inverse-distance-weighted mean of the k
-// nearest training targets.
+// nearest training targets. The query must have the training
+// dimensionality; a mismatched vector is a caller bug and panics with a
+// diagnosable message rather than an index-out-of-range deep in the
+// distance loop (or, worse, a silently truncated distance when the query is
+// longer).
 func (m *knnModel) Predict(x []float64) float64 {
-	type cand struct {
-		d2 float64
-		y  float64
+	if len(x) != m.dim {
+		panic(fmt.Sprintf("ml: knn query has %d features, model trained on %d", len(x), m.dim))
 	}
-	cands := make([]cand, len(m.X))
+	cands := make([]neighbor, len(m.X))
 	for i, row := range m.X {
 		d2 := 0.0
 		for j := range row {
 			dv := row[j] - x[j]
 			d2 += dv * dv
 		}
-		cands[i] = cand{d2: d2, y: m.y[i]}
+		cands[i] = neighbor{d2: d2, y: m.y[i]}
 	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].d2 < cands[b].d2 })
+	// The weighting needs the k nearest candidates, not a total order:
+	// partition-select them in O(n) instead of paying O(n log n) for a full
+	// sort on every query of the hot serving path. The tiny selected prefix
+	// is then ordered so the float summation below accumulates in the same
+	// (ascending-distance) order the full sort produced, keeping predictions
+	// bit-identical to the pre-selection implementation.
+	selectNearest(cands, m.k)
+	for i := 1; i < m.k; i++ {
+		for j := i; j > 0 && cands[j].d2 < cands[j-1].d2; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
 
 	var num, den float64
 	for i := 0; i < m.k; i++ {
@@ -63,4 +84,59 @@ func (m *knnModel) Predict(x []float64) float64 {
 		den += w
 	}
 	return num / den
+}
+
+// selectNearest partially sorts cands so that cands[:k] holds the k
+// smallest squared distances (in no particular internal order). It is the
+// classic quickselect with median-of-three pivoting and an insertion-sort
+// base case: expected O(n), deterministic for a given input order.
+func selectNearest(cands []neighbor, k int) {
+	lo, hi := 0, len(cands)
+	for hi-lo > 12 {
+		p := partition(cands, lo, hi)
+		switch {
+		case p == k:
+			return
+		case p < k:
+			lo = p + 1
+		default:
+			hi = p
+		}
+	}
+	// Small range: insertion sort finishes the job (also handles the exit
+	// where lo..hi straddles k).
+	for i := lo + 1; i < hi; i++ {
+		for j := i; j > lo && cands[j].d2 < cands[j-1].d2; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+}
+
+// partition picks a median-of-three pivot for [lo, hi), partitions around
+// it, and returns the pivot's final index.
+func partition(cands []neighbor, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	last := hi - 1
+	// Order (lo, mid, last) so cands[mid] is the median of the three, then
+	// park the pivot at last-1.
+	if cands[mid].d2 < cands[lo].d2 {
+		cands[mid], cands[lo] = cands[lo], cands[mid]
+	}
+	if cands[last].d2 < cands[lo].d2 {
+		cands[last], cands[lo] = cands[lo], cands[last]
+	}
+	if cands[last].d2 < cands[mid].d2 {
+		cands[last], cands[mid] = cands[mid], cands[last]
+	}
+	cands[mid], cands[last-1] = cands[last-1], cands[mid]
+	pivot := cands[last-1].d2
+	i := lo
+	for j := lo; j < last-1; j++ {
+		if cands[j].d2 < pivot {
+			cands[i], cands[j] = cands[j], cands[i]
+			i++
+		}
+	}
+	cands[i], cands[last-1] = cands[last-1], cands[i]
+	return i
 }

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The batcher's shutdown contract: every do() caller that is blocked when
+// stop closes — whether its items are queued, mid-flush, or not yet
+// submitted — returns errClosed deterministically; the dispatcher goroutine
+// exits; no reply is lost into a blocking send (out channels are buffered,
+// so a caller that already gave up cannot wedge the dispatcher).
+
+func TestBatcherStopUnblocksAllCallers(t *testing.T) {
+	m := newMetrics()
+	stop := make(chan struct{})
+	inFlight := make(chan struct{}, 1)
+	release := make(chan struct{})
+	b := newBatcher(func(qs []int) ([]int, error) {
+		inFlight <- struct{}{}
+		<-release // strand the flush so callers pile up behind it
+		return qs, nil
+	}, stop, m)
+
+	const callers = 64
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = b.do([]int{i})
+		}(i)
+	}
+	// Wait until a flush is actually stranded inside run, guaranteeing a
+	// mix of caller states: some in the held flush, the rest queued.
+	<-inFlight
+	close(stop)
+	wg.Wait() // every caller must return — a hang fails the test by timeout
+	for i, err := range errs {
+		if !errors.Is(err, errClosed) {
+			t.Fatalf("caller %d returned %v, want errClosed", i, err)
+		}
+	}
+	// A submission after stop fails fast without touching the dispatcher.
+	if _, err := b.do([]int{1}); !errors.Is(err, errClosed) {
+		t.Fatalf("post-stop do() = %v, want errClosed", err)
+	}
+	// Unblock the stranded flush: the dispatcher must deliver its replies
+	// into the buffered out channels without blocking and exit.
+	close(release)
+}
+
+// TestBatcherStopRaceNoLeak races many submitters against the stop close
+// with a fast run function: every do() returns either a correct result or
+// errClosed (never hangs, never a wrong-sized window), and the dispatcher
+// goroutine exits afterwards.
+func TestBatcherStopRaceNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 20; round++ {
+		m := newMetrics()
+		stop := make(chan struct{})
+		b := newBatcher(func(qs []int) ([]int, error) {
+			out := make([]int, len(qs))
+			for i, q := range qs {
+				out[i] = q * 2
+			}
+			return out, nil
+		}, stop, m)
+
+		const callers = 32
+		var wg sync.WaitGroup
+		var closedErrs, results atomic.Int64
+		for i := 0; i < callers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				qs := []int{i, i + 100}
+				rs, err := b.do(qs)
+				switch {
+				case errors.Is(err, errClosed):
+					closedErrs.Add(1)
+				case err != nil:
+					t.Errorf("caller %d: %v", i, err)
+				default:
+					if len(rs) != len(qs) || rs[0] != 2*i || rs[1] != 2*(i+100) {
+						t.Errorf("caller %d got wrong window %v", i, rs)
+					}
+					results.Add(1)
+				}
+			}(i)
+		}
+		if round%2 == 0 {
+			runtime.Gosched() // let some flushes land before the close
+		}
+		close(stop)
+		wg.Wait()
+		if closedErrs.Load()+results.Load() != callers {
+			t.Fatalf("round %d: %d closed + %d results != %d callers",
+				round, closedErrs.Load(), results.Load(), callers)
+		}
+	}
+	// Every dispatcher must have exited; allow the scheduler a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("dispatcher goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

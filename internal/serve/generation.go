@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// A generation is one immutable serving configuration: a dataset plus every
+// piece of state derived from it (trained models, workload profiles, the
+// micro-batchers hanging off the registry entries). The server holds the
+// current generation behind an atomic pointer; a hot reload builds a fresh
+// generation and swaps the pointer, so cross-dataset state can never leak —
+// a model trained on the old rows is unreachable the moment the new
+// generation is visible, and the sticky-error class of bugs (stale state
+// surviving a refresh) is structurally impossible.
+//
+// Lifecycle: a generation is born with one "live" reference held by the
+// server. Every request acquires a reference for its full duration, so
+// in-flight queries finish on the generation they started with. Retiring
+// (after a swap) releases the live reference, waits for in-flight requests
+// to drain, and only then closes stop — which terminates the batcher
+// dispatchers. A request can therefore never observe its own generation's
+// batchers shutting down underneath it.
+type generation struct {
+	// id is the monotonically increasing generation number (1 at startup),
+	// surfaced in /healthz and /metrics.
+	id int64
+	// fp is the dataset's content fingerprint; a reload whose artifact
+	// hashes to the current fp is a no-op.
+	fp string
+
+	ds   *core.Dataset
+	size workload.Size
+	seed uint64
+
+	registry *modelRegistry
+	profiles *profileCache
+
+	// stop, once closed, terminates this generation's batcher dispatchers
+	// and fails fast any caller still blocked on them. It closes on server
+	// shutdown, or after a retired generation has drained.
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	// refs counts the live reference (1, held until retire) plus every
+	// in-flight request. drained closes when refs first returns to zero,
+	// which can only happen after retire released the live reference.
+	refs    atomic.Int64
+	drained chan struct{}
+}
+
+// newGeneration derives a generation from a dataset. The profiling size and
+// seed come from the artifact's recorded build settings when known (a
+// reloaded artifact may have been rebuilt with different settings), falling
+// back to the server's startup options.
+func (s *Server) newGeneration(id int64, ds *core.Dataset) *generation {
+	size, seed := s.optSize, s.optSeed
+	if b := ds.Build; b.Known() {
+		if b.Quick() {
+			size = workload.SizeTest
+		} else {
+			size = workload.SizeProfile
+		}
+		seed = b.Seed
+	}
+	g := &generation{
+		id:       id,
+		fp:       ds.Fingerprint(),
+		ds:       ds,
+		size:     size,
+		seed:     seed,
+		registry: newModelRegistry(),
+		profiles: newProfileCache(),
+		stop:     make(chan struct{}),
+		drained:  make(chan struct{}),
+	}
+	g.refs.Store(1) // the live reference, released by retire
+	return g
+}
+
+// acquire pins the current generation for one request. Every successful
+// acquire must be paired with a release. The loop re-reads the pointer on
+// the (rare) race where the loaded generation fully drained between the
+// load and the reference grab; it terminates because the pointer is always
+// swapped to the successor before the live reference is released.
+func (s *Server) acquire() (*generation, error) {
+	if err := s.closedErr(); err != nil {
+		return nil, err
+	}
+	for {
+		g := s.gen.Load()
+		if g.tryRef() {
+			return g, nil
+		}
+	}
+}
+
+// tryRef grabs a reference unless the generation has fully drained. It
+// must CAS rather than blindly increment: a plain Add(1) on a drained
+// generation would transiently resurrect refs to 1, let a concurrent
+// tryRef observe a live-looking count and hand out a generation whose
+// batchers are already stopped — and the back-out decrement would cross
+// zero a second time, double-closing drained.
+func (g *generation) tryRef() bool {
+	for {
+		n := g.refs.Load()
+		if n == 0 {
+			return false // fully drained: refs never leaves zero again
+		}
+		if g.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// release drops one reference. The reference that returns the count to
+// zero — necessarily after retire dropped the live one, and unrepeatable
+// because tryRef refuses drained generations — signals drain.
+func (g *generation) release() {
+	if g.refs.Add(-1) == 0 {
+		close(g.drained)
+	}
+}
+
+// retire ends a generation that has been swapped out: it releases the live
+// reference, waits for every in-flight request to finish, then stops the
+// batchers. Blocked do() callers cannot be dropped: stop only closes once
+// no request references this generation.
+func (g *generation) retire() {
+	g.release()
+	<-g.drained
+	g.closeStop()
+}
+
+// closeStop terminates the generation's batchers. Idempotent: both server
+// shutdown and retirement converge here.
+func (g *generation) closeStop() {
+	g.stopOnce.Do(func() { close(g.stop) })
+}
+
+// ReloadResult reports the outcome of one reload request.
+type ReloadResult struct {
+	// Generation is the serving generation after the reload: bumped on a
+	// swap, unchanged on a fingerprint no-op.
+	Generation int64 `json:"generation"`
+	// Fingerprint is the content hash of the artifact that is now serving.
+	Fingerprint string `json:"fingerprint"`
+	// Swapped is false when the artifact fingerprint matched the serving
+	// generation and nothing changed.
+	Swapped bool `json:"swapped"`
+	// ElapsedMS is the wall time of the reload, including artifact load,
+	// fingerprinting and (on a swap) the old generation's drain.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// Reload loads the artifact at path and, unless its fingerprint matches the
+// serving generation, swaps it in as a new generation: queries that arrive
+// after the swap see the new dataset with fresh (lazily trained) models,
+// queries already in flight finish on the generation they started with, and
+// the old generation's batchers are drained and stopped — no request is
+// dropped or blocked by a reload. Reloads are serialized; concurrent calls
+// queue.
+func (s *Server) Reload(path string) (*ReloadResult, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if err := s.closedErr(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	ds, err := core.LoadDataset(path)
+	if err != nil {
+		s.metrics.reloadErrors.inc()
+		return nil, err
+	}
+	return s.swapDataset(ds, start), nil
+}
+
+// swapDataset is the artifact-independent half of Reload (reloadMu held).
+func (s *Server) swapDataset(ds *core.Dataset, start time.Time) *ReloadResult {
+	cur := s.gen.Load()
+	fp := ds.Fingerprint()
+	if fp == cur.fp {
+		s.metrics.reloadNoops.inc()
+		return &ReloadResult{
+			Generation:  cur.id,
+			Fingerprint: fp,
+			ElapsedMS:   float64(time.Since(start).Microseconds()) / 1e3,
+		}
+	}
+	g := s.newGeneration(cur.id+1, ds)
+	s.gen.Store(g)
+	s.metrics.generationID.Store(g.id)
+	cur.retire()
+	if s.closedErr() != nil {
+		// Close raced with the swap and may have stopped the predecessor
+		// instead; make sure the new current generation is stopped too.
+		g.closeStop()
+	}
+	s.metrics.reloads.inc()
+	s.metrics.reloadSeconds.observe(time.Since(start))
+	return &ReloadResult{
+		Generation:  g.id,
+		Fingerprint: fp,
+		Swapped:     true,
+		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1e3,
+	}
+}

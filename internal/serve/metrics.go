@@ -65,17 +65,27 @@ type metrics struct {
 	mu       sync.Mutex
 	requests map[requestKey]*counter // per (endpoint, status code)
 
-	profileHits   counter
-	profileMisses counter
-	modelHits     counter
-	modelMisses   counter
+	profileHits     counter
+	profileMisses   counter
+	profileFailures counter // profile builds that errored (entry cleared, not cached)
+	modelHits       counter
+	modelMisses     counter
+	trainFailures   counter // model fits that errored (entry cleared, not cached)
 
 	batches        counter // micro-batch flushes
 	batchedQueries counter // queries carried by those flushes
 
+	// generationID is the serving generation (a gauge, not a counter: it
+	// reports the current value, bumped on every swap).
+	generationID atomic.Int64
+	reloads      counter // reloads that swapped in a new generation
+	reloadNoops  counter // reloads skipped on a matching fingerprint
+	reloadErrors counter // reloads that failed before any swap
+
 	trainSeconds   *histogram // one observation per model fit
 	predictSeconds *histogram // one observation per /v1/predict request
 	profileSeconds *histogram // one observation per profile build
+	reloadSeconds  *histogram // one observation per swapping reload
 }
 
 type requestKey struct {
@@ -89,6 +99,7 @@ func newMetrics() *metrics {
 		trainSeconds:   newHistogram(),
 		predictSeconds: newHistogram(),
 		profileSeconds: newHistogram(),
+		reloadSeconds:  newHistogram(),
 	}
 }
 
@@ -128,11 +139,18 @@ func (m *metrics) render(w io.Writer) {
 	}
 	fmt.Fprintf(w, "dramserve_profile_cache_hits_total %d\n", m.profileHits.value())
 	fmt.Fprintf(w, "dramserve_profile_cache_misses_total %d\n", m.profileMisses.value())
+	fmt.Fprintf(w, "dramserve_profile_build_failures_total %d\n", m.profileFailures.value())
 	fmt.Fprintf(w, "dramserve_model_registry_hits_total %d\n", m.modelHits.value())
 	fmt.Fprintf(w, "dramserve_model_registry_misses_total %d\n", m.modelMisses.value())
+	fmt.Fprintf(w, "dramserve_model_train_failures_total %d\n", m.trainFailures.value())
 	fmt.Fprintf(w, "dramserve_predict_batches_total %d\n", m.batches.value())
 	fmt.Fprintf(w, "dramserve_predict_batched_queries_total %d\n", m.batchedQueries.value())
+	fmt.Fprintf(w, "dramserve_generation %d\n", m.generationID.Load())
+	fmt.Fprintf(w, "dramserve_reloads_total %d\n", m.reloads.value())
+	fmt.Fprintf(w, "dramserve_reload_noops_total %d\n", m.reloadNoops.value())
+	fmt.Fprintf(w, "dramserve_reload_errors_total %d\n", m.reloadErrors.value())
 	m.trainSeconds.render(w, "dramserve_train_seconds")
 	m.predictSeconds.render(w, "dramserve_predict_seconds")
 	m.profileSeconds.render(w, "dramserve_profile_seconds")
+	m.reloadSeconds.render(w, "dramserve_reload_seconds")
 }

@@ -10,14 +10,89 @@ import (
 	"repro/internal/workload"
 )
 
-// The registry and cache below share one shape: a map of lazily-filled
-// entries, each guarded by its own sync.Once. The map lock is held only to
-// find-or-create an entry, never across the expensive fill, so concurrent
-// first requests for the same key block on one fill (singleflight) while
-// requests for other keys proceed — and repeat requests are a lock, a map
-// probe and a closed Once. Entry fields are published under the map lock
-// because the introspection endpoints read them without going through the
-// Once.
+// The model registry and the profile cache share one protocol, implemented
+// once in fillOnce: a map of lazily-filled entries scoped to one
+// generation. The map lock is held only to find-or-create an entry, never
+// across the expensive fill, so concurrent first requests for the same key
+// block on one fill (singleflight) while requests for other keys proceed —
+// and repeat requests are a lock, a map probe and a closed channel read.
+//
+// Errors are never cached. A failed fill publishes its error to the
+// requests already waiting on it (they share the attempt's fate, as any
+// singleflight does) and then CLEARS the entry, so the next request starts
+// a fresh fill instead of inheriting a stale failure: one transient
+// train/profile error must not poison a (kind, input set) model or a
+// workload profile for the life of the generation. Waiters whose fill
+// failed retry the find-or-create a bounded number of times — one of them
+// becomes the next creator.
+
+// maxFillAttempts bounds how many failed fills one request will chase
+// (as creator or as waiter) before surfacing the error.
+const maxFillAttempts = 3
+
+// cacheEntry is one singleflight slot. done closes exactly once, after
+// val/err are published under the owning map's lock; introspection
+// endpoints read entries under that lock without waiting on done, which is
+// why publication happens under it.
+type cacheEntry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// fillOnce is the shared find-or-fill. A miss is counted by the request
+// that creates the entry (including a retry after a cleared failure — the
+// fill really runs again); requests arriving while a fill is in flight
+// block on done and count as hits (they pay nothing). build runs outside
+// the lock; stop aborts waiters when the generation shuts down.
+func fillOnce[K comparable, V any](mu *sync.Mutex, entries map[K]*cacheEntry[V], k K,
+	stop <-chan struct{}, hits, misses, failures *counter,
+	build func() (V, error)) (V, error) {
+	var zero V
+	var lastErr error
+	for attempt := 0; attempt < maxFillAttempts; attempt++ {
+		mu.Lock()
+		e, ok := entries[k]
+		if !ok {
+			e = &cacheEntry[V]{done: make(chan struct{})}
+			entries[k] = e
+			mu.Unlock()
+			misses.inc()
+
+			v, err := build()
+			mu.Lock()
+			e.val, e.err = v, err
+			if err != nil {
+				// Non-sticky: clear the failed entry so follow-up requests
+				// re-attempt the fill (and count as misses, not hits).
+				if entries[k] == e {
+					delete(entries, k)
+				}
+			}
+			mu.Unlock()
+			close(e.done)
+			if err != nil {
+				failures.inc()
+				return zero, err
+			}
+			return v, nil
+		}
+		mu.Unlock()
+		hits.inc()
+		select {
+		case <-e.done:
+		case <-stop:
+			return zero, errClosed
+		}
+		if e.err == nil {
+			return e.val, nil
+		}
+		// The fill we joined failed (and cleared itself); go around — this
+		// request may become the next creator.
+		lastErr = e.err
+	}
+	return zero, lastErr
+}
 
 // modelKey identifies one trained predictor.
 type modelKey struct {
@@ -25,85 +100,66 @@ type modelKey struct {
 	set  core.InputSet
 }
 
-// modelEntry is a lazily-trained predictor of type P plus the micro-batcher
-// for its query type Q.
-type modelEntry[P, Q any] struct {
-	once     sync.Once
+// modelVal is a trained predictor of type P plus the micro-batcher for its
+// query type Q. The batcher is non-nil exactly when training succeeded.
+type modelVal[P, Q any] struct {
 	pred     P
-	err      error
 	trainDur time.Duration
-	batch    *batcher[Q, float64] // non-nil exactly when training succeeded
+	batch    *batcher[Q, float64]
 }
 
 // modelRegistry trains and caches predictors per (kind, input set, target).
 type modelRegistry struct {
 	mu  sync.Mutex
-	wer map[modelKey]*modelEntry[*core.WERPredictor, core.WERQuery]
-	pue map[modelKey]*modelEntry[*core.PUEPredictor, core.PUEQuery]
+	wer map[modelKey]*cacheEntry[modelVal[*core.WERPredictor, core.WERQuery]]
+	pue map[modelKey]*cacheEntry[modelVal[*core.PUEPredictor, core.PUEQuery]]
 }
 
 func newModelRegistry() *modelRegistry {
 	return &modelRegistry{
-		wer: map[modelKey]*modelEntry[*core.WERPredictor, core.WERQuery]{},
-		pue: map[modelKey]*modelEntry[*core.PUEPredictor, core.PUEQuery]{},
+		wer: map[modelKey]*cacheEntry[modelVal[*core.WERPredictor, core.WERQuery]]{},
+		pue: map[modelKey]*cacheEntry[modelVal[*core.PUEPredictor, core.PUEQuery]]{},
 	}
 }
 
-// getModel is the singleflight find-or-train shared by both targets. A
-// registry miss is counted only by the request that creates the entry;
-// concurrent requests arriving while it trains block on the Once and count
-// as hits (they pay no training).
-func getModel[P, Q any](s *Server, entries map[modelKey]*modelEntry[P, Q], k modelKey,
+// getModel is the singleflight find-or-train shared by both targets.
+func getModel[P, Q any](s *Server, g *generation, entries map[modelKey]*cacheEntry[modelVal[P, Q]], k modelKey,
 	train func() (P, error),
-	predictBatch func(P, []Q) ([]float64, error)) (*modelEntry[P, Q], error) {
+	predictBatch func(P, []Q) ([]float64, error)) (modelVal[P, Q], error) {
 	if err := s.closedErr(); err != nil {
-		return nil, err
+		return modelVal[P, Q]{}, err
 	}
-	s.registry.mu.Lock()
-	e, ok := entries[k]
-	if !ok {
-		e = &modelEntry[P, Q]{}
-		entries[k] = e
-		s.metrics.modelMisses.inc()
-	} else {
-		s.metrics.modelHits.inc()
-	}
-	s.registry.mu.Unlock()
-	e.once.Do(func() {
-		start := time.Now()
-		pred, err := train()
-		dur := time.Since(start)
-		s.metrics.trainSeconds.observe(dur)
-		var b *batcher[Q, float64]
-		if err == nil {
-			b = newBatcher(func(qs []Q) ([]float64, error) {
+	return fillOnce(&g.registry.mu, entries, k, g.stop,
+		&s.metrics.modelHits, &s.metrics.modelMisses, &s.metrics.trainFailures,
+		func() (modelVal[P, Q], error) {
+			start := time.Now()
+			pred, err := train()
+			dur := time.Since(start)
+			s.metrics.trainSeconds.observe(dur)
+			if err != nil {
+				return modelVal[P, Q]{}, err
+			}
+			b := newBatcher(func(qs []Q) ([]float64, error) {
 				return predictBatch(pred, qs)
-			}, s.stop, s.metrics)
-		}
-		s.registry.mu.Lock()
-		e.pred, e.err, e.trainDur, e.batch = pred, err, dur, b
-		s.registry.mu.Unlock()
-	})
-	if e.err != nil {
-		return nil, e.err
-	}
-	return e, nil
+			}, g.stop, s.metrics)
+			return modelVal[P, Q]{pred: pred, trainDur: dur, batch: b}, nil
+		})
 }
 
-// werModel returns the trained WER predictor for (kind, set), fitting it on
-// the first request.
-func (s *Server) werModel(kind core.ModelKind, set core.InputSet) (*modelEntry[*core.WERPredictor, core.WERQuery], error) {
-	return getModel(s, s.registry.wer, modelKey{kind, set},
-		func() (*core.WERPredictor, error) { return core.TrainWER(s.ds, kind, set, s.workers) },
+// werModel returns the trained WER predictor for (kind, set) on generation
+// g, fitting it on the first request.
+func (s *Server) werModel(g *generation, kind core.ModelKind, set core.InputSet) (modelVal[*core.WERPredictor, core.WERQuery], error) {
+	return getModel(s, g, g.registry.wer, modelKey{kind, set},
+		func() (*core.WERPredictor, error) { return s.trainWER(g.ds, kind, set, s.workers) },
 		func(p *core.WERPredictor, qs []core.WERQuery) ([]float64, error) {
 			return p.PredictBatch(qs, engine.Options{Workers: s.workers, Context: s.ctx})
 		})
 }
 
 // pueModel is werModel for the crash-probability target.
-func (s *Server) pueModel(kind core.ModelKind, set core.InputSet) (*modelEntry[*core.PUEPredictor, core.PUEQuery], error) {
-	return getModel(s, s.registry.pue, modelKey{kind, set},
-		func() (*core.PUEPredictor, error) { return core.TrainPUE(s.ds, kind, set, s.workers) },
+func (s *Server) pueModel(g *generation, kind core.ModelKind, set core.InputSet) (modelVal[*core.PUEPredictor, core.PUEQuery], error) {
+	return getModel(s, g, g.registry.pue, modelKey{kind, set},
+		func() (*core.PUEPredictor, error) { return s.trainPUE(g.ds, kind, set, s.workers) },
 		func(p *core.PUEPredictor, qs []core.PUEQuery) ([]float64, error) {
 			return p.PredictBatch(qs, engine.Options{Workers: s.workers, Context: s.ctx})
 		})
@@ -117,19 +173,19 @@ type trainedModel struct {
 	TrainMS  float64        `json:"train_ms"`
 }
 
-// trained snapshots the registry's ready entries.
-func (s *Server) trained() []trainedModel {
-	s.registry.mu.Lock()
-	defer s.registry.mu.Unlock()
+// trained snapshots the generation's ready entries.
+func (s *Server) trained(g *generation) []trainedModel {
+	g.registry.mu.Lock()
+	defer g.registry.mu.Unlock()
 	var out []trainedModel
-	for k, e := range s.registry.wer {
-		if e.batch != nil {
-			out = append(out, trainedModel{k.kind, int(k.set), "wer", float64(e.trainDur.Microseconds()) / 1e3})
+	for k, e := range g.registry.wer {
+		if e.val.batch != nil {
+			out = append(out, trainedModel{k.kind, int(k.set), "wer", float64(e.val.trainDur.Microseconds()) / 1e3})
 		}
 	}
-	for k, e := range s.registry.pue {
-		if e.batch != nil {
-			out = append(out, trainedModel{k.kind, int(k.set), "pue", float64(e.trainDur.Microseconds()) / 1e3})
+	for k, e := range g.registry.pue {
+		if e.val.batch != nil {
+			out = append(out, trainedModel{k.kind, int(k.set), "pue", float64(e.val.trainDur.Microseconds()) / 1e3})
 		}
 	}
 	return out
@@ -142,59 +198,40 @@ type profileKey struct {
 	seed  uint64
 }
 
-// profileEntry is a lazily-built workload profile.
-type profileEntry struct {
-	once sync.Once
-	res  *profile.Result
-	err  error
-}
-
-// profileCache caches profile.Build results so repeat queries for the same
+// profileCache caches profile builds so repeat queries for the same
 // workload skip the profiling pass entirely.
 type profileCache struct {
 	mu      sync.Mutex
-	entries map[profileKey]*profileEntry
+	entries map[profileKey]*cacheEntry[*profile.Result]
 }
 
 func newProfileCache() *profileCache {
-	return &profileCache{entries: map[profileKey]*profileEntry{}}
+	return &profileCache{entries: map[profileKey]*cacheEntry[*profile.Result]{}}
 }
 
-// profileFor resolves the features of a workload, building and caching the
-// profile on first use.
-func (s *Server) profileFor(spec workload.Spec) (*profile.Result, error) {
+// profileFor resolves the features of a workload on generation g, building
+// and caching the profile on first use.
+func (s *Server) profileFor(g *generation, spec workload.Spec) (*profile.Result, error) {
 	if err := s.closedErr(); err != nil {
 		return nil, err
 	}
-	k := profileKey{spec.Label, s.size, s.seed}
-	s.profiles.mu.Lock()
-	e, ok := s.profiles.entries[k]
-	if !ok {
-		e = &profileEntry{}
-		s.profiles.entries[k] = e
-		s.metrics.profileMisses.inc()
-	} else {
-		s.metrics.profileHits.inc()
-	}
-	s.profiles.mu.Unlock()
-	e.once.Do(func() {
-		start := time.Now()
-		res, err := profile.BuildAt(spec, s.size, s.seed)
-		s.metrics.profileSeconds.observe(time.Since(start))
-		s.profiles.mu.Lock()
-		e.res, e.err = res, err
-		s.profiles.mu.Unlock()
-	})
-	return e.res, e.err
+	return fillOnce(&g.profiles.mu, g.profiles.entries, profileKey{spec.Label, g.size, g.seed}, g.stop,
+		&s.metrics.profileHits, &s.metrics.profileMisses, &s.metrics.profileFailures,
+		func() (*profile.Result, error) {
+			start := time.Now()
+			res, err := s.buildProfile(spec, g.size, g.seed)
+			s.metrics.profileSeconds.observe(time.Since(start))
+			return res, err
+		})
 }
 
-// profiledLabels lists the labels with a ready profile.
-func (s *Server) profiledLabels() map[string]bool {
-	s.profiles.mu.Lock()
-	defer s.profiles.mu.Unlock()
+// profiledLabels lists the labels with a ready profile on generation g.
+func (s *Server) profiledLabels(g *generation) map[string]bool {
+	g.profiles.mu.Lock()
+	defer g.profiles.mu.Unlock()
 	out := map[string]bool{}
-	for k, e := range s.profiles.entries {
-		if e.res != nil {
+	for k, e := range g.profiles.entries {
+		if e.val != nil {
 			out[k.label] = true
 		}
 	}

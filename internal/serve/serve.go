@@ -8,18 +8,29 @@
 //	POST /v1/predict   one query or a {"queries": [...]} batch
 //	GET  /v1/workloads the servable benchmark catalog
 //	GET  /v1/models    model kinds, input sets, and trained entries
-//	GET  /healthz      liveness and dataset shape
-//	GET  /metrics      request/cache/batch counters and latency histograms
+//	POST /v1/reload    swap in a refreshed dataset artifact in place
+//	GET  /healthz      liveness, dataset shape, serving generation
+//	GET  /metrics      request/cache/batch/reload counters and histograms
 //
 // Three mechanisms keep the warm path far under the 300 ms budget while the
 // cold path stays correct under concurrency:
 //
 //   - a model registry trains each (kind, input set, target) predictor once,
-//     singleflight-style: concurrent first requests block on one fit;
+//     singleflight-style: concurrent first requests block on one fit, and a
+//     failed fit is never cached — the entry clears so the next request
+//     retries instead of inheriting a transient error;
 //   - a profile cache keyed by (workload, size, seed) makes repeat queries
-//     skip the expensive profiling pass;
+//     skip the expensive profiling pass (same non-sticky error handling);
 //   - a micro-batcher per predictor coalesces in-flight queries into
 //     PredictBatch calls that fan out on the engine's bounded worker pool.
+//
+// The paper's model is "retrained periodically" from fresh characterization
+// data, so the dataset and everything derived from it (registry, profile
+// cache, batchers) live in a generation behind an atomic pointer: Reload
+// builds a new generation from a refreshed artifact and swaps it in while
+// in-flight queries finish on the generation they started with (see
+// generation.go). A content fingerprint persisted in the artifact makes
+// reloading an unchanged artifact a no-op.
 //
 // Shutdown is graceful: Close cancels the server's context (threaded into
 // every engine dispatch), wakes all batcher waiters, and makes new
@@ -29,15 +40,19 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/engine"
+	"repro/internal/profile"
 	"repro/internal/workload"
 )
 
@@ -55,30 +70,48 @@ type Options struct {
 	// Workers bounds the engine parallelism of training and batched
 	// prediction; 0 means GOMAXPROCS.
 	Workers int
+	// ArtifactPath, when set, is the dataset artifact backing the server;
+	// POST /v1/reload with an empty body (and cmd/dramserve's SIGHUP and
+	// -reload-interval) reload from it.
+	ArtifactPath string
 	// Context, when set, is the base context; its cancellation stops the
 	// server like Close does.
 	Context context.Context
 }
 
-// Server answers prediction queries from one loaded campaign dataset.
+// Server answers prediction queries from the current serving generation: a
+// loaded campaign dataset plus the models, profiles and batchers derived
+// from it. Reload swaps generations atomically; see generation.go.
 type Server struct {
-	ds      *core.Dataset
-	size    workload.Size
-	seed    uint64
 	workers int
+	// optSize/optSeed are the startup profiling settings, used for
+	// datasets that do not record their own build settings.
+	optSize workload.Size
+	optSeed uint64
 
-	metrics  *metrics
-	registry *modelRegistry
-	profiles *profileCache
+	metrics *metrics
+
+	// gen is the current serving generation. reloadMu serializes swaps
+	// (the pointer itself is safe to read lock-free).
+	gen          atomic.Pointer[generation]
+	reloadMu     sync.Mutex
+	artifactPath string
 
 	ctx       context.Context
 	cancel    context.CancelFunc
 	stop      chan struct{}
 	closeOnce sync.Once
 	start     time.Time
+
+	// Fill seams, overridable in tests to inject failures: production
+	// wiring is core.TrainWER / core.TrainPUE / profile.BuildAt.
+	trainWER     func(*core.Dataset, core.ModelKind, core.InputSet, int) (*core.WERPredictor, error)
+	trainPUE     func(*core.Dataset, core.ModelKind, core.InputSet, int) (*core.PUEPredictor, error)
+	buildProfile func(workload.Spec, workload.Size, uint64) (*profile.Result, error)
 }
 
-// New builds a Server over the dataset. The caller must Close it.
+// New builds a Server over the dataset (serving generation 1). The caller
+// must Close it.
 func New(ds *core.Dataset, opts Options) *Server {
 	base := opts.Context
 	if base == nil {
@@ -90,18 +123,22 @@ func New(ds *core.Dataset, opts Options) *Server {
 		size = workload.SizeTest
 	}
 	s := &Server{
-		ds:       ds,
-		size:     size,
-		seed:     opts.Seed,
-		workers:  opts.Workers,
-		metrics:  newMetrics(),
-		registry: newModelRegistry(),
-		profiles: newProfileCache(),
-		ctx:      ctx,
-		cancel:   cancel,
-		stop:     make(chan struct{}),
-		start:    time.Now(),
+		workers:      opts.Workers,
+		optSize:      size,
+		optSeed:      opts.Seed,
+		metrics:      newMetrics(),
+		artifactPath: opts.ArtifactPath,
+		ctx:          ctx,
+		cancel:       cancel,
+		stop:         make(chan struct{}),
+		start:        time.Now(),
+		trainWER:     core.TrainWER,
+		trainPUE:     core.TrainPUE,
+		buildProfile: profile.BuildAt,
 	}
+	g := s.newGeneration(1, ds)
+	s.gen.Store(g)
+	s.metrics.generationID.Store(g.id)
 	context.AfterFunc(ctx, func() { s.Close() })
 	return s
 }
@@ -115,6 +152,10 @@ func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		s.cancel()
 		close(s.stop)
+		// Stop the current generation's batchers. Retired generations
+		// already stopped theirs; a reload racing with this close re-checks
+		// closedErr after its swap and stops the new generation itself.
+		s.gen.Load().closeStop()
 	})
 	return nil
 }
@@ -136,6 +177,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/predict", s.counted("/v1/predict", s.handlePredict))
 	mux.HandleFunc("/v1/workloads", s.counted("/v1/workloads", s.handleWorkloads))
 	mux.HandleFunc("/v1/models", s.counted("/v1/models", s.handleModels))
+	mux.HandleFunc("/v1/reload", s.counted("/v1/reload", s.handleReload))
 	mux.HandleFunc("/healthz", s.counted("/healthz", s.handleHealthz))
 	mux.HandleFunc("/metrics", s.counted("/metrics", s.handleMetrics))
 	return mux
@@ -213,9 +255,9 @@ type resolved struct {
 	pueSet core.InputSet
 }
 
-// resolve validates one query and resolves its workload profile. The int
-// is the HTTP status for the error case.
-func (s *Server) resolve(req PredictRequest) (*resolved, int, error) {
+// resolve validates one query and resolves its workload profile on
+// generation g. The int is the HTTP status for the error case.
+func (s *Server) resolve(g *generation, req PredictRequest) (*resolved, int, error) {
 	spec, err := workload.FindSpec(req.Workload)
 	if err != nil {
 		return nil, http.StatusNotFound, err
@@ -240,6 +282,7 @@ func (s *Server) resolve(req PredictRequest) (*resolved, int, error) {
 	for _, k := range core.ModelKinds() {
 		if k == kind {
 			valid = true
+			break
 		}
 	}
 	if !valid {
@@ -254,21 +297,22 @@ func (s *Server) resolve(req PredictRequest) (*resolved, int, error) {
 	default:
 		return nil, http.StatusBadRequest, fmt.Errorf("serve: input_set %d out of range", req.InputSet)
 	}
-	prof, err := s.profileFor(spec)
+	prof, err := s.profileFor(g, spec)
 	if err != nil {
 		return nil, http.StatusInternalServerError, err
 	}
 	return &resolved{req: req, feats: prof.Features, kind: kind, werSet: werSet, pueSet: pueSet}, 0, nil
 }
 
-// predictOne answers one resolved query through the micro-batchers.
-func (s *Server) predictOne(r *resolved) (*PredictResponse, error) {
+// predictOne answers one resolved query through generation g's
+// micro-batchers.
+func (s *Server) predictOne(g *generation, r *resolved) (*PredictResponse, error) {
 	start := time.Now()
-	we, err := s.werModel(r.kind, r.werSet)
+	we, err := s.werModel(g, r.kind, r.werSet)
 	if err != nil {
 		return nil, err
 	}
-	pe, err := s.pueModel(r.kind, r.pueSet)
+	pe, err := s.pueModel(g, r.kind, r.pueSet)
 	if err != nil {
 		return nil, err
 	}
@@ -335,6 +379,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	defer func() { s.metrics.predictSeconds.observe(time.Since(start)) }()
 
+	// Pin the serving generation for the whole request: a reload swapping
+	// in a new dataset mid-request must not mix state, and this reference
+	// keeps the generation's batchers alive until we release it.
+	g, err := s.acquire()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "serve: %v", err)
+		return
+	}
+	defer g.release()
+
 	// Batch body: resolve every query up front (all-or-nothing, so the
 	// response always has one result per query), then fan the predictions
 	// out concurrently — their batcher submissions coalesce.
@@ -355,7 +409,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			err  error
 		}
 		outs, err := engine.Map(len(body.Queries), func(i int) (resolveOut, error) {
-			r, code, err := s.resolve(body.Queries[i])
+			r, code, err := s.resolve(g, body.Queries[i])
 			return resolveOut{r, code, err}, nil
 		}, engine.Options{Workers: s.workers, Context: s.ctx})
 		if err != nil {
@@ -380,7 +434,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			wg.Add(1)
 			go func(i int, rq *resolved) {
 				defer wg.Done()
-				results[i], errs[i] = s.predictOne(rq)
+				results[i], errs[i] = s.predictOne(g, rq)
 			}(i, rq)
 		}
 		wg.Wait()
@@ -394,17 +448,52 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	rq, code, err := s.resolve(body.PredictRequest)
+	rq, code, err := s.resolve(g, body.PredictRequest)
 	if err != nil {
 		writeError(w, code, "serve: %v", err)
 		return
 	}
-	resp, err := s.predictOne(rq)
+	resp, err := s.predictOne(g, rq)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "serve: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleReload reloads the server's configured artifact. The endpoint
+// deliberately takes no path: letting an unauthenticated HTTP client name
+// an arbitrary server-side file would allow filesystem probing and model
+// substitution. Operators choose the artifact at startup (-load); the
+// request body must be empty or an empty JSON object.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "serve: %s not allowed", r.Method)
+		return
+	}
+	var body struct{}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil && err != io.EOF {
+		writeError(w, http.StatusBadRequest, "serve: malformed body: %v", err)
+		return
+	}
+	if s.artifactPath == "" {
+		writeError(w, http.StatusBadRequest,
+			"serve: not artifact-backed: the server was started without -load")
+		return
+	}
+	res, err := s.Reload(s.artifactPath)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, errClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, "serve: reload: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
@@ -419,9 +508,10 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 		Profiled bool   `json:"profiled"`
 		InCorpus bool   `json:"in_corpus"`
 	}
-	profiled := s.profiledLabels()
+	g := s.gen.Load()
+	profiled := s.profiledLabels(g)
 	inCorpus := map[string]bool{}
-	for _, l := range s.ds.Workloads() {
+	for _, l := range g.ds.Workloads() {
 		inCorpus[l] = true
 	}
 	var out []entry
@@ -442,7 +532,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	for _, set := range core.InputSets() {
 		sets = append(sets, int(set))
 	}
-	trained := s.trained()
+	trained := s.trained(s.gen.Load())
 	if trained == nil {
 		trained = []trainedModel{}
 	}
@@ -459,12 +549,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "serve: %s not allowed", r.Method)
 		return
 	}
+	g := s.gen.Load()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.start).Seconds(),
-		"wer_rows":       len(s.ds.WER),
-		"pue_rows":       len(s.ds.PUE),
-		"workloads":      len(s.ds.Workloads()),
+		"generation":     g.id,
+		"fingerprint":    g.fp,
+		"wer_rows":       len(g.ds.WER),
+		"pue_rows":       len(g.ds.PUE),
+		"workloads":      len(g.ds.Workloads()),
 	})
 }
 

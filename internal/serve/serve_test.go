@@ -222,7 +222,7 @@ func TestPredictSingleMatchesDirectModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prof, err := s.profileFor(spec)
+	prof, err := s.profileFor(s.gen.Load(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -588,7 +588,7 @@ func TestServerClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp, data := postPredict(t, ts, `{"workload":"nw","trefp":1.173,"temp_c":60}`)
-	if resp.StatusCode != http.StatusInternalServerError {
+	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("predict after close = %d: %s", resp.StatusCode, data)
 	}
 	if !strings.Contains(string(data), "closed") && !strings.Contains(string(data), "cancel") {
