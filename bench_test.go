@@ -118,15 +118,20 @@ func BenchmarkAblation(b *testing.B) { benchTable(b, benchSuite(b).Ablation) }
 // the paper's "predict DRAM errors within 300 ms" claim (Section VI-C).
 func BenchmarkPredictionLatency(b *testing.B) {
 	s := benchSuite(b)
-	model, err := core.TrainWER(s.Dataset, core.ModelKNN, core.InputSet1, 0)
+	model, err := core.Train(s.Dataset, core.TargetWER, core.ModelKNN, core.InputSet1, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
-	feats := s.Profiles["srad(par)"].Features
+	q := core.Query{
+		Features: s.Profiles["srad(par)"].Features, TREFP: 2.283,
+		VDD: dram.MinVDD, TempC: 60, Rank: core.RankDevice,
+	}
 	start := time.Now()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		model.PredictMean(feats, 2.283, dram.MinVDD, 60)
+		if _, err := model.Predict(q); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.StopTimer()
 	if b.N > 0 {

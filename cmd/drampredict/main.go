@@ -3,16 +3,18 @@
 // under a second, without a multi-hour characterization campaign
 // (Section VI-C: "our models predict DRAM errors within 300 ms").
 //
-// It trains the published KNN model once on the campaign dataset, then
-// answers WER/PUE queries for the given workload and operating point,
-// reporting the prediction latency. With -load the campaign is skipped
-// entirely: the corpus comes from a saved artifact (see dramtrain -save),
-// with the target workload's rows excluded so the model still has to
-// generalize to it.
+// It trains the published KNN model for each requested target once on the
+// campaign dataset through the unified core.Train factory, then answers
+// the queries for the given workload and operating point, reporting the
+// prediction latency. With -load the campaign is skipped entirely: the
+// corpus comes from a saved artifact (see dramtrain -save), with the
+// target workload's rows excluded so the model still has to generalize to
+// it. -target restricts the prediction to one regression target ("wer" or
+// "pue"); the default predicts both.
 //
 // Usage:
 //
-//	drampredict -bench lulesh(F) -trefp 0.618 -temp 70 [-quick] [-scale 8] [-load dfault.json.gz]
+//	drampredict -bench lulesh(F) -trefp 0.618 -temp 70 [-target wer] [-quick] [-scale 8] [-load dfault.json.gz]
 package main
 
 import (
@@ -31,14 +33,20 @@ import (
 
 func main() {
 	var (
-		bench = flag.String("bench", "lulesh(F)", "workload to predict")
-		trefp = flag.Float64("trefp", 0.618, "refresh period in seconds")
-		temp  = flag.Float64("temp", 70, "DIMM temperature in °C")
-		camp  = cliflag.Campaign{Reps: 5}
+		bench   = flag.String("bench", "lulesh(F)", "workload to predict")
+		trefp   = flag.Float64("trefp", 0.618, "refresh period in seconds")
+		temp    = flag.Float64("temp", 70, "DIMM temperature in °C")
+		camp    = cliflag.Campaign{Reps: 5}
+		targets cliflag.Targets
 	)
 	camp.Register(flag.CommandLine)
+	targets.Register(flag.CommandLine)
 	flag.Parse()
 
+	want, err := targets.List()
+	if err != nil {
+		fatal(err)
+	}
 	spec, err := workload.FindSpec(*bench)
 	if err != nil {
 		fatal(err)
@@ -66,13 +74,15 @@ func main() {
 		fatal(err)
 	}
 	ds = ds.WithoutWorkload(spec.Label)
-	werModel, err := core.TrainWER(ds, core.ModelKNN, core.InputSet1, camp.Workers)
-	if err != nil {
-		fatal(err)
-	}
-	pueModel, err := core.TrainPUE(ds, core.ModelKNN, core.InputSet2, camp.Workers)
-	if err != nil {
-		fatal(err)
+
+	// One factory call per requested target: the paper's published KNN
+	// variant on each target's default input set.
+	models := make(map[core.Target]core.Predictor, len(want))
+	for _, tgt := range want {
+		models[tgt], err = core.Train(ds, tgt, core.ModelKNN, 0, camp.Workers)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	// Profile the target workload (the paper's "Profiling phase": fast,
@@ -84,27 +94,37 @@ func main() {
 	features := targetProf.Features
 
 	start := time.Now()
-	wer := werModel.PredictMean(features, *trefp, dram.MinVDD, *temp)
-	perRank := make([]float64, dram.NumRanks)
-	for r := 0; r < dram.NumRanks; r++ {
-		perRank[r] = werModel.Predict(features, *trefp, dram.MinVDD, *temp, r)
+	preds := make(map[core.Target]core.Prediction, len(models))
+	for tgt, model := range models {
+		p, err := model.Predict(core.Query{
+			Target: tgt, Features: features, TREFP: *trefp,
+			VDD: dram.MinVDD, TempC: *temp, Rank: core.RankDevice,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		preds[tgt] = p
 	}
-	pue := pueModel.Predict(features, *trefp, dram.MinVDD, *temp)
 	elapsed := time.Since(start)
 
 	fmt.Printf("prediction for %s at TREFP=%.3fs, %.0f°C, VDD=%.3fV:\n",
 		spec.Label, *trefp, *temp, dram.MinVDD)
-	fmt.Printf("  WER (device mean): %.4g\n", wer)
-	for r := 0; r < dram.NumRanks; r++ {
-		fmt.Printf("  %-12s %.4g\n", dram.RankName(r), perRank[r])
+	if wer, ok := preds[core.TargetWER]; ok {
+		fmt.Printf("  WER (device mean): %.4g\n", wer.Value)
+		for r, v := range wer.ByRank {
+			fmt.Printf("  %-12s %.4g\n", dram.RankName(r), v)
+		}
 	}
-	fmt.Printf("  PUE (crash probability): %.2f\n", pue)
+	if pue, ok := preds[core.TargetPUE]; ok {
+		fmt.Printf("  PUE (crash probability): %.2f\n", pue.Value)
+	}
 	fmt.Printf("  prediction latency: %v (paper: within 300 ms)\n", elapsed)
 
 	// Validate against a real characterization run when a campaign server
-	// exists (skipped with -load: the whole point is not to characterize)
-	// and the operating point is survivable.
-	if srv == nil {
+	// exists (skipped with -load: the whole point is not to characterize),
+	// WER was predicted, and the operating point is survivable.
+	wer, ok := preds[core.TargetWER]
+	if srv == nil || !ok {
 		return
 	}
 	if err := srv.SetTREFP(*trefp); err == nil && *temp <= 70 {
@@ -113,7 +133,7 @@ func main() {
 			xgene.Experiment{TempC: *temp, RecordWER: true})
 		if err == nil && obs.WERValid && obs.WER > 0 {
 			fmt.Printf("  measured (2h characterization): %.4g (%.1fx off)\n",
-				obs.WER, ratio(wer, obs.WER))
+				obs.WER, ratio(wer.Value, obs.WER))
 		} else if err == nil && obs.Crashed {
 			fmt.Printf("  measured: system crash (UE on %s)\n", dram.RankName(obs.UERank))
 		}

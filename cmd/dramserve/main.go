@@ -7,7 +7,12 @@
 //
 //	dramtrain -quick -save dfault.json.gz
 //	dramserve -load dfault.json.gz -addr :8080
-//	curl -s localhost:8080/v1/predict -d '{"workload":"memcached","trefp":2.283,"temp_c":60}'
+//	curl -s localhost:8080/v2/predict --json '{"workload":"memcached","trefp":2.283,"temp_c":60,"targets":["wer"]}'
+//	curl -s localhost:8080/v1/predict --json '{"workload":"memcached","trefp":2.283,"temp_c":60}'
+//
+// /v2/predict takes a per-query target selection and returns structured
+// errors and artifact identity; /v1 is the pinned legacy surface. API.md
+// documents both wire formats.
 //
 // Without -load it builds the campaign dataset in-process first (slow; use
 // -quick for a demonstration corpus). Loading adopts the artifact's

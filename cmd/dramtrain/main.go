@@ -1,10 +1,11 @@
 // Command dramtrain builds the paper's dataset (characterization campaigns
 // over all workloads), trains the three ML models on the three input sets,
 // and prints the cross-validated accuracy comparison (Figs. 11 and 12).
+// -target restricts the evaluation to one regression target.
 //
 // Usage:
 //
-//	dramtrain [-scale 8] [-reps 10] [-quick] [-seed 0] [-save dfault.json.gz | -load dfault.json.gz]
+//	dramtrain [-scale 8] [-reps 10] [-quick] [-seed 0] [-target all] [-save dfault.json.gz | -load dfault.json.gz]
 package main
 
 import (
@@ -19,10 +20,17 @@ import (
 )
 
 func main() {
-	var camp cliflag.Campaign
+	var (
+		camp    cliflag.Campaign
+		targets cliflag.Targets
+	)
 	camp.Register(flag.CommandLine)
+	targets.Register(flag.CommandLine)
 	flag.Parse()
 
+	if _, err := targets.List(); err != nil {
+		fatal(err)
+	}
 	ds, err := camp.Dataset(workload.ExtendedSet(), logf)
 	if err != nil {
 		fatal(err)
@@ -36,31 +44,38 @@ func main() {
 	fmt.Printf("dataset: %d WER rows (%d with observed errors), %d PUE rows, %d workloads\n\n",
 		len(ds.WER), observed, len(ds.PUE), len(ds.Workloads()))
 
-	fmt.Println("WER prediction, leave-one-workload-out (mean percentage error):")
-	fmt.Printf("%-6s %-12s %-8s %-10s\n", "model", "input set", "avg", "median app")
-	for _, kind := range core.ModelKinds() {
-		for _, set := range core.InputSets() {
-			ev, err := core.EvaluateWER(ds, kind, set, camp.Workers)
-			if err != nil {
-				fatal(err)
+	if targets.Has(core.TargetWER) {
+		fmt.Println("WER prediction, leave-one-workload-out (mean percentage error):")
+		fmt.Printf("%-6s %-12s %-8s %-10s\n", "model", "input set", "avg", "median app")
+		for _, kind := range core.ModelKinds() {
+			for _, set := range core.InputSets() {
+				ev, err := core.EvaluateWER(ds, kind, set, camp.Workers)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("%-6s %-12s %-8.1f %-10.1f\n", kind, set,
+					100*ev.MPE, 100*medianOf(ev.MPEByWorkload))
 			}
-			fmt.Printf("%-6s %-12s %-8.1f %-10.1f\n", kind, set,
-				100*ev.MPE, 100*medianOf(ev.MPEByWorkload))
 		}
 	}
 
-	fmt.Println("\nPUE prediction, leave-one-workload-out (mean absolute error, prob. points):")
-	fmt.Printf("%-6s %-12s %-8s\n", "model", "input set", "MAE")
-	for _, kind := range core.ModelKinds() {
-		for _, set := range core.InputSets() {
-			ev, err := core.EvaluatePUE(ds, kind, set, camp.Workers)
-			if err != nil {
-				fatal(err)
+	if targets.Has(core.TargetPUE) {
+		fmt.Println("\nPUE prediction, leave-one-workload-out (mean absolute error, prob. points):")
+		fmt.Printf("%-6s %-12s %-8s\n", "model", "input set", "MAE")
+		for _, kind := range core.ModelKinds() {
+			for _, set := range core.InputSets() {
+				ev, err := core.EvaluatePUE(ds, kind, set, camp.Workers)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("%-6s %-12s %-8.1f\n", kind, set, 100*ev.MAE)
 			}
-			fmt.Printf("%-6s %-12s %-8.1f\n", kind, set, 100*ev.MAE)
 		}
 	}
 
+	if !targets.Has(core.TargetWER) {
+		return
+	}
 	conv, err := core.NewConventionalModel(ds, "random")
 	if err == nil {
 		fmt.Println("\nconventional workload-unaware baseline (random data pattern):")

@@ -26,22 +26,33 @@
 //   - internal/xgene   — the server platform (SLIMpro, crash-on-UE)
 //   - internal/ml      — KNN, ε-SVR and random-forest regressors
 //   - internal/core    — the paper's contribution: the workload-aware
-//     DRAM error model and its evaluation protocol
+//     DRAM error model behind the unified Predictor API — a Target enum
+//     (WER, PUE), one Query/Prediction pair (value, per-rank breakdown,
+//     model metadata), and a Train(ds, target, kind, set, workers)
+//     factory every cmd, example and serving handler goes through — plus
+//     the paper's evaluation protocol
 //   - internal/exp     — regeneration of every table and figure
 //   - internal/serve   — the deployment layer: a long-running HTTP
-//     prediction service over a saved dataset artifact, with a
-//     singleflight model registry (errors are never cached — a failed
-//     fill clears and retries), a workload profile cache, micro-batched
+//     prediction service over a saved dataset artifact. Two surfaces
+//     share one resolve/predict path: /v2/predict (typed per-query
+//     target selection, structured {code, field, message} errors,
+//     artifact generation/fingerprint on every response) and the legacy
+//     /v1 (pinned byte-for-byte by golden wire tests); a singleflight
+//     model registry keyed (target, kind, input set) — a PUE-only query
+//     never trains a WER model, and errors are never cached (a failed
+//     fill clears and retries) — a workload profile cache, micro-batched
 //     PredictBatch dispatch, a /metrics exposition, and generation-aware
 //     hot reload: the dataset and all state derived from it swap
 //     atomically on /v1/reload, SIGHUP or a -reload-interval poll, with a
 //     persisted artifact fingerprint making unchanged reloads no-ops
-//     (cmd/dramserve is the entry point)
-//   - internal/cliflag — the dataset-acquisition flags (-load/-save/
-//     -quick/-scale/...) shared by the dram* commands
+//     (cmd/dramserve is the entry point; API.md documents the wire)
+//   - internal/cliflag — the flags shared by the dram* commands: the
+//     dataset-acquisition set (-load/-save/-quick/-scale/...) and the
+//     -target selection over the unified prediction targets
 //
 // See README.md for a tour, DESIGN.md for the system inventory and the
-// simulation-for-hardware substitutions, and EXPERIMENTS.md for the
-// paper-versus-reproduction numbers. The benchmarks in bench_test.go
-// regenerate each figure: go test -bench=Benchmark -benchtime=1x .
+// simulation-for-hardware substitutions, API.md for the serving wire
+// format, and EXPERIMENTS.md for the paper-versus-reproduction numbers.
+// The benchmarks in bench_test.go regenerate each figure:
+// go test -bench=Benchmark -benchtime=1x .
 package repro

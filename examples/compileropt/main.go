@@ -41,7 +41,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	model, err := core.TrainWER(ds, core.ModelKNN, core.InputSet1, 0)
+	model, err := core.Train(ds, core.TargetWER, core.ModelKNN, core.InputSet1, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +61,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		predicted := model.PredictMean(p[label].Features, trefp, dram.MinVDD, temp)
+		est, err := model.Predict(core.Query{
+			Features: p[label].Features, TREFP: trefp, VDD: dram.MinVDD,
+			TempC: temp, Rank: core.RankDevice,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		predicted := est.Value
 
 		// Ground truth: an actual characterization run of this build.
 		if err := srv.SetTREFP(trefp); err != nil {

@@ -37,26 +37,40 @@ func main() {
 	}
 	fmt.Printf("campaign dataset: %d WER rows, %d PUE rows\n", len(ds.WER), len(ds.PUE))
 
-	// 3. Train the paper's published model: KNN on input set 1
-	// (TEMPDRAM, TREFP, wait cycles, memory access rate, HDP, Treuse).
-	model, err := core.TrainWER(ds, core.ModelKNN, core.InputSet1, 0)
+	// 3. Train the paper's published model through the unified factory:
+	// KNN for the WER target on its default input set 1 (TEMPDRAM, TREFP,
+	// wait cycles, memory access rate, HDP, Treuse).
+	model, err := core.Train(ds, core.TargetWER, core.ModelKNN, 0, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// 4. Predict the WER of a workload at an operating point — no
-	// characterization campaign needed, answers in milliseconds.
+	// characterization campaign needed, answers in milliseconds. A
+	// RankDevice query returns the device mean plus per-rank breakdown.
 	feats := profiles["srad(par)"].Features
 	for _, trefp := range []float64{1.173, 2.283} {
-		wer := model.PredictMean(feats, trefp, dram.MinVDD, 60)
-		fmt.Printf("predicted WER of srad(par) at TREFP=%.3fs, 60°C: %.3g\n", trefp, wer)
+		wer, err := model.Predict(core.Query{
+			Features: feats, TREFP: trefp, VDD: dram.MinVDD, TempC: 60,
+			Rank: core.RankDevice,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("predicted WER of srad(par) at TREFP=%.3fs, 60°C: %.3g\n", trefp, wer.Value)
 	}
 
-	// 5. Crash-probability prediction from the PUE model.
-	pueModel, err := core.TrainPUE(ds, core.ModelKNN, core.InputSet2, 0)
+	// 5. Crash-probability prediction: same factory, same query shape,
+	// different target.
+	pueModel, err := core.Train(ds, core.TargetPUE, core.ModelKNN, 0, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("predicted crash probability of srad(par) at TREFP=2.283s, 70°C: %.2f\n",
-		pueModel.Predict(feats, 2.283, dram.MinVDD, 70))
+	pue, err := pueModel.Predict(core.Query{
+		Features: feats, TREFP: 2.283, VDD: dram.MinVDD, TempC: 70,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predicted crash probability of srad(par) at TREFP=2.283s, 70°C: %.2f\n", pue.Value)
 }

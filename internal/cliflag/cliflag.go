@@ -1,19 +1,74 @@
-// Package cliflag bundles the dataset-acquisition flags shared by the
-// dram* commands. Every command that needs the campaign corpus either
-// loads a saved artifact (-load) or builds profiles + characterization
-// campaigns from scratch, and can persist the result (-save); registering
-// one Campaign keeps the flag names, defaults and resolution logic
-// identical across dramtrain, drampredict and dramserve.
+// Package cliflag bundles the flags shared by the dram* commands. Every
+// command that needs the campaign corpus either loads a saved artifact
+// (-load) or builds profiles + characterization campaigns from scratch,
+// and can persist the result (-save); registering one Campaign keeps the
+// flag names, defaults and resolution logic identical across dramtrain,
+// drampredict and dramserve. Targets is the shared -target flag selecting
+// which regression targets of the unified core.Predictor API a command
+// trains and reports.
 package cliflag
 
 import (
 	"flag"
 	"runtime"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/workload"
 	"repro/internal/xgene"
 )
+
+// Targets is the shared -target flag: which regression targets a command
+// should train and report ("wer", "pue", "all", or a comma list).
+type Targets struct {
+	spec string
+}
+
+// Register installs the -target flag on fs.
+func (t *Targets) Register(fs *flag.FlagSet) {
+	if t.spec == "" {
+		t.spec = "all"
+	}
+	fs.StringVar(&t.spec, "target", t.spec,
+		`prediction target(s): "wer", "pue", "all", or a comma list`)
+}
+
+// List resolves the flag into targets in core.Targets() order semantics:
+// "all" (the default) is every target; an explicit list keeps its order,
+// deduplicated.
+func (t *Targets) List() ([]core.Target, error) {
+	if t.spec == "" || strings.EqualFold(t.spec, "all") {
+		return core.Targets(), nil
+	}
+	seen := map[core.Target]bool{}
+	var out []core.Target
+	for _, part := range strings.Split(t.spec, ",") {
+		tgt, err := core.ParseTarget(part)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[tgt] {
+			seen[tgt] = true
+			out = append(out, tgt)
+		}
+	}
+	return out, nil
+}
+
+// Has reports whether the selection includes tgt (false on a parse error;
+// List surfaces that).
+func (t *Targets) Has(tgt core.Target) bool {
+	list, err := t.List()
+	if err != nil {
+		return false
+	}
+	for _, got := range list {
+		if got == tgt {
+			return true
+		}
+	}
+	return false
+}
 
 // Campaign holds the shared flags. Set a field before Register to change
 // that command's default (drampredict defaults Reps to 5, for example).

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/workload"
 )
 
@@ -101,5 +102,60 @@ func TestDatasetLoadMissing(t *testing.T) {
 	c := Campaign{Load: filepath.Join(t.TempDir(), "missing.gz")}
 	if _, err := c.Dataset(nil, func(string, ...any) {}); err == nil {
 		t.Fatal("missing artifact accepted")
+	}
+}
+
+func TestTargetsFlag(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []core.Target
+		ok   bool
+	}{
+		{"all", core.Targets(), true},
+		{"ALL", core.Targets(), true},
+		{"", core.Targets(), true},
+		{"wer", []core.Target{core.TargetWER}, true},
+		{"PUE", []core.Target{core.TargetPUE}, true},
+		{"pue,wer", []core.Target{core.TargetPUE, core.TargetWER}, true},
+		{"wer,wer", []core.Target{core.TargetWER}, true},
+		{"mbe", nil, false},
+		{"wer,doom", nil, false},
+	}
+	for _, tc := range cases {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		var tf Targets
+		tf.Register(fs)
+		args := []string{}
+		if tc.spec != "" {
+			args = []string{"-target", tc.spec}
+		}
+		if err := fs.Parse(args); err != nil {
+			t.Fatalf("%q: parse: %v", tc.spec, err)
+		}
+		got, err := tf.List()
+		if tc.ok != (err == nil) {
+			t.Fatalf("%q: List() error = %v", tc.spec, err)
+		}
+		if !tc.ok {
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("%q: List() = %v, want %v", tc.spec, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("%q: List() = %v, want %v", tc.spec, got, tc.want)
+			}
+		}
+		for _, tgt := range tc.want {
+			if !tf.Has(tgt) {
+				t.Fatalf("%q: Has(%s) = false", tc.spec, tgt)
+			}
+		}
+	}
+	// Has on an unparseable spec is false, never a panic.
+	bad := Targets{spec: "doom"}
+	if bad.Has(core.TargetWER) {
+		t.Fatal("Has on a bad spec returned true")
 	}
 }

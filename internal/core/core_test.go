@@ -150,7 +150,7 @@ func TestInputSetVectors(t *testing.T) {
 
 func TestTrainAndPredictWER(t *testing.T) {
 	ds := testDataset(t)
-	pred, err := TrainWER(ds, ModelKNN, InputSet1, 0)
+	pred, err := Train(ds, TargetWER, ModelKNN, InputSet1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,42 +166,89 @@ func TestTrainAndPredictWER(t *testing.T) {
 	if smp.Workload == "" {
 		t.Skip("no observed-error rows at test scale")
 	}
-	got := pred.Predict(smp.Features, smp.TREFP, smp.VDD, smp.TempC, smp.Rank)
-	if got <= 0 {
-		t.Fatalf("non-positive WER prediction %v", got)
+	got, err := pred.Predict(Query{
+		Features: smp.Features, TREFP: smp.TREFP, VDD: smp.VDD,
+		TempC: smp.TempC, Rank: smp.Rank,
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	ratio := got / smp.WER
+	if got.Value <= 0 {
+		t.Fatalf("non-positive WER prediction %v", got.Value)
+	}
+	if got.Target != TargetWER || got.Kind != ModelKNN || got.Set != InputSet1 {
+		t.Fatalf("prediction metadata %+v", got)
+	}
+	if got.ByRank != nil {
+		t.Fatalf("single-rank query returned a per-rank breakdown: %v", got.ByRank)
+	}
+	ratio := got.Value / smp.WER
 	if ratio < 0.05 || ratio > 20 {
 		t.Fatalf("in-sample prediction off by %vx", ratio)
 	}
 }
 
-func TestPredictMeanAveragesRanks(t *testing.T) {
+func TestDeviceQueryAveragesRanks(t *testing.T) {
 	ds := testDataset(t)
-	pred, err := TrainWER(ds, ModelKNN, InputSet1, 0)
+	pred, err := Train(ds, TargetWER, ModelKNN, InputSet1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	smp := ds.WER[0]
-	mean := pred.PredictMean(smp.Features, smp.TREFP, smp.VDD, smp.TempC)
-	if mean <= 0 {
+	got, err := pred.Predict(Query{
+		Features: smp.Features, TREFP: smp.TREFP, VDD: smp.VDD,
+		TempC: smp.TempC, Rank: RankDevice,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value <= 0 {
 		t.Fatal("non-positive mean prediction")
+	}
+	if len(got.ByRank) != dram.NumRanks {
+		t.Fatalf("%d per-rank predictions", len(got.ByRank))
+	}
+	// The device value is exactly the mean of the breakdown, and each
+	// entry matches the corresponding single-rank query.
+	sum := 0.0
+	for r, v := range got.ByRank {
+		sum += v
+		single, err := pred.Predict(Query{
+			Features: smp.Features, TREFP: smp.TREFP, VDD: smp.VDD,
+			TempC: smp.TempC, Rank: r,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single.Value != v {
+			t.Fatalf("rank %d: device breakdown %v != single-rank query %v", r, v, single.Value)
+		}
+	}
+	if got.Value != sum/float64(dram.NumRanks) {
+		t.Fatalf("device value %v != mean of breakdown %v", got.Value, sum/float64(dram.NumRanks))
 	}
 }
 
 func TestTrainPUEPredicts(t *testing.T) {
 	ds := testDataset(t)
-	pred, err := TrainPUE(ds, ModelKNN, InputSet2, 0)
+	pred, err := Train(ds, TargetPUE, ModelKNN, InputSet2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	smp := ds.PUE[0]
-	got := pred.Predict(smp.Features, 2.283, smp.VDD, 70)
-	if got < 0.5 {
-		t.Fatalf("PUE at max TREFP predicted %v, want high", got)
+	got, err := pred.Predict(Query{Features: smp.Features, TREFP: 2.283, VDD: smp.VDD, TempC: 70})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := pred.Predict(smp.Features, 1.45, smp.VDD, 70); got < 0 || got > 1 {
-		t.Fatalf("PUE prediction %v outside [0,1]", got)
+	if got.Value < 0.5 {
+		t.Fatalf("PUE at max TREFP predicted %v, want high", got.Value)
+	}
+	mid, err := pred.Predict(Query{Features: smp.Features, TREFP: 1.45, VDD: smp.VDD, TempC: 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Value < 0 || mid.Value > 1 {
+		t.Fatalf("PUE prediction %v outside [0,1]", mid.Value)
 	}
 }
 

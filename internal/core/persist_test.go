@@ -29,19 +29,26 @@ func TestDatasetSaveLoadRoundTrip(t *testing.T) {
 		}
 	}
 	// A model trained from the loaded artifact predicts identically.
-	orig, err := TrainWER(ds, ModelKNN, InputSet1, 0)
+	orig, err := Train(ds, TargetWER, ModelKNN, InputSet1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := TrainWER(back, ModelKNN, InputSet1, 0)
+	loaded, err := Train(back, TargetWER, ModelKNN, InputSet1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	smp := ds.WER[0]
-	a := orig.Predict(smp.Features, smp.TREFP, smp.VDD, smp.TempC, smp.Rank)
-	b := loaded.Predict(smp.Features, smp.TREFP, smp.VDD, smp.TempC, smp.Rank)
-	if a != b {
-		t.Fatalf("loaded-model prediction differs: %v vs %v", a, b)
+	q := Query{Features: smp.Features, TREFP: smp.TREFP, VDD: smp.VDD, TempC: smp.TempC, Rank: smp.Rank}
+	a, err := orig.Predict(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Predict(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value {
+		t.Fatalf("loaded-model prediction differs: %v vs %v", a.Value, b.Value)
 	}
 }
 

@@ -3,8 +3,6 @@ package core
 import (
 	"context"
 	"testing"
-
-	"repro/internal/engine"
 )
 
 // batchWorkerCounts are the pool sizes the equivalence tests sweep.
@@ -13,33 +11,48 @@ var batchWorkerCounts = []int{1, 2, 3, 8, 17}
 func TestWERPredictBatchMatchesPredict(t *testing.T) {
 	ds := testDataset(t)
 	for _, kind := range ModelKinds() {
-		pred, err := TrainWER(ds, kind, InputSet1, 0)
+		pred, err := Train(ds, TargetWER, kind, InputSet1, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		var qs []WERQuery
+		var qs []Query
 		for i, s := range ds.WER {
 			if i >= 64 {
 				break
 			}
-			qs = append(qs, WERQuery{
+			rank := s.Rank
+			if i%5 == 0 {
+				rank = RankDevice // mix device-level queries into the batch
+			}
+			qs = append(qs, Query{
 				Features: s.Features, TREFP: s.TREFP, VDD: s.VDD,
-				TempC: s.TempC, Rank: s.Rank,
+				TempC: s.TempC, Rank: rank,
 			})
 		}
-		want := make([]float64, len(qs))
+		want := make([]Prediction, len(qs))
 		for i, q := range qs {
-			want[i] = pred.Predict(q.Features, q.TREFP, q.VDD, q.TempC, q.Rank)
+			want[i], err = pred.Predict(q)
+			if err != nil {
+				t.Fatal(err)
+			}
 		}
 		for _, w := range batchWorkerCounts {
-			got, err := pred.PredictBatch(qs, engine.Options{Workers: w})
+			got, err := pred.PredictBatch(context.Background(), qs, w)
 			if err != nil {
 				t.Fatalf("%s workers=%d: %v", kind, w, err)
 			}
 			for i := range want {
-				if got[i] != want[i] {
+				if got[i].Value != want[i].Value {
 					t.Fatalf("%s workers=%d query %d: batch %v != looped %v",
-						kind, w, i, got[i], want[i])
+						kind, w, i, got[i].Value, want[i].Value)
+				}
+				if len(got[i].ByRank) != len(want[i].ByRank) {
+					t.Fatalf("%s workers=%d query %d: breakdown length differs", kind, w, i)
+				}
+				for r := range want[i].ByRank {
+					if got[i].ByRank[r] != want[i].ByRank[r] {
+						t.Fatalf("%s workers=%d query %d rank %d: batch != looped", kind, w, i, r)
+					}
 				}
 			}
 		}
@@ -48,28 +61,31 @@ func TestWERPredictBatchMatchesPredict(t *testing.T) {
 
 func TestPUEPredictBatchMatchesPredict(t *testing.T) {
 	ds := testDataset(t)
-	pred, err := TrainPUE(ds, ModelKNN, InputSet2, 0)
+	pred, err := Train(ds, TargetPUE, ModelKNN, InputSet2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var qs []PUEQuery
+	var qs []Query
 	for _, s := range ds.PUE {
-		qs = append(qs, PUEQuery{
+		qs = append(qs, Query{
 			Features: s.Features, TREFP: s.TREFP, VDD: s.VDD, TempC: s.TempC,
 		})
 	}
-	want := make([]float64, len(qs))
+	want := make([]Prediction, len(qs))
 	for i, q := range qs {
-		want[i] = pred.Predict(q.Features, q.TREFP, q.VDD, q.TempC)
+		want[i], err = pred.Predict(q)
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 	for _, w := range batchWorkerCounts {
-		got, err := pred.PredictBatch(qs, engine.Options{Workers: w})
+		got, err := pred.PredictBatch(context.Background(), qs, w)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", w, err)
 		}
 		for i := range want {
-			if got[i] != want[i] {
-				t.Fatalf("workers=%d query %d: batch %v != looped %v", w, i, got[i], want[i])
+			if got[i].Value != want[i].Value {
+				t.Fatalf("workers=%d query %d: batch %v != looped %v", w, i, got[i].Value, want[i].Value)
 			}
 		}
 	}
@@ -77,11 +93,11 @@ func TestPUEPredictBatchMatchesPredict(t *testing.T) {
 
 func TestPredictBatchEmpty(t *testing.T) {
 	ds := testDataset(t)
-	pred, err := TrainWER(ds, ModelKNN, InputSet1, 0)
+	pred, err := Train(ds, TargetWER, ModelKNN, InputSet1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := pred.PredictBatch(nil, engine.Options{})
+	got, err := pred.PredictBatch(context.Background(), nil, 0)
 	if err != nil || len(got) != 0 {
 		t.Fatalf("empty batch: %v, %v", got, err)
 	}
@@ -89,17 +105,17 @@ func TestPredictBatchEmpty(t *testing.T) {
 
 func TestPredictBatchCancellation(t *testing.T) {
 	ds := testDataset(t)
-	pred, err := TrainWER(ds, ModelKNN, InputSet1, 0)
+	pred, err := Train(ds, TargetWER, ModelKNN, InputSet1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	qs := make([]WERQuery, 32)
+	qs := make([]Query, 32)
 	for i := range qs {
-		qs[i] = WERQuery{Features: ds.WER[0].Features, TREFP: 1, VDD: 1.428, TempC: 60}
+		qs[i] = Query{Features: ds.WER[0].Features, TREFP: 1, VDD: 1.428, TempC: 60}
 	}
-	if _, err := pred.PredictBatch(qs, engine.Options{Workers: 2, Context: ctx}); err == nil {
+	if _, err := pred.PredictBatch(ctx, qs, 2); err == nil {
 		t.Fatal("canceled context accepted")
 	}
 }

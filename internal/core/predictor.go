@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dram"
@@ -22,6 +23,17 @@ const (
 // ModelKinds lists them in the paper's order.
 func ModelKinds() []ModelKind { return []ModelKind{ModelSVM, ModelKNN, ModelRDF} }
 
+// ParseModelKind resolves a user-supplied model name against the catalog.
+func ParseModelKind(s string) (ModelKind, error) {
+	kind := ModelKind(s)
+	for _, k := range ModelKinds() {
+		if k == kind {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("core: unknown model %q", s)
+}
+
 // trainerFor builds the ml.Trainer for a kind. workers bounds the
 // trainer's own parallelism (forest tree fits); callers that already fan
 // out (CV folds) pass 1 so one knob bounds the total.
@@ -37,22 +49,27 @@ func trainerFor(kind ModelKind, workers int) (ml.Trainer, error) {
 	return nil, fmt.Errorf("core: unknown model kind %q", kind)
 }
 
-// WERPredictor is the trained workload-aware WER model: the deliverable the
-// paper publishes (the KNN variant) — it predicts the word error rate of
-// any workload on a specific DIMM/rank for a given operating point in
-// well under a second.
-type WERPredictor struct {
-	Kind   ModelKind
-	Set    InputSet
+// batchOptions turns a Predictor.PredictBatch context/worker pair into the
+// engine dispatch options shared by both implementations.
+func batchOptions(ctx context.Context, workers int) engine.Options {
+	return engine.Options{Workers: workers, Context: ctx}
+}
+
+// werPredictor is the trained workload-aware WER model: the deliverable
+// the paper publishes (the KNN variant) — it predicts the word error rate
+// of any workload on a specific DIMM/rank for a given operating point in
+// well under a second. It implements Predictor for TargetWER; Train is the
+// only way to build one.
+type werPredictor struct {
+	kind   ModelKind
+	set    InputSet
 	scaler *ml.Scaler
 	model  ml.Regressor
 }
 
-// TrainWER fits a WER predictor on the dataset. The regression target is
-// log10(WER): the rate spans four decades. workers bounds the trainer's
-// parallelism (0 = GOMAXPROCS); the fitted model is identical for every
-// worker count.
-func TrainWER(ds *Dataset, kind ModelKind, set InputSet, workers int) (*WERPredictor, error) {
+// trainWER fits a WER predictor on the dataset. The regression target is
+// log10(WER): the rate spans four decades.
+func trainWER(ds *Dataset, kind ModelKind, set InputSet, workers int) (*werPredictor, error) {
 	if len(ds.WER) == 0 {
 		return nil, fmt.Errorf("core: empty WER dataset")
 	}
@@ -80,59 +97,65 @@ func TrainWER(ds *Dataset, kind ModelKind, set InputSet, workers int) (*WERPredi
 	if err != nil {
 		return nil, err
 	}
-	return &WERPredictor{Kind: kind, Set: set, scaler: scaler, model: model}, nil
+	return &werPredictor{kind: kind, set: set, scaler: scaler, model: model}, nil
 }
 
-// Predict returns the estimated WER for a workload with the given program
-// features running under (trefp, vdd, tempC) on the given rank.
-func (p *WERPredictor) Predict(features []float64, trefp, vdd, tempC float64, rank int) float64 {
-	smp := WERSample{TREFP: trefp, VDD: vdd, TempC: tempC, Rank: rank, Features: features}
-	x := p.scaler.Transform(p.Set.werVector(&smp))
+func (p *werPredictor) Target() Target     { return TargetWER }
+func (p *werPredictor) Kind() ModelKind    { return p.kind }
+func (p *werPredictor) InputSet() InputSet { return p.set }
+
+// predictRank is the raw model evaluation for one rank.
+func (p *werPredictor) predictRank(q *Query, rank int) float64 {
+	smp := WERSample{TREFP: q.TREFP, VDD: q.VDD, TempC: q.TempC, Rank: rank, Features: q.Features}
+	x := p.scaler.Transform(p.set.werVector(&smp))
 	return unlogWER(p.model.Predict(x))
 }
 
-// PredictMean averages the per-rank predictions — the whole-device WER.
-func (p *WERPredictor) PredictMean(features []float64, trefp, vdd, tempC float64) float64 {
+// Predict implements Predictor. A RankDevice query returns the per-rank
+// breakdown with the device mean as Value; a single-rank query returns
+// that rank's rate alone.
+func (p *werPredictor) Predict(q Query) (Prediction, error) {
+	if err := checkTarget(TargetWER, q.Target); err != nil {
+		return Prediction{}, err
+	}
+	if err := checkRank(q.Rank); err != nil {
+		return Prediction{}, err
+	}
+	out := Prediction{Target: TargetWER, Kind: p.kind, Set: p.set}
+	if q.Rank != RankDevice {
+		out.Value = p.predictRank(&q, q.Rank)
+		return out, nil
+	}
+	out.ByRank = make([]float64, dram.NumRanks)
 	sum := 0.0
 	for r := 0; r < dram.NumRanks; r++ {
-		sum += p.Predict(features, trefp, vdd, tempC, r)
+		out.ByRank[r] = p.predictRank(&q, r)
+		sum += out.ByRank[r]
 	}
-	return sum / dram.NumRanks
+	out.Value = sum / dram.NumRanks
+	return out, nil
 }
 
-// WERQuery is one WER prediction request: a workload's program features
-// under an operating point on a specific rank.
-type WERQuery struct {
-	Features []float64
-	TREFP    float64
-	VDD      float64
-	TempC    float64
-	Rank     int
+// PredictBatch implements Predictor. Each query is independent and the
+// model is immutable after training, so the result is bit-identical to
+// calling Predict per query, at every worker count.
+func (p *werPredictor) PredictBatch(ctx context.Context, qs []Query, workers int) ([]Prediction, error) {
+	return engine.Map(len(qs), func(i int) (Prediction, error) {
+		return p.Predict(qs[i])
+	}, batchOptions(ctx, workers))
 }
 
-// PredictBatch evaluates the queries on a bounded worker pool and returns
-// the predictions in query order. Each query is independent and the model
-// is immutable after training, so the result is bit-identical to calling
-// Predict per query, at every worker count. The options' context cancels
-// outstanding queries (the serving layer threads shutdown through here).
-func (p *WERPredictor) PredictBatch(qs []WERQuery, opts engine.Options) ([]float64, error) {
-	return engine.Map(len(qs), func(i int) (float64, error) {
-		q := &qs[i]
-		return p.Predict(q.Features, q.TREFP, q.VDD, q.TempC, q.Rank), nil
-	}, opts)
-}
-
-// PUEPredictor predicts the crash probability of a workload.
-type PUEPredictor struct {
-	Kind   ModelKind
-	Set    InputSet
+// puePredictor predicts the crash probability of a workload. It implements
+// Predictor for TargetPUE.
+type puePredictor struct {
+	kind   ModelKind
+	set    InputSet
 	scaler *ml.Scaler
 	model  ml.Regressor
 }
 
-// TrainPUE fits a PUE predictor on the dataset; workers bounds the
-// trainer's parallelism (0 = GOMAXPROCS).
-func TrainPUE(ds *Dataset, kind ModelKind, set InputSet, workers int) (*PUEPredictor, error) {
+// trainPUE fits a PUE predictor on the dataset.
+func trainPUE(ds *Dataset, kind ModelKind, set InputSet, workers int) (*puePredictor, error) {
 	if len(ds.PUE) == 0 {
 		return nil, fmt.Errorf("core: empty PUE dataset")
 	}
@@ -154,30 +177,31 @@ func TrainPUE(ds *Dataset, kind ModelKind, set InputSet, workers int) (*PUEPredi
 	if err != nil {
 		return nil, err
 	}
-	return &PUEPredictor{Kind: kind, Set: set, scaler: scaler, model: model}, nil
+	return &puePredictor{kind: kind, set: set, scaler: scaler, model: model}, nil
 }
 
-// Predict returns the estimated crash probability in [0, 1].
-func (p *PUEPredictor) Predict(features []float64, trefp, vdd, tempC float64) float64 {
-	smp := PUESample{TREFP: trefp, VDD: vdd, TempC: tempC, Features: features}
-	x := p.scaler.Transform(p.Set.pueVector(&smp))
-	return stats.Clamp(p.model.Predict(x), 0, 1)
+func (p *puePredictor) Target() Target     { return TargetPUE }
+func (p *puePredictor) Kind() ModelKind    { return p.kind }
+func (p *puePredictor) InputSet() InputSet { return p.set }
+
+// Predict implements Predictor: the estimated crash probability in [0, 1].
+// PUE is system-level, so Rank (and ByRank) play no part.
+func (p *puePredictor) Predict(q Query) (Prediction, error) {
+	if err := checkTarget(TargetPUE, q.Target); err != nil {
+		return Prediction{}, err
+	}
+	smp := PUESample{TREFP: q.TREFP, VDD: q.VDD, TempC: q.TempC, Features: q.Features}
+	x := p.scaler.Transform(p.set.pueVector(&smp))
+	return Prediction{
+		Target: TargetPUE, Kind: p.kind, Set: p.set,
+		Value: stats.Clamp(p.model.Predict(x), 0, 1),
+	}, nil
 }
 
-// PUEQuery is one crash-probability prediction request.
-type PUEQuery struct {
-	Features []float64
-	TREFP    float64
-	VDD      float64
-	TempC    float64
-}
-
-// PredictBatch evaluates the queries on a bounded worker pool and returns
-// the predictions in query order, bit-identical to per-query Predict calls
-// at every worker count.
-func (p *PUEPredictor) PredictBatch(qs []PUEQuery, opts engine.Options) ([]float64, error) {
-	return engine.Map(len(qs), func(i int) (float64, error) {
-		q := &qs[i]
-		return p.Predict(q.Features, q.TREFP, q.VDD, q.TempC), nil
-	}, opts)
+// PredictBatch implements Predictor; bit-identical to per-query Predict
+// calls at every worker count.
+func (p *puePredictor) PredictBatch(ctx context.Context, qs []Query, workers int) ([]Prediction, error) {
+	return engine.Map(len(qs), func(i int) (Prediction, error) {
+		return p.Predict(qs[i])
+	}, batchOptions(ctx, workers))
 }

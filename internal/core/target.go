@@ -1,0 +1,144 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/dram"
+)
+
+// Target names one regression target of the unified prediction API. The
+// paper's deliverable answers two of them from one trained artifact — the
+// word error rate and the crash probability — and the enum leaves room for
+// more (fleet-scale memory-failure work predicts many error signals behind
+// one query interface).
+type Target string
+
+const (
+	// TargetWER is the word error rate: the fraction of 64-bit words that
+	// experience at least one (correctable) error per rank per run.
+	TargetWER Target = "wer"
+	// TargetPUE is the probability of uncorrectable error: the chance a
+	// run crashes the machine (the paper's Eq. 3 crash probability).
+	TargetPUE Target = "pue"
+)
+
+// Targets lists every target in the paper's order.
+func Targets() []Target { return []Target{TargetWER, TargetPUE} }
+
+// ParseTarget resolves a user-supplied target name, case-insensitively.
+func ParseTarget(s string) (Target, error) {
+	t := Target(strings.ToLower(strings.TrimSpace(s)))
+	if t.Valid() {
+		return t, nil
+	}
+	return "", fmt.Errorf("core: unknown target %q (want %q or %q)", s, TargetWER, TargetPUE)
+}
+
+// Valid reports whether t is a known target.
+func (t Target) Valid() bool { return t == TargetWER || t == TargetPUE }
+
+// DefaultInputSet is the paper's most accurate feature set for the target:
+// input set 1 for WER (Fig. 11), input set 2 for PUE (Fig. 12).
+func (t Target) DefaultInputSet() InputSet {
+	if t == TargetPUE {
+		return InputSet2
+	}
+	return InputSet1
+}
+
+// RankDevice, as a Query.Rank, requests the device-level WER: the
+// prediction for every rank plus their mean.
+const RankDevice = -1
+
+// Query is one prediction request against the unified Predictor API.
+type Query struct {
+	// Target selects the regression target. Empty means the predictor's
+	// own target (convenient for callers that already hold the right
+	// predictor); a non-empty mismatch is an error, never a silent
+	// misprediction.
+	Target Target
+	// Features is the workload's program feature vector (profile.Result
+	// Features), from which the input set slices what it needs.
+	Features []float64
+	// TREFP, VDD and TempC form the operating point.
+	TREFP float64
+	VDD   float64
+	TempC float64
+	// Rank selects the DIMM/rank for WER queries: 0..dram.NumRanks-1
+	// predicts a single rank, RankDevice the whole device (per-rank
+	// breakdown plus mean). PUE is system-level; the field is ignored.
+	Rank int
+}
+
+// Prediction is the answer to one Query, carrying the model metadata the
+// serving layer surfaces to clients.
+type Prediction struct {
+	// Target, Kind and Set identify the model that produced the value.
+	Target Target
+	Kind   ModelKind
+	Set    InputSet
+	// Value is the prediction: the WER of one rank, the device-mean WER
+	// (Rank == RankDevice), or the crash probability in [0, 1].
+	Value float64
+	// ByRank is the per-rank WER breakdown of a RankDevice query; nil for
+	// single-rank WER and for PUE (which has no per-rank structure).
+	ByRank []float64
+}
+
+// Predictor is the unified prediction interface: one trained model for one
+// (target, kind, input set). Implementations are immutable after Train and
+// safe for concurrent use; Predict is deterministic, and PredictBatch is
+// bit-identical to per-query Predict calls at every worker count.
+type Predictor interface {
+	// Target, Kind and InputSet identify what the predictor was trained
+	// for and on.
+	Target() Target
+	Kind() ModelKind
+	InputSet() InputSet
+	// Predict answers one query.
+	Predict(Query) (Prediction, error)
+	// PredictBatch evaluates the queries on a bounded worker pool and
+	// returns the predictions in query order. ctx cancels outstanding
+	// queries (the serving layer threads shutdown through here); workers
+	// bounds the pool (0 = GOMAXPROCS).
+	PredictBatch(ctx context.Context, qs []Query, workers int) ([]Prediction, error)
+}
+
+// Train fits a predictor for the target on the dataset — the one factory
+// every cmd, example and serving handler goes through. set 0 selects the
+// target's DefaultInputSet; workers bounds the trainer's own parallelism
+// (forest tree fits; 0 = GOMAXPROCS). The fitted model is identical for
+// every worker count.
+func Train(ds *Dataset, target Target, kind ModelKind, set InputSet, workers int) (Predictor, error) {
+	if set == 0 {
+		set = target.DefaultInputSet()
+	}
+	if set < InputSet1 || set > InputSet3 {
+		return nil, fmt.Errorf("core: input set %d out of range", set)
+	}
+	switch target {
+	case TargetWER:
+		return trainWER(ds, kind, set, workers)
+	case TargetPUE:
+		return trainPUE(ds, kind, set, workers)
+	}
+	return nil, fmt.Errorf("core: unknown target %q", target)
+}
+
+// checkTarget validates a query's target against the predictor's.
+func checkTarget(want, got Target) error {
+	if got != "" && got != want {
+		return fmt.Errorf("core: %s query sent to a %s predictor", got, want)
+	}
+	return nil
+}
+
+// checkRank validates a WER query's rank selector.
+func checkRank(rank int) error {
+	if rank < RankDevice || rank >= dram.NumRanks {
+		return fmt.Errorf("core: rank %d out of range [%d, %d)", rank, RankDevice, dram.NumRanks)
+	}
+	return nil
+}

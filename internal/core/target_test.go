@@ -1,0 +1,122 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dram"
+)
+
+func TestParseTarget(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Target
+		ok   bool
+	}{
+		{"wer", TargetWER, true},
+		{"WER", TargetWER, true},
+		{" pue ", TargetPUE, true},
+		{"Pue", TargetPUE, true},
+		{"", "", false},
+		{"mbe", "", false},
+		{"all", "", false},
+	}
+	for _, tc := range cases {
+		got, err := ParseTarget(tc.in)
+		if tc.ok != (err == nil) || got != tc.want {
+			t.Fatalf("ParseTarget(%q) = %q, %v", tc.in, got, err)
+		}
+	}
+}
+
+func TestTargetDefaults(t *testing.T) {
+	if got := TargetWER.DefaultInputSet(); got != InputSet1 {
+		t.Fatalf("WER default set = %v", got)
+	}
+	if got := TargetPUE.DefaultInputSet(); got != InputSet2 {
+		t.Fatalf("PUE default set = %v", got)
+	}
+	for _, tgt := range Targets() {
+		if !tgt.Valid() {
+			t.Fatalf("catalog target %q invalid", tgt)
+		}
+	}
+	if Target("mbe").Valid() {
+		t.Fatal("unknown target reported valid")
+	}
+}
+
+func TestTrainFactory(t *testing.T) {
+	ds := testDataset(t)
+	for _, tgt := range Targets() {
+		// set 0 resolves to the target's published default.
+		pred, err := Train(ds, tgt, ModelKNN, 0, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", tgt, err)
+		}
+		if pred.Target() != tgt || pred.Kind() != ModelKNN || pred.InputSet() != tgt.DefaultInputSet() {
+			t.Fatalf("%s: identity (%s, %s, %v)", tgt, pred.Target(), pred.Kind(), pred.InputSet())
+		}
+	}
+	if _, err := Train(ds, "mbe", ModelKNN, InputSet1, 0); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	if _, err := Train(ds, TargetWER, "GPT", InputSet1, 0); err == nil {
+		t.Fatal("unknown model kind accepted")
+	}
+	if _, err := Train(ds, TargetWER, ModelKNN, InputSet(7), 0); err == nil {
+		t.Fatal("out-of-range input set accepted")
+	}
+}
+
+func TestPredictQueryValidation(t *testing.T) {
+	ds := testDataset(t)
+	wer, err := Train(ds, TargetWER, ModelKNN, InputSet1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pue, err := Train(ds, TargetPUE, ModelKNN, InputSet2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := ds.WER[0].Features
+	base := Query{Features: feats, TREFP: 1.173, VDD: 1.428, TempC: 60}
+
+	// Cross-target queries are rejected, never silently mispredicted.
+	q := base
+	q.Target = TargetPUE
+	if _, err := wer.Predict(q); err == nil || !strings.Contains(err.Error(), "predictor") {
+		t.Fatalf("WER predictor accepted a PUE query: %v", err)
+	}
+	q.Target = TargetWER
+	if _, err := pue.Predict(q); err == nil {
+		t.Fatal("PUE predictor accepted a WER query")
+	}
+
+	// An empty target means the predictor's own.
+	q.Target = ""
+	if _, err := wer.Predict(q); err != nil {
+		t.Fatalf("empty target rejected: %v", err)
+	}
+
+	// Rank bounds on WER queries.
+	for _, rank := range []int{-2, dram.NumRanks} {
+		q := base
+		q.Rank = rank
+		if _, err := wer.Predict(q); err == nil {
+			t.Fatalf("rank %d accepted", rank)
+		}
+	}
+}
+
+func TestParseModelKind(t *testing.T) {
+	for _, k := range ModelKinds() {
+		got, err := ParseModelKind(string(k))
+		if err != nil || got != k {
+			t.Fatalf("ParseModelKind(%q) = %q, %v", k, got, err)
+		}
+	}
+	if _, err := ParseModelKind("GPT"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

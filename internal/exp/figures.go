@@ -416,7 +416,7 @@ func (s *Suite) Fig13() (*Table, error) {
 		train.WER = append(train.WER, smp)
 	}
 	train.PUE = s.Dataset.PUE
-	pred, err := core.TrainWER(train, core.ModelKNN, core.InputSet1, s.Opts.Workers)
+	pred, err := core.Train(train, core.TargetWER, core.ModelKNN, core.InputSet1, s.Opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -437,7 +437,14 @@ func (s *Suite) Fig13() (*Table, error) {
 			return nil, fmt.Errorf("exp: no measurement for %s at fig13 point", label)
 		}
 		measured[label] = m
-		p := pred.PredictMean(s.Profiles[label].Features, trefp, dram.MinVDD, temp)
+		est, err := pred.Predict(core.Query{
+			Features: s.Profiles[label].Features, TREFP: trefp,
+			VDD: dram.MinVDD, TempC: temp, Rank: core.RankDevice,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p := est.Value
 		errPct := "-"
 		if m > 0 {
 			errPct = fmt.Sprintf("%.0f%%", 100*absf(p-m)/m)

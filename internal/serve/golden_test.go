@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// The /v1 wire format is a published contract: the /v2 redesign routed it
+// through the unified resolve/predict path, and these fixtures pin the
+// adapter's output — every response byte (single, batch and the error
+// shapes) must match the checked-in golden files, so any future serve or
+// core change that drifts the v1 wire fails here, not at a client.
+// (Success responses are byte-identical to the pre-/v2 service; error
+// messages were normalized once, intentionally, when the fixtures were
+// introduced — see API.md.) The test corpus is fully deterministic
+// (seeded simulation, deterministic training), so the only
+// nondeterministic byte range — elapsed_ms — is canonicalized to 0 on
+// both sides before comparing.
+//
+// Regenerate after an *intentional* wire-format change:
+//
+//	go test ./internal/serve -run TestV1GoldenWire -update-golden
+
+var updateGolden = flag.Bool("update-golden", false, "regenerate the golden /v1 wire fixtures")
+
+var elapsedRe = regexp.MustCompile(`"elapsed_ms":[0-9.eE+-]+`)
+
+// canonicalWire zeroes the timing field, the one legitimately varying
+// byte range of a /v1 response.
+func canonicalWire(b []byte) []byte {
+	return elapsedRe.ReplaceAll(b, []byte(`"elapsed_ms":0`))
+}
+
+func TestV1GoldenWire(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name   string
+		method string
+		body   string
+		code   int
+	}{
+		{"single", http.MethodPost, `{"workload":"srad(par)","trefp":2.283,"temp_c":60}`, http.StatusOK},
+		{"single_rdf_set3", http.MethodPost, `{"workload":"memcached","trefp":1.173,"temp_c":70,"model":"RDF","input_set":3}`, http.StatusOK},
+		{"batch", http.MethodPost, `{"queries":[{"workload":"backprop","trefp":0.618,"temp_c":50},{"workload":"nw","trefp":1.727,"temp_c":60}]}`, http.StatusOK},
+		{"error_unknown_workload", http.MethodPost, `{"workload":"doom","trefp":1,"temp_c":60}`, http.StatusNotFound},
+		{"error_bad_trefp", http.MethodPost, `{"workload":"nw","trefp":-1,"temp_c":60}`, http.StatusBadRequest},
+		{"error_bad_model", http.MethodPost, `{"workload":"nw","trefp":1,"temp_c":60,"model":"GPT"}`, http.StatusBadRequest},
+		{"error_batch_item", http.MethodPost, `{"queries":[{"workload":"nw","trefp":1,"temp_c":60},{"workload":"doom","trefp":1,"temp_c":60}]}`, http.StatusNotFound},
+		{"error_empty_batch", http.MethodPost, `{"queries":[]}`, http.StatusBadRequest},
+		{"error_method", http.MethodGet, "", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var resp *http.Response
+			var data []byte
+			if tc.method == http.MethodGet {
+				resp, data = get(t, ts, "/v1/predict")
+			} else {
+				resp, data = postPredict(t, ts, tc.body)
+			}
+			if resp.StatusCode != tc.code {
+				t.Fatalf("status = %d, want %d: %s", resp.StatusCode, tc.code, data)
+			}
+			got := canonicalWire(data)
+			path := filepath.Join("testdata", fmt.Sprintf("golden_v1_%s.json", tc.name))
+			if *updateGolden {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update-golden to regenerate)", err)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("/v1 wire format drifted for %s:\n got: %s\nwant: %s\n(regenerate with -update-golden only for an intentional change)",
+					tc.name, got, want)
+			}
+		})
+	}
+}

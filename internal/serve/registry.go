@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/engine"
 	"repro/internal/profile"
 	"repro/internal/workload"
 )
@@ -21,8 +20,8 @@ import (
 // requests already waiting on it (they share the attempt's fate, as any
 // singleflight does) and then CLEARS the entry, so the next request starts
 // a fresh fill instead of inheriting a stale failure: one transient
-// train/profile error must not poison a (kind, input set) model or a
-// workload profile for the life of the generation. Waiters whose fill
+// train/profile error must not poison a (target, kind, input set) model or
+// a workload profile for the life of the generation. Waiters whose fill
 // failed retry the find-or-create a bounded number of times — one of them
 // becomes the next creator.
 
@@ -94,74 +93,54 @@ func fillOnce[K comparable, V any](mu *sync.Mutex, entries map[K]*cacheEntry[V],
 	return zero, lastErr
 }
 
-// modelKey identifies one trained predictor.
+// modelKey identifies one trained predictor: the registry is keyed on the
+// full (target, kind, input set) triple, so a query that needs only one
+// target never trains — or pays for — the other's model.
 type modelKey struct {
-	kind core.ModelKind
-	set  core.InputSet
+	target core.Target
+	kind   core.ModelKind
+	set    core.InputSet
 }
 
-// modelVal is a trained predictor of type P plus the micro-batcher for its
-// query type Q. The batcher is non-nil exactly when training succeeded.
-type modelVal[P, Q any] struct {
-	pred     P
+// modelVal is a trained predictor plus the micro-batcher coalescing its
+// queries. The batcher is non-nil exactly when training succeeded.
+type modelVal struct {
+	pred     core.Predictor
 	trainDur time.Duration
-	batch    *batcher[Q, float64]
+	batch    *batcher[core.Query, core.Prediction]
 }
 
-// modelRegistry trains and caches predictors per (kind, input set, target).
+// modelRegistry trains and caches predictors per (target, kind, input set).
 type modelRegistry struct {
-	mu  sync.Mutex
-	wer map[modelKey]*cacheEntry[modelVal[*core.WERPredictor, core.WERQuery]]
-	pue map[modelKey]*cacheEntry[modelVal[*core.PUEPredictor, core.PUEQuery]]
+	mu      sync.Mutex
+	entries map[modelKey]*cacheEntry[modelVal]
 }
 
 func newModelRegistry() *modelRegistry {
-	return &modelRegistry{
-		wer: map[modelKey]*cacheEntry[modelVal[*core.WERPredictor, core.WERQuery]]{},
-		pue: map[modelKey]*cacheEntry[modelVal[*core.PUEPredictor, core.PUEQuery]]{},
-	}
+	return &modelRegistry{entries: map[modelKey]*cacheEntry[modelVal]{}}
 }
 
-// getModel is the singleflight find-or-train shared by both targets.
-func getModel[P, Q any](s *Server, g *generation, entries map[modelKey]*cacheEntry[modelVal[P, Q]], k modelKey,
-	train func() (P, error),
-	predictBatch func(P, []Q) ([]float64, error)) (modelVal[P, Q], error) {
+// model returns the trained predictor for (target, kind, set) on
+// generation g, fitting it through the unified core.Train factory on the
+// first request (singleflight; failures are cleared, not cached).
+func (s *Server) model(g *generation, target core.Target, kind core.ModelKind, set core.InputSet) (modelVal, error) {
 	if err := s.closedErr(); err != nil {
-		return modelVal[P, Q]{}, err
+		return modelVal{}, err
 	}
-	return fillOnce(&g.registry.mu, entries, k, g.stop,
+	return fillOnce(&g.registry.mu, g.registry.entries, modelKey{target, kind, set}, g.stop,
 		&s.metrics.modelHits, &s.metrics.modelMisses, &s.metrics.trainFailures,
-		func() (modelVal[P, Q], error) {
+		func() (modelVal, error) {
 			start := time.Now()
-			pred, err := train()
+			pred, err := s.train(g.ds, target, kind, set, s.workers)
 			dur := time.Since(start)
 			s.metrics.trainSeconds.observe(dur)
 			if err != nil {
-				return modelVal[P, Q]{}, err
+				return modelVal{}, err
 			}
-			b := newBatcher(func(qs []Q) ([]float64, error) {
-				return predictBatch(pred, qs)
+			b := newBatcher(func(qs []core.Query) ([]core.Prediction, error) {
+				return pred.PredictBatch(s.ctx, qs, s.workers)
 			}, g.stop, s.metrics)
-			return modelVal[P, Q]{pred: pred, trainDur: dur, batch: b}, nil
-		})
-}
-
-// werModel returns the trained WER predictor for (kind, set) on generation
-// g, fitting it on the first request.
-func (s *Server) werModel(g *generation, kind core.ModelKind, set core.InputSet) (modelVal[*core.WERPredictor, core.WERQuery], error) {
-	return getModel(s, g, g.registry.wer, modelKey{kind, set},
-		func() (*core.WERPredictor, error) { return s.trainWER(g.ds, kind, set, s.workers) },
-		func(p *core.WERPredictor, qs []core.WERQuery) ([]float64, error) {
-			return p.PredictBatch(qs, engine.Options{Workers: s.workers, Context: s.ctx})
-		})
-}
-
-// pueModel is werModel for the crash-probability target.
-func (s *Server) pueModel(g *generation, kind core.ModelKind, set core.InputSet) (modelVal[*core.PUEPredictor, core.PUEQuery], error) {
-	return getModel(s, g, g.registry.pue, modelKey{kind, set},
-		func() (*core.PUEPredictor, error) { return s.trainPUE(g.ds, kind, set, s.workers) },
-		func(p *core.PUEPredictor, qs []core.PUEQuery) ([]float64, error) {
-			return p.PredictBatch(qs, engine.Options{Workers: s.workers, Context: s.ctx})
+			return modelVal{pred: pred, trainDur: dur, batch: b}, nil
 		})
 }
 
@@ -178,14 +157,10 @@ func (s *Server) trained(g *generation) []trainedModel {
 	g.registry.mu.Lock()
 	defer g.registry.mu.Unlock()
 	var out []trainedModel
-	for k, e := range g.registry.wer {
+	for k, e := range g.registry.entries {
 		if e.val.batch != nil {
-			out = append(out, trainedModel{k.kind, int(k.set), "wer", float64(e.val.trainDur.Microseconds()) / 1e3})
-		}
-	}
-	for k, e := range g.registry.pue {
-		if e.val.batch != nil {
-			out = append(out, trainedModel{k.kind, int(k.set), "pue", float64(e.val.trainDur.Microseconds()) / 1e3})
+			out = append(out, trainedModel{k.kind, int(k.set), string(k.target),
+				float64(e.val.trainDur.Microseconds()) / 1e3})
 		}
 	}
 	return out

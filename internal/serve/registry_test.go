@@ -26,12 +26,12 @@ func TestTrainFailureNotSticky(t *testing.T) {
 	s := New(testDataset(t), Options{Quick: true, Seed: 3, Workers: 2})
 	t.Cleanup(func() { s.Close() })
 	var calls atomic.Int64
-	realTrain := s.trainWER
-	s.trainWER = func(ds *core.Dataset, kind core.ModelKind, set core.InputSet, workers int) (*core.WERPredictor, error) {
-		if calls.Add(1) == 1 {
+	realTrain := s.train
+	s.train = func(ds *core.Dataset, target core.Target, kind core.ModelKind, set core.InputSet, workers int) (core.Predictor, error) {
+		if target == core.TargetWER && calls.Add(1) == 1 {
 			return nil, errors.New("injected one-shot fit failure")
 		}
-		return realTrain(ds, kind, set, workers)
+		return realTrain(ds, target, kind, set, workers)
 	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
@@ -138,15 +138,15 @@ func TestTrainFailureConcurrentWaitersRecover(t *testing.T) {
 	t.Cleanup(func() { s.Close() })
 	var calls atomic.Int64
 	gate := make(chan struct{})
-	realTrain := s.trainWER
-	s.trainWER = func(ds *core.Dataset, kind core.ModelKind, set core.InputSet, workers int) (*core.WERPredictor, error) {
-		if calls.Add(1) == 1 {
+	realTrain := s.train
+	s.train = func(ds *core.Dataset, target core.Target, kind core.ModelKind, set core.InputSet, workers int) (core.Predictor, error) {
+		if target == core.TargetWER && calls.Add(1) == 1 {
 			// Hold the failing fill open until every concurrent request
 			// has had a chance to join it as a waiter.
 			<-gate
 			return nil, errors.New("injected one-shot fit failure")
 		}
-		return realTrain(ds, kind, set, workers)
+		return realTrain(ds, target, kind, set, workers)
 	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)

@@ -202,13 +202,20 @@ func TestHotReloadE2E(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := core.TrainWER(changed, core.ModelKNN, core.InputSet1, 2)
+	direct, err := core.Train(changed, core.TargetWER, core.ModelKNN, core.InputSet1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Predict(core.Query{
+		Features: prof.Features, TREFP: 2.283, VDD: got.VDD, TempC: 60,
+		Rank: core.RankDevice,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for r := range got.WERByRank {
-		if want := direct.Predict(prof.Features, 2.283, got.VDD, 60, r); got.WERByRank[r] != want {
-			t.Fatalf("rank %d: served %v != model trained on reloaded rows %v", r, got.WERByRank[r], want)
+		if got.WERByRank[r] != want.ByRank[r] {
+			t.Fatalf("rank %d: served %v != model trained on reloaded rows %v", r, got.WERByRank[r], want.ByRank[r])
 		}
 	}
 
@@ -256,6 +263,10 @@ func TestReloadErrors(t *testing.T) {
 	// A bad body is rejected.
 	if resp, _ := postReload(t, ts, `{"bogus":1}`); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad reload body accepted")
+	}
+	// An oversized body hits the uniform cap: 413, like every endpoint.
+	if resp, _ := postReload(t, ts, strings.Repeat(" ", maxBodyBytes+1)+"{}"); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized reload body not 413")
 	}
 	// The endpoint must not let a client name an arbitrary server-side
 	// file (filesystem probing / model substitution).

@@ -5,20 +5,33 @@
 // package serves exactly that from a saved campaign dataset
 // (core.LoadDataset) over an HTTP JSON API:
 //
-//	POST /v1/predict   one query or a {"queries": [...]} batch
+//	POST /v2/predict   typed targets, structured errors (see API.md)
+//	POST /v1/predict   the legacy surface: always computes both targets
 //	GET  /v1/workloads the servable benchmark catalog
-//	GET  /v1/models    model kinds, input sets, and trained entries
+//	GET  /v1/models    model kinds, input sets, targets, trained entries
 //	POST /v1/reload    swap in a refreshed dataset artifact in place
 //	GET  /healthz      liveness, dataset shape, serving generation
 //	GET  /metrics      request/cache/batch/reload counters and histograms
 //
+// Both predict surfaces run the same resolve → model → predict path over
+// the unified core.Predictor API; /v1 is a thin adapter that always
+// requests every target and renders the legacy wire format (pinned
+// byte-for-byte by golden tests), while /v2 takes a per-query target
+// selection — a PUE-only query never trains or waits for a WER model,
+// because the model registry is keyed on the full (target, kind, input
+// set) triple — and reports failures as machine-readable
+// {code, field, message} errors. Method and content-type enforcement is
+// uniform across every endpoint: wrong method is 405 with Allow set,
+// non-JSON POST content is 415.
+//
 // Three mechanisms keep the warm path far under the 300 ms budget while the
 // cold path stays correct under concurrency:
 //
-//   - a model registry trains each (kind, input set, target) predictor once,
-//     singleflight-style: concurrent first requests block on one fit, and a
-//     failed fit is never cached — the entry clears so the next request
-//     retries instead of inheriting a transient error;
+//   - a model registry trains each (target, kind, input set) predictor
+//     once through the core.Train factory, singleflight-style: concurrent
+//     first requests block on one fit, and a failed fit is never cached —
+//     the entry clears so the next request retries instead of inheriting a
+//     transient error;
 //   - a profile cache keyed by (workload, size, seed) makes repeat queries
 //     skip the expensive profiling pass (same non-sticky error handling);
 //   - a micro-batcher per predictor coalesces in-flight queries into
@@ -40,8 +53,6 @@ package serve
 import (
 	"context"
 	"encoding/json"
-	"errors"
-	"fmt"
 	"io"
 	"math"
 	"net/http"
@@ -104,9 +115,8 @@ type Server struct {
 	start     time.Time
 
 	// Fill seams, overridable in tests to inject failures: production
-	// wiring is core.TrainWER / core.TrainPUE / profile.BuildAt.
-	trainWER     func(*core.Dataset, core.ModelKind, core.InputSet, int) (*core.WERPredictor, error)
-	trainPUE     func(*core.Dataset, core.ModelKind, core.InputSet, int) (*core.PUEPredictor, error)
+	// wiring is core.Train / profile.BuildAt.
+	train        func(*core.Dataset, core.Target, core.ModelKind, core.InputSet, int) (core.Predictor, error)
 	buildProfile func(workload.Spec, workload.Size, uint64) (*profile.Result, error)
 }
 
@@ -132,8 +142,7 @@ func New(ds *core.Dataset, opts Options) *Server {
 		cancel:       cancel,
 		stop:         make(chan struct{}),
 		start:        time.Now(),
-		trainWER:     core.TrainWER,
-		trainPUE:     core.TrainPUE,
+		train:        core.Train,
 		buildProfile: profile.BuildAt,
 	}
 	g := s.newGeneration(1, ds)
@@ -171,15 +180,21 @@ func (s *Server) closedErr() error {
 	}
 }
 
-// Handler returns the server's HTTP API.
+// Handler returns the server's HTTP API. Every endpoint goes through the
+// same method/content-type enforcement; only the error wire format differs
+// between the /v1 and /v2 surfaces.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/predict", s.counted("/v1/predict", s.handlePredict))
-	mux.HandleFunc("/v1/workloads", s.counted("/v1/workloads", s.handleWorkloads))
-	mux.HandleFunc("/v1/models", s.counted("/v1/models", s.handleModels))
-	mux.HandleFunc("/v1/reload", s.counted("/v1/reload", s.handleReload))
-	mux.HandleFunc("/healthz", s.counted("/healthz", s.handleHealthz))
-	mux.HandleFunc("/metrics", s.counted("/metrics", s.handleMetrics))
+	route := func(path, method string, werr errWriter, h http.HandlerFunc) {
+		mux.HandleFunc(path, s.counted(path, endpoint(method, werr, h)))
+	}
+	route("/v1/predict", http.MethodPost, writeErrorV1, s.handlePredictV1)
+	route("/v2/predict", http.MethodPost, writeErrorV2, s.handlePredictV2)
+	route("/v1/workloads", http.MethodGet, writeErrorV1, s.handleWorkloads)
+	route("/v1/models", http.MethodGet, writeErrorV1, s.handleModels)
+	route("/v1/reload", http.MethodPost, writeErrorV1, s.handleReload)
+	route("/healthz", http.MethodGet, writeErrorV1, s.handleHealthz)
+	route("/metrics", http.MethodGet, writeErrorV1, s.handleMetrics)
 	return mux
 }
 
@@ -203,17 +218,213 @@ func (s *Server) counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+// query is the version-independent form of one prediction request, after
+// JSON decoding and before validation.
+type query struct {
+	Workload string
+	TREFP    float64
+	TempC    float64
+	VDD      float64
+	Model    string
+	InputSet int
+	// Targets is the requested target selection; nil means every target
+	// (the /v1 contract, and the /v2 default).
+	Targets []string
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+// resolved is a validated query bound to its feature vector and models.
+type resolved struct {
+	workload string
+	trefp    float64
+	tempC    float64
+	vdd      float64
+	kind     core.ModelKind
+	// set is the explicitly requested input set, 0 meaning each target's
+	// published default.
+	set     core.InputSet
+	targets []core.Target
+	feats   []float64
 }
 
-// PredictRequest is one prediction query.
+// setFor resolves the input set serving one target.
+func (r *resolved) setFor(t core.Target) core.InputSet {
+	if r.set != 0 {
+		return r.set
+	}
+	return t.DefaultInputSet()
+}
+
+// resolve validates one query and resolves its workload profile on
+// generation g.
+func (s *Server) resolve(g *generation, q query) (*resolved, *apiError) {
+	spec, err := workload.FindSpec(q.Workload)
+	if err != nil {
+		return nil, errf(http.StatusNotFound, codeUnknownWorkload, "workload", "%v", err)
+	}
+	if q.TREFP <= 0 || math.IsNaN(q.TREFP) || math.IsInf(q.TREFP, 0) {
+		return nil, errf(http.StatusBadRequest, codeOutOfRange, "trefp", "trefp %v out of range", q.TREFP)
+	}
+	if math.IsNaN(q.TempC) || math.IsInf(q.TempC, 0) {
+		return nil, errf(http.StatusBadRequest, codeOutOfRange, "temp_c", "temp_c %v out of range", q.TempC)
+	}
+	if q.VDD == 0 {
+		q.VDD = dram.MinVDD
+	}
+	if q.VDD < 0 || math.IsNaN(q.VDD) || math.IsInf(q.VDD, 0) {
+		return nil, errf(http.StatusBadRequest, codeOutOfRange, "vdd", "vdd %v out of range", q.VDD)
+	}
+	if q.Model == "" {
+		q.Model = string(core.ModelKNN)
+	}
+	kind, err := core.ParseModelKind(q.Model)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, codeUnknownModel, "model", "unknown model %q", q.Model)
+	}
+	var set core.InputSet
+	switch q.InputSet {
+	case 0:
+		// Each target's published default (set 1 for WER, set 2 for PUE).
+	case 1, 2, 3:
+		set = core.InputSet(q.InputSet)
+	default:
+		return nil, errf(http.StatusBadRequest, codeOutOfRange, "input_set", "input_set %d out of range", q.InputSet)
+	}
+	targets := core.Targets()
+	if len(q.Targets) > 0 {
+		targets = targets[:0:0]
+		seen := map[core.Target]bool{}
+		for _, name := range q.Targets {
+			t, err := core.ParseTarget(name)
+			if err != nil {
+				return nil, errf(http.StatusBadRequest, codeUnknownTarget, "targets", "unknown target %q", name)
+			}
+			if !seen[t] {
+				seen[t] = true
+				targets = append(targets, t)
+			}
+		}
+	}
+	prof, err := s.profileFor(g, spec)
+	if err != nil {
+		return nil, servingErr(err)
+	}
+	return &resolved{
+		workload: spec.Label, trefp: q.TREFP, tempC: q.TempC, vdd: q.VDD,
+		kind: kind, set: set, targets: targets, feats: prof.Features,
+	}, nil
+}
+
+// predicted is one query's answers: a prediction per requested target,
+// plus the wall time of this query's model resolution and predict.
+type predicted struct {
+	preds   map[core.Target]core.Prediction
+	elapsed time.Duration
+}
+
+// predictOne answers one resolved query through generation g's
+// micro-batchers. Only the requested targets' models are resolved — a
+// PUE-only query never trains or waits for a WER model.
+func (s *Server) predictOne(g *generation, r *resolved) (*predicted, *apiError) {
+	start := time.Now()
+	mvs := make([]modelVal, len(r.targets))
+	for i, t := range r.targets {
+		mv, err := s.model(g, t, r.kind, r.setFor(t))
+		if err != nil {
+			return nil, servingErr(err)
+		}
+		mvs[i] = mv
+	}
+	// The targets are independent: submit every batcher at once so a query
+	// pays one dispatch cycle, not one per target, and a wave of requests
+	// lands in all batchers in the same flush.
+	outs := make([]core.Prediction, len(r.targets))
+	errs := make([]error, len(r.targets))
+	var wg sync.WaitGroup
+	for i, t := range r.targets {
+		wg.Add(1)
+		go func(i int, t core.Target) {
+			defer wg.Done()
+			ps, err := mvs[i].batch.do([]core.Query{{
+				Target: t, Features: r.feats, TREFP: r.trefp, VDD: r.vdd,
+				TempC: r.tempC, Rank: core.RankDevice,
+			}})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			outs[i] = ps[0]
+		}(i, t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, servingErr(err)
+		}
+	}
+	preds := make(map[core.Target]core.Prediction, len(r.targets))
+	for i, t := range r.targets {
+		preds[t] = outs[i]
+	}
+	return &predicted{preds: preds, elapsed: time.Since(start)}, nil
+}
+
+// predictMany resolves and answers a batch. Resolution is all-or-nothing
+// (the response always has one result per query) and fans out so a cold
+// batch naming several unprofiled workloads pays for the slowest profile
+// build, not their sum; predictions then run concurrently — their batcher
+// submissions coalesce.
+func (s *Server) predictMany(g *generation, qs []query) ([]*resolved, []*predicted, *apiError) {
+	if len(qs) == 0 {
+		return nil, nil, errf(http.StatusBadRequest, codeEmptyBatch, "queries", "empty batch")
+	}
+	if len(qs) > maxBatchBody {
+		return nil, nil, errf(http.StatusBadRequest, codeBatchTooLarge, "queries",
+			"batch of %d exceeds %d", len(qs), maxBatchBody)
+	}
+	type resolveOut struct {
+		r *resolved
+		e *apiError
+	}
+	outs, err := engine.Map(len(qs), func(i int) (resolveOut, error) {
+		r, e := s.resolve(g, qs[i])
+		return resolveOut{r, e}, nil
+	}, engine.Options{Workers: s.workers, Context: s.ctx})
+	if err != nil {
+		// Only server shutdown cancels the resolve fan-out (per-query
+		// failures travel inside resolveOut); outs may hold skipped
+		// zero-valued entries, so bail before touching them.
+		return nil, nil, servingErr(err)
+	}
+	rs := make([]*resolved, len(qs))
+	for i, o := range outs {
+		if o.e != nil {
+			return nil, nil, o.e.at(i)
+		}
+		rs[i] = o.r
+	}
+	preds := make([]*predicted, len(rs))
+	errs := make([]*apiError, len(rs))
+	var wg sync.WaitGroup
+	for i, rq := range rs {
+		wg.Add(1)
+		go func(i int, rq *resolved) {
+			defer wg.Done()
+			preds[i], errs[i] = s.predictOne(g, rq)
+		}(i, rq)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			return nil, nil, e.at(i)
+		}
+	}
+	return rs, preds, nil
+}
+
+// ms renders a duration in the wire format's fractional milliseconds.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+
+// PredictRequest is one /v1 prediction query.
 type PredictRequest struct {
 	Workload string  `json:"workload"`
 	TREFP    float64 `json:"trefp"`
@@ -227,7 +438,17 @@ type PredictRequest struct {
 	InputSet int `json:"input_set,omitempty"`
 }
 
-// PredictResponse is the answer to one query.
+// query converts the v1 wire form to the shared query (v1 always computes
+// every target).
+func (r PredictRequest) query() query {
+	return query{
+		Workload: r.Workload, TREFP: r.TREFP, TempC: r.TempC, VDD: r.VDD,
+		Model: r.Model, InputSet: r.InputSet,
+	}
+}
+
+// PredictResponse is the /v1 answer to one query. ElapsedMS is per query:
+// the wall time of that query's model resolution and prediction.
 type PredictResponse struct {
 	Workload  string    `json:"workload"`
 	TREFP     float64   `json:"trefp"`
@@ -246,135 +467,31 @@ type predictBody struct {
 	Queries []PredictRequest `json:"queries,omitempty"`
 }
 
-// resolved is a validated query bound to its feature vector and models.
-type resolved struct {
-	req    PredictRequest
-	feats  []float64
-	kind   core.ModelKind
-	werSet core.InputSet
-	pueSet core.InputSet
-}
-
-// resolve validates one query and resolves its workload profile on
-// generation g. The int is the HTTP status for the error case.
-func (s *Server) resolve(g *generation, req PredictRequest) (*resolved, int, error) {
-	spec, err := workload.FindSpec(req.Workload)
-	if err != nil {
-		return nil, http.StatusNotFound, err
-	}
-	if req.TREFP <= 0 || math.IsNaN(req.TREFP) || math.IsInf(req.TREFP, 0) {
-		return nil, http.StatusBadRequest, fmt.Errorf("serve: trefp %v out of range", req.TREFP)
-	}
-	if math.IsNaN(req.TempC) || math.IsInf(req.TempC, 0) {
-		return nil, http.StatusBadRequest, fmt.Errorf("serve: temp_c %v out of range", req.TempC)
-	}
-	if req.VDD == 0 {
-		req.VDD = dram.MinVDD
-	}
-	if req.VDD < 0 || math.IsNaN(req.VDD) || math.IsInf(req.VDD, 0) {
-		return nil, http.StatusBadRequest, fmt.Errorf("serve: vdd %v out of range", req.VDD)
-	}
-	if req.Model == "" {
-		req.Model = string(core.ModelKNN)
-	}
-	kind := core.ModelKind(req.Model)
-	valid := false
-	for _, k := range core.ModelKinds() {
-		if k == kind {
-			valid = true
-			break
-		}
-	}
-	if !valid {
-		return nil, http.StatusBadRequest, fmt.Errorf("serve: unknown model %q", req.Model)
-	}
-	werSet, pueSet := core.InputSet1, core.InputSet2
-	switch req.InputSet {
-	case 0:
-	case 1, 2, 3:
-		werSet = core.InputSet(req.InputSet)
-		pueSet = core.InputSet(req.InputSet)
-	default:
-		return nil, http.StatusBadRequest, fmt.Errorf("serve: input_set %d out of range", req.InputSet)
-	}
-	prof, err := s.profileFor(g, spec)
-	if err != nil {
-		return nil, http.StatusInternalServerError, err
-	}
-	return &resolved{req: req, feats: prof.Features, kind: kind, werSet: werSet, pueSet: pueSet}, 0, nil
-}
-
-// predictOne answers one resolved query through generation g's
-// micro-batchers.
-func (s *Server) predictOne(g *generation, r *resolved) (*PredictResponse, error) {
-	start := time.Now()
-	we, err := s.werModel(g, r.kind, r.werSet)
-	if err != nil {
-		return nil, err
-	}
-	pe, err := s.pueModel(g, r.kind, r.pueSet)
-	if err != nil {
-		return nil, err
-	}
-	werQs := make([]core.WERQuery, dram.NumRanks)
-	for rank := range werQs {
-		werQs[rank] = core.WERQuery{
-			Features: r.feats, TREFP: r.req.TREFP, VDD: r.req.VDD,
-			TempC: r.req.TempC, Rank: rank,
-		}
-	}
-	// The two targets are independent: submit both batchers at once so a
-	// query pays one dispatch cycle, not two, and a wave of requests lands
-	// in both batchers in the same flush.
-	var (
-		pue    []float64
-		pueErr error
-		done   = make(chan struct{})
-	)
-	go func() {
-		defer close(done)
-		pue, pueErr = pe.batch.do([]core.PUEQuery{{
-			Features: r.feats, TREFP: r.req.TREFP, VDD: r.req.VDD, TempC: r.req.TempC,
-		}})
-	}()
-	byRank, err := we.batch.do(werQs)
-	<-done
-	if err != nil {
-		return nil, err
-	}
-	if pueErr != nil {
-		return nil, pueErr
-	}
-	mean := 0.0
-	for _, v := range byRank {
-		mean += v
-	}
-	mean /= float64(len(byRank))
+// renderV1 adapts a unified prediction to the legacy wire format.
+func renderV1(r *resolved, p *predicted) *PredictResponse {
+	wer := p.preds[core.TargetWER]
+	pue := p.preds[core.TargetPUE]
 	return &PredictResponse{
-		Workload:  r.req.Workload,
-		TREFP:     r.req.TREFP,
-		TempC:     r.req.TempC,
-		VDD:       r.req.VDD,
+		Workload:  r.workload,
+		TREFP:     r.trefp,
+		TempC:     r.tempC,
+		VDD:       r.vdd,
 		Model:     string(r.kind),
-		WERMean:   mean,
-		WERByRank: byRank,
-		PUE:       pue[0],
-		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
-	}, nil
+		WERMean:   wer.Value,
+		WERByRank: wer.ByRank,
+		PUE:       pue.Value,
+		ElapsedMS: ms(p.elapsed),
+	}
 }
 
-func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, "serve: %s not allowed", r.Method)
-		return
-	}
+// handlePredictV1 is the legacy surface: a thin adapter over the shared
+// resolve/predict path that always computes both targets and renders the
+// pinned v1 wire format.
+func (s *Server) handlePredictV1(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
 	var body predictBody
-	if err := dec.Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, "serve: malformed body: %v", err)
+	if e := decodeBody(r, &body); e != nil {
+		writeErrorV1(w, e)
 		return
 	}
 	defer func() { s.metrics.predictSeconds.observe(time.Since(start)) }()
@@ -384,81 +501,40 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// keeps the generation's batchers alive until we release it.
 	g, err := s.acquire()
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "serve: %v", err)
+		writeErrorV1(w, servingErr(err))
 		return
 	}
 	defer g.release()
 
-	// Batch body: resolve every query up front (all-or-nothing, so the
-	// response always has one result per query), then fan the predictions
-	// out concurrently — their batcher submissions coalesce.
 	if body.Queries != nil {
-		if len(body.Queries) == 0 {
-			writeError(w, http.StatusBadRequest, "serve: empty batch")
+		qs := make([]query, len(body.Queries))
+		for i, q := range body.Queries {
+			qs[i] = q.query()
+		}
+		rs, preds, e := s.predictMany(g, qs)
+		if e != nil {
+			writeErrorV1(w, e)
 			return
-		}
-		if len(body.Queries) > maxBatchBody {
-			writeError(w, http.StatusBadRequest, "serve: batch of %d exceeds %d", len(body.Queries), maxBatchBody)
-			return
-		}
-		// Resolve concurrently: a cold batch naming several unprofiled
-		// workloads pays for the slowest profile build, not their sum.
-		type resolveOut struct {
-			r    *resolved
-			code int
-			err  error
-		}
-		outs, err := engine.Map(len(body.Queries), func(i int) (resolveOut, error) {
-			r, code, err := s.resolve(g, body.Queries[i])
-			return resolveOut{r, code, err}, nil
-		}, engine.Options{Workers: s.workers, Context: s.ctx})
-		if err != nil {
-			// Only server shutdown cancels the resolve fan-out (per-query
-			// failures travel inside resolveOut); outs may hold skipped
-			// zero-valued entries, so bail before touching them.
-			writeError(w, http.StatusServiceUnavailable, "serve: %v", err)
-			return
-		}
-		rs := make([]*resolved, len(body.Queries))
-		for i, o := range outs {
-			if o.err != nil {
-				writeError(w, o.code, "serve: query %d: %v", i, o.err)
-				return
-			}
-			rs[i] = o.r
 		}
 		results := make([]*PredictResponse, len(rs))
-		errs := make([]error, len(rs))
-		var wg sync.WaitGroup
-		for i, rq := range rs {
-			wg.Add(1)
-			go func(i int, rq *resolved) {
-				defer wg.Done()
-				results[i], errs[i] = s.predictOne(g, rq)
-			}(i, rq)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				writeError(w, http.StatusInternalServerError, "serve: %v", err)
-				return
-			}
+		for i := range rs {
+			results[i] = renderV1(rs[i], preds[i])
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"results": results})
 		return
 	}
 
-	rq, code, err := s.resolve(g, body.PredictRequest)
-	if err != nil {
-		writeError(w, code, "serve: %v", err)
+	rq, e := s.resolve(g, body.PredictRequest.query())
+	if e != nil {
+		writeErrorV1(w, e)
 		return
 	}
-	resp, err := s.predictOne(g, rq)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "serve: %v", err)
+	p, e := s.predictOne(g, rq)
+	if e != nil {
+		writeErrorV1(w, e)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, renderV1(rq, p))
 }
 
 // handleReload reloads the server's configured artifact. The endpoint
@@ -467,41 +543,31 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 // substitution. Operators choose the artifact at startup (-load); the
 // request body must be empty or an empty JSON object.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, "serve: %s not allowed", r.Method)
-		return
-	}
-	var body struct{}
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
+	var body struct{}
 	if err := dec.Decode(&body); err != nil && err != io.EOF {
-		writeError(w, http.StatusBadRequest, "serve: malformed body: %v", err)
+		// Same decode contract as everywhere else (413 past the body cap,
+		// 400 otherwise), with an entirely empty body additionally allowed.
+		writeErrorV1(w, decodeErr(err))
 		return
 	}
 	if s.artifactPath == "" {
-		writeError(w, http.StatusBadRequest,
-			"serve: not artifact-backed: the server was started without -load")
+		writeErrorV1(w, errf(http.StatusBadRequest, codeNotArtifactBacked, "",
+			"not artifact-backed: the server was started without -load"))
 		return
 	}
 	res, err := s.Reload(s.artifactPath)
 	if err != nil {
-		code := http.StatusInternalServerError
-		if errors.Is(err, errClosed) {
-			code = http.StatusServiceUnavailable
-		}
-		writeError(w, code, "serve: reload: %v", err)
+		e := servingErr(err)
+		e.msg = "reload: " + e.msg
+		writeErrorV1(w, e)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, "serve: %s not allowed", r.Method)
-		return
-	}
 	type entry struct {
 		Label    string `json:"label"`
 		Threads  int    `json:"threads"`
@@ -522,15 +588,14 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, "serve: %s not allowed", r.Method)
-		return
-	}
 	kinds := core.ModelKinds()
 	sets := make([]int, 0, 3)
 	for _, set := range core.InputSets() {
 		sets = append(sets, int(set))
+	}
+	targets := make([]string, 0, 2)
+	for _, t := range core.Targets() {
+		targets = append(targets, string(t))
 	}
 	trained := s.trained(s.gen.Load())
 	if trained == nil {
@@ -539,16 +604,12 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"kinds":      kinds,
 		"input_sets": sets,
+		"targets":    targets,
 		"trained":    trained,
 	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, "serve: %s not allowed", r.Method)
-		return
-	}
 	g := s.gen.Load()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
@@ -562,11 +623,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, "serve: %s not allowed", r.Method)
-		return
-	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.render(w)
 }

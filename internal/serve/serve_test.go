@@ -68,18 +68,38 @@ func newTestServer(t testing.TB) (*Server, *httptest.Server) {
 	return s, ts
 }
 
-func postPredict(t testing.TB, ts *httptest.Server, body string) (*http.Response, []byte) {
+// readBody drains and closes a response body.
+func readBody(t testing.TB, resp *http.Response) []byte {
 	t.Helper()
-	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return resp, data
+	return data
+}
+
+func post(t testing.TB, ts *httptest.Server, path, contentType, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, contentType, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, readBody(t, resp)
+}
+
+func postPredict(t testing.TB, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	return post(t, ts, "/v1/predict", "application/json", body)
+}
+
+func mustSpec(t testing.TB, label string) workload.Spec {
+	t.Helper()
+	spec, err := workload.FindSpec(label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
 }
 
 func get(t testing.TB, ts *httptest.Server, path string) (*http.Response, []byte) {
@@ -226,22 +246,34 @@ func TestPredictSingleMatchesDirectModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	werModel, err := core.TrainWER(testDataset(t), core.ModelKNN, core.InputSet1, 2)
+	werModel, err := core.Train(testDataset(t), core.TargetWER, core.ModelKNN, core.InputSet1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pueModel, err := core.TrainPUE(testDataset(t), core.ModelKNN, core.InputSet2, 2)
+	pueModel, err := core.Train(testDataset(t), core.TargetPUE, core.ModelKNN, core.InputSet2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWER, err := werModel.Predict(core.Query{
+		Features: prof.Features, TREFP: 2.283, VDD: dram.MinVDD, TempC: 60,
+		Rank: core.RankDevice,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for r := 0; r < dram.NumRanks; r++ {
-		want := werModel.Predict(prof.Features, 2.283, dram.MinVDD, 60, r)
-		if got.WERByRank[r] != want {
-			t.Fatalf("rank %d: served %v != direct %v", r, got.WERByRank[r], want)
+		if got.WERByRank[r] != wantWER.ByRank[r] {
+			t.Fatalf("rank %d: served %v != direct %v", r, got.WERByRank[r], wantWER.ByRank[r])
 		}
 	}
-	if want := pueModel.Predict(prof.Features, 2.283, dram.MinVDD, 60); got.PUE != want {
-		t.Fatalf("PUE: served %v != direct %v", got.PUE, want)
+	wantPUE, err := pueModel.Predict(core.Query{
+		Features: prof.Features, TREFP: 2.283, VDD: dram.MinVDD, TempC: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PUE != wantPUE.Value {
+		t.Fatalf("PUE: served %v != direct %v", got.PUE, wantPUE.Value)
 	}
 }
 
@@ -340,10 +372,23 @@ func TestPredictErrorPaths(t *testing.T) {
 	}
 }
 
+// TestMethodNotAllowed pins the uniform method contract across every
+// endpoint: a wrong method is always 405 with the Allow header naming the
+// one allowed method, and a POST with a non-JSON content type is 415.
 func TestMethodNotAllowed(t *testing.T) {
 	_, ts := newTestServer(t)
-	if resp, _ := get(t, ts, "/v1/predict"); resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("GET /v1/predict = %d", resp.StatusCode)
+	for _, path := range []string{"/v1/predict", "/v2/predict", "/v1/reload"} {
+		resp, _ := get(t, ts, path)
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+			t.Fatalf("GET %s: Allow = %q, want POST", path, allow)
+		}
+		// Wrong content type on the right method: uniformly 415.
+		if resp, _ := post(t, ts, path, "text/plain", "{}"); resp.StatusCode != http.StatusUnsupportedMediaType {
+			t.Fatalf("text/plain POST %s = %d, want 415", path, resp.StatusCode)
+		}
 	}
 	for _, path := range []string{"/v1/workloads", "/v1/models", "/healthz", "/metrics"} {
 		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(nil))
@@ -353,6 +398,9 @@ func TestMethodNotAllowed(t *testing.T) {
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusMethodNotAllowed {
 			t.Fatalf("POST %s = %d", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+			t.Fatalf("POST %s: Allow = %q, want GET", path, allow)
 		}
 	}
 }

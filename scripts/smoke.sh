@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Smoke-tests the deployed serving surface end to end: builds dramserve,
+# boots it against the checked-in golden artifact, and exercises /healthz,
+# /v1/predict and /v2/predict over real HTTP — asserting the artifact
+# generation and fingerprint are surfaced, both predict surfaces answer,
+# and the uniform method contract (405 + Allow) holds. CI runs this after
+# the unit suite; it is also runnable locally: scripts/smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+addr=127.0.0.1:18080
+workdir=$(mktemp -d)
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/dramserve" ./cmd/dramserve
+"$workdir/dramserve" -load internal/core/testdata/golden_v1.json.gz -addr "$addr" \
+  2>"$workdir/serve.log" &
+pid=$!
+
+for _ in $(seq 1 100); do
+  curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
+  kill -0 "$pid" 2>/dev/null || { echo "dramserve died:"; cat "$workdir/serve.log"; exit 1; }
+  sleep 0.1
+done
+
+fail() { echo "smoke: $1"; echo "--- response: $2"; exit 1; }
+
+health=$(curl -fsS "http://$addr/healthz")
+echo "$health" | grep -q '"generation":1' || fail "/healthz missing generation" "$health"
+echo "$health" | grep -Eq '"fingerprint":"[a-z0-9]+:' || fail "/healthz missing fingerprint" "$health"
+
+v1=$(curl -fsS -XPOST "http://$addr/v1/predict" -H 'Content-Type: application/json' \
+  -d '{"workload":"nw","trefp":1.173,"temp_c":60}')
+echo "$v1" | grep -q '"wer_mean"' || fail "/v1/predict missing wer_mean" "$v1"
+echo "$v1" | grep -q '"pue"' || fail "/v1/predict missing pue" "$v1"
+
+v2=$(curl -fsS -XPOST "http://$addr/v2/predict" -H 'Content-Type: application/json' \
+  -d '{"workload":"nw","trefp":1.173,"temp_c":60,"targets":["pue"]}')
+echo "$v2" | grep -q '"pue"' || fail "/v2/predict missing pue result" "$v2"
+echo "$v2" | grep -q '"generation":1' || fail "/v2/predict missing generation" "$v2"
+echo "$v2" | grep -Eq '"fingerprint":"[a-z0-9]+:' || fail "/v2/predict missing fingerprint" "$v2"
+echo "$v2" | grep -q '"wer"' && fail "/v2 pue-only query answered wer" "$v2"
+
+# A /v2 validation failure is a structured {code, field, message} error.
+v2err=$(curl -sS -XPOST "http://$addr/v2/predict" -H 'Content-Type: application/json' \
+  -d '{"workload":"doom","trefp":1,"temp_c":60}')
+echo "$v2err" | grep -q '"code":"unknown_workload"' || fail "/v2 error not structured" "$v2err"
+echo "$v2err" | grep -q '"field":"workload"' || fail "/v2 error missing field" "$v2err"
+
+# Wrong method: uniformly 405 with the Allow header.
+hdrs=$(curl -sS -o /dev/null -D - "http://$addr/v2/predict")
+echo "$hdrs" | head -1 | grep -q 405 || fail "GET /v2/predict not 405" "$hdrs"
+echo "$hdrs" | grep -qi '^allow: POST' || fail "405 missing Allow header" "$hdrs"
+
+echo "smoke OK"
