@@ -110,8 +110,9 @@ func BenchmarkFig13(b *testing.B) { benchTable(b, benchSuite(b).Fig13) }
 // BenchmarkVddStudy regenerates the Section V VDD-sensitivity finding.
 func BenchmarkVddStudy(b *testing.B) { benchTable(b, benchSuite(b).VddStudy) }
 
-// BenchmarkAblation regenerates the physics-channel ablation study
-// (DESIGN.md's attribution of each paper observation to a model channel).
+// BenchmarkAblation regenerates the physics-channel ablation study: the
+// attribution of each paper observation to a model channel (documented on
+// exp.Suite.Ablation and in EXPERIMENTS.md's correspondence section).
 func BenchmarkAblation(b *testing.B) { benchTable(b, benchSuite(b).Ablation) }
 
 // BenchmarkPredictionLatency measures the deployed model's per-query cost —

@@ -1,0 +1,147 @@
+// Command dramfleet is the closed-loop fleet load generator: it simulates
+// a heterogeneous datacenter fleet running under relaxed refresh
+// (internal/fleet) and drives its telemetry stream against a live
+// dramserve over HTTP /v2 at a target rate, measuring what a fleet
+// deployment of the paper's predictor would see — latency percentiles and
+// online prediction error against the simulation's own ground truth.
+//
+// Boot a server, then aim a burst at it:
+//
+//	dramserve -load dfault.json.gz -addr :8080 &
+//	dramfleet -addr http://127.0.0.1:8080 -qps 150 -duration 2s
+//
+// The query stream is a pure function of (-servers, -seed): the same seed
+// replays byte-identically, which makes runs comparable across commits.
+// Everything above the report's timing marker is deterministic too — two
+// runs with the same seed against the same artifact render identical
+// bytes with -timing=false, so CI can diff entire reports:
+//
+//	dramfleet -seed 1 -n 40 -timing=false > a
+//	dramfleet -seed 1 -n 40 -timing=false > b && cmp a b
+//
+// -offline skips the server entirely and just summarizes the stream (the
+// cheapest determinism check); -stream-out writes the stream as JSON
+// lines for external replay. The server's own view of the run is exposed
+// at GET /v2/stats; scripts/smoke.sh cross-checks the two in CI.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/cliflag"
+	"repro/internal/core"
+	"repro/internal/fleet"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://127.0.0.1:8080", "dramserve base URL")
+		servers   = flag.Int("servers", fleet.DefaultServers, "simulated fleet size")
+		seed      = flag.Uint64("seed", 0, "fleet stream seed (same seed = same stream)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent in-flight requests")
+		model     = flag.String("model", string(core.ModelKNN), "model kind queried (KNN, SVM or RDF)")
+		offline   = flag.Bool("offline", false, "skip the server; only summarize the stream")
+		timing    = flag.Bool("timing", true, "append the wall-clock timing section to the report")
+		streamOut = flag.String("stream-out", "", "write the query stream to this path as JSON lines")
+		lg        cliflag.LoadGen // shared -qps default applied by Register
+		targets   cliflag.Targets
+	)
+	lg.Register(flag.CommandLine)
+	targets.Register(flag.CommandLine)
+	flag.Parse()
+
+	want, err := targets.List()
+	if err != nil {
+		fatal(err)
+	}
+	n, err := lg.Queries()
+	if err != nil {
+		fatal(err)
+	}
+
+	f, err := fleet.New(fleet.Config{Servers: *servers, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	qs := f.Take(n)
+
+	if *streamOut != "" {
+		if err := writeStream(*streamOut, qs); err != nil {
+			fatal(err)
+		}
+		logf("wrote %d queries to %s (%s)", len(qs), *streamOut, fleet.Checksum(qs))
+	}
+
+	rep := &fleet.Report{
+		Seed:    *seed,
+		Servers: f.Config().Servers,
+		Targets: want,
+		Queries: qs,
+	}
+	if !*offline {
+		logf("driving %d queries at %g qps against %s (%d workers)...",
+			n, lg.QPS, *addr, *workers)
+		start := time.Now()
+		outs, err := fleet.Drive(qs, fleet.DriveOptions{
+			BaseURL: *addr,
+			QPS:     lg.QPS,
+			Workers: *workers,
+			Targets: want,
+			Model:   *model,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		rep.Outcomes = outs
+		rep.Wall = time.Since(start)
+		if rep.Completed() == 0 {
+			// Surface the first failure: an all-failed run is a setup
+			// problem (server down, wrong -addr), not a report.
+			for _, o := range outs {
+				if o.Err != nil {
+					fatal(fmt.Errorf("no queries completed: %w", o.Err))
+				}
+			}
+		}
+	}
+	fmt.Print(rep.Render(*timing))
+	if rep.Outcomes != nil && rep.Failed() > 0 {
+		os.Exit(1)
+	}
+}
+
+// writeStream dumps the stream as JSON lines, one query per line.
+func writeStream(path string, qs []fleet.Query) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(file)
+	enc := json.NewEncoder(w)
+	for i := range qs {
+		if err := enc.Encode(&qs[i]); err != nil {
+			file.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dramfleet: "+format+"\n", args...)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dramfleet:", err)
+	os.Exit(1)
+}

@@ -11,8 +11,10 @@
 //	curl -s localhost:8080/v1/predict --json '{"workload":"memcached","trefp":2.283,"temp_c":60}'
 //
 // /v2/predict takes a per-query target selection and returns structured
-// errors and artifact identity; /v1 is the pinned legacy surface. API.md
-// documents both wire formats.
+// errors and artifact identity; /v1 is the pinned legacy surface; GET
+// /v2/stats exposes per-(target, model, input set) serving counters so an
+// external load generator (cmd/dramfleet) can reconcile its completed
+// count with the server's. API.md documents all wire formats.
 //
 // Without -load it builds the campaign dataset in-process first (slow; use
 // -quick for a demonstration corpus). Loading adopts the artifact's

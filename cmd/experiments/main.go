@@ -8,7 +8,9 @@
 //
 // With no -run flag, all experiments execute in paper order. Experiment ids:
 // fig2, fig4, tab2, fig7, fig8, fig9, fig10, fig11, fig12, fig13, vdd,
-// ablation.
+// ablation. Beyond the paper, "fleet" tabulates the simulated datacenter
+// fleet scenario of internal/fleet (run it alone to skip the profiling
+// pass entirely: it needs no campaign).
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"runtime"
 
 	"repro/internal/exp"
+	"repro/internal/fleet"
 	"repro/internal/workload"
 )
 
@@ -29,8 +32,16 @@ func main() {
 		quick   = flag.Bool("quick", false, "use test-size kernels (fast smoke run)")
 		seed    = flag.Uint64("seed", 0, "server and profiling seed")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent campaign jobs")
+		fleetN  = flag.Int("fleet-queries", 1280, "queries simulated by the fleet experiment")
 	)
 	flag.Parse()
+
+	// The fleet scenario needs no profiles or campaign: serve it before
+	// paying for the suite when it is the only experiment requested.
+	if *runID == "fleet" {
+		printFleet(*seed, *fleetN)
+		return
+	}
 
 	size := workload.SizeProfile
 	if *quick {
@@ -70,6 +81,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// The beyond-the-paper fleet scenario rides at the end of a full run.
+	printFleet(*seed, *fleetN)
+}
+
+// printFleet renders the fleet-composition table at the default fleet
+// size (the same fleet cmd/dramfleet -servers defaults to).
+func printFleet(seed uint64, n int) {
+	tbl, err := exp.FleetSummary(fleet.DefaultServers, seed, n)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(tbl.Render())
 }
 
 func fatal(err error) {

@@ -44,15 +44,27 @@
 //     PredictBatch dispatch, a /metrics exposition, and generation-aware
 //     hot reload: the dataset and all state derived from it swap
 //     atomically on /v1/reload, SIGHUP or a -reload-interval poll, with a
-//     persisted artifact fingerprint making unchanged reloads no-ops
-//     (cmd/dramserve is the entry point; API.md documents the wire)
+//     persisted artifact fingerprint making unchanged reloads no-ops, and
+//     GET /v2/stats exposing per-(target, kind, input set) serving
+//     counters so an external client can reconcile its view with the
+//     server's (cmd/dramserve is the entry point; API.md documents the
+//     wire)
+//   - internal/fleet   — the fleet-scale scenario: a deterministic,
+//     seeded simulator of a heterogeneous datacenter (per-DIMM silicon
+//     variation, diurnal ambient schedules through the thermal plant,
+//     rotating workload mixes) that emits prediction queries paired with
+//     ground-truth WER/PUE, plus the closed-loop driver that replays the
+//     stream against a live server at a target QPS on the engine's
+//     bounded workers — same seed, same stream, byte for byte
+//     (cmd/dramfleet is the entry point)
 //   - internal/cliflag — the flags shared by the dram* commands: the
-//     dataset-acquisition set (-load/-save/-quick/-scale/...) and the
-//     -target selection over the unified prediction targets
+//     dataset-acquisition set (-load/-save/-quick/-scale/...), the
+//     -target selection over the unified prediction targets, and the
+//     -qps/-duration/-n load-volume pair of the closed-loop generators
 //
-// See README.md for a tour, DESIGN.md for the system inventory and the
-// simulation-for-hardware substitutions, API.md for the serving wire
-// format, and EXPERIMENTS.md for the paper-versus-reproduction numbers.
-// The benchmarks in bench_test.go regenerate each figure:
+// See README.md for a tour and the package map, API.md for the serving
+// wire format and the fleet determinism contract, and EXPERIMENTS.md for
+// the paper-versus-reproduction numbers and the knob-by-knob setup
+// correspondence. The benchmarks in bench_test.go regenerate each figure:
 // go test -bench=Benchmark -benchtime=1x .
 package repro

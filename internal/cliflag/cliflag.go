@@ -5,13 +5,17 @@
 // flag names, defaults and resolution logic identical across dramtrain,
 // drampredict and dramserve. Targets is the shared -target flag selecting
 // which regression targets of the unified core.Predictor API a command
-// trains and reports.
+// trains and reports. LoadGen is the shared load-volume flag pair
+// (-qps/-duration/-n) of the closed-loop generators (dramfleet).
 package cliflag
 
 import (
 	"flag"
+	"fmt"
+	"math"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/workload"
@@ -68,6 +72,50 @@ func (t *Targets) Has(tgt core.Target) bool {
 		}
 	}
 	return false
+}
+
+// LoadGen holds the load-volume flags of a closed-loop generator: the
+// target arrival rate plus either an exact query count (-n, deterministic
+// replays) or a run length (-duration, wall-clock bursts).
+type LoadGen struct {
+	QPS      float64
+	Duration time.Duration
+	N        int
+}
+
+// Register installs the load-generator flags on fs, using the current
+// field values as defaults (zero QPS gets the shared default of 100).
+func (l *LoadGen) Register(fs *flag.FlagSet) {
+	if l.QPS == 0 {
+		l.QPS = 100
+	}
+	fs.Float64Var(&l.QPS, "qps", l.QPS, "target query arrival rate per second")
+	fs.DurationVar(&l.Duration, "duration", l.Duration,
+		"run length; issues qps*duration queries (exclusive with -n)")
+	fs.IntVar(&l.N, "n", l.N,
+		"exact query count for byte-identical replays (exclusive with -duration)")
+}
+
+// Queries resolves the flags into the number of queries to issue: -n
+// verbatim, or -qps*-duration rounded up. Exactly one of the two must be
+// set, and the rate must be usable for pacing.
+func (l *LoadGen) Queries() (int, error) {
+	if l.QPS <= 0 || math.IsNaN(l.QPS) || math.IsInf(l.QPS, 0) {
+		return 0, fmt.Errorf("cliflag: -qps %v out of range", l.QPS)
+	}
+	switch {
+	case l.N < 0:
+		return 0, fmt.Errorf("cliflag: -n %d out of range", l.N)
+	case l.Duration < 0:
+		return 0, fmt.Errorf("cliflag: -duration %v out of range", l.Duration)
+	case l.N > 0 && l.Duration > 0:
+		return 0, fmt.Errorf("cliflag: -n and -duration are exclusive")
+	case l.N > 0:
+		return l.N, nil
+	case l.Duration > 0:
+		return int(math.Ceil(l.QPS * l.Duration.Seconds())), nil
+	}
+	return 0, fmt.Errorf("cliflag: one of -n or -duration is required")
 }
 
 // Campaign holds the shared flags. Set a field before Register to change

@@ -105,6 +105,50 @@ func TestDatasetLoadMissing(t *testing.T) {
 	}
 }
 
+func TestLoadGenFlag(t *testing.T) {
+	cases := []struct {
+		args []string
+		want int
+		ok   bool
+	}{
+		{[]string{"-n", "40"}, 40, true},
+		{[]string{"-duration", "2s"}, 200, true}, // default -qps 100
+		{[]string{"-qps", "150", "-duration", "2s"}, 300, true},
+		{[]string{"-qps", "10", "-duration", "250ms"}, 3, true}, // rounds up
+		{[]string{}, 0, false},                                  // neither -n nor -duration
+		{[]string{"-n", "5", "-duration", "1s"}, 0, false},      // exclusive
+		{[]string{"-n", "-1"}, 0, false},
+		{[]string{"-duration", "-1s"}, 0, false},
+		{[]string{"-qps", "0", "-n", "5"}, 0, false},
+		{[]string{"-qps", "-3", "-n", "5"}, 0, false},
+	}
+	for _, tc := range cases {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		var lg LoadGen
+		lg.Register(fs)
+		if err := fs.Parse(tc.args); err != nil {
+			t.Fatalf("%v: parse: %v", tc.args, err)
+		}
+		got, err := lg.Queries()
+		if tc.ok != (err == nil) {
+			t.Fatalf("%v: Queries() error = %v, want ok=%v", tc.args, err, tc.ok)
+		}
+		if tc.ok && got != tc.want {
+			t.Fatalf("%v: Queries() = %d, want %d", tc.args, got, tc.want)
+		}
+	}
+	// A preset QPS default survives Register, like Campaign presets do.
+	preset := LoadGen{QPS: 250}
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	preset.Register(fs)
+	if err := fs.Parse([]string{"-duration", "1s"}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := preset.Queries(); err != nil || n != 250 {
+		t.Fatalf("preset default: Queries() = %d, %v", n, err)
+	}
+}
+
 func TestTargetsFlag(t *testing.T) {
 	cases := []struct {
 		spec string

@@ -2,8 +2,9 @@ package dram
 
 // Params collects every physical constant of the reliability model. The
 // default values are calibrated so the simulated campaigns land on the
-// paper's reported orders of magnitude and orderings (see DESIGN.md §5 and
-// EXPERIMENTS.md); they can be overridden to model other parts.
+// paper's reported orders of magnitude and orderings (each field's comment
+// names the observation it reproduces; EXPERIMENTS.md maps them to the
+// figures); they can be overridden to model other parts.
 type Params struct {
 	// RetentionK and RetentionGamma parameterize the weak-cell retention
 	// tail: the fraction of bits whose retention time (at the 50 °C

@@ -18,8 +18,8 @@ import (
 //     by data coupling and bit-density vulnerability;
 //   - the serial/parallel gap of backprop — driven by disturbance.
 //
-// DESIGN.md commits to these attributions; the ablation makes them
-// measurable instead of asserted.
+// The dram.Params documentation commits to these attributions; the
+// ablation makes them measurable instead of asserted.
 func (s *Suite) Ablation() (*Table, error) {
 	t := &Table{
 		ID:    "ablation",

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fleet"
+)
+
+// FleetSummary simulates a heterogeneous fleet offline (internal/fleet)
+// and tabulates the scenario the serving layer faces at scale: which
+// workloads dominate the query stream, the temperature band each one runs
+// in, the refresh-relaxation policies deployed across servers, and the
+// ground-truth error exposure — the fleet-wide view the related AIOps
+// memory-failure work predicts over, where the paper characterizes one
+// machine. The table is a pure function of (servers, seed, n); its
+// checksum note pins the determinism contract cmd/dramfleet replays on.
+func FleetSummary(servers int, seed uint64, n int) (*Table, error) {
+	f, err := fleet.New(fleet.Config{Servers: servers, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	qs := f.Take(n)
+
+	type agg struct {
+		queries            int
+		tempMin, tempMax   float64
+		tempSum            float64
+		truthWER, truthPUE float64
+		atRisk             int // queries with a material crash probability
+	}
+	rows := map[string]*agg{}
+	trefps := map[float64]int{}
+	serversSeen := map[int]bool{}
+	for i := range qs {
+		q := &qs[i]
+		a, ok := rows[q.Workload]
+		if !ok {
+			a = &agg{tempMin: q.TempC, tempMax: q.TempC}
+			rows[q.Workload] = a
+		}
+		a.queries++
+		if q.TempC < a.tempMin {
+			a.tempMin = q.TempC
+		}
+		if q.TempC > a.tempMax {
+			a.tempMax = q.TempC
+		}
+		a.tempSum += q.TempC
+		a.truthWER += q.TruthWER
+		a.truthPUE += q.TruthPUE
+		if q.TruthPUE > 0.1 {
+			a.atRisk++
+		}
+		trefps[q.TREFP]++
+		serversSeen[q.Server] = true
+	}
+
+	tbl := &Table{
+		ID:    "fleet",
+		Title: "Fleet telemetry stream composition (offline simulation)",
+		Header: []string{"workload", "queries", "share", "temp range", "mean truth WER",
+			"mean truth PUE", "at-risk"},
+	}
+	labels := make([]string, 0, len(rows))
+	for l := range rows {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		a := rows[l]
+		q := float64(a.queries)
+		tbl.AddRow(l,
+			fmt.Sprintf("%d", a.queries),
+			fmt.Sprintf("%.1f%%", 100*q/float64(len(qs))),
+			fmt.Sprintf("%.1f-%.1f°C", a.tempMin, a.tempMax),
+			fmtWER(a.truthWER/q),
+			fmt.Sprintf("%.4f", a.truthPUE/q),
+			fmt.Sprintf("%.1f%%", 100*float64(a.atRisk)/q),
+		)
+	}
+
+	policies := make([]float64, 0, len(trefps))
+	for tr := range trefps {
+		policies = append(policies, tr)
+	}
+	sort.Float64s(policies)
+	for _, tr := range policies {
+		tbl.AddNote("TREFP %.3fs policy: %d queries (%.1f%% of the stream)",
+			tr, trefps[tr], 100*float64(trefps[tr])/float64(len(qs)))
+	}
+	tbl.AddNote("%d servers emitted %d queries; stream %s (same seed ⇒ same table)",
+		len(serversSeen), len(qs), fleet.Checksum(qs))
+	return tbl, nil
+}

@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestFleetSummaryDeterminism: the fleet table is a pure function of
+// (servers, seed, n) — no profiling, no campaign, so it renders in
+// microseconds and byte-identically.
+func TestFleetSummaryDeterminism(t *testing.T) {
+	a, err := FleetSummary(16, 1, 640)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FleetSummary(16, 1, 640)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatalf("same seed rendered different tables:\n%s\nvs\n%s", a.Render(), b.Render())
+	}
+	c, err := FleetSummary(16, 2, 640)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() == c.Render() {
+		t.Fatal("different seeds rendered the same table")
+	}
+}
+
+func TestFleetSummaryShape(t *testing.T) {
+	tbl, err := FleetSummary(8, 3, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "fleet" || len(tbl.Rows) == 0 {
+		t.Fatalf("table shape: id=%q rows=%d", tbl.ID, len(tbl.Rows))
+	}
+	total := 0
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Header) {
+			t.Fatalf("row width %d, header width %d", len(row), len(tbl.Header))
+		}
+		n, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatalf("queries cell %q: %v", row[1], err)
+		}
+		total += n
+	}
+	if total != 400 {
+		t.Fatalf("rows account for %d queries, want 400", total)
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, "same seed ⇒ same table") {
+		t.Fatalf("determinism note missing:\n%s", out)
+	}
+	if !strings.Contains(out, "TREFP") {
+		t.Fatalf("policy notes missing:\n%s", out)
+	}
+}

@@ -1,0 +1,134 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/serve"
+)
+
+// DriveOptions configures one closed-loop run against a live dramserve.
+type DriveOptions struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// QPS is the target request rate: query i is released at i/QPS after
+	// the run starts. Zero or negative means as fast as the workers go.
+	QPS float64
+	// Workers bounds the in-flight requests (the closed loop: when the
+	// server falls behind the schedule, at most Workers requests are
+	// outstanding and the excess back-pressures). 0 means GOMAXPROCS.
+	Workers int
+	// Targets are the regression targets each query requests; default all.
+	Targets []core.Target
+	// Model selects the model kind; default the paper's published KNN.
+	Model string
+	// Client is the HTTP client; default http.DefaultClient.
+	Client *http.Client
+	// Context cancels the run; queries not yet issued fail with the
+	// context's error.
+	Context context.Context
+}
+
+// Drive replays the query stream against the server: an open-loop arrival
+// schedule (QPS) executed by a closed-loop bounded worker pool
+// (engine.Map), the same substrate every campaign in this repository fans
+// out on. The i-th outcome corresponds to the i-th query regardless of
+// completion order. Request failures are recorded per outcome, never
+// aborting the run; the returned error is reserved for context
+// cancellation.
+func Drive(qs []Query, opts DriveOptions) ([]Outcome, error) {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	client := opts.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	targets := opts.Targets
+	if len(targets) == 0 {
+		targets = core.Targets()
+	}
+	names := make([]string, len(targets))
+	for i, t := range targets {
+		names[i] = string(t)
+	}
+	var interval time.Duration
+	if opts.QPS > 0 {
+		interval = time.Duration(float64(time.Second) / opts.QPS)
+	}
+	start := time.Now()
+	return engine.Map(len(qs), func(i int) (Outcome, error) {
+		// Pace: wait for this query's slot in the arrival schedule. When
+		// the pool is saturated the slot is already past and the query
+		// goes out immediately — the closed loop.
+		if wait := time.Until(start.Add(time.Duration(i) * interval)); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return Outcome{Err: ctx.Err()}, nil
+			}
+		}
+		return doQuery(ctx, client, opts.BaseURL, opts.Model, names, targets, &qs[i]), nil
+	}, engine.Options{Workers: opts.Workers, Context: ctx})
+}
+
+// doQuery issues one /v2/predict request and extracts the per-target
+// answers.
+func doQuery(ctx context.Context, client *http.Client, baseURL, model string,
+	targetNames []string, targets []core.Target, q *Query) Outcome {
+	body, err := json.Marshal(serve.PredictRequestV2{
+		Workload: q.Workload,
+		TREFP:    q.TREFP,
+		TempC:    q.TempC,
+		VDD:      q.VDD,
+		Model:    model,
+		Targets:  targetNames,
+	})
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		baseURL+"/v2/predict", bytes.NewReader(body))
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	start := time.Now()
+	resp, err := client.Do(req)
+	lat := time.Since(start)
+	if err != nil {
+		return Outcome{Latency: lat, Err: err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return Outcome{Latency: lat, Status: resp.StatusCode, Err: err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Outcome{Latency: lat, Status: resp.StatusCode,
+			Err: fmt.Errorf("fleet: query %d: %s: %s", q.Seq, resp.Status, data)}
+	}
+	var out serve.PredictResponseV2
+	if err := json.Unmarshal(data, &out); err != nil {
+		return Outcome{Latency: lat, Status: resp.StatusCode, Err: err}
+	}
+	preds := make(map[core.Target]float64, len(targets))
+	for _, t := range targets {
+		res, ok := out.Predictions[string(t)]
+		if !ok {
+			return Outcome{Latency: lat, Status: resp.StatusCode,
+				Err: fmt.Errorf("fleet: query %d: no %s prediction in response", q.Seq, t)}
+		}
+		preds[t] = res.Value
+	}
+	return Outcome{Latency: lat, Status: resp.StatusCode, Predictions: preds}
+}

@@ -1,0 +1,341 @@
+// Package fleet simulates a heterogeneous datacenter fleet running under
+// relaxed DRAM refresh — the scenario the serving layer exists for. The
+// paper characterizes one X-Gene2 server; fleet-scale memory-failure work
+// (see PAPERS.md: "Investigating Memory Failure Prediction Across CPU
+// Architectures", "DRAM Failure Prediction in AIOps") frames prediction as
+// an online problem over a stream of telemetry from many machines that
+// differ in silicon quality, operating point and workload. This package
+// produces exactly that stream, deterministically:
+//
+//   - N simulated servers, each with its own per-DIMM weak-cell density
+//     variation (lognormal jitter over the calibrated rank densities),
+//     refresh-relaxation policy (a TREFP from the paper's campaign grid)
+//     and pair frailty — all drawn from stats.RNG Split streams so the
+//     whole fleet is a pure function of (Config, Seed);
+//   - a per-server ambient-temperature schedule (a diurnal sinusoid with a
+//     per-server phase, as racks see different airflow) driving a
+//     thermal.Plant — the same first-order DIMM thermal model the
+//     characterization testbed uses — with heater power standing in for
+//     the running workload's dissipation;
+//   - a rotating workload mix per server: every shift the server moves to
+//     the next benchmark of its mix, so the stream interleaves programs
+//     the way a scheduler does.
+//
+// Each tick every server emits one Query: the prediction request a
+// telemetry agent would send to dramserve, paired with the fleet model's
+// own ground-truth WER and PUE for that instant. The truth comes from the
+// same calibrated laws as internal/dram (retention tail exponent,
+// temperature halving, per-rank density, pair-retention cliff), evaluated
+// in closed form so a million-query stream costs milliseconds, not
+// simulated characterization hours.
+//
+// Determinism contract: the stream is a pure function of Config — the same
+// seed yields the same servers, the same temperatures, the same workload
+// rotations and the same truth values, byte for byte (Checksum pins it).
+// cmd/dramfleet builds its replayable load runs on this contract.
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/stats"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// Defaults for the zero Config fields.
+const (
+	DefaultServers     = 16
+	DefaultMixSize     = 4
+	DefaultShiftTicks  = 8
+	DefaultTickSeconds = 900 // one telemetry interval: 15 minutes
+)
+
+// Ambient-schedule shape: a diurnal sinusoid around a datacenter setpoint.
+const (
+	ambientBaseC  = 26.0
+	ambientSwingC = 4.0
+	daySeconds    = 86400.0
+)
+
+// Config describes one simulated fleet. The emitted stream is a pure
+// function of this struct: same Config, same stream.
+type Config struct {
+	// Servers is the fleet size (default DefaultServers).
+	Servers int
+	// Seed keys every random draw of the simulation.
+	Seed uint64
+	// Workloads are the benchmark labels servers draw their mixes from;
+	// default: the full servable catalog (workload.ExtendedSet).
+	Workloads []string
+	// MixSize is how many workloads each server rotates through (default
+	// DefaultMixSize, capped at len(Workloads)).
+	MixSize int
+	// ShiftTicks is the number of ticks a server stays on one workload
+	// before rotating (default DefaultShiftTicks).
+	ShiftTicks int
+	// TickSeconds is the simulated time between telemetry queries per
+	// server (default DefaultTickSeconds).
+	TickSeconds float64
+}
+
+func (c *Config) setDefaults() error {
+	if c.Servers == 0 {
+		c.Servers = DefaultServers
+	}
+	if c.Servers < 0 {
+		return fmt.Errorf("fleet: %d servers", c.Servers)
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = workload.Labels(workload.ExtendedSet())
+	}
+	for _, l := range c.Workloads {
+		if _, err := workload.FindSpec(l); err != nil {
+			return fmt.Errorf("fleet: %w", err)
+		}
+	}
+	if c.MixSize == 0 {
+		c.MixSize = DefaultMixSize
+	}
+	if c.MixSize < 0 {
+		return fmt.Errorf("fleet: mix size %d", c.MixSize)
+	}
+	if c.MixSize > len(c.Workloads) {
+		c.MixSize = len(c.Workloads)
+	}
+	if c.ShiftTicks == 0 {
+		c.ShiftTicks = DefaultShiftTicks
+	}
+	if c.ShiftTicks < 0 {
+		return fmt.Errorf("fleet: shift of %d ticks", c.ShiftTicks)
+	}
+	if c.TickSeconds == 0 {
+		c.TickSeconds = DefaultTickSeconds
+	}
+	if c.TickSeconds < 0 || math.IsNaN(c.TickSeconds) || math.IsInf(c.TickSeconds, 0) {
+		return fmt.Errorf("fleet: tick of %v seconds", c.TickSeconds)
+	}
+	return nil
+}
+
+// Query is one telemetry instant of one server: the prediction request a
+// fleet agent would send, plus the simulation's own ground truth for it.
+// The field order is the canonical stream encoding (JSON lines and the
+// Checksum both follow it).
+type Query struct {
+	// Seq is the global 0-based position in the stream.
+	Seq int `json:"seq"`
+	// Server is the emitting server's fleet index.
+	Server int `json:"server"`
+	// Workload is the benchmark label the server is running this shift.
+	Workload string `json:"workload"`
+	// TREFP, VDD and TempC form the server's operating point this tick.
+	TREFP float64 `json:"trefp"`
+	VDD   float64 `json:"vdd"`
+	TempC float64 `json:"temp_c"`
+	// TruthWER and TruthPUE are the fleet model's ground truth: the
+	// device-mean word error rate and the crash probability the simulated
+	// server actually exhibits at this instant.
+	TruthWER float64 `json:"truth_wer"`
+	TruthPUE float64 `json:"truth_pue"`
+}
+
+// simServer is one machine of the fleet: immutable identity drawn at
+// construction (silicon variation, refresh policy, schedule phase, mix)
+// plus the mutable thermal state advanced every tick.
+type simServer struct {
+	id int
+	// density is the per-rank weak-cell density: the calibrated paper
+	// ranks scaled by this server's per-DIMM lognormal jitter.
+	density [dram.NumRanks]float64
+	// frailty scales how early this server's coupled pairs cross the UE
+	// cliff (machine-to-machine PUE variation).
+	frailty float64
+	// trefp is the server's refresh-relaxation policy, from the campaign
+	// grid.
+	trefp float64
+	// phase offsets the diurnal ambient schedule (rack position).
+	phase float64
+	// mix is the rotation of workload labels this server cycles through.
+	mix []string
+
+	plant *thermal.Plant
+}
+
+// newSimServer derives server id entirely from rng, in a fixed draw order:
+// changing the order is a stream-format change.
+func newSimServer(id int, rng *stats.RNG, cfg *Config) *simServer {
+	sv := &simServer{id: id, frailty: rng.LogNormal(0, 0.15)}
+	params := dram.DefaultParams()
+	for d := 0; d < dram.NumDIMMs; d++ {
+		jitter := rng.LogNormal(0, 0.6)
+		for r := 0; r < dram.RanksPerDIMM; r++ {
+			rank := d*dram.RanksPerDIMM + r
+			sv.density[rank] = params.RankDensity[rank] * jitter
+		}
+	}
+	sv.trefp = core.WERTrefps[rng.Intn(len(core.WERTrefps))]
+	sv.phase = 2 * math.Pi * rng.Float64()
+	perm := rng.Perm(len(cfg.Workloads))
+	for _, i := range perm[:cfg.MixSize] {
+		sv.mix = append(sv.mix, cfg.Workloads[i])
+	}
+	sv.plant = thermal.NewPlant(ambientAt(0, sv.phase), rng.Uint64())
+	return sv
+}
+
+// ambientAt is the inlet temperature of a server with the given schedule
+// phase at simulated time t.
+func ambientAt(t, phase float64) float64 {
+	return ambientBaseC + ambientSwingC*math.Sin(2*math.Pi*t/daySeconds+phase)
+}
+
+// workloadFrac hashes a benchmark label into [0, 1) — the deterministic
+// per-workload factors (heat dissipation, disturbance stress) come from
+// distinct salts over this.
+func workloadFrac(label string, salt uint64) float64 {
+	h := salt ^ 0xcbf29ce484222325
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 0x100000001b3
+	}
+	return float64(h>>11) / (1 << 53)
+}
+
+// heaterPowerW maps a workload to the DIMM heat load it imposes: busier
+// kernels dissipate more into the module. The range keeps steady-state
+// DIMM temperatures in the characterization band (≈35–75 °C).
+func heaterPowerW(label string, max float64) float64 {
+	return (0.15 + 0.40*workloadFrac(label, 0x9e37)) * max
+}
+
+// stress is the workload's disturbance/data-pattern aggressiveness: how
+// much it shortens effective retention versus an idle pattern.
+func stress(label string) float64 {
+	return 0.8 + 0.5*workloadFrac(label, 0x51ed)
+}
+
+// step advances the server's thermal state by dt simulated seconds ending
+// at time t, under the heat load of the running workload.
+func (sv *simServer) step(label string, t, dt float64) {
+	sv.plant.AmbientC = ambientAt(t, sv.phase)
+	power := heaterPowerW(label, sv.plant.MaxPowerW)
+	// Sub-step the plant: its time constant (tens of seconds) and its
+	// per-step measurement noise both need a dt far below one tick.
+	const sub = 5.0
+	for remaining := dt; remaining > 0; remaining -= sub {
+		step := sub
+		if remaining < sub {
+			step = remaining
+		}
+		sv.plant.Step(power, step)
+	}
+}
+
+// truth evaluates the fleet model's ground truth for the server running
+// label at DIMM temperature tempC: the closed-form macro view of the same
+// calibrated laws internal/dram simulates mechanistically. The effective
+// stress x folds the refresh period, the retention-halving temperature
+// dependence and the workload's disturbance aggressiveness into one
+// equivalent refresh exposure.
+func (sv *simServer) truth(label string, tempC float64) (wer, pue float64) {
+	params := dram.DefaultParams()
+	tempFactor := math.Exp2((tempC - params.ReferenceTempC) / params.RetentionHalvingC)
+	x := sv.trefp * tempFactor * stress(label)
+
+	// WER: the retention-tail CDF per rank, F(t) = K·d·t^gamma, averaged
+	// over the device like the serving layer's RankDevice mean.
+	tail := math.Pow(x, params.RetentionGamma)
+	sum := 0.0
+	for r := 0; r < dram.NumRanks; r++ {
+		w := params.RetentionK * sv.density[r] * tail
+		if w > 1 {
+			w = 1
+		}
+		sum += w
+	}
+	wer = sum / dram.NumRanks
+
+	// PUE: coupled pairs crash the machine once the effective exposure
+	// approaches the pair-retention median; the narrow retention band
+	// makes it a cliff (no crashes at 50/60 °C, certain crashes at the
+	// longest TREFP at 70 °C), positioned per server by its frailty.
+	const knee, width = 6.5, 0.7
+	pue = 1 / (1 + math.Exp(-(x*sv.frailty-knee)/width))
+	return wer, pue
+}
+
+// Fleet is one running simulation. It is not safe for concurrent use; the
+// stream it emits is deterministic in its Config.
+type Fleet struct {
+	cfg     Config
+	servers []*simServer
+	tick    int
+	seq     int
+	pending []Query
+}
+
+// New builds the fleet. Every server's identity is drawn up front from a
+// fixed sequence of stats.RNG Split streams, so the fleet (and everything
+// it will ever emit) is a function of cfg alone.
+func New(cfg Config) (*Fleet, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	f := &Fleet{cfg: cfg}
+	root := stats.NewRNG(cfg.Seed ^ 0xf1ee7) // domain-separate from other seed users
+	for i := 0; i < cfg.Servers; i++ {
+		f.servers = append(f.servers, newSimServer(i, root.Split(), &cfg))
+	}
+	return f, nil
+}
+
+// Config returns the resolved configuration (defaults applied).
+func (f *Fleet) Config() Config { return f.cfg }
+
+// advance runs one tick: every server steps its thermal state and emits
+// one query, in server order.
+func (f *Fleet) advance() {
+	f.tick++
+	t := float64(f.tick) * f.cfg.TickSeconds
+	shift := (f.tick / f.cfg.ShiftTicks) % max(1, f.cfg.MixSize)
+	for _, sv := range f.servers {
+		label := sv.mix[shift%len(sv.mix)]
+		sv.step(label, t, f.cfg.TickSeconds)
+		tempC := sv.plant.TempC()
+		wer, pue := sv.truth(label, tempC)
+		f.pending = append(f.pending, Query{
+			Seq:      f.seq,
+			Server:   sv.id,
+			Workload: label,
+			TREFP:    sv.trefp,
+			VDD:      dram.MinVDD,
+			TempC:    tempC,
+			TruthWER: wer,
+			TruthPUE: pue,
+		})
+		f.seq++
+	}
+}
+
+// Next returns the next query of the infinite stream.
+func (f *Fleet) Next() Query {
+	for len(f.pending) == 0 {
+		f.advance()
+	}
+	q := f.pending[0]
+	f.pending = f.pending[1:]
+	return q
+}
+
+// Take returns the next n queries of the stream.
+func (f *Fleet) Take(n int) []Query {
+	out := make([]Query, n)
+	for i := range out {
+		out[i] = f.Next()
+	}
+	return out
+}

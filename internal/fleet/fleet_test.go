@@ -1,0 +1,309 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/serve"
+	"repro/internal/workload"
+	"repro/internal/xgene"
+)
+
+// TestStreamDeterminism pins the contract everything else builds on: the
+// stream is a pure function of Config.
+func TestStreamDeterminism(t *testing.T) {
+	cfg := Config{Servers: 8, Seed: 1}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa, qb := a.Take(320), b.Take(320)
+	if !reflect.DeepEqual(qa, qb) {
+		t.Fatal("same config produced different streams")
+	}
+	if Checksum(qa) != Checksum(qb) {
+		t.Fatal("checksums differ on identical streams")
+	}
+
+	// JSON (the -stream-out format) is byte-identical too.
+	ja, _ := json.Marshal(qa)
+	jb, _ := json.Marshal(qb)
+	if string(ja) != string(jb) {
+		t.Fatal("JSON encodings differ")
+	}
+
+	other, err := New(Config{Servers: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Checksum(other.Take(320)) == Checksum(qa) {
+		t.Fatal("different seeds produced the same stream")
+	}
+}
+
+// TestQueryValidity checks every emitted query is a servable request with
+// physically sensible values.
+func TestQueryValidity(t *testing.T) {
+	f, err := New(Config{Servers: 12, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := map[float64]bool{}
+	for _, tr := range core.WERTrefps {
+		grid[tr] = true
+	}
+	for i, q := range f.Take(600) {
+		if q.Seq != i {
+			t.Fatalf("query %d has seq %d", i, q.Seq)
+		}
+		if q.Server < 0 || q.Server >= 12 {
+			t.Fatalf("query %d from server %d", i, q.Server)
+		}
+		if _, err := workload.FindSpec(q.Workload); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if !grid[q.TREFP] {
+			t.Fatalf("query %d TREFP %v not on the campaign grid", i, q.TREFP)
+		}
+		if q.VDD != dram.MinVDD {
+			t.Fatalf("query %d VDD %v", i, q.VDD)
+		}
+		if q.TempC < 10 || q.TempC > 95 {
+			t.Fatalf("query %d temp %v out of band", i, q.TempC)
+		}
+		if q.TruthWER < 0 || q.TruthWER > 1 || q.TruthPUE < 0 || q.TruthPUE > 1 {
+			t.Fatalf("query %d truth out of range: wer=%v pue=%v", i, q.TruthWER, q.TruthPUE)
+		}
+	}
+}
+
+// TestFleetHeterogeneity: servers must actually differ — in refresh
+// policy, temperature and workload — and each server must rotate through
+// its mix over time.
+func TestFleetHeterogeneity(t *testing.T) {
+	f, err := New(Config{Servers: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := f.Take(16 * DefaultShiftTicks * 5)
+	trefps := map[float64]bool{}
+	temps := map[int]map[float64]bool{}
+	labels := map[int]map[string]bool{}
+	for _, q := range qs {
+		trefps[q.TREFP] = true
+		if temps[q.Server] == nil {
+			temps[q.Server] = map[float64]bool{}
+			labels[q.Server] = map[string]bool{}
+		}
+		temps[q.Server][q.TempC] = true
+		labels[q.Server][q.Workload] = true
+	}
+	if len(trefps) < 2 {
+		t.Fatalf("fleet runs only %d distinct TREFPs", len(trefps))
+	}
+	rotated := 0
+	for sv, ls := range labels {
+		if len(ls) > 1 {
+			rotated++
+		}
+		if len(temps[sv]) < 2 {
+			t.Fatalf("server %d temperature never moved", sv)
+		}
+	}
+	if rotated < 12 {
+		t.Fatalf("only %d/16 servers rotated workloads", rotated)
+	}
+}
+
+// TestConfigValidation rejects unknown workloads and nonsense shapes.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Workloads: []string{"doom"}}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := New(Config{Servers: -1}); err == nil {
+		t.Fatal("negative fleet accepted")
+	}
+	if _, err := New(Config{TickSeconds: -5}); err == nil {
+		t.Fatal("negative tick accepted")
+	}
+	f, err := New(Config{MixSize: 99, Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Config().MixSize; got != len(workload.Labels(workload.ExtendedSet())) {
+		t.Fatalf("mix size not capped at the catalog: %d", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lats := []time.Duration{5, 1, 4, 2, 3} // unsorted on purpose
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{{0.5, 3}, {0.95, 5}, {0.99, 5}, {0.2, 1}, {1, 5}}
+	for _, tc := range cases {
+		if got := Percentile(lats, tc.q); got != tc.want {
+			t.Fatalf("Percentile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := Percentile(nil, 0.99); got != 0 {
+		t.Fatalf("Percentile(nil) = %v", got)
+	}
+}
+
+// testDataset builds one small campaign corpus shared by the e2e tests.
+var (
+	dsOnce sync.Once
+	dsVal  *core.Dataset
+	dsErr  error
+)
+
+func testDataset(t testing.TB) *core.Dataset {
+	t.Helper()
+	dsOnce.Do(func() {
+		var specs []workload.Spec
+		for _, l := range []string{"backprop", "random"} {
+			spec, err := workload.FindSpec(l)
+			if err != nil {
+				dsErr = err
+				return
+			}
+			specs = append(specs, spec)
+		}
+		profiles, err := core.BuildProfiles(specs, workload.SizeTest, 3, 0)
+		if err != nil {
+			dsErr = err
+			return
+		}
+		srv := xgene.MustNewServer(xgene.Config{Scale: 32})
+		dsVal, dsErr = core.BuildDataset(srv, profiles, specs, core.CampaignOptions{Reps: 2})
+	})
+	if dsErr != nil {
+		t.Fatal(dsErr)
+	}
+	return dsVal
+}
+
+// TestDriveEndToEnd drives a real serve.Server with a fleet stream and
+// cross-checks the generator's view (completed queries) against the
+// server's own /v2/stats counters — the contract scripts/smoke.sh asserts
+// over real HTTP in CI.
+func TestDriveEndToEnd(t *testing.T) {
+	s := serve.New(testDataset(t), serve.Options{Quick: true, Seed: 3, Workers: 2})
+	t.Cleanup(func() { s.Close() })
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	cfg := Config{Servers: 6, Seed: 11, Workloads: []string{"backprop", "random"}}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := f.Take(24)
+	outs, err := Drive(qs, DriveOptions{
+		BaseURL: ts.URL, QPS: 2000, Workers: 4,
+		Targets: core.Targets(), Client: ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &Report{Seed: cfg.Seed, Servers: cfg.Servers, Targets: core.Targets(),
+		Queries: qs, Outcomes: outs}
+	if rep.Completed() != len(qs) || rep.Failed() != 0 {
+		for i, o := range outs {
+			if o.Err != nil {
+				t.Logf("query %d: %v", i, o.Err)
+			}
+		}
+		t.Fatalf("completed %d/%d", rep.Completed(), len(qs))
+	}
+
+	mae := rep.MAE()
+	for _, tgt := range core.Targets() {
+		v, ok := mae[tgt]
+		if !ok || v < 0 {
+			t.Fatalf("MAE[%s] = %v, %v", tgt, v, ok)
+		}
+	}
+
+	// Server's view: each requested target answered exactly once per
+	// completed query.
+	resp, err := http.Get(ts.URL + "/v2/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.StatsResponseV2
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	for _, tgt := range core.Targets() {
+		if got := st.Targets[string(tgt)]; got != int64(rep.Completed()) {
+			t.Fatalf("server counted %d %s queries, generator completed %d",
+				got, tgt, rep.Completed())
+		}
+	}
+
+	// The deterministic report half is byte-identical across replays of
+	// the same seed against the same artifact.
+	f2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs2 := f2.Take(24)
+	outs2, err := Drive(qs2, DriveOptions{
+		BaseURL: ts.URL, QPS: 2000, Workers: 2, // different worker count on purpose
+		Targets: core.Targets(), Client: ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2 := &Report{Seed: cfg.Seed, Servers: cfg.Servers, Targets: core.Targets(),
+		Queries: qs2, Outcomes: outs2}
+	if a, b := rep.Render(false), rep2.Render(false); a != b {
+		t.Fatalf("deterministic reports differ:\n--- first\n%s--- second\n%s", a, b)
+	}
+	// The timing section renders percentiles without disturbing the rest.
+	timed := rep.Render(true)
+	for _, want := range []string{"p50 ", "p95 ", "p99 ", "-- timing"} {
+		if !strings.Contains(timed, want) {
+			t.Fatalf("timing render missing %q:\n%s", want, timed)
+		}
+	}
+	if !strings.HasPrefix(timed, rep.Render(false)) {
+		t.Fatal("timing section does not append cleanly to the deterministic report")
+	}
+}
+
+// TestReportOffline: an outcome-less report renders the stream summary
+// and never a timing section.
+func TestReportOffline(t *testing.T) {
+	f, err := New(Config{Servers: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := f.Take(40)
+	rep := &Report{Seed: 5, Servers: 4, Targets: core.Targets(), Queries: qs}
+	out := rep.Render(true)
+	if strings.Contains(out, "timing") || strings.Contains(out, "completed") {
+		t.Fatalf("offline report leaked online sections:\n%s", out)
+	}
+	if !strings.Contains(out, "stream    fnv64:") {
+		t.Fatalf("offline report missing checksum:\n%s", out)
+	}
+	if rep.Render(true) != out {
+		t.Fatal("offline render not stable")
+	}
+}

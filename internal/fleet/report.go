@@ -1,0 +1,259 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Checksum fingerprints a query stream: FNV-1a over the canonical binary
+// encoding of every field of every query, in stream order. Two runs with
+// the same Config produce the same checksum — the determinism contract
+// smoke tests and regression benchmarks pin.
+func Checksum(qs []Query) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	for i := range qs {
+		q := &qs[i]
+		u64(uint64(q.Seq))
+		u64(uint64(q.Server))
+		h.Write([]byte(q.Workload))
+		f64(q.TREFP)
+		f64(q.VDD)
+		f64(q.TempC)
+		f64(q.TruthWER)
+		f64(q.TruthPUE)
+	}
+	return fmt.Sprintf("fnv64:%016x", h.Sum64())
+}
+
+// Outcome is the observation of one driven query: what the server
+// answered and how long the round trip took. A zero Outcome (offline
+// runs) carries no information.
+type Outcome struct {
+	// Latency is the wall-clock round trip of the HTTP request.
+	Latency time.Duration
+	// Err is non-nil when the query failed (transport error or non-200).
+	Err error
+	// Status is the HTTP status code (0 on transport errors).
+	Status int
+	// Predictions holds the server's answer per requested target.
+	Predictions map[core.Target]float64
+}
+
+// Report aggregates one dramfleet run: the deterministic stream statistics
+// (always) plus the driven outcomes (when the run was online). Render
+// separates the two so the deterministic part can be compared byte for
+// byte across runs while wall-clock timing stays observable.
+type Report struct {
+	// Seed and Servers echo the generating Config.
+	Seed    uint64
+	Servers int
+	// Targets are the targets each query requested, in request order.
+	Targets []core.Target
+	// Queries is the emitted stream.
+	Queries []Query
+	// Outcomes pairs with Queries on online runs; nil on offline runs.
+	Outcomes []Outcome
+	// Wall is the end-to-end wall time of the driven run (timing section
+	// only; zero offline).
+	Wall time.Duration
+}
+
+// Completed counts the queries the server answered successfully.
+func (r *Report) Completed() int {
+	n := 0
+	for i := range r.Outcomes {
+		if r.Outcomes[i].Err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Failed counts the queries that errored.
+func (r *Report) Failed() int { return len(r.Outcomes) - r.Completed() }
+
+// MAE is the online prediction error per target over the completed
+// queries: WER compared in log10 space (the rate spans decades, exactly
+// why the paper regresses log10(WER)), PUE as a raw probability
+// difference. The map is empty for offline runs.
+func (r *Report) MAE() map[core.Target]float64 {
+	sums := map[core.Target]float64{}
+	counts := map[core.Target]int{}
+	for i := range r.Outcomes {
+		o := &r.Outcomes[i]
+		if o.Err != nil {
+			continue
+		}
+		q := &r.Queries[i]
+		for t, pred := range o.Predictions {
+			var err float64
+			switch t {
+			case core.TargetWER:
+				err = math.Abs(logFloor(pred) - logFloor(q.TruthWER))
+			case core.TargetPUE:
+				err = math.Abs(pred - q.TruthPUE)
+			default:
+				continue
+			}
+			sums[t] += err
+			counts[t]++
+		}
+	}
+	out := make(map[core.Target]float64, len(sums))
+	for t, s := range sums {
+		out[t] = s / float64(counts[t])
+	}
+	return out
+}
+
+// logFloor is log10 with the campaign's observation floor, matching how
+// the WER models are trained.
+func logFloor(w float64) float64 {
+	if w < core.WERFloor {
+		w = core.WERFloor
+	}
+	return math.Log10(w)
+}
+
+// Latencies returns the completed queries' round-trip times.
+func (r *Report) Latencies() []time.Duration {
+	var out []time.Duration
+	for i := range r.Outcomes {
+		if r.Outcomes[i].Err == nil {
+			out = append(out, r.Outcomes[i].Latency)
+		}
+	}
+	return out
+}
+
+// Percentile is the nearest-rank percentile of lats (q in (0, 1]); zero
+// when lats is empty.
+func Percentile(lats []time.Duration, q float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// workloadRow is one per-workload aggregate of the stream.
+type workloadRow struct {
+	label                       string
+	queries                     int
+	tempSum, truthWER, truthPUE float64
+}
+
+// byWorkload aggregates the stream per label, sorted by label.
+func (r *Report) byWorkload() []workloadRow {
+	idx := map[string]int{}
+	var rows []workloadRow
+	for i := range r.Queries {
+		q := &r.Queries[i]
+		j, ok := idx[q.Workload]
+		if !ok {
+			j = len(rows)
+			idx[q.Workload] = j
+			rows = append(rows, workloadRow{label: q.Workload})
+		}
+		rows[j].queries++
+		rows[j].tempSum += q.TempC
+		rows[j].truthWER += q.TruthWER
+		rows[j].truthPUE += q.TruthPUE
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].label < rows[j].label })
+	return rows
+}
+
+// targetNames renders the requested targets in request order.
+func targetNames(targets []core.Target) string {
+	names := make([]string, len(targets))
+	for i, t := range targets {
+		names[i] = string(t)
+	}
+	return strings.Join(names, ",")
+}
+
+// Render formats the report. Everything above the timing marker is a pure
+// function of (Config, the serving artifact): two runs with the same seed
+// against the same server render identical bytes. The timing section
+// (withTiming) is wall-clock and deliberately outside that contract.
+func (r *Report) Render(withTiming bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== fleet report ==\n")
+	fmt.Fprintf(&b, "seed      %d\n", r.Seed)
+	fmt.Fprintf(&b, "servers   %d\n", r.Servers)
+	fmt.Fprintf(&b, "queries   %d\n", len(r.Queries))
+	fmt.Fprintf(&b, "targets   %s\n", targetNames(r.Targets))
+	fmt.Fprintf(&b, "stream    %s\n", Checksum(r.Queries))
+	if r.Outcomes != nil {
+		fmt.Fprintf(&b, "completed %d\n", r.Completed())
+		fmt.Fprintf(&b, "failed    %d\n", r.Failed())
+	}
+
+	fmt.Fprintf(&b, "%-16s %8s %7s %10s %14s %14s\n",
+		"workload", "queries", "share", "mean temp", "mean truthWER", "mean truthPUE")
+	total := float64(len(r.Queries))
+	for _, row := range r.byWorkload() {
+		n := float64(row.queries)
+		fmt.Fprintf(&b, "%-16s %8d %6.1f%% %9.1fC %14.4g %14.4f\n",
+			row.label, row.queries, 100*n/total,
+			row.tempSum/n, row.truthWER/n, row.truthPUE/n)
+	}
+
+	if r.Outcomes != nil {
+		mae := r.MAE()
+		var parts []string
+		for _, t := range r.Targets {
+			v, ok := mae[t]
+			if !ok {
+				continue
+			}
+			switch t {
+			case core.TargetWER:
+				parts = append(parts, fmt.Sprintf("wer(log10)=%.4f", v))
+			default:
+				parts = append(parts, fmt.Sprintf("%s=%.4f", t, v))
+			}
+		}
+		if len(parts) > 0 {
+			fmt.Fprintf(&b, "online MAE %s\n", strings.Join(parts, "  "))
+		}
+	}
+
+	if withTiming && r.Outcomes != nil {
+		lats := r.Latencies()
+		fmt.Fprintf(&b, "-- timing (wall-clock; outside the determinism contract) --\n")
+		fmt.Fprintf(&b, "p50 %.3f ms\n", ms(Percentile(lats, 0.50)))
+		fmt.Fprintf(&b, "p95 %.3f ms\n", ms(Percentile(lats, 0.95)))
+		fmt.Fprintf(&b, "p99 %.3f ms\n", ms(Percentile(lats, 0.99)))
+		if r.Wall > 0 {
+			fmt.Fprintf(&b, "achieved qps %.1f\n",
+				float64(r.Completed())/r.Wall.Seconds())
+		}
+	}
+	return b.String()
+}
+
+// ms renders a duration in fractional milliseconds.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }

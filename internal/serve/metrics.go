@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -44,6 +45,38 @@ func (h *histogram) observe(d time.Duration) {
 	h.mu.Unlock()
 }
 
+// snapshot returns the histogram's totals: observation count and sum.
+func (h *histogram) snapshot() (n int64, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n, h.sum
+}
+
+// quantile estimates the q-quantile (q in (0, 1]) from the bucket counts:
+// the upper bound of the bucket holding the nearest-rank observation, a
+// conservative estimate that is exact for the question the 300 ms budget
+// asks ("is the tail under the bound?"). Observations past the last bucket
+// report the largest bound. Zero when nothing was observed.
+func (h *histogram) quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i, le := range latencyBuckets {
+		cum += h.counts[i]
+		if cum >= rank {
+			return le
+		}
+	}
+	return latencyBuckets[len(latencyBuckets)-1]
+}
+
 // render writes the histogram in the Prometheus text exposition format.
 func (h *histogram) render(w io.Writer, name string) {
 	h.mu.Lock()
@@ -59,11 +92,25 @@ func (h *histogram) render(w io.Writer, name string) {
 	fmt.Fprintf(w, "%s_count %d\n", name, h.n)
 }
 
+// modelStat aggregates the serving traffic of one (target, kind, input
+// set) model: how many queries it answered (or failed), and the latency of
+// its micro-batched predict calls. Counters are server-lifetime — they
+// survive generation swaps, so a hot reload never resets the fleet's view
+// of the service (the /v2/stats cross-check contract).
+type modelStat struct {
+	queries counter // successfully answered queries
+	errors  counter // failed model resolutions or predictions
+	latency *histogram
+}
+
 // metrics aggregates every observable of the serving layer. All fields are
 // safe for concurrent use.
 type metrics struct {
 	mu       sync.Mutex
 	requests map[requestKey]*counter // per (endpoint, status code)
+
+	modelMu sync.Mutex
+	models  map[modelKey]*modelStat // per (target, kind, input set)
 
 	profileHits     counter
 	profileMisses   counter
@@ -96,11 +143,45 @@ type requestKey struct {
 func newMetrics() *metrics {
 	return &metrics{
 		requests:       map[requestKey]*counter{},
+		models:         map[modelKey]*modelStat{},
 		trainSeconds:   newHistogram(),
 		predictSeconds: newHistogram(),
 		profileSeconds: newHistogram(),
 		reloadSeconds:  newHistogram(),
 	}
+}
+
+// modelStatFor finds or creates the stat slot of one model key.
+func (m *metrics) modelStatFor(k modelKey) *modelStat {
+	m.modelMu.Lock()
+	defer m.modelMu.Unlock()
+	st, ok := m.models[k]
+	if !ok {
+		st = &modelStat{latency: newHistogram()}
+		m.models[k] = st
+	}
+	return st
+}
+
+// modelKeys snapshots the known model keys in deterministic
+// (target, kind, set) order.
+func (m *metrics) modelKeys() []modelKey {
+	m.modelMu.Lock()
+	keys := make([]modelKey, 0, len(m.models))
+	for k := range m.models {
+		keys = append(keys, k)
+	}
+	m.modelMu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].target != keys[j].target {
+			return keys[i].target < keys[j].target
+		}
+		if keys[i].kind != keys[j].kind {
+			return keys[i].kind < keys[j].kind
+		}
+		return keys[i].set < keys[j].set
+	})
+	return keys
 }
 
 func (m *metrics) countRequest(endpoint string, code int) {
@@ -145,6 +226,12 @@ func (m *metrics) render(w io.Writer) {
 	fmt.Fprintf(w, "dramserve_model_train_failures_total %d\n", m.trainFailures.value())
 	fmt.Fprintf(w, "dramserve_predict_batches_total %d\n", m.batches.value())
 	fmt.Fprintf(w, "dramserve_predict_batched_queries_total %d\n", m.batchedQueries.value())
+	for _, k := range m.modelKeys() {
+		st := m.modelStatFor(k)
+		labels := fmt.Sprintf("{target=%q,kind=%q,set=\"%d\"}", k.target, k.kind, k.set)
+		fmt.Fprintf(w, "dramserve_model_queries_total%s %d\n", labels, st.queries.value())
+		fmt.Fprintf(w, "dramserve_model_errors_total%s %d\n", labels, st.errors.value())
+	}
 	fmt.Fprintf(w, "dramserve_generation %d\n", m.generationID.Load())
 	fmt.Fprintf(w, "dramserve_reloads_total %d\n", m.reloads.value())
 	fmt.Fprintf(w, "dramserve_reload_noops_total %d\n", m.reloadNoops.value())

@@ -6,6 +6,7 @@
 // (core.LoadDataset) over an HTTP JSON API:
 //
 //	POST /v2/predict   typed targets, structured errors (see API.md)
+//	GET  /v2/stats     per-(target, kind, input set) serving counters
 //	POST /v1/predict   the legacy surface: always computes both targets
 //	GET  /v1/workloads the servable benchmark catalog
 //	GET  /v1/models    model kinds, input sets, targets, trained entries
@@ -190,6 +191,7 @@ func (s *Server) Handler() http.Handler {
 	}
 	route("/v1/predict", http.MethodPost, writeErrorV1, s.handlePredictV1)
 	route("/v2/predict", http.MethodPost, writeErrorV2, s.handlePredictV2)
+	route("/v2/stats", http.MethodGet, writeErrorV2, s.handleStatsV2)
 	route("/v1/workloads", http.MethodGet, writeErrorV1, s.handleWorkloads)
 	route("/v1/models", http.MethodGet, writeErrorV1, s.handleModels)
 	route("/v1/reload", http.MethodPost, writeErrorV1, s.handleReload)
@@ -327,9 +329,12 @@ type predicted struct {
 func (s *Server) predictOne(g *generation, r *resolved) (*predicted, *apiError) {
 	start := time.Now()
 	mvs := make([]modelVal, len(r.targets))
+	stats := make([]*modelStat, len(r.targets))
 	for i, t := range r.targets {
+		stats[i] = s.metrics.modelStatFor(modelKey{t, r.kind, r.setFor(t)})
 		mv, err := s.model(g, t, r.kind, r.setFor(t))
 		if err != nil {
+			stats[i].errors.inc()
 			return nil, servingErr(err)
 		}
 		mvs[i] = mv
@@ -344,14 +349,21 @@ func (s *Server) predictOne(g *generation, r *resolved) (*predicted, *apiError) 
 		wg.Add(1)
 		go func(i int, t core.Target) {
 			defer wg.Done()
+			predStart := time.Now()
 			ps, err := mvs[i].batch.do([]core.Query{{
 				Target: t, Features: r.feats, TREFP: r.trefp, VDD: r.vdd,
 				TempC: r.tempC, Rank: core.RankDevice,
 			}})
 			if err != nil {
+				stats[i].errors.inc()
 				errs[i] = err
 				return
 			}
+			// Per-model serving accounting: one answered query per target,
+			// with the micro-batched predict round trip it paid
+			// (/v2/stats; the load generator cross-checks these).
+			stats[i].queries.inc()
+			stats[i].latency.observe(time.Since(predStart))
 			outs[i] = ps[0]
 		}(i, t)
 	}

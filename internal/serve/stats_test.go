@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// getStats fetches and decodes /v2/stats.
+func getStats(t testing.TB, ts *httptest.Server) *StatsResponseV2 {
+	t.Helper()
+	resp, data := get(t, ts, "/v2/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v2/stats = %d: %s", resp.StatusCode, data)
+	}
+	var out StatsResponseV2
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("decoding /v2/stats: %v: %s", err, data)
+	}
+	return &out
+}
+
+// findModel returns the stats entry for (target, kind, set), or nil.
+func findModel(st *StatsResponseV2, target string, set int) *ModelStatsV2 {
+	for i := range st.Models {
+		if st.Models[i].Target == target && st.Models[i].InputSet == set {
+			return &st.Models[i]
+		}
+	}
+	return nil
+}
+
+// TestStatsV2Counters pins the cross-check contract the fleet load
+// generator relies on: every successfully answered query increments
+// exactly one counter per requested target, across both predict surfaces.
+func TestStatsV2Counters(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Traffic: 3 PUE-only /v2 queries, 2 both-target /v2 queries, and one
+	// /v1 query (v1 always computes both targets).
+	pueOnly := `{"workload":"nw","trefp":1.173,"temp_c":60,"targets":["pue"]}`
+	both := `{"workload":"nw","trefp":1.173,"temp_c":60}`
+	for i := 0; i < 3; i++ {
+		if resp, data := post(t, ts, "/v2/predict", "application/json", pueOnly); resp.StatusCode != http.StatusOK {
+			t.Fatalf("pue-only predict = %d: %s", resp.StatusCode, data)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if resp, data := post(t, ts, "/v2/predict", "application/json", both); resp.StatusCode != http.StatusOK {
+			t.Fatalf("both-target predict = %d: %s", resp.StatusCode, data)
+		}
+	}
+	if resp, data := postPredict(t, ts, both); resp.StatusCode != http.StatusOK {
+		t.Fatalf("v1 predict = %d: %s", resp.StatusCode, data)
+	}
+
+	st := getStats(t, ts)
+	if st.Generation != 1 || st.Fingerprint == "" {
+		t.Fatalf("artifact identity missing: generation=%d fingerprint=%q",
+			st.Generation, st.Fingerprint)
+	}
+	if st.Targets["pue"] != 6 || st.Targets["wer"] != 3 {
+		t.Fatalf("target rollup = %v, want pue=6 wer=3", st.Targets)
+	}
+
+	// The per-model breakdown: each target's default input set.
+	pue := findModel(st, "pue", int(core.InputSet2))
+	wer := findModel(st, "wer", int(core.InputSet1))
+	if pue == nil || wer == nil {
+		t.Fatalf("model entries missing: %+v", st.Models)
+	}
+	if pue.Queries != 6 || wer.Queries != 3 {
+		t.Fatalf("model queries pue=%d wer=%d, want 6/3", pue.Queries, wer.Queries)
+	}
+	if pue.Errors != 0 || wer.Errors != 0 {
+		t.Fatalf("unexpected errors: pue=%d wer=%d", pue.Errors, wer.Errors)
+	}
+	if pue.Kind != string(core.ModelKNN) {
+		t.Fatalf("model kind = %q", pue.Kind)
+	}
+	if pue.LatencyMSSum <= 0 || pue.LatencyMSMean <= 0 {
+		t.Fatalf("latency accounting empty: %+v", pue)
+	}
+	if pue.LatencyMSP99 < pue.LatencyMSP50 {
+		t.Fatalf("p99 %v < p50 %v", pue.LatencyMSP99, pue.LatencyMSP50)
+	}
+
+	// Request accounting: 5 /v2 and 1 /v1 successes plus this handler's
+	// own /v2/stats hit are all visible per (endpoint, code).
+	want := map[string]int64{"/v1/predict": 1, "/v2/predict": 5}
+	for _, e := range st.Endpoints {
+		if e.Code == http.StatusOK && want[e.Endpoint] != 0 && e.Requests != want[e.Endpoint] {
+			t.Fatalf("endpoint %s = %d requests, want %d", e.Endpoint, e.Requests, want[e.Endpoint])
+		}
+	}
+}
+
+// TestStatsV2TrainFailureCounted proves a failed model fit lands in the
+// model's error counter, not its query counter.
+func TestStatsV2TrainFailureCounted(t *testing.T) {
+	s := New(testDataset(t), Options{Quick: true, Seed: 3, Workers: 2})
+	t.Cleanup(func() { s.Close() })
+	var calls atomic.Int64
+	realTrain := s.train
+	s.train = func(ds *core.Dataset, target core.Target, kind core.ModelKind, set core.InputSet, workers int) (core.Predictor, error) {
+		if target == core.TargetWER && calls.Add(1) == 1 {
+			return nil, errors.New("injected one-shot fit failure")
+		}
+		return realTrain(ds, target, kind, set, workers)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	body := `{"workload":"nw","trefp":1.173,"temp_c":60,"targets":["wer"]}`
+	if resp, _ := post(t, ts, "/v2/predict", "application/json", body); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("first predict = %d, want 500", resp.StatusCode)
+	}
+	st := getStats(t, ts)
+	wer := findModel(st, "wer", int(core.InputSet1))
+	if wer == nil || wer.Errors != 1 || wer.Queries != 0 {
+		t.Fatalf("after failed fit: %+v", wer)
+	}
+
+	// The retry succeeds (non-sticky registry) and counts as a query.
+	if resp, data := post(t, ts, "/v2/predict", "application/json", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second predict = %d: %s", resp.StatusCode, data)
+	}
+	st = getStats(t, ts)
+	wer = findModel(st, "wer", int(core.InputSet1))
+	if wer == nil || wer.Errors != 1 || wer.Queries != 1 {
+		t.Fatalf("after retry: %+v", wer)
+	}
+}
+
+// TestStatsV2MethodContract: /v2/stats obeys the uniform method rule with
+// the structured /v2 error shape.
+func TestStatsV2MethodContract(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, data := post(t, ts, "/v2/stats", "application/json", `{}`)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v2/stats = %d, want 405", resp.StatusCode)
+	}
+	if resp.Header.Get("Allow") != http.MethodGet {
+		t.Fatalf("Allow = %q", resp.Header.Get("Allow"))
+	}
+	if !strings.Contains(string(data), `"code":"method_not_allowed"`) {
+		t.Fatalf("error not structured: %s", data)
+	}
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Checks that every relative link in the given markdown files points at a
+# file that exists in the repository (external http(s)/mailto links and
+# pure #anchors are skipped — CI must not flake on the network). Run from
+# anywhere: paths resolve against the repo root.
+#
+#   scripts/linkcheck.sh README.md API.md EXPERIMENTS.md
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+[ "$#" -gt 0 ] || set -- README.md API.md EXPERIMENTS.md
+
+fail=0
+for f in "$@"; do
+  if [ ! -f "$f" ]; then
+    echo "linkcheck: $f: no such file"
+    fail=1
+    continue
+  fi
+  # Inline markdown links: [text](target).
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$path" ]; then
+      echo "linkcheck: $f: broken link -> $target"
+      fail=1
+    fi
+  done < <(grep -o '\[[^][]*\]([^()]*)' "$f" | sed 's/.*](\([^)]*\))$/\1/')
+done
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "linkcheck OK ($# files)"

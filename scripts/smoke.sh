@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# Smoke-tests the deployed serving surface end to end: builds dramserve,
-# boots it against the checked-in golden artifact, and exercises /healthz,
-# /v1/predict and /v2/predict over real HTTP — asserting the artifact
-# generation and fingerprint are surfaced, both predict surfaces answer,
-# and the uniform method contract (405 + Allow) holds. CI runs this after
-# the unit suite; it is also runnable locally: scripts/smoke.sh
+# Smoke-tests the deployed serving surface end to end: builds dramserve
+# and dramfleet, boots the server against the checked-in golden artifact,
+# and exercises /healthz, /v1/predict and /v2/predict over real HTTP —
+# asserting the artifact generation and fingerprint are surfaced, both
+# predict surfaces answer, and the uniform method contract (405 + Allow)
+# holds. It then aims a dramfleet burst at the server, asserts a
+# parseable latency-percentile report, cross-checks the generator's
+# completed-query count against the server's /v2/stats counters, and
+# replays the same seed twice to prove the report is byte-identical. CI
+# runs this after the unit suite; it is also runnable locally:
+# scripts/smoke.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,6 +18,7 @@ workdir=$(mktemp -d)
 trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 go build -o "$workdir/dramserve" ./cmd/dramserve
+go build -o "$workdir/dramfleet" ./cmd/dramfleet
 "$workdir/dramserve" -load internal/core/testdata/golden_v1.json.gz -addr "$addr" \
   2>"$workdir/serve.log" &
 pid=$!
@@ -51,5 +57,49 @@ echo "$v2err" | grep -q '"field":"workload"' || fail "/v2 error missing field" "
 hdrs=$(curl -sS -o /dev/null -D - "http://$addr/v2/predict")
 echo "$hdrs" | head -1 | grep -q 405 || fail "GET /v2/predict not 405" "$hdrs"
 echo "$hdrs" | grep -qi '^allow: POST' || fail "405 missing Allow header" "$hdrs"
+
+# --- fleet burst: drive the server with the simulated datacenter stream.
+
+# stats_target extracts one target's rollup counter from a /v2/stats body.
+stats_target() {
+  echo "$1" | sed -n 's/.*"targets":{\([^}]*\)}.*/\1/p' \
+    | tr ',' '\n' | sed -n "s/.*\"$2\":\([0-9]*\).*/\1/p"
+}
+
+before=$(curl -fsS "http://$addr/v2/stats")
+wer0=$(stats_target "$before" wer); pue0=$(stats_target "$before" pue)
+[ -n "$wer0" ] && [ -n "$pue0" ] || fail "/v2/stats missing target rollup" "$before"
+
+"$workdir/dramfleet" -addr "http://$addr" -seed 1 -qps 150 -duration 2s \
+  >"$workdir/fleet.txt" 2>"$workdir/fleet.log" \
+  || fail "dramfleet burst failed" "$(cat "$workdir/fleet.log")"
+
+completed=$(sed -n 's/^completed \([0-9]*\)$/\1/p' "$workdir/fleet.txt")
+[ -n "$completed" ] && [ "$completed" -gt 0 ] \
+  || fail "fleet burst completed no queries" "$(cat "$workdir/fleet.txt")"
+grep -Eq '^p99 [0-9]+\.[0-9]+ ms$' "$workdir/fleet.txt" \
+  || fail "fleet report p99 not parseable" "$(cat "$workdir/fleet.txt")"
+
+# The server's /v2/stats view must account for exactly the generator's
+# completed queries, per requested target.
+after=$(curl -fsS "http://$addr/v2/stats")
+wer1=$(stats_target "$after" wer); pue1=$(stats_target "$after" pue)
+[ "$((wer1 - wer0))" -eq "$completed" ] \
+  || fail "server counted $((wer1 - wer0)) wer queries, generator completed $completed" "$after"
+[ "$((pue1 - pue0))" -eq "$completed" ] \
+  || fail "server counted $((pue1 - pue0)) pue queries, generator completed $completed" "$after"
+
+# Determinism contract: the same seed replays byte-identically — the
+# query stream always, and the whole report with timing disabled.
+"$workdir/dramfleet" -addr "http://$addr" -seed 1 -n 40 -qps 400 -timing=false \
+  -stream-out "$workdir/s1.jsonl" >"$workdir/r1.txt" 2>/dev/null \
+  || fail "deterministic run 1 failed" "$(cat "$workdir/r1.txt")"
+"$workdir/dramfleet" -addr "http://$addr" -seed 1 -n 40 -qps 400 -timing=false \
+  -stream-out "$workdir/s2.jsonl" >"$workdir/r2.txt" 2>/dev/null \
+  || fail "deterministic run 2 failed" "$(cat "$workdir/r2.txt")"
+cmp -s "$workdir/s1.jsonl" "$workdir/s2.jsonl" \
+  || fail "query streams differ for the same seed" "$(diff "$workdir/s1.jsonl" "$workdir/s2.jsonl" | head)"
+cmp -s "$workdir/r1.txt" "$workdir/r2.txt" \
+  || fail "fleet reports differ for the same seed" "$(diff "$workdir/r1.txt" "$workdir/r2.txt")"
 
 echo "smoke OK"
