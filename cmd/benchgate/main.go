@@ -1,0 +1,106 @@
+// Command benchgate records and enforces the repo's benchmark trajectory.
+//
+// It parses `go test -bench` output into a machine-classed snapshot and
+// either writes it as the new baseline or compares it against the
+// checked-in one:
+//
+//	go test -run '^$' -bench ... ./... | tee bench.out
+//	benchgate -in bench.out -update          # refresh BENCH_<class>.json
+//	benchgate -in bench.out                  # gate: exit 1 on regression
+//
+// scripts/bench.sh wraps both modes; CI runs the check. Allocation counts
+// on low-alloc benchmarks are gated exactly, times with a slack factor
+// (-factor, or BENCH_TIME_FACTOR in the environment). A baseline recorded
+// on a different machine class — or no baseline for this class at all —
+// skips the gate with exit 0: those numbers are not comparable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/benchmark"
+)
+
+func main() {
+	in := flag.String("in", "-", "bench output to read (`file`, - for stdin)")
+	baseline := flag.String("baseline", "", "baseline snapshot `file` (default BENCH_<class>.json of the parsed run's class)")
+	update := flag.Bool("update", false, "write the parsed run as the new baseline instead of comparing")
+	factor := flag.Float64("factor", envFactor(), "time/bytes slack multiplier (BENCH_TIME_FACTOR)")
+	flag.Parse()
+
+	if err := run(*in, *baseline, *update, *factor); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func envFactor() float64 {
+	if s := os.Getenv("BENCH_TIME_FACTOR"); s != "" {
+		if f, err := strconv.ParseFloat(s, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 2.0
+}
+
+func run(in, baselinePath string, update bool, factor float64) error {
+	var r io.Reader = os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	current, err := benchmark.Parse(r)
+	if err != nil {
+		return err
+	}
+	if baselinePath == "" {
+		baselinePath = "BENCH_" + current.MachineClass + ".json"
+	}
+
+	if update {
+		if err := current.Write(baselinePath); err != nil {
+			return err
+		}
+		fmt.Printf("benchgate: wrote %s (%d benchmarks, class %s)\n",
+			baselinePath, len(current.Benchmarks), current.MachineClass)
+		return nil
+	}
+
+	base, err := benchmark.Load(baselinePath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			// No snapshot recorded for this machine class: the trajectory
+			// is tracked elsewhere. Skip, don't fail — same contract as an
+			// explicit class mismatch.
+			fmt.Printf("benchgate: no baseline %s for machine class %s — skipping\n",
+				baselinePath, current.MachineClass)
+			return nil
+		}
+		return err
+	}
+	v := benchmark.Compare(base, current, benchmark.Options{TimeFactor: factor})
+	if v.Skipped {
+		fmt.Println("benchgate:", v.Reason)
+		return nil
+	}
+	for _, n := range v.New {
+		fmt.Printf("benchgate: note: %s not in baseline (refresh with scripts/bench.sh record)\n", n)
+	}
+	if !v.OK() {
+		for _, reg := range v.Regressions {
+			fmt.Fprintln(os.Stderr, "benchgate: REGRESSION:", reg)
+		}
+		return fmt.Errorf("%d regression(s) against %s", len(v.Regressions), baselinePath)
+	}
+	fmt.Printf("benchgate: OK — %d benchmarks within gate (factor %.2g) of %s\n",
+		len(base.Benchmarks), factor, baselinePath)
+	return nil
+}

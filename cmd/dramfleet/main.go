@@ -51,10 +51,16 @@ func main() {
 		streamOut = flag.String("stream-out", "", "write the query stream to this path as JSON lines")
 		lg        cliflag.LoadGen // shared -qps default applied by Register
 		targets   cliflag.Targets
+		prof      cliflag.Pprof
 	)
 	lg.Register(flag.CommandLine)
 	targets.Register(flag.CommandLine)
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	if _, err := prof.Start(logf); err != nil {
+		fatal(err)
+	}
 
 	want, err := targets.List()
 	if err != nil {

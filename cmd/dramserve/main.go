@@ -54,11 +54,17 @@ func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		camp     cliflag.Campaign
+		prof     cliflag.Pprof
 		drainFor = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
 		reload   = flag.Duration("reload-interval", 0, "poll the -load artifact for changes this often (0 disables)")
 	)
 	camp.Register(flag.CommandLine)
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	if _, err := prof.Start(logf); err != nil {
+		fatal(err)
+	}
 
 	ds, err := camp.Dataset(workload.ExtendedSet(), logf)
 	if err != nil {

@@ -24,7 +24,13 @@
 //   - internal/profile — Treuse/HDP/249-feature extraction
 //   - internal/thermal — PID-controlled DIMM thermal testbed
 //   - internal/xgene   — the server platform (SLIMpro, crash-on-UE)
-//   - internal/ml      — KNN, ε-SVR and random-forest regressors
+//   - internal/ml      — KNN, ε-SVR and random-forest regressors. The
+//     inference hot path is allocation-free by contract: the trained
+//     forest is fused into one contiguous struct-of-arrays ensemble
+//     (parallel feature/cut/child arrays walked by index, all trees in
+//     one arena), kNN keeps its training matrix flat and draws its
+//     candidate scratch from a pool, and golden Float64bits tests pin
+//     predictions bit-identical across layout changes
 //   - internal/core    — the paper's contribution: the workload-aware
 //     DRAM error model behind the unified Predictor API — a Target enum
 //     (WER, PUE), one Query/Prediction pair (value, per-rank breakdown,
@@ -59,8 +65,15 @@
 //     (cmd/dramfleet is the entry point)
 //   - internal/cliflag — the flags shared by the dram* commands: the
 //     dataset-acquisition set (-load/-save/-quick/-scale/...), the
-//     -target selection over the unified prediction targets, and the
-//     -qps/-duration/-n load-volume pair of the closed-loop generators
+//     -target selection over the unified prediction targets, the
+//     -qps/-duration/-n load-volume pair of the closed-loop generators,
+//     and the -pprof side listener for profiling a live process
+//   - internal/benchmark — the benchmark trajectory: parses
+//     `go test -bench` output into machine-classed snapshots
+//     (BENCH_<goos>-<goarch>.json) and gates fresh runs against the
+//     checked-in baseline — exact on hot-path allocation counts,
+//     slack-factored on times (cmd/benchgate is the CLI,
+//     scripts/bench.sh the harness, CI runs the check)
 //
 // See README.md for a tour and the package map, API.md for the serving
 // wire format and the fleet determinism contract, and EXPERIMENTS.md for

@@ -1,0 +1,243 @@
+// Package benchmark parses `go test -bench` output into machine-classed
+// snapshots and compares a fresh run against a checked-in baseline.
+//
+// The repo tracks a canonical benchmark set (kNN/forest predict, core batch
+// predict, serve warm query, fleet drive) in BENCH_<goos>-<goarch>.json at
+// the repo root. scripts/bench.sh records and checks those snapshots;
+// cmd/benchgate is the thin CLI over this package that CI runs.
+//
+// The gate is asymmetric by design: allocation counts on the hand-tuned
+// hot paths are compared exactly (reintroducing a per-op allocation is a
+// structural regression, never noise), while wall-clock numbers get a
+// generous slack factor because CI machines are noisy neighbours. A
+// snapshot recorded on a different machine class is not comparable at all,
+// so a class mismatch skips the gate instead of failing it.
+package benchmark
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's per-op metrics.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Snapshot is a machine-classed set of benchmark results, keyed
+// "<pkg>.<BenchmarkName[/sub]>" with the -GOMAXPROCS suffix stripped.
+type Snapshot struct {
+	MachineClass string            `json:"machine_class"`
+	Benchmarks   map[string]Result `json:"benchmarks"`
+}
+
+// benchLine matches one result line of `go test -bench` output:
+// name, iterations, ns/op, then optional B/op and allocs/op (printed when
+// the benchmark calls ReportAllocs or -benchmem is set).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9]+) allocs/op)?`)
+
+// gomaxprocsSuffix is the trailing -N the bench runner appends to names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads `go test -bench` output (one or more package sections) into a
+// Snapshot. The machine class is "<goos>-<goarch>" from the run's own
+// header lines; results are keyed by the pkg line preceding them.
+func Parse(r io.Reader) (*Snapshot, error) {
+	s := &Snapshot{Benchmarks: map[string]Result{}}
+	var goos, goarch, pkg string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			goos = strings.TrimSpace(strings.TrimPrefix(line, "goos: "))
+		case strings.HasPrefix(line, "goarch: "):
+			goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch: "))
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+		default:
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			if pkg == "" {
+				return nil, fmt.Errorf("benchmark: result %q before any pkg: line", m[1])
+			}
+			name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+			var res Result
+			var err error
+			if res.NsPerOp, err = strconv.ParseFloat(m[2], 64); err != nil {
+				return nil, fmt.Errorf("benchmark: bad ns/op in %q: %v", line, err)
+			}
+			if m[3] != "" {
+				// B/op is printed rounded to an integer but parse as float
+				// defensively (very small values render fractional).
+				bf, err := strconv.ParseFloat(m[3], 64)
+				if err != nil {
+					return nil, fmt.Errorf("benchmark: bad B/op in %q: %v", line, err)
+				}
+				res.BytesPerOp = int64(bf)
+			}
+			if m[4] != "" {
+				if res.AllocsPerOp, err = strconv.ParseInt(m[4], 10, 64); err != nil {
+					return nil, fmt.Errorf("benchmark: bad allocs/op in %q: %v", line, err)
+				}
+			}
+			s.Benchmarks[pkg+"."+name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if goos == "" || goarch == "" {
+		return nil, fmt.Errorf("benchmark: output has no goos/goarch header (not `go test -bench` output?)")
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchmark: no benchmark results in input")
+	}
+	s.MachineClass = goos + "-" + goarch
+	return s, nil
+}
+
+// Load reads a snapshot JSON file.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("benchmark: %s: %v", path, err)
+	}
+	if s.MachineClass == "" {
+		return nil, fmt.Errorf("benchmark: %s: missing machine_class", path)
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchmark: %s: no benchmarks", path)
+	}
+	return &s, nil
+}
+
+// Write serializes the snapshot (keys sorted — encoding/json orders map
+// keys — so refreshed baselines diff cleanly).
+func (s *Snapshot) Write(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Options tunes Compare.
+type Options struct {
+	// TimeFactor is the slack multiplier on ns/op and B/op (and on
+	// allocs/op above AllocExactMax): current > baseline*TimeFactor fails.
+	// Zero means the default of 2.0 — generous on purpose; the gate exists
+	// to catch structural regressions, not scheduler jitter.
+	TimeFactor float64
+	// AllocExactMax bounds the exact-allocation regime: a benchmark whose
+	// baseline allocs/op is at or below this is a hand-tuned hot path, and
+	// any increase fails. Above it (e.g. a whole-stack drive with thousands
+	// of transport allocations) the TimeFactor slack applies instead.
+	// Zero means the default of 16.
+	AllocExactMax int64
+}
+
+func (o Options) timeFactor() float64 {
+	if o.TimeFactor <= 0 {
+		return 2.0
+	}
+	return o.TimeFactor
+}
+
+func (o Options) allocExactMax() int64 {
+	if o.AllocExactMax <= 0 {
+		return 16
+	}
+	return o.AllocExactMax
+}
+
+// Verdict is the outcome of one baseline/current comparison.
+type Verdict struct {
+	// Skipped is set when the two snapshots are from different machine
+	// classes and therefore not comparable; Reason says so.
+	Skipped bool
+	Reason  string
+	// Regressions are gate failures, one line each.
+	Regressions []string
+	// New lists benchmarks present in the current run but absent from the
+	// baseline — a nudge to refresh the snapshot, never a failure.
+	New []string
+}
+
+// OK reports whether the gate passes (a skip passes by definition).
+func (v *Verdict) OK() bool { return len(v.Regressions) == 0 }
+
+// Compare gates current against baseline. Missing benchmarks are
+// regressions (a shrinking canonical set must be an explicit snapshot
+// refresh, not silent); improvements never fail.
+func Compare(baseline, current *Snapshot, opts Options) *Verdict {
+	v := &Verdict{}
+	if baseline.MachineClass != current.MachineClass {
+		v.Skipped = true
+		v.Reason = fmt.Sprintf("baseline machine class %q != current %q: not comparable, skipping",
+			baseline.MachineClass, current.MachineClass)
+		return v
+	}
+	factor := opts.timeFactor()
+	exactMax := opts.allocExactMax()
+
+	names := make([]string, 0, len(baseline.Benchmarks))
+	for name := range baseline.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline.Benchmarks[name]
+		cur, ok := current.Benchmarks[name]
+		if !ok {
+			v.Regressions = append(v.Regressions,
+				fmt.Sprintf("%s: missing from current run (canonical set shrank?)", name))
+			continue
+		}
+		if base.AllocsPerOp <= exactMax {
+			if cur.AllocsPerOp > base.AllocsPerOp {
+				v.Regressions = append(v.Regressions,
+					fmt.Sprintf("%s: allocs/op %d > baseline %d (exact gate: hot path reallocates)",
+						name, cur.AllocsPerOp, base.AllocsPerOp))
+			}
+		} else if float64(cur.AllocsPerOp) > float64(base.AllocsPerOp)*factor {
+			v.Regressions = append(v.Regressions,
+				fmt.Sprintf("%s: allocs/op %d > baseline %d × %.2g",
+					name, cur.AllocsPerOp, base.AllocsPerOp, factor))
+		}
+		if float64(cur.BytesPerOp) > float64(base.BytesPerOp)*factor {
+			v.Regressions = append(v.Regressions,
+				fmt.Sprintf("%s: B/op %d > baseline %d × %.2g",
+					name, cur.BytesPerOp, base.BytesPerOp, factor))
+		}
+		if cur.NsPerOp > base.NsPerOp*factor {
+			v.Regressions = append(v.Regressions,
+				fmt.Sprintf("%s: ns/op %.0f > baseline %.0f × %.2g",
+					name, cur.NsPerOp, base.NsPerOp, factor))
+		}
+	}
+	for name := range current.Benchmarks {
+		if _, ok := baseline.Benchmarks[name]; !ok {
+			v.New = append(v.New, name)
+		}
+	}
+	sort.Strings(v.New)
+	return v
+}

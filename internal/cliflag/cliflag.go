@@ -6,13 +6,18 @@
 // drampredict and dramserve. Targets is the shared -target flag selecting
 // which regression targets of the unified core.Predictor API a command
 // trains and reports. LoadGen is the shared load-volume flag pair
-// (-qps/-duration/-n) of the closed-loop generators (dramfleet).
+// (-qps/-duration/-n) of the closed-loop generators (dramfleet). Pprof is
+// the shared -pprof side listener for profiling a live process.
 package cliflag
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strings"
 	"time"
@@ -21,6 +26,54 @@ import (
 	"repro/internal/workload"
 	"repro/internal/xgene"
 )
+
+// Pprof is the shared -pprof flag: an optional side HTTP listener exposing
+// the net/http/pprof endpoints. It is a separate listener on purpose — the
+// serving mux stays exactly the pinned /v1 + /v2 surface, and the profile
+// port can be bound to loopback while the service listens publicly.
+type Pprof struct {
+	Addr string
+}
+
+// Register installs the -pprof flag on fs.
+func (p *Pprof) Register(fs *flag.FlagSet) {
+	fs.StringVar(&p.Addr, "pprof", "",
+		"expose net/http/pprof on this side `address` (e.g. 127.0.0.1:6060; empty = off)")
+}
+
+// Start binds the profiling listener if the flag was set, returning the
+// bound address ("" when the flag is off — not an error). Binding is
+// synchronous so a bad address fails startup loudly; the serve loop itself
+// runs for the process lifetime and logs (never kills the process) on
+// failure. EXPERIMENTS.md documents the capture-and-analyze recipe.
+func (p *Pprof) Start(logf func(format string, args ...any)) (string, error) {
+	if p.Addr == "" {
+		return "", nil
+	}
+	ln, err := net.Listen("tcp", p.Addr)
+	if err != nil {
+		return "", fmt.Errorf("cliflag: -pprof listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := (&http.Server{Handler: mux}).Serve(ln); err != nil &&
+			!errors.Is(err, http.ErrServerClosed) {
+			if logf != nil {
+				logf("pprof server: %v", err)
+			}
+		}
+	}()
+	addr := ln.Addr().String()
+	if logf != nil {
+		logf("pprof listening on http://%s/debug/pprof/", addr)
+	}
+	return addr, nil
+}
 
 // Targets is the shared -target flag: which regression targets a command
 // should train and report ("wer", "pue", "all", or a comma list).

@@ -1,0 +1,63 @@
+package cliflag
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestPprofOffByDefault(t *testing.T) {
+	var p Pprof
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	p.Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := p.Start(nil)
+	if err != nil || addr != "" {
+		t.Fatalf("unset -pprof must be a no-op, got addr %q, err %v", addr, err)
+	}
+}
+
+func TestPprofServesProfiles(t *testing.T) {
+	var p Pprof
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	p.Register(fs)
+	if err := fs.Parse([]string{"-pprof", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	var logged []string
+	addr, err := p.Start(func(format string, args ...any) {
+		logged = append(logged, format)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" || strings.HasSuffix(addr, ":0") {
+		t.Fatalf("Start did not return the bound address: %q", addr)
+	}
+	if len(logged) == 0 {
+		t.Fatal("Start did not announce the listener")
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/heap?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("heap profile returned %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "heap profile") {
+		t.Fatalf("response is not a heap profile:\n%.200s", body)
+	}
+}
+
+func TestPprofBadAddressFailsLoudly(t *testing.T) {
+	p := Pprof{Addr: "definitely:not:an:addr"}
+	if _, err := p.Start(nil); err == nil {
+		t.Fatal("bad -pprof address did not error")
+	}
+}

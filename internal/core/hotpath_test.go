@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/profile"
+)
+
+// hotpathDataset is a small synthetic corpus for allocation tests (package
+// core, unlike example_test's core_test twin, so it can reach the
+// unexported predictors).
+func hotpathDataset() *Dataset {
+	features := func(treuse, hdp, wait, mem float64) []float64 {
+		f := make([]float64, profile.NumFeatures)
+		f[profile.FeatTreuse] = treuse
+		f[profile.FeatHDP] = hdp
+		f[profile.FeatWaitCycles] = wait
+		f[profile.FeatMemAccesses] = mem
+		return f
+	}
+	ds := &Dataset{}
+	for wi, w := range []struct {
+		label string
+		feats []float64
+		base  float64
+	}{
+		{"alpha", features(0.20, 12, 0.30, 60), 1e-7},
+		{"beta", features(0.01, 28, 0.60, 220), 5e-7},
+		{"gamma", features(0.10, 20, 0.45, 140), 2e-7},
+	} {
+		for _, trefp := range []float64{1.173, 1.727, 2.283} {
+			for _, temp := range []float64{55, 70} {
+				for rank := 0; rank < dram.NumRanks; rank++ {
+					ds.WER = append(ds.WER, WERSample{
+						Workload: w.label, TREFP: trefp, VDD: dram.MinVDD,
+						TempC: temp, Rank: rank, Features: w.feats,
+						WER: w.base * trefp * trefp * (temp - 50) * float64(rank+1),
+					})
+				}
+				ds.PUE = append(ds.PUE, PUESample{
+					Workload: w.label, TREFP: trefp, VDD: dram.MinVDD, TempC: temp,
+					Features: w.feats, PUE: float64(wi) / 8 * trefp / 2.283,
+				})
+			}
+		}
+	}
+	return ds
+}
+
+// TestPredictWarmAllocs pins the core layer's allocation contract on the
+// serving hot path: a warm single-rank WER or PUE prediction allocates
+// nothing (the feature vector comes from the pool), and a device-level
+// query allocates exactly its ByRank result slice, which escapes to the
+// caller by design.
+func TestPredictWarmAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation defeats sync.Pool reuse; alloc counts unreliable")
+	}
+	ds := hotpathDataset()
+	for _, kind := range []ModelKind{ModelKNN, ModelRDF} {
+		wer, err := Train(ds, TargetWER, kind, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pue, err := Train(ds, TargetPUE, kind, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rankQ := Query{Features: ds.WER[0].Features, TREFP: 2.283, VDD: dram.MinVDD, TempC: 60, Rank: 2}
+		devQ := rankQ
+		devQ.Rank = RankDevice
+		pueQ := Query{Features: ds.PUE[0].Features, TREFP: 1.727, VDD: dram.MinVDD, TempC: 60}
+
+		predict := func(q Query, p Predictor) func() {
+			return func() {
+				if _, err := p.Predict(q); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		predict(rankQ, wer)() // warm the pools before counting
+		predict(pueQ, pue)()
+		if allocs := testing.AllocsPerRun(200, predict(rankQ, wer)); allocs != 0 {
+			t.Errorf("%s: warm single-rank WER predict allocates %.1f/op, want 0", kind, allocs)
+		}
+		if allocs := testing.AllocsPerRun(200, predict(pueQ, pue)); allocs != 0 {
+			t.Errorf("%s: warm PUE predict allocates %.1f/op, want 0", kind, allocs)
+		}
+		if allocs := testing.AllocsPerRun(200, predict(devQ, wer)); allocs > 1 {
+			t.Errorf("%s: warm device WER predict allocates %.1f/op, want <= 1 (the ByRank result)", kind, allocs)
+		}
+	}
+}
+
+// TestPooledVectorMatchesUnpooled proves the pooled in-place assembly and
+// standardization produce bit-identical predictions to the historic
+// allocate-and-transform path.
+func TestPooledVectorMatchesUnpooled(t *testing.T) {
+	ds := hotpathDataset()
+	for _, set := range InputSets() {
+		wer, err := Train(ds, TargetWER, ModelKNN, set, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wp := wer.(*werPredictor)
+		q := Query{Features: ds.WER[0].Features, TREFP: 1.727, VDD: dram.MinVDD, TempC: 62, Rank: 3}
+		got, err := wer.Predict(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The reference path: fresh vector, out-of-place transform.
+		smp := WERSample{TREFP: q.TREFP, VDD: q.VDD, TempC: q.TempC, Rank: q.Rank, Features: q.Features}
+		want := unlogWER(wp.model.Predict(wp.scaler.Transform(set.werVector(&smp))))
+		if got.Value != want {
+			t.Fatalf("set %v: pooled path %v != reference %v", set, got.Value, want)
+		}
+	}
+}

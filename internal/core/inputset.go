@@ -32,28 +32,41 @@ func (s InputSet) String() string {
 // InputSets lists all three in table order.
 func InputSets() []InputSet { return []InputSet{InputSet1, InputSet2, InputSet3} }
 
-// programFeatures returns the indices of the program features (into the
-// 249-entry vector) included in the set.
-func (s InputSet) programFeatures() []int {
-	switch s {
-	case InputSet1:
-		return []int{
-			profile.FeatWaitCycles,
-			profile.FeatMemAccesses,
-			profile.FeatHDP,
-			profile.FeatTreuse,
-		}
-	case InputSet2:
-		return []int{
-			profile.FeatWaitCycles,
-			profile.FeatMemAccesses,
-		}
-	default:
+// The per-set program feature index lists, built once: the vector
+// assemblers on the serving hot path read these on every query, so they
+// are shared package state rather than per-call allocations. Callers must
+// treat them as immutable.
+var (
+	set1Features = []int{
+		profile.FeatWaitCycles,
+		profile.FeatMemAccesses,
+		profile.FeatHDP,
+		profile.FeatTreuse,
+	}
+	set2Features = []int{
+		profile.FeatWaitCycles,
+		profile.FeatMemAccesses,
+	}
+	set3Features = func() []int {
 		all := make([]int, profile.NumFeatures)
 		for i := range all {
 			all[i] = i
 		}
 		return all
+	}()
+)
+
+// programFeatures returns the indices of the program features (into the
+// 249-entry vector) included in the set. The returned slice is shared and
+// must not be mutated.
+func (s InputSet) programFeatures() []int {
+	switch s {
+	case InputSet1:
+		return set1Features
+	case InputSet2:
+		return set2Features
+	default:
+		return set3Features
 	}
 }
 
@@ -61,24 +74,34 @@ func (s InputSet) programFeatures() []int {
 // parameters, the set's program features, and a one-hot rank encoding (the
 // paper's per-DIMM/rank device identity, Section III-A's Dev term).
 func (s InputSet) werVector(smp *WERSample) []float64 {
+	return s.werVectorInto(nil, smp)
+}
+
+// werVectorInto assembles the WER model input into dst's storage (dst may
+// be nil or any recycled buffer; its length is ignored). The serving hot
+// path feeds pooled buffers through here so a warm query assembles its
+// feature vector without allocating.
+func (s InputSet) werVectorInto(dst []float64, smp *WERSample) []float64 {
 	feats := s.programFeatures()
-	out := make([]float64, 0, 3+len(feats)+8)
-	out = append(out, smp.TempC, smp.TREFP, smp.VDD)
+	out := append(dst[:0], smp.TempC, smp.TREFP, smp.VDD)
 	for _, f := range feats {
 		out = append(out, smp.Features[f])
 	}
 	var rank [8]float64
 	rank[smp.Rank] = 1
-	out = append(out, rank[:]...)
-	return out
+	return append(out, rank[:]...)
 }
 
 // pueVector assembles the model input for a PUE sample (system-level: no
 // rank identity).
 func (s InputSet) pueVector(smp *PUESample) []float64 {
+	return s.pueVectorInto(nil, smp)
+}
+
+// pueVectorInto is werVectorInto's PUE counterpart.
+func (s InputSet) pueVectorInto(dst []float64, smp *PUESample) []float64 {
 	feats := s.programFeatures()
-	out := make([]float64, 0, 3+len(feats))
-	out = append(out, smp.TempC, smp.TREFP, smp.VDD)
+	out := append(dst[:0], smp.TempC, smp.TREFP, smp.VDD)
 	for _, f := range feats {
 		out = append(out, smp.Features[f])
 	}

@@ -3,12 +3,31 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/dram"
 	"repro/internal/engine"
 	"repro/internal/ml"
 	"repro/internal/stats"
 )
+
+// vecPool recycles query feature-vector buffers across predictions. The
+// raw vector is assembled into a pooled buffer, standardized in place, fed
+// to the model (ml.Regressor.Predict reads its argument and never retains
+// it) and returned — a warm single-rank prediction allocates nothing.
+var vecPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// predictVec runs one standardized model evaluation: assemble the raw
+// vector into a pooled buffer via into, standardize in place, predict.
+func predictVec(scaler *ml.Scaler, model ml.Regressor, into func(dst []float64) []float64) float64 {
+	bp := vecPool.Get().(*[]float64)
+	x := into(*bp)
+	scaler.TransformInto(x, x)
+	v := model.Predict(x)
+	*bp = x
+	vecPool.Put(bp)
+	return v
+}
 
 // ModelKind names one of the paper's three supervised methods.
 type ModelKind string
@@ -107,8 +126,9 @@ func (p *werPredictor) InputSet() InputSet { return p.set }
 // predictRank is the raw model evaluation for one rank.
 func (p *werPredictor) predictRank(q *Query, rank int) float64 {
 	smp := WERSample{TREFP: q.TREFP, VDD: q.VDD, TempC: q.TempC, Rank: rank, Features: q.Features}
-	x := p.scaler.Transform(p.set.werVector(&smp))
-	return unlogWER(p.model.Predict(x))
+	return unlogWER(predictVec(p.scaler, p.model, func(dst []float64) []float64 {
+		return p.set.werVectorInto(dst, &smp)
+	}))
 }
 
 // Predict implements Predictor. A RankDevice query returns the per-rank
@@ -191,10 +211,12 @@ func (p *puePredictor) Predict(q Query) (Prediction, error) {
 		return Prediction{}, err
 	}
 	smp := PUESample{TREFP: q.TREFP, VDD: q.VDD, TempC: q.TempC, Features: q.Features}
-	x := p.scaler.Transform(p.set.pueVector(&smp))
+	v := predictVec(p.scaler, p.model, func(dst []float64) []float64 {
+		return p.set.pueVectorInto(dst, &smp)
+	})
 	return Prediction{
 		Target: TargetPUE, Kind: p.kind, Set: p.set,
-		Value: stats.Clamp(p.model.Predict(x), 0, 1),
+		Value: stats.Clamp(v, 0, 1),
 	}, nil
 }
 

@@ -1,0 +1,48 @@
+package fleet
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// BenchmarkFleetDrive is the canonical end-to-end benchmark: one op drives
+// a 64-query fleet stream through a live serve.Server over loopback HTTP
+// (closed-loop, both targets per query). It measures the whole stack —
+// generator, HTTP client pool, handler, predict path, JSON both ways.
+// Tracked in BENCH_<machine-class>.json by scripts/bench.sh.
+func BenchmarkFleetDrive(b *testing.B) {
+	s := serve.New(testDataset(b), serve.Options{Quick: true, Seed: 3, Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	f, err := New(Config{Servers: 6, Seed: 11, Workloads: []string{"backprop", "random"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := f.Take(64)
+	opts := DriveOptions{
+		BaseURL: ts.URL, QPS: 1e6, Workers: 4,
+		Targets: core.Targets(), Client: ts.Client(),
+	}
+	// Warm: train/cache the models before timing.
+	if _, err := Drive(qs[:4], opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outs, err := Drive(qs, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range outs {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+		}
+	}
+}

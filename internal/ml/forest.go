@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -33,7 +34,9 @@ type Forest struct {
 // Name implements Trainer.
 func (f Forest) Name() string { return "RDF" }
 
-// treeNode is one node of a regression tree, stored in a flat arena.
+// treeNode is one node of a regression tree during growth. Fitted trees do
+// not keep this layout: fuseForest rewrites the per-tree arenas into the
+// forestModel struct-of-arrays form the serving hot path traverses.
 type treeNode struct {
 	feature int     // split feature, -1 for leaves
 	thresh  float64 // split threshold
@@ -42,15 +45,45 @@ type treeNode struct {
 	value   float64 // leaf prediction
 }
 
-type tree struct{ nodes []treeNode }
-
-type forestModel struct{ trees []tree }
+// forestModel is the fitted ensemble in fused struct-of-arrays form: every
+// tree's nodes live in four shared parallel arrays, and roots holds each
+// tree's offset into them. Traversal is pure index chasing over contiguous
+// memory — no per-tree slice headers, no per-node structs:
+//
+//	feature[i] — split feature of node i, or -1 for a leaf
+//	cut[i]     — split threshold for internal nodes, prediction for leaves
+//	             (a node never needs both, so one array carries either)
+//	left[i], right[i] — absolute child indices into the same arrays
+//
+// The layout is write-once at fuse time and immutable afterwards, so
+// Predict is allocation-free and safe for unbounded concurrency.
+type forestModel struct {
+	feature []int32
+	cut     []float64
+	left    []int32
+	right   []int32
+	roots   []int32
+	// nTrees is float64(len(roots)), hoisted at fuse time so Predict does
+	// not convert on every call.
+	nTrees float64
+}
 
 // Train implements Trainer.
 func (f Forest) Train(X [][]float64, y []float64) (Regressor, error) {
 	if err := validate(X, y); err != nil {
 		return nil, err
 	}
+	arenas, err := f.fitTrees(X, y)
+	if err != nil {
+		return nil, err
+	}
+	return fuseForest(arenas)
+}
+
+// fitTrees grows the ensemble and returns one node arena per tree — the
+// growth-time representation, kept separate from fusing so the equivalence
+// tests can traverse the unfused arenas directly.
+func (f Forest) fitTrees(X [][]float64, y []float64) ([][]treeNode, error) {
 	nTrees := f.Trees
 	if nTrees == 0 {
 		nTrees = 60
@@ -85,14 +118,51 @@ func (f Forest) Train(X [][]float64, y []float64) (Regressor, error) {
 			rng: rng.Split(),
 		}
 	}
-	trees, err := engine.Map(nTrees, func(t int) (tree, error) {
+	return engine.Map(nTrees, func(t int) ([]treeNode, error) {
 		builders[t].build(bootstraps[t], 0)
-		return tree{nodes: builders[t].nodes}, nil
+		return builders[t].nodes, nil
 	}, engine.Options{Workers: f.Workers})
-	if err != nil {
-		return nil, err
+}
+
+// fuseForest rewrites per-tree node arenas into one contiguous
+// struct-of-arrays ensemble: child indices are rebased from tree-local to
+// absolute offsets, internal nodes store their threshold in cut and leaves
+// their prediction.
+func fuseForest(arenas [][]treeNode) (*forestModel, error) {
+	total := 0
+	for _, nodes := range arenas {
+		total += len(nodes)
 	}
-	return &forestModel{trees: trees}, nil
+	m := &forestModel{
+		feature: make([]int32, 0, total),
+		cut:     make([]float64, 0, total),
+		left:    make([]int32, 0, total),
+		right:   make([]int32, 0, total),
+		roots:   make([]int32, 0, len(arenas)),
+		nTrees:  float64(len(arenas)),
+	}
+	for _, nodes := range arenas {
+		base := int32(len(m.feature))
+		m.roots = append(m.roots, base)
+		for i, n := range nodes {
+			if n.feature < 0 {
+				m.feature = append(m.feature, -1)
+				m.cut = append(m.cut, n.value)
+				m.left = append(m.left, -1)
+				m.right = append(m.right, -1)
+				continue
+			}
+			if n.left <= int32(i) || n.right <= int32(i) ||
+				int(n.left) >= len(nodes) || int(n.right) >= len(nodes) {
+				return nil, fmt.Errorf("ml: tree arena node %d has out-of-arena children (%d, %d)", i, n.left, n.right)
+			}
+			m.feature = append(m.feature, int32(n.feature))
+			m.cut = append(m.cut, n.thresh)
+			m.left = append(m.left, base+n.left)
+			m.right = append(m.right, base+n.right)
+		}
+	}
+	return m, nil
 }
 
 // treeBuilder grows one tree over index sets.
@@ -197,26 +267,34 @@ func (b *treeBuilder) build(idx []int, depth int) int32 {
 	return me
 }
 
-// Predict implements Regressor: the ensemble mean.
+// Predict implements Regressor: the ensemble mean. The loop walks the
+// fused arrays by index; the slice headers are hoisted into locals and
+// resliced to a common length so the compiler drops the redundant bounds
+// checks after the feature load (verified with -gcflags=-d=ssa/check_bce).
+// The result stays sum/nTrees — a reciprocal multiply would be cheaper
+// still but rounds differently, and predictions are pinned bit-identical
+// across layout changes.
 func (m *forestModel) Predict(x []float64) float64 {
+	n := len(m.feature)
+	feature := m.feature
+	cut := m.cut[:n]
+	left := m.left[:n]
+	right := m.right[:n]
 	sum := 0.0
-	for _, t := range m.trees {
-		sum += t.predict(x)
-	}
-	return sum / float64(len(m.trees))
-}
-
-func (t *tree) predict(x []float64) float64 {
-	i := int32(0)
-	for {
-		n := &t.nodes[i]
-		if n.feature < 0 {
-			return n.value
-		}
-		if x[n.feature] <= n.thresh {
-			i = n.left
-		} else {
-			i = n.right
+	for _, root := range m.roots {
+		i := int(root)
+		for {
+			f := feature[i]
+			if f < 0 {
+				sum += cut[i]
+				break
+			}
+			if x[f] <= cut[i] {
+				i = int(left[i])
+			} else {
+				i = int(right[i])
+			}
 		}
 	}
+	return sum / m.nTrees
 }

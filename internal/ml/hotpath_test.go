@@ -1,0 +1,254 @@
+package ml
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// The hot-path contract of the two serving models: the fused
+// struct-of-arrays forest and the scratch-reusing kNN must predict
+// bit-identically to the historic layouts (golden bits recorded from the
+// pre-fusion implementation), and a warm Predict must not allocate.
+
+// hotpathQueries draws the fixed query set every equivalence test here
+// shares: 25 vectors from the seed-77 stream.
+func hotpathQueries() [][]float64 {
+	r := lcg(77)
+	qs := make([][]float64, 25)
+	for qi := range qs {
+		q := make([]float64, 12)
+		for j := range q {
+			q[j] = r.next()*4 - 2
+		}
+		qs[qi] = q
+	}
+	return qs
+}
+
+// The golden prediction bits, recorded by running the pre-fusion
+// implementations (per-tree []treeNode arenas; per-query candidate
+// allocation) on knnFixture(400, 12, 21) with the hotpathQueries stream.
+// Any layout or traversal change that perturbs a single ULP fails here.
+var goldenForestBits = []uint64{
+	0x3fd358f7ae5fd25f, 0xbfbbc14c66f67cf6, 0x3fcda4d865ffa8ed, 0x3ff105516a4d639f,
+	0x3fb6c299f3968e80, 0x3fe51ea59d83fd8c, 0x3fd15d68a87be7cf, 0x3fc75d78e71f8d03,
+	0xbf9d7b6ecc6e68a4, 0x3fd7ea011b4d186f, 0xbfe4ae77c998c3cc, 0xbfbed1e58293576e,
+	0x3fcb436b85f471dd, 0x3ff7b915bfef9797, 0xbfef9b688302c944, 0x3fe5c7d94fb3f36a,
+	0xbff13d236e33bf54, 0xbfc8b0ae116729ad, 0x3fd8d06ef7a85769, 0x3ff12448f5592da3,
+	0xbfbbbca653284453, 0x3fede70ffbab2f2a, 0x3fc6a91a9164cfbc, 0x3fec690bfd5260b9,
+	0xbfbc2e661bc1fab2,
+}
+
+var goldenKNNBits = []uint64{
+	0x3ff032d1490a2f29, 0xbfe5f0dfb1af332c, 0xbfd4256ae0f4b020, 0x3fef64798403104b,
+	0xbfcdac5f1326289d, 0x3fd119321a92d19a, 0x3fda283f5422d62f, 0xbfc975205b43c4cb,
+	0x3fc29830006a4aaa, 0x3fc44f7c16f66657, 0xbfe4316895bca369, 0x3faa119ba916f42f,
+	0x3fb4705d6c1b372d, 0x3ffa9a363b7df8fa, 0xbfdfe1bc6f6e879e, 0x3fd211aab64e111f,
+	0xbff18b25334fbc0a, 0xbfd5067f4b8c140f, 0xbfd804f48018568c, 0x3fe08902f3d24129,
+	0x3fa83f9dc0dc72a1, 0xbfb6caca9cb652d6, 0x3fc145c33d15402d, 0x3fe2f4333a72bcd0,
+	0x3fb550551ed36b29,
+}
+
+func TestForestPredictMatchesGoldenBits(t *testing.T) {
+	X, y := knnFixture(400, 12, 21)
+	m, err := Forest{Trees: 15, MaxDepth: 8, MinLeaf: 3, Seed: 7, Workers: 1}.Train(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range hotpathQueries() {
+		got := math.Float64bits(m.Predict(q))
+		if got != goldenForestBits[qi] {
+			t.Fatalf("query %d: fused forest predicted bits %016x, golden %016x (%v vs %v)",
+				qi, got, goldenForestBits[qi], math.Float64frombits(got), math.Float64frombits(goldenForestBits[qi]))
+		}
+	}
+}
+
+func TestKNNPredictMatchesGoldenBits(t *testing.T) {
+	X, y := knnFixture(400, 12, 21)
+	m, err := KNN{K: 5}.Train(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range hotpathQueries() {
+		got := math.Float64bits(m.Predict(q))
+		if got != goldenKNNBits[qi] {
+			t.Fatalf("query %d: knn predicted bits %016x, golden %016x", qi, got, goldenKNNBits[qi])
+		}
+	}
+}
+
+// forestPredictByArenas is the historic per-tree layout's traversal: one
+// []treeNode arena per tree, pointer to each node, division by the
+// converted ensemble size. fitTrees still produces exactly these arenas,
+// so comparing against the fused model proves the fusion's index rebasing
+// and threshold/value packing preserve every prediction bit.
+func forestPredictByArenas(arenas [][]treeNode, x []float64) float64 {
+	sum := 0.0
+	for _, nodes := range arenas {
+		i := int32(0)
+		for {
+			n := &nodes[i]
+			if n.feature < 0 {
+				sum += n.value
+				break
+			}
+			if x[n.feature] <= n.thresh {
+				i = n.left
+			} else {
+				i = n.right
+			}
+		}
+	}
+	return sum / float64(len(arenas))
+}
+
+func TestFusedForestMatchesArenaReference(t *testing.T) {
+	for _, cfg := range []Forest{
+		{Trees: 1, MaxDepth: 3, MinLeaf: 3, Seed: 1, Workers: 1},
+		{Trees: 15, MaxDepth: 8, MinLeaf: 3, Seed: 7, Workers: 2},
+		{Trees: 40, MaxDepth: 12, MinLeaf: 2, Seed: 99, Workers: 4},
+	} {
+		X, y := knnFixture(300, 9, cfg.Seed)
+		arenas, err := cfg.fitTrees(X, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fused, err := fuseForest(arenas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := lcg(cfg.Seed + 1000)
+		for qi := 0; qi < 40; qi++ {
+			q := make([]float64, 9)
+			for j := range q {
+				q[j] = r.next()*4 - 2
+			}
+			got, want := fused.Predict(q), forestPredictByArenas(arenas, q)
+			if got != want {
+				t.Fatalf("trees=%d query %d: fused %v != arena reference %v", cfg.Trees, qi, got, want)
+			}
+		}
+	}
+}
+
+// TestPredictZeroAlloc pins the serving hot path's allocation contract:
+// once warm, neither model allocates per prediction.
+func TestPredictZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation defeats sync.Pool reuse; alloc counts unreliable")
+	}
+	X, y := knnFixture(600, 10, 5)
+	q := make([]float64, 10)
+	for j := range q {
+		q[j] = 0.2 * float64(j)
+	}
+	models := []struct {
+		name string
+		m    Regressor
+	}{}
+	knn, err := KNN{K: 5}.Train(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := Forest{Trees: 10, Seed: 3, Workers: 1}.Train(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models = append(models,
+		struct {
+			name string
+			m    Regressor
+		}{"knn", knn},
+		struct {
+			name string
+			m    Regressor
+		}{"forest", forest},
+	)
+	for _, tc := range models {
+		tc.m.Predict(q) // warm the scratch pool before counting
+		if allocs := testing.AllocsPerRun(200, func() { tc.m.Predict(q) }); allocs != 0 {
+			t.Errorf("%s: warm Predict allocates %.1f objects/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestKNNPredictConcurrentScratch drives many concurrent predictions
+// through the shared scratch pool: every goroutine must see the sequential
+// answer (run under -race in CI).
+func TestKNNPredictConcurrentScratch(t *testing.T) {
+	X, y := knnFixture(500, 8, 13)
+	m, err := KNN{K: 5}.Train(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([][]float64, 16)
+	want := make([]float64, len(qs))
+	r := lcg(31)
+	for i := range qs {
+		q := make([]float64, 8)
+		for j := range q {
+			q[j] = r.next()*4 - 2
+		}
+		qs[i] = q
+		want[i] = m.Predict(q)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for i, q := range qs {
+					if got := m.Predict(q); got != want[i] {
+						select {
+						case errs <- errMismatch(i, got, want[i]):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+type mismatchError struct {
+	i         int
+	got, want float64
+}
+
+func (e *mismatchError) Error() string {
+	return "concurrent prediction drifted"
+}
+
+func errMismatch(i int, got, want float64) error {
+	return &mismatchError{i, got, want}
+}
+
+// BenchmarkForestPredict measures one warm ensemble evaluation on the
+// fused struct-of-arrays layout — a canonical entry of the checked-in
+// benchmark snapshot (scripts/bench.sh).
+func BenchmarkForestPredict(b *testing.B) {
+	X, y := knnFixture(2048, 16, 11)
+	m, err := Forest{Trees: 60, Seed: 42}.Train(X, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := make([]float64, 16)
+	for j := range q {
+		q[j] = 0.05 * float64(j)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(q)
+	}
+}

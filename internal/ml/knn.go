@@ -3,6 +3,7 @@ package ml
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // KNN is a K-nearest-neighbours regressor with inverse-distance weighting —
@@ -16,12 +17,20 @@ type KNN struct {
 // Name implements Trainer.
 func (k KNN) Name() string { return "KNN" }
 
-// knnModel stores the training set (KNN is instance-based).
+// knnModel stores the training set (KNN is instance-based). The rows are
+// fused into one contiguous row-major matrix at train time, so the distance
+// scan streams through memory instead of chasing one slice header per row,
+// and each Predict borrows its candidate arena from a pool instead of
+// allocating len(X) neighbors per query.
 type knnModel struct {
-	k   int
-	dim int
-	X   [][]float64
-	y   []float64
+	k    int
+	dim  int
+	flat []float64 // n×dim row-major training matrix
+	y    []float64
+	// scratch recycles *[]neighbor candidate arenas (always length n)
+	// across Predict calls; the pool keeps concurrent predictions — the
+	// serving layer fans batches out — from sharing a buffer.
+	scratch sync.Pool
 }
 
 // Train implements Trainer.
@@ -36,7 +45,18 @@ func (k KNN) Train(X [][]float64, y []float64) (Regressor, error) {
 	if kk > len(X) {
 		kk = len(X)
 	}
-	return &knnModel{k: kk, dim: len(X[0]), X: X, y: y}, nil
+	dim := len(X[0])
+	flat := make([]float64, 0, len(X)*dim)
+	for _, row := range X {
+		flat = append(flat, row...)
+	}
+	n := len(X)
+	m := &knnModel{k: kk, dim: dim, flat: flat, y: y}
+	m.scratch.New = func() any {
+		s := make([]neighbor, n)
+		return &s
+	}
+	return m, nil
 }
 
 // neighbor is one training sample's squared distance to the query.
@@ -55,8 +75,10 @@ func (m *knnModel) Predict(x []float64) float64 {
 	if len(x) != m.dim {
 		panic(fmt.Sprintf("ml: knn query has %d features, model trained on %d", len(x), m.dim))
 	}
-	cands := make([]neighbor, len(m.X))
-	for i, row := range m.X {
+	sp := m.scratch.Get().(*[]neighbor)
+	cands := *sp
+	for i := range cands {
+		row := m.flat[i*m.dim : i*m.dim+m.dim]
 		d2 := 0.0
 		for j := range row {
 			dv := row[j] - x[j]
@@ -83,6 +105,7 @@ func (m *knnModel) Predict(x []float64) float64 {
 		num += w * cands[i].y
 		den += w
 	}
+	m.scratch.Put(sp)
 	return num / den
 }
 

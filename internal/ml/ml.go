@@ -6,6 +6,14 @@
 //
 // The paper uses scikit-learn; this package is a from-scratch stdlib-only
 // replacement with the same algorithm families and evaluation protocol.
+//
+// Inference is the serving hot path, and its memory layout is deliberate:
+// the trained forest is fused into one contiguous struct-of-arrays
+// ensemble (see forest.go), kNN keeps a flat row-major training matrix
+// and pools its candidate scratch (see knn.go), and a warm Predict on
+// either model performs zero heap allocations — pinned by
+// TestPredictZeroAlloc, with golden Float64bits tests keeping predictions
+// bit-identical across layout changes.
 package ml
 
 import (
@@ -15,9 +23,13 @@ import (
 )
 
 // Regressor is a trained model predicting a scalar target from a feature
-// vector.
+// vector. Implementations are immutable after Train and safe for
+// concurrent Predict calls.
 type Regressor interface {
-	// Predict returns the model output for one standardized sample.
+	// Predict returns the model output for one standardized sample. The
+	// implementation only reads x during the call and never retains it, so
+	// callers may recycle the vector's storage (the serving layer feeds
+	// pooled buffers through here).
 	Predict(x []float64) float64
 }
 
@@ -96,10 +108,22 @@ func FitScaler(X [][]float64) (*Scaler, error) {
 // Transform standardizes one sample (out of place).
 func (s *Scaler) Transform(x []float64) []float64 {
 	out := make([]float64, len(x))
-	for j, v := range x {
-		out[j] = (v - s.Mean[j]) / s.Scale[j]
-	}
+	s.TransformInto(out, x)
 	return out
+}
+
+// TransformInto standardizes x into dst (len(dst) must be len(x)); dst may
+// alias x for an in-place transform. The arithmetic is element-wise
+// identical to Transform, so callers reusing a pooled buffer get
+// bit-identical results — the serving hot path standardizes query vectors
+// this way without allocating.
+func (s *Scaler) TransformInto(dst, x []float64) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("ml: TransformInto dst has %d entries, sample has %d", len(dst), len(x)))
+	}
+	for j, v := range x {
+		dst[j] = (v - s.Mean[j]) / s.Scale[j]
+	}
 }
 
 // TransformAll standardizes a whole matrix.

@@ -1,0 +1,38 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// BenchmarkServePredictV2 is the canonical serving-layer benchmark: one op
+// is a warm single-query POST /v2/predict straight into the handler (no
+// network), exercising resolve, the pooled predict path and JSON response
+// encoding. Tracked in BENCH_<machine-class>.json by scripts/bench.sh.
+func BenchmarkServePredictV2(b *testing.B) {
+	s := New(testDataset(b), Options{Quick: true, Seed: 3, Workers: 2})
+	defer s.Close()
+	h := s.Handler()
+
+	const body = `{"workload":"backprop","trefp":2.283,"temp_c":60}`
+	do := func() int {
+		req := httptest.NewRequest(http.MethodPost, "/v2/predict", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	// Warm: first query trains and caches the models and primes the pools.
+	if code := do(); code != http.StatusOK {
+		b.Fatalf("warmup returned %d", code)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := do(); code != http.StatusOK {
+			b.Fatalf("request %d returned %d", i, code)
+		}
+	}
+}

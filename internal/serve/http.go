@@ -1,12 +1,14 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"mime"
 	"net/http"
+	"sync"
 )
 
 // maxBodyBytes bounds one request body. The largest legitimate body — a
@@ -83,10 +85,37 @@ func writeErrorV2(w http.ResponseWriter, e *apiError) {
 	}})
 }
 
+// jsonWriter is a pooled response-encoding buffer: the encoder is bound to
+// the buffer once, so a warm response reuses both instead of allocating an
+// encoder and growing fresh buffer segments per request. Responses large
+// enough to be pathological pool citizens are dropped rather than recycled.
+type jsonWriter struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+const maxPooledResponse = 1 << 20
+
+var jsonWriterPool = sync.Pool{New: func() any {
+	jw := &jsonWriter{}
+	jw.enc = json.NewEncoder(&jw.buf)
+	return jw
+}}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	jw := jsonWriterPool.Get().(*jsonWriter)
+	jw.buf.Reset()
+	// Encode first so a marshal failure cannot truncate an already-started
+	// body; the bytes (including the encoder's trailing newline) match the
+	// streaming encoder this replaced, keeping the golden wire fixtures
+	// byte-identical.
+	_ = jw.enc.Encode(v)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(jw.buf.Bytes())
+	if jw.buf.Cap() <= maxPooledResponse {
+		jsonWriterPool.Put(jw)
+	}
 }
 
 // jsonContentType accepts application/json with any parameters. An empty

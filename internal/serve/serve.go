@@ -54,6 +54,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"net/http"
@@ -234,7 +235,26 @@ type query struct {
 	Targets []string
 }
 
+// maxTargets is the most targets one query can request: every target,
+// deduplicated. Sized to the core target catalog (checked at init) so the
+// per-query intermediates below hold fixed arrays instead of per-request
+// slices.
+const maxTargets = 2
+
+// allTargets is the shared default selection; resolve copies it into the
+// per-query buffer and never hands the shared slice out.
+var allTargets = core.Targets()
+
+func init() {
+	if len(allTargets) > maxTargets {
+		panic(fmt.Sprintf("serve: %d core targets exceed maxTargets=%d", len(allTargets), maxTargets))
+	}
+}
+
 // resolved is a validated query bound to its feature vector and models.
+// Instances are pooled: the handlers return them through putResolved once
+// the response is rendered, so a warm query reuses the previous one's
+// storage instead of allocating.
 type resolved struct {
 	workload string
 	trefp    float64
@@ -243,9 +263,25 @@ type resolved struct {
 	kind     core.ModelKind
 	// set is the explicitly requested input set, 0 meaning each target's
 	// published default.
-	set     core.InputSet
-	targets []core.Target
-	feats   []float64
+	set core.InputSet
+	// targets aliases targetsBuf[:n]: the requested targets in request
+	// order, deduplicated.
+	targets    []core.Target
+	targetsBuf [maxTargets]core.Target
+	feats      []float64
+}
+
+var resolvedPool = sync.Pool{New: func() any { return new(resolved) }}
+
+// putResolved recycles r. Reference fields are dropped so a pooled entry
+// cannot pin a retired generation's profile features.
+func putResolved(r *resolved) {
+	if r == nil {
+		return
+	}
+	r.feats = nil
+	r.targets = nil
+	resolvedPool.Put(r)
 }
 
 // setFor resolves the input set serving one target.
@@ -291,36 +327,70 @@ func (s *Server) resolve(g *generation, q query) (*resolved, *apiError) {
 	default:
 		return nil, errf(http.StatusBadRequest, codeOutOfRange, "input_set", "input_set %d out of range", q.InputSet)
 	}
-	targets := core.Targets()
-	if len(q.Targets) > 0 {
-		targets = targets[:0:0]
-		seen := map[core.Target]bool{}
+	r2 := resolvedPool.Get().(*resolved)
+	targets := r2.targetsBuf[:0]
+	if len(q.Targets) == 0 {
+		targets = append(targets, allTargets...)
+	} else {
 		for _, name := range q.Targets {
 			t, err := core.ParseTarget(name)
 			if err != nil {
+				putResolved(r2)
 				return nil, errf(http.StatusBadRequest, codeUnknownTarget, "targets", "unknown target %q", name)
 			}
-			if !seen[t] {
-				seen[t] = true
+			dup := false
+			for _, have := range targets {
+				if have == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
 				targets = append(targets, t)
 			}
 		}
 	}
 	prof, err := s.profileFor(g, spec)
 	if err != nil {
+		putResolved(r2)
 		return nil, servingErr(err)
 	}
-	return &resolved{
-		workload: spec.Label, trefp: q.TREFP, tempC: q.TempC, vdd: q.VDD,
-		kind: kind, set: set, targets: targets, feats: prof.Features,
-	}, nil
+	r2.workload = spec.Label
+	r2.trefp, r2.tempC, r2.vdd = q.TREFP, q.TempC, q.VDD
+	r2.kind, r2.set = kind, set
+	r2.targets = targets
+	r2.feats = prof.Features
+	return r2, nil
 }
 
-// predicted is one query's answers: a prediction per requested target,
-// plus the wall time of this query's model resolution and predict.
+// predicted is one query's answers: preds[i] answers the resolved query's
+// targets[i], plus the wall time of this query's model resolution and
+// predict. Instances are pooled like resolved.
 type predicted struct {
-	preds   map[core.Target]core.Prediction
+	preds   [maxTargets]core.Prediction
 	elapsed time.Duration
+}
+
+var predictedPool = sync.Pool{New: func() any { return new(predicted) }}
+
+// putPredicted recycles p, dropping the ByRank slices so a pooled entry
+// does not pin result storage already handed to a response.
+func putPredicted(p *predicted) {
+	if p == nil {
+		return
+	}
+	p.preds = [maxTargets]core.Prediction{}
+	predictedPool.Put(p)
+}
+
+// pred returns the answer for target t of the query resolved as r.
+func (p *predicted) pred(r *resolved, t core.Target) core.Prediction {
+	for i, tt := range r.targets {
+		if tt == t {
+			return p.preds[i]
+		}
+	}
+	return core.Prediction{}
 }
 
 // predictOne answers one resolved query through generation g's
@@ -328,8 +398,8 @@ type predicted struct {
 // PUE-only query never trains or waits for a WER model.
 func (s *Server) predictOne(g *generation, r *resolved) (*predicted, *apiError) {
 	start := time.Now()
-	mvs := make([]modelVal, len(r.targets))
-	stats := make([]*modelStat, len(r.targets))
+	var mvs [maxTargets]modelVal
+	var stats [maxTargets]*modelStat
 	for i, t := range r.targets {
 		stats[i] = s.metrics.modelStatFor(modelKey{t, r.kind, r.setFor(t)})
 		mv, err := s.model(g, t, r.kind, r.setFor(t))
@@ -341,43 +411,46 @@ func (s *Server) predictOne(g *generation, r *resolved) (*predicted, *apiError) 
 	}
 	// The targets are independent: submit every batcher at once so a query
 	// pays one dispatch cycle, not one per target, and a wave of requests
-	// lands in all batchers in the same flush.
-	outs := make([]core.Prediction, len(r.targets))
-	errs := make([]error, len(r.targets))
+	// lands in all batchers in the same flush. The first target runs on
+	// this goroutine — the common single-target query spawns nothing.
+	p := predictedPool.Get().(*predicted)
+	var errs [maxTargets]error
+	run := func(i int, t core.Target) {
+		predStart := time.Now()
+		ps, err := mvs[i].batch.do([]core.Query{{
+			Target: t, Features: r.feats, TREFP: r.trefp, VDD: r.vdd,
+			TempC: r.tempC, Rank: core.RankDevice,
+		}})
+		if err != nil {
+			stats[i].errors.inc()
+			errs[i] = err
+			return
+		}
+		// Per-model serving accounting: one answered query per target,
+		// with the micro-batched predict round trip it paid
+		// (/v2/stats; the load generator cross-checks these).
+		stats[i].queries.inc()
+		stats[i].latency.observe(time.Since(predStart))
+		p.preds[i] = ps[0]
+	}
 	var wg sync.WaitGroup
-	for i, t := range r.targets {
+	for i := 1; i < len(r.targets); i++ {
 		wg.Add(1)
 		go func(i int, t core.Target) {
 			defer wg.Done()
-			predStart := time.Now()
-			ps, err := mvs[i].batch.do([]core.Query{{
-				Target: t, Features: r.feats, TREFP: r.trefp, VDD: r.vdd,
-				TempC: r.tempC, Rank: core.RankDevice,
-			}})
-			if err != nil {
-				stats[i].errors.inc()
-				errs[i] = err
-				return
-			}
-			// Per-model serving accounting: one answered query per target,
-			// with the micro-batched predict round trip it paid
-			// (/v2/stats; the load generator cross-checks these).
-			stats[i].queries.inc()
-			stats[i].latency.observe(time.Since(predStart))
-			outs[i] = ps[0]
-		}(i, t)
+			run(i, t)
+		}(i, r.targets[i])
 	}
+	run(0, r.targets[0])
 	wg.Wait()
-	for _, err := range errs {
+	for _, err := range errs[:len(r.targets)] {
 		if err != nil {
+			putPredicted(p)
 			return nil, servingErr(err)
 		}
 	}
-	preds := make(map[core.Target]core.Prediction, len(r.targets))
-	for i, t := range r.targets {
-		preds[t] = outs[i]
-	}
-	return &predicted{preds: preds, elapsed: time.Since(start)}, nil
+	p.elapsed = time.Since(start)
+	return p, nil
 }
 
 // predictMany resolves and answers a batch. Resolution is all-or-nothing
@@ -481,8 +554,8 @@ type predictBody struct {
 
 // renderV1 adapts a unified prediction to the legacy wire format.
 func renderV1(r *resolved, p *predicted) *PredictResponse {
-	wer := p.preds[core.TargetWER]
-	pue := p.preds[core.TargetPUE]
+	wer := p.pred(r, core.TargetWER)
+	pue := p.pred(r, core.TargetPUE)
 	return &PredictResponse{
 		Workload:  r.workload,
 		TREFP:     r.trefp,
@@ -533,6 +606,7 @@ func (s *Server) handlePredictV1(w http.ResponseWriter, r *http.Request) {
 			results[i] = renderV1(rs[i], preds[i])
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"results": results})
+		freeMany(rs, preds)
 		return
 	}
 
@@ -543,10 +617,24 @@ func (s *Server) handlePredictV1(w http.ResponseWriter, r *http.Request) {
 	}
 	p, e := s.predictOne(g, rq)
 	if e != nil {
+		putResolved(rq)
 		writeErrorV1(w, e)
 		return
 	}
 	writeJSON(w, http.StatusOK, renderV1(rq, p))
+	putResolved(rq)
+	putPredicted(p)
+}
+
+// freeMany recycles a batch's intermediates after its response is
+// rendered.
+func freeMany(rs []*resolved, preds []*predicted) {
+	for _, r := range rs {
+		putResolved(r)
+	}
+	for _, p := range preds {
+		putPredicted(p)
+	}
 }
 
 // handleReload reloads the server's configured artifact. The endpoint

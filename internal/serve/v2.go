@@ -86,10 +86,11 @@ func renderV2(r *resolved, p *predicted) *PredictItemV2 {
 		TempC:       r.tempC,
 		VDD:         r.vdd,
 		Model:       string(r.kind),
-		Predictions: make(map[string]TargetResultV2, len(p.preds)),
+		Predictions: make(map[string]TargetResultV2, len(r.targets)),
 		ElapsedMS:   ms(p.elapsed),
 	}
-	for t, pred := range p.preds {
+	for i, t := range r.targets {
+		pred := p.preds[i]
 		out.Predictions[string(t)] = TargetResultV2{
 			Value:    pred.Value,
 			ByRank:   pred.ByRank,
@@ -136,6 +137,7 @@ func (s *Server) handlePredictV2(w http.ResponseWriter, r *http.Request) {
 			resp.Results[i] = renderV2(rs[i], preds[i])
 		}
 		writeJSON(w, http.StatusOK, resp)
+		freeMany(rs, preds)
 		return
 	}
 
@@ -146,6 +148,7 @@ func (s *Server) handlePredictV2(w http.ResponseWriter, r *http.Request) {
 	}
 	p, e := s.predictOne(g, rq)
 	if e != nil {
+		putResolved(rq)
 		writeErrorV2(w, e)
 		return
 	}
@@ -154,4 +157,6 @@ func (s *Server) handlePredictV2(w http.ResponseWriter, r *http.Request) {
 		Generation:    g.id,
 		Fingerprint:   g.fp,
 	})
+	putResolved(rq)
+	putPredicted(p)
 }

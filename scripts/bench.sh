@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs the canonical benchmark set and records or gates the benchmark
+# trajectory:
+#
+#   scripts/bench.sh check    # run + compare against BENCH_<class>.json (CI)
+#   scripts/bench.sh record   # run + refresh BENCH_<class>.json
+#
+# The canonical set spans every layer of the serving stack: model-level
+# kNN and forest predicts (internal/ml), a mixed 64-query batch through
+# the core predictors, a warm single-query POST /v2/predict into the
+# handler, and a closed-loop 64-query fleet drive over loopback HTTP.
+#
+# cmd/benchgate does the comparison: allocation counts on low-alloc
+# benchmarks are exact (a reintroduced per-op allocation fails no matter
+# how fast the run was), ns/op and B/op get a slack factor (default 2.0,
+# override with BENCH_TIME_FACTOR) because runner speed is noisy. A
+# machine class with no checked-in snapshot skips the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-check}"
+case "$mode" in check|record) ;; *)
+  echo "usage: scripts/bench.sh [check|record]" >&2; exit 2 ;;
+esac
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+# One count at the default 1s benchtime: stable enough under the slack
+# factor, and the exact alloc gate doesn't need repetitions at all.
+go test -run '^$' \
+  -bench '^(BenchmarkKNNPredict|BenchmarkForestPredict|BenchmarkPredictBatch|BenchmarkServePredictV2|BenchmarkFleetDrive)$' \
+  -benchmem -benchtime=1s -timeout=20m \
+  ./internal/ml/ ./internal/core/ ./internal/serve/ ./internal/fleet/ | tee "$out"
+
+case "$mode" in
+  record) go run ./cmd/benchgate -in "$out" -update ;;
+  check)  go run ./cmd/benchgate -in "$out" ;;
+esac
