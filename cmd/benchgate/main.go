@@ -79,8 +79,11 @@ func run(in, baselinePath string, update bool, factor float64) error {
 		if os.IsNotExist(err) {
 			// No snapshot recorded for this machine class: the trajectory
 			// is tracked elsewhere. Skip, don't fail — same contract as an
-			// explicit class mismatch.
-			fmt.Printf("benchgate: no baseline %s for machine class %s — skipping\n",
+			// explicit class mismatch — but say so LOUDLY on stderr: a
+			// green CI run where the gate never compared anything must be
+			// distinguishable from one the gate actually passed.
+			fmt.Fprintf(os.Stderr,
+				"benchgate: SKIPPED — no baseline %s for machine class %s; NO regression gate ran (record one with scripts/bench.sh record)\n",
 				baselinePath, current.MachineClass)
 			return nil
 		}
@@ -88,7 +91,7 @@ func run(in, baselinePath string, update bool, factor float64) error {
 	}
 	v := benchmark.Compare(base, current, benchmark.Options{TimeFactor: factor})
 	if v.Skipped {
-		fmt.Println("benchgate:", v.Reason)
+		fmt.Fprintf(os.Stderr, "benchgate: SKIPPED — %s; NO regression gate ran\n", v.Reason)
 		return nil
 	}
 	for _, n := range v.New {

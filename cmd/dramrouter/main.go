@@ -1,0 +1,101 @@
+// Command dramrouter fronts a pool of dramserve backends with the
+// cluster routing tier (internal/cluster): consistent-hash model
+// ownership, health-checked membership, bounded retry with hedging, and
+// cross-node artifact-fingerprint consistency. It serves the /v2 wire
+// format unchanged, so any /v2 client uses it as a drop-in address:
+//
+//	dramserve -load dfault.json.gz -addr :8081 &
+//	dramserve -load dfault.json.gz -addr :8082 &
+//	dramrouter -addr :8080 -backends 127.0.0.1:8081,127.0.0.1:8082
+//	dramfleet -addr http://127.0.0.1:8080 -qps 300 -duration 5s
+//
+// GET /healthz reports pool membership and per-backend artifact identity
+// (503 on a fingerprint-skewed or fully-down pool); GET /metrics exports
+// the routing counters. API.md documents the cluster-mode semantics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cliflag"
+	"repro/internal/cluster"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		backends  = flag.String("backends", "", "comma-separated dramserve base URLs (required)")
+		probe     = flag.Duration("probe-interval", cluster.DefaultProbeInterval, "health-probe period")
+		failAfter = flag.Int("fail-after", cluster.DefaultFailAfter, "consecutive failures before a backend is ejected")
+		hedge     = flag.Duration("hedge-after", cluster.DefaultHedgeAfter, "hedge a sub-request slower than this to the next backend (negative disables)")
+		attempts  = flag.Int("attempts", cluster.DefaultAttempts, "distinct backends one sub-request may try")
+		reqTO     = flag.Duration("request-timeout", cluster.DefaultRequestTimeout, "per-attempt proxy deadline")
+		drainFor  = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+		prof      cliflag.Pprof
+	)
+	prof.Register(flag.CommandLine)
+	flag.Parse()
+
+	if _, err := prof.Start(logf); err != nil {
+		fatal(err)
+	}
+	if *backends == "" {
+		fatal(errors.New("-backends is required (comma-separated dramserve URLs)"))
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	rt, err := cluster.New(cluster.Options{
+		Backends:       strings.Split(*backends, ","),
+		ProbeInterval:  *probe,
+		FailAfter:      *failAfter,
+		HedgeAfter:     *hedge,
+		Attempts:       *attempts,
+		RequestTimeout: *reqTO,
+		Context:        ctx,
+		Logf:           logf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer rt.Close()
+
+	httpSrv := cliflag.HTTPServer(*addr, rt.Handler())
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		logf("signal received; draining for up to %v...", *drainFor)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			logf("shutdown: %v", err)
+		}
+	}()
+
+	logf("routing %d backends on %s", len(strings.Split(*backends, ",")), *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	<-shutdownDone
+	logf("bye")
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dramrouter: "+format+"\n", args...)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dramrouter:", err)
+	os.Exit(1)
+}

@@ -93,7 +93,7 @@ func main() {
 		logf("-reload-interval ignored without -load")
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := cliflag.HTTPServer(*addr, srv.Handler())
 	shutdownDone := make(chan struct{})
 	go func() {
 		defer close(shutdownDone)

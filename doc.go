@@ -63,6 +63,12 @@
 //     stream against a live server at a target QPS on the engine's
 //     bounded workers — same seed, same stream, byte for byte
 //     (cmd/dramfleet is the entry point)
+//   - internal/cluster — the horizontal-scale tier: a front router that
+//     consistent-hashes model ownership across N dramserve backends,
+//     with health-checked pool membership, bounded retry and hedging on
+//     slow shards, and artifact-fingerprint consistency (responses never
+//     blend two artifact generations) — serving the /v2 wire format
+//     unchanged (cmd/dramrouter is the entry point)
 //   - internal/cliflag — the flags shared by the dram* commands: the
 //     dataset-acquisition set (-load/-save/-quick/-scale/...), the
 //     -target selection over the unified prediction targets, the

@@ -27,6 +27,38 @@ import (
 	"repro/internal/xgene"
 )
 
+// The connection-hygiene timeouts every HTTP listener in this repository
+// shares. A listener with no read-side timeouts hangs forever on a client
+// that opens a connection and trickles (or never sends) the request — the
+// slowloris class — and never reclaims idle keep-alive connections; at
+// fleet scale a few thousand such clients exhaust the file-descriptor
+// budget. Write-side stays unbounded on purpose: a cold model fit can
+// legitimately hold a response longer than any fixed cap, and the read
+// timeouts are what the attack class needs.
+const (
+	// ReadHeaderTimeout bounds how long a client may take to send the
+	// request line and headers.
+	ReadHeaderTimeout = 10 * time.Second
+	// ReadTimeout bounds the whole request read, including the body
+	// (bodies are capped at ~1 MiB everywhere, so a minute is generous).
+	ReadTimeout = time.Minute
+	// IdleTimeout reclaims keep-alive connections with no next request.
+	IdleTimeout = 2 * time.Minute
+)
+
+// HTTPServer builds an http.Server with the shared hygiene timeouts.
+// Every listener — dramserve, dramrouter, the -pprof side listener — goes
+// through here so none can regress to the hang-forever defaults.
+func HTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: ReadHeaderTimeout,
+		ReadTimeout:       ReadTimeout,
+		IdleTimeout:       IdleTimeout,
+	}
+}
+
 // Pprof is the shared -pprof flag: an optional side HTTP listener exposing
 // the net/http/pprof endpoints. It is a separate listener on purpose — the
 // serving mux stays exactly the pinned /v1 + /v2 surface, and the profile
@@ -61,7 +93,7 @@ func (p *Pprof) Start(logf func(format string, args ...any)) (string, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	go func() {
-		if err := (&http.Server{Handler: mux}).Serve(ln); err != nil &&
+		if err := HTTPServer("", mux).Serve(ln); err != nil &&
 			!errors.Is(err, http.ErrServerClosed) {
 			if logf != nil {
 				logf("pprof server: %v", err)

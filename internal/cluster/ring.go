@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring over backend indices. Each backend owns
+// `replicas` virtual points; a routing key is owned by the first point at
+// or after its hash, walking clockwise. Consistent hashing keeps model
+// ownership stable when the healthy set changes: ejecting one backend only
+// moves the keys it owned, so the other backends keep their warm model
+// registries and profile caches instead of reshuffling the whole keyspace.
+type ring struct {
+	points []ringPoint // sorted by hash
+	n      int         // backend count
+}
+
+type ringPoint struct {
+	hash    uint64
+	backend int
+}
+
+// hash64 is FNV-1a with a 64-bit avalanche finalizer: deterministic across
+// processes, so every router replica with the same backend list computes
+// the same ownership. Raw FNV-1a clusters near-identical strings (keys
+// differing in a trailing digit land a small multiple of the FNV prime
+// apart), which starves backends of ring arcs; the finalizer spreads them
+// uniformly.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func newRing(addrs []string, replicas int) *ring {
+	r := &ring{n: len(addrs)}
+	r.points = make([]ringPoint, 0, len(addrs)*replicas)
+	for i, a := range addrs {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash64(a + "#" + strconv.Itoa(v)), i})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (astronomically rare) break deterministically.
+		return r.points[i].backend < r.points[j].backend
+	})
+	return r
+}
+
+// walk returns up to max distinct backends in ring order starting at the
+// key's owner: the owner first, then the failover successors a retry or
+// hedge escalates through.
+func (r *ring) walk(key string, max int) []int {
+	if r.n == 0 || max <= 0 {
+		return nil
+	}
+	if max > r.n {
+		max = r.n
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, max)
+	seen := make([]bool, r.n)
+	for i := 0; i < len(r.points) && len(out) < max; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.backend] {
+			seen[p.backend] = true
+			out = append(out, p.backend)
+		}
+	}
+	return out
+}

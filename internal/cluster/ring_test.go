@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringAddrs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+// TestRingDeterministic: two rings built from the same backend list agree
+// on every key's full walk — the property that lets several router
+// replicas front one pool without coordinating.
+func TestRingDeterministic(t *testing.T) {
+	addrs := ringAddrs(5)
+	a, b := newRing(addrs, DefaultReplicas), newRing(addrs, DefaultReplicas)
+	for i := 0; i < 500; i++ {
+		key := routingKey("wer", "KNN", i)
+		wa, wb := a.walk(key, 5), b.walk(key, 5)
+		if len(wa) != len(wb) {
+			t.Fatalf("walk lengths differ for %s: %v vs %v", key, wa, wb)
+		}
+		for j := range wa {
+			if wa[j] != wb[j] {
+				t.Fatalf("walks differ for %s: %v vs %v", key, wa, wb)
+			}
+		}
+	}
+}
+
+// TestRingWalkDistinct: a walk lists each backend at most once, in owner-
+// first order, capped at the pool size.
+func TestRingWalkDistinct(t *testing.T) {
+	r := newRing(ringAddrs(4), DefaultReplicas)
+	for i := 0; i < 200; i++ {
+		key := routingKey("pue", "SVM", i)
+		w := r.walk(key, 10) // asks for more than exist
+		if len(w) != 4 {
+			t.Fatalf("walk(%s, 10) returned %d backends, want 4", key, len(w))
+		}
+		seen := map[int]bool{}
+		for _, idx := range w {
+			if idx < 0 || idx >= 4 {
+				t.Fatalf("walk(%s) index %d out of range", key, idx)
+			}
+			if seen[idx] {
+				t.Fatalf("walk(%s) repeats backend %d: %v", key, idx, w)
+			}
+			seen[idx] = true
+		}
+		// A shorter walk is a prefix of the longer one: retry escalation
+		// follows the same successor order hedging does.
+		w2 := r.walk(key, 2)
+		if len(w2) != 2 || w2[0] != w[0] || w2[1] != w[1] {
+			t.Fatalf("walk(%s, 2) = %v is not a prefix of %v", key, w2, w)
+		}
+	}
+	if got := r.walk("k", 0); got != nil {
+		t.Fatalf("walk(k, 0) = %v, want nil", got)
+	}
+	empty := newRing(nil, DefaultReplicas)
+	if got := empty.walk("k", 3); got != nil {
+		t.Fatalf("empty ring walk = %v, want nil", got)
+	}
+}
+
+// TestRingSpread: with virtual nodes, every backend owns a non-trivial
+// share of a large keyspace (no starved backend, no hot monopoly).
+func TestRingSpread(t *testing.T) {
+	const backends, keys = 8, 4000
+	r := newRing(ringAddrs(backends), DefaultReplicas)
+	owned := make([]int, backends)
+	for i := 0; i < keys; i++ {
+		owned[r.walk(fmt.Sprintf("m/wer/KNN/%d", i), 1)[0]]++
+	}
+	for i, n := range owned {
+		// Fair share is keys/backends = 500; 64 virtual nodes keep every
+		// backend within a loose band of it.
+		if n < keys/backends/4 {
+			t.Fatalf("backend %d owns only %d of %d keys: %v", i, n, keys, owned)
+		}
+	}
+}
+
+// TestRingStability is the consistent-hashing contract: dropping one
+// backend only remaps the keys it owned. Every other key keeps its owner,
+// which is what keeps the surviving backends' model caches warm through an
+// ejection.
+func TestRingStability(t *testing.T) {
+	addrs := ringAddrs(4)
+	full := newRing(addrs, DefaultReplicas)
+	reduced := newRing(addrs[:3], DefaultReplicas)
+	moved := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("m/pue/KNN/%d", i)
+		was := full.walk(key, 1)[0]
+		now := reduced.walk(key, 1)[0]
+		if was != 3 {
+			if now != was {
+				t.Fatalf("key %s moved %d→%d though backend 3 was the one dropped", key, was, now)
+			}
+		} else {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("backend 3 owned no keys at all; spread is broken")
+	}
+}

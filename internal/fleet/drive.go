@@ -14,6 +14,20 @@ import (
 	"repro/internal/serve"
 )
 
+// DefaultRequestTimeout bounds one query round trip when DriveOptions
+// leaves Timeout zero. Far above any healthy prediction (the paper budget
+// is 300 ms and a cold model fit on the test corpora is seconds), far
+// below "forever" — the closed-loop driver's workers must never wedge on
+// one hung backend.
+const DefaultRequestTimeout = 30 * time.Second
+
+// defaultClient replaces the old http.DefaultClient fallback, which has no
+// timeout at all: a single backend that accepted a connection and went
+// silent would pin a worker until process death. The transport-level
+// timeout here is a backstop; the per-request deadline in doQuery is the
+// primary bound.
+var defaultClient = &http.Client{Timeout: DefaultRequestTimeout}
+
 // DriveOptions configures one closed-loop run against a live dramserve.
 type DriveOptions struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
@@ -29,8 +43,13 @@ type DriveOptions struct {
 	Targets []core.Target
 	// Model selects the model kind; default the paper's published KNN.
 	Model string
-	// Client is the HTTP client; default http.DefaultClient.
+	// Client is the HTTP client; default a shared client with
+	// DefaultRequestTimeout (never the timeout-less http.DefaultClient).
 	Client *http.Client
+	// Timeout is the per-request deadline on each query, applied even to a
+	// caller-supplied Client; 0 means DefaultRequestTimeout, negative
+	// disables the deadline.
+	Timeout time.Duration
 	// Context cancels the run; queries not yet issued fail with the
 	// context's error.
 	Context context.Context
@@ -50,7 +69,11 @@ func Drive(qs []Query, opts DriveOptions) ([]Outcome, error) {
 	}
 	client := opts.Client
 	if client == nil {
-		client = http.DefaultClient
+		client = defaultClient
+	}
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = DefaultRequestTimeout
 	}
 	targets := opts.Targets
 	if len(targets) == 0 {
@@ -76,14 +99,19 @@ func Drive(qs []Query, opts DriveOptions) ([]Outcome, error) {
 				return Outcome{Err: ctx.Err()}, nil
 			}
 		}
-		return doQuery(ctx, client, opts.BaseURL, opts.Model, names, targets, &qs[i]), nil
+		return doQuery(ctx, client, timeout, opts.BaseURL, opts.Model, names, targets, &qs[i]), nil
 	}, engine.Options{Workers: opts.Workers, Context: ctx})
 }
 
-// doQuery issues one /v2/predict request and extracts the per-target
-// answers.
-func doQuery(ctx context.Context, client *http.Client, baseURL, model string,
-	targetNames []string, targets []core.Target, q *Query) Outcome {
+// doQuery issues one /v2/predict request under its own deadline and
+// extracts the per-target answers.
+func doQuery(ctx context.Context, client *http.Client, timeout time.Duration,
+	baseURL, model string, targetNames []string, targets []core.Target, q *Query) Outcome {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	body, err := json.Marshal(serve.PredictRequestV2{
 		Workload: q.Workload,
 		TREFP:    q.TREFP,

@@ -1,6 +1,9 @@
 package ml
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // SVR is an ε-insensitive support vector regressor with an RBF kernel,
 // trained by a simplified SMO coordinate-ascent on the dual problem — the
@@ -20,10 +23,15 @@ type SVR struct {
 // Name implements Trainer.
 func (s SVR) Name() string { return "SVM" }
 
+// svrModel stores the fitted support vectors. Like the kNN training
+// matrix, the vectors are fused into one contiguous row-major slice at
+// train time so the kernel scan of the hot predict path streams through
+// memory instead of chasing one slice header per support vector.
 type svrModel struct {
 	gamma float64
-	X     [][]float64
-	beta  []float64 // alpha_i - alpha_i^* for each training sample
+	dim   int       // training dimensionality, validated on every query
+	flat  []float64 // nSV×dim row-major support-vector matrix
+	beta  []float64 // alpha_i - alpha_i^* for each support vector
 	b     float64
 }
 
@@ -128,27 +136,40 @@ func (s SVR) Train(X [][]float64, y []float64) (Regressor, error) {
 		}
 	}
 
-	// Keep only support vectors (non-zero beta) for prediction speed.
-	var sx [][]float64
+	// Keep only support vectors (non-zero beta) for prediction speed,
+	// fused into one row-major matrix.
+	var flat []float64
 	var sb []float64
 	for i, v := range beta {
 		if math.Abs(v) > 1e-9 {
-			sx = append(sx, X[i])
+			flat = append(flat, X[i]...)
 			sb = append(sb, v)
 		}
 	}
-	if len(sx) == 0 {
-		// Degenerate fit: everything inside the tube; predict the bias.
-		return &svrModel{gamma: gamma, b: b}, nil
-	}
-	return &svrModel{gamma: gamma, X: sx, beta: sb, b: b}, nil
+	// A degenerate fit (everything inside the tube) has no support vectors
+	// and predicts the bias; it still records dim so queries stay checked.
+	return &svrModel{gamma: gamma, dim: d, flat: flat, beta: sb, b: b}, nil
 }
 
-// Predict implements Regressor.
+// Predict implements Regressor: the kernel expansion over the support
+// vectors. The query must have the training dimensionality; a mismatched
+// vector is a caller bug and panics with a diagnosable message rather than
+// an index-out-of-range deep in the kernel loop (or, worse, a silently
+// truncated distance when the query is longer — the bug class knnModel
+// fixed first).
 func (m *svrModel) Predict(x []float64) float64 {
+	if len(x) != m.dim {
+		panic(fmt.Sprintf("ml: svr query has %d features, model trained on %d", len(x), m.dim))
+	}
 	out := m.b
-	for i, sv := range m.X {
-		out += m.beta[i] * rbf(sv, x, m.gamma)
+	for i, bv := range m.beta {
+		row := m.flat[i*m.dim : i*m.dim+m.dim]
+		d2 := 0.0
+		for j := range row {
+			dv := row[j] - x[j]
+			d2 += dv * dv
+		}
+		out += bv * math.Exp(-m.gamma*d2)
 	}
 	return out
 }

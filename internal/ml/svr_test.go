@@ -1,0 +1,143 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSVRPredictDimensionMismatchPanics(t *testing.T) {
+	X, y := knnFixture(40, 8, 2)
+	m, err := SVR{}.Train(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]float64{nil, make([]float64, 7), make([]float64, 9)} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("query of %d features accepted against 8-dim model", len(bad))
+				}
+				if msg := fmt.Sprint(r); !strings.Contains(msg, "features") {
+					t.Fatalf("panic message not diagnosable: %v", msg)
+				}
+			}()
+			m.Predict(bad)
+		}()
+	}
+	// The exact training dimensionality still works.
+	if got := m.Predict(X[0]); math.IsNaN(got) {
+		t.Fatalf("valid query returned %v", got)
+	}
+}
+
+// TestSVRDegenerateFitStillValidates pins the degenerate path: a constant
+// target keeps every residual inside the ε tube, so the fit has no support
+// vectors — but the model must still know its dimensionality and reject
+// mismatched queries instead of silently predicting the bias for any shape.
+func TestSVRDegenerateFitStillValidates(t *testing.T) {
+	X, _ := knnFixture(20, 6, 3)
+	y := make([]float64, len(X))
+	for i := range y {
+		y[i] = 7.5
+	}
+	reg, err := SVR{}.Train(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := reg.(*svrModel)
+	if len(m.beta) != 0 {
+		t.Fatalf("constant target fitted %d support vectors, want 0", len(m.beta))
+	}
+	if got := m.Predict(X[0]); got != 7.5 {
+		t.Fatalf("degenerate fit predicted %v, want the bias 7.5", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("degenerate model accepted a mismatched query")
+		}
+	}()
+	m.Predict(make([]float64, 5))
+}
+
+// svrPredictNested is the pre-flattening reference implementation: the
+// kernel expansion over per-row support-vector slices, reconstructed from
+// the flat matrix. The flattened hot path must match it bit for bit.
+func svrPredictNested(m *svrModel, x []float64) float64 {
+	out := m.b
+	for i := range m.beta {
+		sv := m.flat[i*m.dim : (i+1)*m.dim]
+		out += m.beta[i] * rbf(sv, x, m.gamma)
+	}
+	return out
+}
+
+// TestSVRFlatMatchesNestedReference proves the row-major fused layout is a
+// pure storage change: predictions are bit-identical to walking per-row
+// slices through the original rbf helper.
+func TestSVRFlatMatchesNestedReference(t *testing.T) {
+	X, y := knnFixture(300, 16, 5)
+	reg, err := SVR{}.Train(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := reg.(*svrModel)
+	if len(m.beta) == 0 {
+		t.Fatal("fixture fitted no support vectors; reference check is vacuous")
+	}
+	r := lcg(99)
+	q := make([]float64, 16)
+	for qi := 0; qi < 200; qi++ {
+		for j := range q {
+			q[j] = r.next()*4 - 2
+		}
+		got, want := m.Predict(q), svrPredictNested(m, q)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("query %d: flat %v != nested reference %v", qi, got, want)
+		}
+	}
+}
+
+// TestSVRPredictWarmAllocs pins the flattened predict path at zero
+// allocations (the bench gate tracks the same number in CI).
+func TestSVRPredictWarmAllocs(t *testing.T) {
+	X, y := knnFixture(300, 16, 5)
+	m, err := SVR{}.Train(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, 16)
+	for j := range q {
+		q[j] = 0.1 * float64(j)
+	}
+	if n := testing.AllocsPerRun(100, func() { m.Predict(q) }); n != 0 {
+		t.Fatalf("warm SVR predict allocates %v per op, want 0", n)
+	}
+}
+
+// BenchmarkSVRPredict measures one warm kernel expansion against a
+// production-sized support-vector set — the SVM half of the paper's model
+// comparison, now on the same fused-layout trajectory as kNN and the
+// forest (scripts/bench.sh gates it).
+func BenchmarkSVRPredict(b *testing.B) {
+	X, y := knnFixture(1024, 32, 11)
+	reg, err := SVR{}.Train(X, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := reg.(*svrModel)
+	if len(m.beta) == 0 {
+		b.Fatal("fixture fitted no support vectors")
+	}
+	q := make([]float64, 32)
+	for j := range q {
+		q[j] = 0.05 * float64(j)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(q)
+	}
+}

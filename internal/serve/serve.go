@@ -709,16 +709,40 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// HealthResponse is the GET /healthz body. It is exported because it is
+// the cross-node probing contract: the cluster router (internal/cluster,
+// cmd/dramrouter) decodes exactly this struct to health-check backends and
+// to detect artifact-fingerprint skew across a sharded pool.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Generation and Fingerprint identify the serving artifact; the
+	// fingerprint is the authoritative cross-node identity (generation
+	// counters are per-process).
+	Generation  int64  `json:"generation"`
+	Fingerprint string `json:"fingerprint"`
+	WERRows     int    `json:"wer_rows"`
+	PUERows     int    `json:"pue_rows"`
+	Workloads   int    `json:"workloads"`
+}
+
+// Identity reports the current serving generation and artifact
+// fingerprint — the same pair /healthz and every /v2 response surface.
+func (s *Server) Identity() (generation int64, fingerprint string) {
+	g := s.gen.Load()
+	return g.id, g.fp
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	g := s.gen.Load()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
-		"uptime_seconds": time.Since(s.start).Seconds(),
-		"generation":     g.id,
-		"fingerprint":    g.fp,
-		"wer_rows":       len(g.ds.WER),
-		"pue_rows":       len(g.ds.PUE),
-		"workloads":      len(g.ds.Workloads()),
+	writeJSON(w, http.StatusOK, &HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Generation:    g.id,
+		Fingerprint:   g.fp,
+		WERRows:       len(g.ds.WER),
+		PUERows:       len(g.ds.PUE),
+		Workloads:     len(g.ds.Workloads()),
 	})
 }
 

@@ -6,7 +6,7 @@
 #   scripts/bench.sh record   # run + refresh BENCH_<class>.json
 #
 # The canonical set spans every layer of the serving stack: model-level
-# kNN and forest predicts (internal/ml), a mixed 64-query batch through
+# kNN, SVR and forest predicts (internal/ml), a mixed 64-query batch through
 # the core predictors, a warm single-query POST /v2/predict into the
 # handler, and a closed-loop 64-query fleet drive over loopback HTTP.
 #
@@ -29,7 +29,7 @@ trap 'rm -f "$out"' EXIT
 # One count at the default 1s benchtime: stable enough under the slack
 # factor, and the exact alloc gate doesn't need repetitions at all.
 go test -run '^$' \
-  -bench '^(BenchmarkKNNPredict|BenchmarkForestPredict|BenchmarkPredictBatch|BenchmarkServePredictV2|BenchmarkFleetDrive)$' \
+  -bench '^(BenchmarkKNNPredict|BenchmarkSVRPredict|BenchmarkForestPredict|BenchmarkPredictBatch|BenchmarkServePredictV2|BenchmarkFleetDrive)$' \
   -benchmem -benchtime=1s -timeout=20m \
   ./internal/ml/ ./internal/core/ ./internal/serve/ ./internal/fleet/ | tee "$out"
 

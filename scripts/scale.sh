@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Measures the cluster tier's scaling table (EXPERIMENTS.md "Scaling out"):
+# boots N dramserve backends behind dramrouter for N in BACKENDS, drives a
+# fixed query count through the router as fast as the closed loop allows,
+# and prints achieved aggregate QPS plus p50/p99 per pool size, with a
+# router-less single backend as the baseline row.
+#
+#   scripts/scale.sh                      # default: direct, then 1 2 4
+#   BACKENDS="1 2" QUERIES=1000 scripts/scale.sh
+#
+# Interpreting the numbers requires knowing the machine: each backend is a
+# separate OS process, so aggregate throughput only rises with pool size
+# when there are cores for the pool to spread over (see EXPERIMENTS.md for
+# a single-core run where the inversion is the finding).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BACKENDS="${BACKENDS:-1 2 4}"
+QUERIES="${QUERIES:-3000}"
+WORKERS="${WORKERS:-16}"
+WARMUP="${WARMUP:-200}"
+art=internal/core/testdata/golden_v1.json.gz
+base_port=19100
+workdir=$(mktemp -d)
+pids=()
+cleanup() { kill "${pids[@]}" 2>/dev/null || true; rm -rf "$workdir"; }
+trap cleanup EXIT
+
+go build -o "$workdir/dramserve" ./cmd/dramserve
+go build -o "$workdir/dramfleet" ./cmd/dramfleet
+go build -o "$workdir/dramrouter" ./cmd/dramrouter
+
+wait_ok() { # wait_ok url
+  for _ in $(seq 1 200); do
+    curl -fsS "$1" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "scale: $1 never became healthy" >&2
+  return 1
+}
+
+drive() { # drive addr label
+  # Warm the pool's models first so the measured run is the steady state.
+  "$workdir/dramfleet" -addr "$1" -seed 9 -n "$WARMUP" -qps 50000 \
+    -workers "$WORKERS" >/dev/null 2>&1
+  local t0 t1 wall_ms comp p50 p99
+  t0=$(date +%s%N)
+  "$workdir/dramfleet" -addr "$1" -seed 2 -n "$QUERIES" -qps 50000 \
+    -workers "$WORKERS" >"$workdir/out.txt" 2>/dev/null
+  t1=$(date +%s%N)
+  wall_ms=$(( (t1 - t0) / 1000000 ))
+  comp=$(sed -n 's/^completed \([0-9]*\)$/\1/p' "$workdir/out.txt")
+  p50=$(sed -n 's/^p50 \([0-9.]*\) ms$/\1/p' "$workdir/out.txt")
+  p99=$(sed -n 's/^p99 \([0-9.]*\) ms$/\1/p' "$workdir/out.txt")
+  printf '%-12s %8s %9s %10s %8s %8s\n' \
+    "$2" "$comp" "${wall_ms}ms" "$(( comp * 1000 / wall_ms ))" "$p50" "$p99"
+}
+
+stop_all() { kill "${pids[@]}" 2>/dev/null || true; pids=(); sleep 0.3; }
+
+printf '%-12s %8s %9s %10s %8s %8s\n' config completed wall qps p50ms p99ms
+
+# Baseline: one backend, no router in the path.
+"$workdir/dramserve" -load "$art" -addr "127.0.0.1:$base_port" 2>/dev/null &
+pids+=($!)
+wait_ok "http://127.0.0.1:$base_port/healthz"
+drive "http://127.0.0.1:$base_port" direct
+stop_all
+
+for n in $BACKENDS; do
+  backends=""
+  for i in $(seq 1 "$n"); do
+    port=$((base_port + i))
+    "$workdir/dramserve" -load "$art" -addr "127.0.0.1:$port" 2>/dev/null &
+    pids+=($!)
+    backends+="127.0.0.1:$port,"
+  done
+  "$workdir/dramrouter" -addr "127.0.0.1:$base_port" \
+    -backends "${backends%,}" -probe-interval 100ms 2>/dev/null &
+  pids+=($!)
+  wait_ok "http://127.0.0.1:$base_port/healthz"
+  drive "http://127.0.0.1:$base_port" "router x$n"
+  stop_all
+done

@@ -10,18 +10,28 @@
 # replays the same seed twice to prove the report is byte-identical. CI
 # runs this after the unit suite; it is also runnable locally:
 # scripts/smoke.sh
+#
+# A second act boots the cluster tier: two more dramserve backends fronted
+# by dramrouter, asserting the pool reaches fingerprint agreement and that
+# a dramfleet burst drives the /v2 surface through the router unchanged.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 addr=127.0.0.1:18080
+addr_b1=127.0.0.1:18081
+addr_b2=127.0.0.1:18082
+addr_rt=127.0.0.1:18090
 workdir=$(mktemp -d)
-trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+pids=()
+trap 'kill "${pids[@]}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 go build -o "$workdir/dramserve" ./cmd/dramserve
 go build -o "$workdir/dramfleet" ./cmd/dramfleet
+go build -o "$workdir/dramrouter" ./cmd/dramrouter
 "$workdir/dramserve" -load internal/core/testdata/golden_v1.json.gz -addr "$addr" \
   2>"$workdir/serve.log" &
 pid=$!
+pids+=("$pid")
 
 for _ in $(seq 1 100); do
   curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
@@ -101,5 +111,58 @@ cmp -s "$workdir/s1.jsonl" "$workdir/s2.jsonl" \
   || fail "query streams differ for the same seed" "$(diff "$workdir/s1.jsonl" "$workdir/s2.jsonl" | head)"
 cmp -s "$workdir/r1.txt" "$workdir/r2.txt" \
   || fail "fleet reports differ for the same seed" "$(diff "$workdir/r1.txt" "$workdir/r2.txt")"
+
+# --- cluster tier: two backends behind dramrouter, same /v2 wire format.
+
+"$workdir/dramserve" -load internal/core/testdata/golden_v1.json.gz -addr "$addr_b1" \
+  2>"$workdir/serve_b1.log" &
+pids+=($!)
+"$workdir/dramserve" -load internal/core/testdata/golden_v1.json.gz -addr "$addr_b2" \
+  2>"$workdir/serve_b2.log" &
+pids+=($!)
+"$workdir/dramrouter" -addr "$addr_rt" -backends "$addr_b1,$addr_b2" \
+  -probe-interval 200ms 2>"$workdir/router.log" &
+pids+=($!)
+
+# The router answers /healthz 503 until its pool is probed healthy and
+# fingerprint-agreed, so polling with curl -f asserts convergence itself.
+rhealth=
+for _ in $(seq 1 100); do
+  rhealth=$(curl -fsS "http://$addr_rt/healthz" 2>/dev/null) && break
+  sleep 0.1
+done
+[ -n "$rhealth" ] || fail "router pool never became healthy" "$(cat "$workdir/router.log")"
+echo "$rhealth" | grep -q '"status":"ok"' || fail "router /healthz not ok" "$rhealth"
+echo "$rhealth" | grep -q '"healthy":2' || fail "router pool not fully healthy" "$rhealth"
+echo "$rhealth" | grep -q '"fingerprint_skew":false' || fail "router pool skewed" "$rhealth"
+
+# Fingerprint agreement: the pool fingerprint the router reports is the
+# same artifact fingerprint the single dramserve reported in act one.
+fp_serve=$(echo "$health" | sed -n 's/.*"fingerprint":"\([^"]*\)".*/\1/p')
+echo "$rhealth" | grep -q "\"fingerprint\":\"$fp_serve\"" \
+  || fail "router pool fingerprint disagrees with dramserve ($fp_serve)" "$rhealth"
+
+# The routed /v2 surface is byte-compatible: same query, same answer shape.
+rv2=$(curl -fsS -XPOST "http://$addr_rt/v2/predict" -H 'Content-Type: application/json' \
+  -d '{"workload":"nw","trefp":1.173,"temp_c":60,"targets":["pue"]}')
+echo "$rv2" | grep -q '"pue"' || fail "routed /v2/predict missing pue result" "$rv2"
+echo "$rv2" | grep -q "\"fingerprint\":\"$fp_serve\"" || fail "routed /v2 fingerprint mismatch" "$rv2"
+
+# A fleet burst drives the router exactly like a single backend.
+"$workdir/dramfleet" -addr "http://$addr_rt" -seed 5 -qps 150 -duration 2s \
+  >"$workdir/fleet_rt.txt" 2>"$workdir/fleet_rt.log" \
+  || fail "dramfleet burst through router failed" "$(cat "$workdir/fleet_rt.log")"
+completed_rt=$(sed -n 's/^completed \([0-9]*\)$/\1/p' "$workdir/fleet_rt.txt")
+[ -n "$completed_rt" ] && [ "$completed_rt" -gt 0 ] \
+  || fail "routed fleet burst completed no queries" "$(cat "$workdir/fleet_rt.txt")"
+grep -Eq '^p99 [0-9]+\.[0-9]+ ms$' "$workdir/fleet_rt.txt" \
+  || fail "routed fleet report p99 not parseable" "$(cat "$workdir/fleet_rt.txt")"
+
+# The router's own metrics account for the burst.
+rmetrics=$(curl -fsS "http://$addr_rt/metrics")
+echo "$rmetrics" | grep -q 'dramrouter_backends_healthy 2' \
+  || fail "router metrics missing healthy pool" "$rmetrics"
+echo "$rmetrics" | grep -Eq 'dramrouter_requests_total\{endpoint="/v2/predict",code="200"\} [1-9]' \
+  || fail "router metrics missing routed requests" "$rmetrics"
 
 echo "smoke OK"
