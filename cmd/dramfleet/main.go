@@ -30,6 +30,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"time"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/cliflag"
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -65,6 +67,20 @@ func main() {
 	want, err := targets.List()
 	if err != nil {
 		fatal(err)
+	}
+	if targets.All() {
+		// The registry-wide default must not hard-request targets the
+		// server's artifact cannot serve. Online, resolve the selection from
+		// the targets /healthz advertises; offline (or when the probe fails,
+		// e.g. against a router) fall back to requesting none and letting
+		// the server's own default selection answer.
+		want = nil
+		if !*offline {
+			want = advertisedTargets(*addr)
+			if want != nil {
+				logf("server advertises targets %v", want)
+			}
+		}
 	}
 	n, err := lg.Queries()
 	if err != nil {
@@ -120,6 +136,33 @@ func main() {
 	if rep.Outcomes != nil && rep.Failed() > 0 {
 		os.Exit(1)
 	}
+}
+
+// advertisedTargets asks the server which prediction targets its artifact
+// can serve (the /healthz probing contract). nil when the probe fails or
+// the endpoint does not advertise targets (an older server, or a router
+// whose health body has a different shape) — callers treat nil as "let
+// the server pick".
+func advertisedTargets(base string) []core.Target {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var hr serve.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		return nil
+	}
+	var out []core.Target
+	for _, name := range hr.Targets {
+		t, err := core.ParseTarget(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
 }
 
 // writeStream dumps the stream as JSON lines, one query per line.

@@ -9,8 +9,9 @@
 // prediction latency. With -load the campaign is skipped entirely: the
 // corpus comes from a saved artifact (see dramtrain -save), with the
 // target workload's rows excluded so the model still has to generalize to
-// it. -target restricts the prediction to one regression target ("wer" or
-// "pue"); the default predicts both.
+// it. -target restricts the prediction to specific targets (any name in
+// the core target registry); the default predicts every target the corpus
+// can serve.
 //
 // Usage:
 //
@@ -75,6 +76,19 @@ func main() {
 	}
 	ds = ds.WithoutWorkload(spec.Label)
 
+	// The default "all" selection narrows to what the corpus can serve
+	// (ue_risk needs UE telemetry rows, see dramtrain -ue-windows); an
+	// explicitly requested target without rows stays a hard error.
+	if targets.All() {
+		var avail []core.Target
+		for _, tgt := range want {
+			if d, ok := core.Describe(tgt); ok && d.Available(ds) {
+				avail = append(avail, tgt)
+			}
+		}
+		want = avail
+	}
+
 	// One factory call per requested target: the paper's published KNN
 	// variant on each target's default input set.
 	models := make(map[core.Target]core.Predictor, len(want))
@@ -117,6 +131,9 @@ func main() {
 	}
 	if pue, ok := preds[core.TargetPUE]; ok {
 		fmt.Printf("  PUE (crash probability): %.2f\n", pue.Value)
+	}
+	if ue, ok := preds[core.TargetUERisk]; ok {
+		fmt.Printf("  UE risk (healthy CE window): %.2f\n", ue.Value)
 	}
 	fmt.Printf("  prediction latency: %v (paper: within 300 ms)\n", elapsed)
 

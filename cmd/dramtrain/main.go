@@ -1,11 +1,14 @@
 // Command dramtrain builds the paper's dataset (characterization campaigns
 // over all workloads), trains the three ML models on the three input sets,
 // and prints the cross-validated accuracy comparison (Figs. 11 and 12).
-// -target restricts the evaluation to one regression target.
+// -target restricts the evaluation to one prediction target. -ue-windows
+// additionally synthesizes UE-risk training telemetry from the fleet
+// simulator (per-server CE event windows with closed-form ground truth) so
+// the artifact can serve the ue_risk classification target.
 //
 // Usage:
 //
-//	dramtrain [-scale 8] [-reps 10] [-quick] [-seed 0] [-target all] [-save dfault.json.gz | -load dfault.json.gz]
+//	dramtrain [-scale 8] [-reps 10] [-quick] [-seed 0] [-target all] [-ue-windows 0] [-save dfault.json.gz | -load dfault.json.gz]
 package main
 
 import (
@@ -16,24 +19,46 @@ import (
 
 	"repro/internal/cliflag"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		camp    cliflag.Campaign
-		targets cliflag.Targets
+		camp      cliflag.Campaign
+		targets   cliflag.Targets
+		ueWindows int
 	)
 	camp.Register(flag.CommandLine)
 	targets.Register(flag.CommandLine)
+	flag.IntVar(&ueWindows, "ue-windows", 0,
+		"synthesize this many UE-risk telemetry windows per simulated server (0 = off)")
 	flag.Parse()
 
 	if _, err := targets.List(); err != nil {
 		fatal(err)
 	}
+	// Defer the artifact write until after any UE telemetry synthesis so a
+	// single -save produces the complete artifact.
+	savePath := camp.Save
+	camp.Save = ""
 	ds, err := camp.Dataset(workload.ExtendedSet(), logf)
 	if err != nil {
 		fatal(err)
+	}
+	if ueWindows > 0 {
+		logf("synthesizing %d UE telemetry windows per server...", ueWindows)
+		rows, err := fleet.BuildUESamples(fleet.Config{Seed: camp.Seed}, ueWindows)
+		if err != nil {
+			fatal(err)
+		}
+		ds.SetUER(rows)
+	}
+	if savePath != "" {
+		if err := ds.Save(savePath); err != nil {
+			fatal(err)
+		}
+		logf("saved dataset artifact to %s", savePath)
 	}
 	observed := 0
 	for _, s := range ds.WER {
@@ -41,8 +66,8 @@ func main() {
 			observed++
 		}
 	}
-	fmt.Printf("dataset: %d WER rows (%d with observed errors), %d PUE rows, %d workloads\n\n",
-		len(ds.WER), observed, len(ds.PUE), len(ds.Workloads()))
+	fmt.Printf("dataset: %d WER rows (%d with observed errors), %d PUE rows, %d UE rows, %d workloads\n\n",
+		len(ds.WER), observed, len(ds.PUE), len(ds.UER), len(ds.Workloads()))
 
 	if targets.Has(core.TargetWER) {
 		fmt.Println("WER prediction, leave-one-workload-out (mean percentage error):")
@@ -70,6 +95,25 @@ func main() {
 				}
 				fmt.Printf("%-6s %-12s %-8.1f\n", kind, set, 100*ev.MAE)
 			}
+		}
+	}
+
+	if targets.Has(core.TargetUERisk) {
+		if len(ds.UER) > 0 {
+			fmt.Println("\nUE-risk classification, leave-one-server-out (threshold 0.5):")
+			fmt.Printf("%-6s %-12s %-10s %-8s %-8s\n", "model", "input set", "precision", "recall", "AUC")
+			for _, kind := range core.ModelKinds() {
+				for _, set := range core.InputSets() {
+					ev, err := core.EvaluateUERisk(ds, kind, set, camp.Workers)
+					if err != nil {
+						fatal(err)
+					}
+					fmt.Printf("%-6s %-12s %-10.1f %-8.1f %-8.3f\n", kind, set,
+						100*ev.Precision, 100*ev.Recall, ev.AUC)
+				}
+			}
+		} else {
+			logf("no UE telemetry rows in the dataset; use -ue-windows to synthesize them")
 		}
 	}
 

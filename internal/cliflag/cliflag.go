@@ -107,8 +107,11 @@ func (p *Pprof) Start(logf func(format string, args ...any)) (string, error) {
 	return addr, nil
 }
 
-// Targets is the shared -target flag: which regression targets a command
-// should train and report ("wer", "pue", "all", or a comma list).
+// Targets is the shared -target flag: which prediction targets a command
+// should train and report — any name in the core target registry, "all",
+// or a comma list. The help text and parse errors derive the valid names
+// from the registry, so a newly registered target shows up in every
+// command's -help without touching this package.
 type Targets struct {
 	spec string
 }
@@ -118,8 +121,14 @@ func (t *Targets) Register(fs *flag.FlagSet) {
 	if t.spec == "" {
 		t.spec = "all"
 	}
+	names := core.TargetNames()
+	quoted := make([]string, len(names))
+	for i, n := range names {
+		quoted[i] = `"` + n + `"`
+	}
 	fs.StringVar(&t.spec, "target", t.spec,
-		`prediction target(s): "wer", "pue", "all", or a comma list`)
+		fmt.Sprintf(`prediction target(s): %s, "all", or a comma list`,
+			strings.Join(quoted, ", ")))
 }
 
 // List resolves the flag into targets in core.Targets() order semantics:
@@ -142,6 +151,14 @@ func (t *Targets) List() ([]core.Target, error) {
 		}
 	}
 	return out, nil
+}
+
+// All reports whether the selection is the registry-wide default rather
+// than an explicit list. Commands use this to skip targets the loaded
+// dataset cannot serve (an explicit request for such a target stays an
+// error).
+func (t *Targets) All() bool {
+	return t.spec == "" || strings.EqualFold(t.spec, "all")
 }
 
 // Has reports whether the selection includes tgt (false on a parse error;

@@ -63,8 +63,6 @@ import (
 	"strings"
 	"sync"
 	"time"
-
-	"repro/internal/core"
 )
 
 // Defaults for the zero Options fields.
@@ -280,13 +278,3 @@ func (rt *Router) candidates(key string) []*backendState {
 	}
 	return out
 }
-
-// allTargetNames is the default target selection, in core.Targets() order.
-var allTargetNames = func() []string {
-	ts := core.Targets()
-	out := make([]string, len(ts))
-	for i, t := range ts {
-		out[i] = string(t)
-	}
-	return out
-}()

@@ -435,7 +435,8 @@ func TestRouterFailoverMidDrive(t *testing.T) {
 	done := make(chan driveOut, 1)
 	go func() {
 		outs, err := fleet.Drive(qs, fleet.DriveOptions{
-			BaseURL: rts.URL, QPS: 400, Workers: 8, Targets: core.Targets(),
+			BaseURL: rts.URL, QPS: 400, Workers: 8,
+			Targets: []core.Target{core.TargetWER, core.TargetPUE},
 		})
 		done <- driveOut{outs, err}
 	}()

@@ -240,10 +240,20 @@ func (rt *Router) groups(q serve.PredictRequestV2) []group {
 	} else if k, err := core.ParseModelKind(kind); err == nil {
 		kind = string(k) // canonical spelling so "knn" and "KNN" share an owner
 	}
-	names := q.Targets
-	if len(names) == 0 {
-		names = allTargetNames
+	if len(q.Targets) == 0 {
+		// No explicit selection: forward the query whole so the backend
+		// applies its own artifact-dependent default selection (the router
+		// cannot know which targets a backend's artifact can serve, and
+		// expanding to the full catalog here would turn a valid default
+		// query into a target_unavailable error). The whole query routes as
+		// one group keyed on the empty target, deterministically.
+		key := routingKey("", kind, q.InputSet)
+		if cands := rt.candidates(key); len(cands) > 0 {
+			return []group{{q: q, cands: cands}}
+		}
+		return nil
 	}
+	names := q.Targets
 	var out []group
 	owners := map[*backendState]int{} // owner backend → index into out
 	for _, name := range names {

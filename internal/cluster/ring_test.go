@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"testing"
+
+	"repro/internal/core"
 )
 
 func ringAddrs(n int) []string {
@@ -85,6 +87,64 @@ func TestRingSpread(t *testing.T) {
 			t.Fatalf("backend %d owns only %d of %d keys: %v", i, n, keys, owned)
 		}
 	}
+}
+
+// TestRingModelKeyTriples pins routing over the real model-key space:
+// every (target, kind, input set) triple the registry can produce —
+// including the telemetry-driven ue_risk classification target — walks
+// deterministically across independently built rings, shorter walks are
+// prefixes of longer ones, and dropping one backend remaps only the
+// triples it owned. The empty-target key (the default-selection group the
+// router forwards whole) gets the same guarantees.
+func TestRingModelKeyTriples(t *testing.T) {
+	addrs := ringAddrs(5)
+	a, b := newRing(addrs, DefaultReplicas), newRing(addrs, DefaultReplicas)
+	reduced := newRing(addrs[:4], DefaultReplicas)
+
+	var keys []string
+	for _, tgt := range core.Targets() {
+		for _, kind := range core.ModelKinds() {
+			for _, set := range core.InputSets() {
+				keys = append(keys, routingKey(string(tgt), string(kind), int(set)))
+			}
+		}
+	}
+	for _, kind := range core.ModelKinds() {
+		keys = append(keys, routingKey("", string(kind), 0))
+	}
+
+	sawUERisk := false
+	moved := 0
+	for _, key := range keys {
+		if key == routingKey(string(core.TargetUERisk), string(core.ModelKNN), int(core.InputSet1)) {
+			sawUERisk = true
+		}
+		wa, wb := a.walk(key, 5), b.walk(key, 5)
+		if len(wa) != 5 || len(wb) != 5 {
+			t.Fatalf("walk(%s) lengths %d/%d, want 5", key, len(wa), len(wb))
+		}
+		for j := range wa {
+			if wa[j] != wb[j] {
+				t.Fatalf("independent rings disagree on %s: %v vs %v", key, wa, wb)
+			}
+		}
+		w2 := a.walk(key, 2)
+		if len(w2) != 2 || w2[0] != wa[0] || w2[1] != wa[1] {
+			t.Fatalf("walk(%s, 2) = %v is not a prefix of %v", key, w2, wa)
+		}
+		was, now := wa[0], reduced.walk(key, 1)[0]
+		if was != 4 {
+			if now != was {
+				t.Fatalf("key %s moved %d→%d though backend 4 was the one dropped", key, was, now)
+			}
+		} else {
+			moved++
+		}
+	}
+	if !sawUERisk {
+		t.Fatal("registry catalog no longer includes the ue_risk triple")
+	}
+	t.Logf("%d model keys, %d remapped by dropping one backend", len(keys), moved)
 }
 
 // TestRingStability is the consistent-hashing contract: dropping one

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"testing"
@@ -26,6 +27,57 @@ func testSpecs() []workload.Spec {
 	return out
 }
 
+// testUESamples fabricates a small deterministic UE-risk corpus without
+// the fleet simulator (core cannot import it): half the servers are
+// healthy (sparse single-bit events spread over the address space), half
+// faulty (row-clustered multi-bit bursts), labeled accordingly. Four
+// servers satisfy the leave-one-server-out evaluation's minimum.
+func testUESamples() []UESample {
+	var rows []UESample
+	for s := 0; s < 4; s++ {
+		faulty := s%2 == 1
+		for w := 0; w < 6; w++ {
+			n := 2 + (s+w)%3
+			if faulty {
+				n = 12 + w
+			}
+			events := make([]profile.CEEvent, n)
+			for i := range events {
+				e := profile.CEEvent{
+					T:    float64(i) * (25 + float64(3*s+w)),
+					Row:  (i*97 + w*13) % 512,
+					Col:  (i*31 + s*7) % 128,
+					Bank: i % 8,
+					Rank: s % 4,
+				}
+				if faulty {
+					e.Row = 42 + w%2 // weak-row clustering
+					if i%3 == 0 {
+						e.Bits = 2
+					}
+					if i > 0 {
+						e.T = events[i-1].T + 0.5 // burst spacing
+					}
+				}
+				events[i] = e
+			}
+			label := 0.0
+			if faulty {
+				label = 1
+			}
+			rows = append(rows, UESample{
+				Server:     fmt.Sprintf("s%02d", s),
+				TREFP:      0.6 + 0.1*float64(w%4),
+				VDD:        1.428,
+				TempC:      50 + float64(5*(w%3)),
+				CEFeatures: profile.CEFeatures(events),
+				UE:         label,
+			})
+		}
+	}
+	return rows
+}
+
 var (
 	dsOnce sync.Once
 	dsVal  *Dataset
@@ -44,6 +96,9 @@ func testDataset(t *testing.T) *Dataset {
 		}
 		srv := xgene.MustNewServer(xgene.Config{Scale: 32})
 		dsVal, dsErr = BuildDataset(srv, profiles, specs, CampaignOptions{Reps: 4, Workers: 0})
+		if dsErr == nil {
+			dsVal.SetUER(testUESamples())
+		}
 	})
 	if dsErr != nil {
 		t.Fatal(dsErr)

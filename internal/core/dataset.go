@@ -84,6 +84,9 @@ func (b BuildInfo) Quick() bool { return b.ProfileSize == "test" }
 type Dataset struct {
 	WER []WERSample
 	PUE []PUESample
+	// UER holds the UE-risk telemetry rows (see uerisk.go); empty in
+	// corpora that predate the target or never synthesized telemetry.
+	UER []UESample
 	// Profiles indexes the program profiles by workload label.
 	Profiles map[string]*profile.Result
 	// Build describes how the corpus was produced (persisted with the
@@ -284,6 +287,9 @@ func (ds *Dataset) WithoutWorkload(label string) *Dataset {
 			out.PUE = append(out.PUE, s)
 		}
 	}
+	// UE-risk rows are grouped by server, not workload; the leave-one-
+	// workload-out corpus keeps them all.
+	out.UER = append(out.UER, ds.UER...)
 	if ds.Profiles != nil {
 		out.Profiles = make(map[string]*profile.Result, len(ds.Profiles))
 		for k, v := range ds.Profiles {

@@ -66,6 +66,19 @@ func (ds *Dataset) computeFingerprint() string {
 			writeUint64(h, uint64(r))
 		}
 	}
+	// The UER section is hashed only when present: a dataset with no
+	// telemetry rows fingerprints exactly as it did before the target
+	// existed, so old artifacts keep their recorded fingerprints.
+	if len(ds.UER) > 0 {
+		writeUint64(h, uint64(len(ds.UER)))
+		for i := range ds.UER {
+			s := &ds.UER[i]
+			writeString(h, s.Server)
+			writeFloats(h, s.TREFP, s.VDD, s.TempC)
+			writeFloats(h, s.CEFeatures...)
+			writeFloats(h, s.UE)
+		}
+	}
 	sum := h.Sum(nil)
 	const hexdigits = "0123456789abcdef"
 	var b strings.Builder

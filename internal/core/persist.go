@@ -33,6 +33,10 @@ type artifact struct {
 	FeatureNames []string    `json:"feature_names"`
 	WER          []WERSample `json:"wer"`
 	PUE          []PUESample `json:"pue"`
+	// UER carries the UE-risk telemetry rows. The field is additive and
+	// omitted when empty, so artifacts without telemetry are byte-
+	// identical to those written before the target existed.
+	UER []UESample `json:"uer,omitempty"`
 }
 
 // Save writes the dataset to path as gzip-compressed JSON.
@@ -59,6 +63,7 @@ func (ds *Dataset) Encode(w io.Writer) error {
 		FeatureNames: profile.FeatureNames(),
 		WER:          ds.WER,
 		PUE:          ds.PUE,
+		UER:          ds.UER,
 	}
 	if err := enc.Encode(&art); err != nil {
 		return fmt.Errorf("core: encode dataset: %w", err)
@@ -103,10 +108,16 @@ func ReadDataset(r io.Reader) (*Dataset, error) {
 				i, n, names[i])
 		}
 	}
-	ds := &Dataset{WER: art.WER, PUE: art.PUE, Build: art.Build}
+	ds := &Dataset{WER: art.WER, PUE: art.PUE, UER: art.UER, Build: art.Build}
 	for _, s := range ds.WER {
 		if len(s.Features) != len(names) {
 			return nil, fmt.Errorf("core: WER row for %s has %d features", s.Workload, len(s.Features))
+		}
+	}
+	for _, s := range ds.UER {
+		if len(s.CEFeatures) != profile.NumCEFeatures {
+			return nil, fmt.Errorf("core: UE row for %s has %d CE features, want %d",
+				s.Server, len(s.CEFeatures), profile.NumCEFeatures)
 		}
 	}
 	// Hash the rows once and memoize: loaded datasets are immutable, and

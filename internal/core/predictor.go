@@ -68,6 +68,18 @@ func trainerFor(kind ModelKind, workers int) (ml.Trainer, error) {
 	return nil, fmt.Errorf("core: unknown model kind %q", kind)
 }
 
+// classifierTrainerFor builds the ml.Trainer for a kind in classification
+// mode (0/1 labels, probability output). The forest switches to majority
+// voting; KNN and SVM regress on the labels and the predictor clamps to
+// [0, 1] — the standard regression-as-classification reduction, keeping
+// all three kinds available for every target.
+func classifierTrainerFor(kind ModelKind, workers int) (ml.Trainer, error) {
+	if kind == ModelRDF {
+		return ml.ForestClassifier{Forest: ml.Forest{Trees: 60, Seed: 42, Workers: workers}}, nil
+	}
+	return trainerFor(kind, workers)
+}
+
 // batchOptions turns a Predictor.PredictBatch context/worker pair into the
 // engine dispatch options shared by both implementations.
 func batchOptions(ctx context.Context, workers int) engine.Options {

@@ -6,13 +6,14 @@ import (
 	"strings"
 
 	"repro/internal/dram"
+	"repro/internal/profile"
 )
 
-// Target names one regression target of the unified prediction API. The
-// paper's deliverable answers two of them from one trained artifact — the
-// word error rate and the crash probability — and the enum leaves room for
-// more (fleet-scale memory-failure work predicts many error signals behind
-// one query interface).
+// Target names one prediction target of the unified API. The paper's
+// deliverable answers two of them from one trained artifact — the word
+// error rate and the crash probability — and the registry below makes
+// further targets (field-failure classifiers, mitigation scores) a
+// one-file addition.
 type Target string
 
 const (
@@ -24,26 +25,147 @@ const (
 	TargetPUE Target = "pue"
 )
 
-// Targets lists every target in the paper's order.
-func Targets() []Target { return []Target{TargetWER, TargetPUE} }
+// TargetDescriptor declares everything the stack needs to serve a target:
+// its name, documentation, default input set, prediction semantics, the
+// trainer seam and a dataset-availability probe. Every layer — cliflag
+// help text, the serve resolve path, the cluster router, the cmds —
+// consults the registry instead of switching on constants, so registering
+// a descriptor is the whole integration.
+type TargetDescriptor struct {
+	// Name is the wire and CLI name of the target.
+	Name Target
+	// Doc is a one-line summary for help text and target catalogs.
+	Doc string
+	// DefaultSet is the input set used when a query or trainer does not
+	// pick one explicitly.
+	DefaultSet InputSet
+	// Classification marks probability-classifier semantics: Value is a
+	// class-1 probability in [0, 1]. False means regression.
+	Classification bool
+	// NeedsTelemetry marks targets answered from CE error telemetry
+	// (Query.CE) rather than program features — the serving layer only
+	// defaults such targets in when the query actually carries events.
+	NeedsTelemetry bool
+	// Train fits a predictor for the target; set arrives validated and
+	// defaulted. Mirrors the package-level Train contract.
+	Train func(ds *Dataset, kind ModelKind, set InputSet, workers int) (Predictor, error)
+	// Available reports whether the dataset carries training rows for
+	// this target (artifacts predate targets; old ones simply lack rows).
+	Available func(ds *Dataset) bool
+}
 
-// ParseTarget resolves a user-supplied target name, case-insensitively.
+// The registry. Registration happens at init time, in source-file order
+// (target.go registers the paper's pair before uerisk.go adds the
+// telemetry classifier), which fixes the catalog order every layer
+// surfaces: wer, pue, ue_risk, ...
+var (
+	targetOrder []Target
+	targetIndex = map[Target]TargetDescriptor{}
+)
+
+// registerTarget adds a descriptor to the catalog. It panics on
+// incomplete or duplicate registrations: a malformed catalog is a
+// programming error, caught at process start.
+func registerTarget(d TargetDescriptor) {
+	if d.Name == "" || d.Train == nil || d.Available == nil {
+		panic(fmt.Sprintf("core: incomplete target descriptor %q", d.Name))
+	}
+	if d.DefaultSet < InputSet1 || d.DefaultSet > InputSet3 {
+		panic(fmt.Sprintf("core: target %q default input set %d out of range", d.Name, d.DefaultSet))
+	}
+	if _, dup := targetIndex[d.Name]; dup {
+		panic(fmt.Sprintf("core: duplicate target %q", d.Name))
+	}
+	targetOrder = append(targetOrder, d.Name)
+	targetIndex[d.Name] = d
+}
+
+func init() {
+	registerTarget(TargetDescriptor{
+		Name:       TargetWER,
+		Doc:        "word error rate per DIMM/rank (regression)",
+		DefaultSet: InputSet1, // the paper's most accurate WER set (Fig. 11)
+		Train: func(ds *Dataset, kind ModelKind, set InputSet, workers int) (Predictor, error) {
+			return trainWER(ds, kind, set, workers)
+		},
+		Available: func(ds *Dataset) bool { return len(ds.WER) > 0 },
+	})
+	registerTarget(TargetDescriptor{
+		Name:       TargetPUE,
+		Doc:        "probability of uncorrectable error / crash (regression)",
+		DefaultSet: InputSet2, // the paper's most accurate PUE set (Fig. 12)
+		Train: func(ds *Dataset, kind ModelKind, set InputSet, workers int) (Predictor, error) {
+			return trainPUE(ds, kind, set, workers)
+		},
+		Available: func(ds *Dataset) bool { return len(ds.PUE) > 0 },
+	})
+}
+
+// Targets lists every registered target in catalog order.
+func Targets() []Target {
+	out := make([]Target, len(targetOrder))
+	copy(out, targetOrder)
+	return out
+}
+
+// TargetNames lists the registered target names in catalog order — the
+// list CLI help text and parse errors surface.
+func TargetNames() []string {
+	out := make([]string, len(targetOrder))
+	for i, t := range targetOrder {
+		out[i] = string(t)
+	}
+	return out
+}
+
+// Describe returns the descriptor of a registered target.
+func Describe(t Target) (TargetDescriptor, bool) {
+	d, ok := targetIndex[t]
+	return d, ok
+}
+
+// Descriptors returns every registered descriptor in catalog order.
+func Descriptors() []TargetDescriptor {
+	out := make([]TargetDescriptor, len(targetOrder))
+	for i, t := range targetOrder {
+		out[i] = targetIndex[t]
+	}
+	return out
+}
+
+// targetNameList renders the catalog for error and help text:
+// "wer, pue or ue_risk".
+func targetNameList() string {
+	names := TargetNames()
+	switch len(names) {
+	case 0:
+		return ""
+	case 1:
+		return names[0]
+	}
+	return strings.Join(names[:len(names)-1], ", ") + " or " + names[len(names)-1]
+}
+
+// ParseTarget resolves a user-supplied target name, case-insensitively,
+// against the registry.
 func ParseTarget(s string) (Target, error) {
 	t := Target(strings.ToLower(strings.TrimSpace(s)))
 	if t.Valid() {
 		return t, nil
 	}
-	return "", fmt.Errorf("core: unknown target %q (want %q or %q)", s, TargetWER, TargetPUE)
+	return "", fmt.Errorf("core: unknown target %q (want %s)", s, targetNameList())
 }
 
-// Valid reports whether t is a known target.
-func (t Target) Valid() bool { return t == TargetWER || t == TargetPUE }
+// Valid reports whether t is a registered target.
+func (t Target) Valid() bool {
+	_, ok := targetIndex[t]
+	return ok
+}
 
-// DefaultInputSet is the paper's most accurate feature set for the target:
-// input set 1 for WER (Fig. 11), input set 2 for PUE (Fig. 12).
+// DefaultInputSet is the registered default feature set for the target.
 func (t Target) DefaultInputSet() InputSet {
-	if t == TargetPUE {
-		return InputSet2
+	if d, ok := targetIndex[t]; ok {
+		return d.DefaultSet
 	}
 	return InputSet1
 }
@@ -54,13 +176,14 @@ const RankDevice = -1
 
 // Query is one prediction request against the unified Predictor API.
 type Query struct {
-	// Target selects the regression target. Empty means the predictor's
+	// Target selects the prediction target. Empty means the predictor's
 	// own target (convenient for callers that already hold the right
 	// predictor); a non-empty mismatch is an error, never a silent
 	// misprediction.
 	Target Target
 	// Features is the workload's program feature vector (profile.Result
-	// Features), from which the input set slices what it needs.
+	// Features), from which the input set slices what it needs. Telemetry
+	// targets ignore it.
 	Features []float64
 	// TREFP, VDD and TempC form the operating point.
 	TREFP float64
@@ -70,6 +193,10 @@ type Query struct {
 	// predicts a single rank, RankDevice the whole device (per-rank
 	// breakdown plus mean). PUE is system-level; the field is ignored.
 	Rank int
+	// CE is the correctable-error telemetry window for NeedsTelemetry
+	// targets (time-ordered; see profile.CEEvent). Regression targets
+	// ignore it.
+	CE []profile.CEEvent
 }
 
 // Prediction is the answer to one Query, carrying the model metadata the
@@ -80,10 +207,11 @@ type Prediction struct {
 	Kind   ModelKind
 	Set    InputSet
 	// Value is the prediction: the WER of one rank, the device-mean WER
-	// (Rank == RankDevice), or the crash probability in [0, 1].
+	// (Rank == RankDevice), a crash probability, or a classifier's
+	// class-1 probability — [0, 1] for every Classification target.
 	Value float64
 	// ByRank is the per-rank WER breakdown of a RankDevice query; nil for
-	// single-rank WER and for PUE (which has no per-rank structure).
+	// single-rank WER and for targets with no per-rank structure.
 	ByRank []float64
 }
 
@@ -112,19 +240,17 @@ type Predictor interface {
 // (forest tree fits; 0 = GOMAXPROCS). The fitted model is identical for
 // every worker count.
 func Train(ds *Dataset, target Target, kind ModelKind, set InputSet, workers int) (Predictor, error) {
+	d, ok := targetIndex[target]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown target %q", target)
+	}
 	if set == 0 {
-		set = target.DefaultInputSet()
+		set = d.DefaultSet
 	}
 	if set < InputSet1 || set > InputSet3 {
 		return nil, fmt.Errorf("core: input set %d out of range", set)
 	}
-	switch target {
-	case TargetWER:
-		return trainWER(ds, kind, set, workers)
-	case TargetPUE:
-		return trainPUE(ds, kind, set, workers)
-	}
-	return nil, fmt.Errorf("core: unknown target %q", target)
+	return d.Train(ds, kind, set, workers)
 }
 
 // checkTarget validates a query's target against the predictor's.

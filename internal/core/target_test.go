@@ -29,6 +29,66 @@ func TestParseTarget(t *testing.T) {
 	}
 }
 
+// TestTargetCatalog pins the registry: catalog order is part of the wire
+// contract (healthz advertisements, stats rendering, CLI help all iterate
+// it), so adding a target must extend the list, never reorder it.
+func TestTargetCatalog(t *testing.T) {
+	want := []Target{TargetWER, TargetPUE, TargetUERisk}
+	got := Targets()
+	if len(got) != len(want) {
+		t.Fatalf("catalog = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("catalog = %v, want %v (order matters)", got, want)
+		}
+	}
+	for i, name := range TargetNames() {
+		if name != string(want[i]) {
+			t.Fatalf("TargetNames()[%d] = %q, want %q", i, name, want[i])
+		}
+	}
+	descs := Descriptors()
+	for i, d := range descs {
+		if d.Name != want[i] {
+			t.Fatalf("Descriptors()[%d] = %q, want %q", i, d.Name, want[i])
+		}
+		byName, ok := Describe(d.Name)
+		if !ok || byName.Doc != d.Doc {
+			t.Fatalf("Describe(%q) disagrees with Descriptors()", d.Name)
+		}
+		if d.Doc == "" {
+			t.Fatalf("target %q has no doc string", d.Name)
+		}
+	}
+	if _, ok := Describe(Target("mbe")); ok {
+		t.Fatal("Describe accepted an unregistered target")
+	}
+
+	// Semantics flags: exactly the telemetry target classifies.
+	for _, d := range descs {
+		if d.Classification != (d.Name == TargetUERisk) ||
+			d.NeedsTelemetry != (d.Name == TargetUERisk) {
+			t.Fatalf("target %q flags: classification=%v telemetry=%v",
+				d.Name, d.Classification, d.NeedsTelemetry)
+		}
+	}
+
+	// Availability tracks the dataset's rows for each target.
+	ds := testDataset(t)
+	for _, d := range descs {
+		if !d.Available(ds) {
+			t.Fatalf("target %q unavailable on the full test dataset", d.Name)
+		}
+	}
+	empty := &Dataset{}
+	for _, d := range descs {
+		if d.Available(empty) {
+			t.Fatalf("target %q claims availability on an empty dataset", d.Name)
+		}
+	}
+}
+
 func TestTargetDefaults(t *testing.T) {
 	if got := TargetWER.DefaultInputSet(); got != InputSet1 {
 		t.Fatalf("WER default set = %v", got)

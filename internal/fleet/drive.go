@@ -39,7 +39,11 @@ type DriveOptions struct {
 	// server falls behind the schedule, at most Workers requests are
 	// outstanding and the excess back-pressures). 0 means GOMAXPROCS.
 	Workers int
-	// Targets are the regression targets each query requests; default all.
+	// Targets are the prediction targets each query requests. Empty means
+	// request none explicitly: the server answers its own default target
+	// selection for the artifact it serves (old artifacts answer wer+pue;
+	// telemetry-bearing ones add ue_risk when the query carries CE
+	// events), and the outcome records whatever came back.
 	Targets []core.Target
 	// Model selects the model kind; default the paper's published KNN.
 	Model string
@@ -76,12 +80,9 @@ func Drive(qs []Query, opts DriveOptions) ([]Outcome, error) {
 		timeout = DefaultRequestTimeout
 	}
 	targets := opts.Targets
-	if len(targets) == 0 {
-		targets = core.Targets()
-	}
-	names := make([]string, len(targets))
-	for i, t := range targets {
-		names[i] = string(t)
+	var names []string
+	for _, t := range targets {
+		names = append(names, string(t))
 	}
 	var interval time.Duration
 	if opts.QPS > 0 {
@@ -119,6 +120,7 @@ func doQuery(ctx context.Context, client *http.Client, timeout time.Duration,
 		VDD:      q.VDD,
 		Model:    model,
 		Targets:  targetNames,
+		CE:       q.CE,
 	})
 	if err != nil {
 		return Outcome{Err: err}
@@ -149,14 +151,23 @@ func doQuery(ctx context.Context, client *http.Client, timeout time.Duration,
 	if err := json.Unmarshal(data, &out); err != nil {
 		return Outcome{Latency: lat, Status: resp.StatusCode, Err: err}
 	}
-	preds := make(map[core.Target]float64, len(targets))
-	for _, t := range targets {
-		res, ok := out.Predictions[string(t)]
-		if !ok {
-			return Outcome{Latency: lat, Status: resp.StatusCode,
-				Err: fmt.Errorf("fleet: query %d: no %s prediction in response", q.Seq, t)}
+	var preds map[core.Target]float64
+	if len(targets) == 0 {
+		// Server-default selection: record whatever the server answered.
+		preds = make(map[core.Target]float64, len(out.Predictions))
+		for name, res := range out.Predictions {
+			preds[core.Target(name)] = res.Value
 		}
-		preds[t] = res.Value
+	} else {
+		preds = make(map[core.Target]float64, len(targets))
+		for _, t := range targets {
+			res, ok := out.Predictions[string(t)]
+			if !ok {
+				return Outcome{Latency: lat, Status: resp.StatusCode,
+					Err: fmt.Errorf("fleet: query %d: no %s prediction in response", q.Seq, t)}
+			}
+			preds[t] = res.Value
+		}
 	}
 	return Outcome{Latency: lat, Status: resp.StatusCode, Predictions: preds}
 }

@@ -38,9 +38,11 @@ package fleet
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/profile"
 	"repro/internal/stats"
 	"repro/internal/thermal"
 	"repro/internal/workload"
@@ -141,6 +143,18 @@ type Query struct {
 	// server actually exhibits at this instant.
 	TruthWER float64 `json:"truth_wer"`
 	TruthPUE float64 `json:"truth_pue"`
+	// CE is the tick's correctable-error telemetry window: the scrubbed
+	// error log a fleet agent would report alongside the query,
+	// time-ordered within the tick. Healthy servers emit sparse uniform
+	// noise; latent-fault servers emit bursty logs concentrated on their
+	// weak rows/columns (the spatial signature the UE-risk classifier
+	// learns).
+	CE []profile.CEEvent `json:"ce,omitempty"`
+	// TruthUE is the ground-truth probability that this server suffers an
+	// uncorrectable error within the prediction horizon — the closed-form
+	// function of the server's latent fault severity that labels the
+	// UE-risk training rows (label = TruthUE >= 0.5).
+	TruthUE float64 `json:"truth_ue"`
 }
 
 // simServer is one machine of the fleet: immutable identity drawn at
@@ -163,6 +177,144 @@ type simServer struct {
 	mix []string
 
 	plant *thermal.Plant
+
+	// telem is the server's CE-telemetry generator: its latent fault state
+	// and the RNG stream its error logs are drawn from.
+	telem telemetry
+}
+
+// Telemetry generative model (the scenario of "Exploring Error Bits for
+// Memory Failure Prediction"): a fraction of servers carry a latent DRAM
+// fault of some severity. Healthy servers log sparse, spatially uniform
+// single-bit CEs — scrubbing noise. Faulty servers log more events,
+// concentrated on a few weak rows/columns of one bank, arriving in bursts,
+// with multi-bit corrections appearing as severity grows. The ground-truth
+// UE probability is a closed-form logistic in the severity, so labels are
+// exact and the stream stays a pure function of Config.
+const (
+	faultProb       = 0.35 // fraction of servers with a latent fault
+	healthyCERate   = 0.8  // mean CE events per tick, healthy
+	faultyCEBase    = 2.0  // faulty event-rate floor per tick
+	faultyCEScale   = 18.0 // event-rate growth with severity
+	ueKnee          = 0.40 // severity at which TruthUE crosses 0.5
+	ueWidth         = 0.08 // logistic width of the UE cliff
+	telemetryRows   = 1 << 15
+	telemetryCols   = 1 << 10
+	telemetryBanks  = 8
+	weakRowChance   = 0.8 // faulty events land on a weak row this often
+	weakColChance   = 0.6
+	burstFraction   = 0.5  // faulty events arriving in one tight burst
+	burstWindowFrac = 0.02 // burst width as a fraction of the tick
+)
+
+// telemetry is one server's CE-log generator.
+type telemetry struct {
+	rng      *stats.RNG
+	severity float64 // 0 = healthy; (0, 1] = latent fault severity
+	weakRows []int
+	weakCols []int
+	weakBank int
+	weakRank int
+}
+
+// newTelemetry draws the server's latent fault state. All draws come from
+// the dedicated stream, so adding telemetry leaves every other per-server
+// draw untouched.
+func newTelemetry(rng *stats.RNG) telemetry {
+	tm := telemetry{rng: rng}
+	if rng.Float64() < faultProb {
+		tm.severity = 0.1 + 0.9*rng.Float64()
+		nRows := 1 + rng.Intn(3)
+		for i := 0; i < nRows; i++ {
+			tm.weakRows = append(tm.weakRows, rng.Intn(telemetryRows))
+		}
+		nCols := 1 + rng.Intn(3)
+		for i := 0; i < nCols; i++ {
+			tm.weakCols = append(tm.weakCols, rng.Intn(telemetryCols))
+		}
+		tm.weakBank = rng.Intn(telemetryBanks)
+		tm.weakRank = rng.Intn(dram.NumRanks)
+	}
+	return tm
+}
+
+// truthUE is the closed-form ground-truth UE probability for the server's
+// latent severity: a logistic cliff — healthy servers sit near zero,
+// severe faults near one.
+func (tm *telemetry) truthUE() float64 {
+	return 1 / (1 + math.Exp(-(tm.severity-ueKnee)/ueWidth))
+}
+
+// window emits one tick's CE log: event times drawn inside [0, dur), then
+// sorted, then coordinates assigned in time order — a fixed draw sequence,
+// so the log is a pure function of the telemetry stream state.
+func (tm *telemetry) window(dur float64) []profile.CEEvent {
+	var n int
+	if tm.severity > 0 {
+		n = int(tm.rng.Poisson(faultyCEBase + faultyCEScale*tm.severity))
+	} else {
+		n = int(tm.rng.Poisson(healthyCERate))
+	}
+	if n == 0 {
+		return nil
+	}
+	times := make([]float64, n)
+	if tm.severity > 0 {
+		// A burst: a fraction of the events collapse into one tight
+		// window around a random center, the rest spread uniformly.
+		center := tm.rng.Float64() * dur
+		for i := range times {
+			if tm.rng.Float64() < burstFraction {
+				t := center + (tm.rng.Float64()-0.5)*burstWindowFrac*dur
+				if t < 0 {
+					t = 0
+				}
+				if t >= dur {
+					t = dur * (1 - 1e-9)
+				}
+				times[i] = t
+			} else {
+				times[i] = tm.rng.Float64() * dur
+			}
+		}
+	} else {
+		for i := range times {
+			times[i] = tm.rng.Float64() * dur
+		}
+	}
+	sort.Float64s(times)
+
+	events := make([]profile.CEEvent, n)
+	for i := range events {
+		e := &events[i]
+		e.T = times[i]
+		if tm.severity > 0 {
+			if tm.rng.Float64() < weakRowChance {
+				e.Row = tm.weakRows[tm.rng.Intn(len(tm.weakRows))]
+			} else {
+				e.Row = tm.rng.Intn(telemetryRows)
+			}
+			if tm.rng.Float64() < weakColChance {
+				e.Col = tm.weakCols[tm.rng.Intn(len(tm.weakCols))]
+			} else {
+				e.Col = tm.rng.Intn(telemetryCols)
+			}
+			e.Bank = tm.weakBank
+			e.Rank = tm.weakRank
+			if tm.rng.Float64() < tm.severity {
+				e.Bits = 2 + tm.rng.Intn(3)
+			} else {
+				e.Bits = 1
+			}
+		} else {
+			e.Row = tm.rng.Intn(telemetryRows)
+			e.Col = tm.rng.Intn(telemetryCols)
+			e.Bank = tm.rng.Intn(telemetryBanks)
+			e.Rank = tm.rng.Intn(dram.NumRanks)
+			e.Bits = 1
+		}
+	}
+	return events
 }
 
 // newSimServer derives server id entirely from rng, in a fixed draw order:
@@ -184,6 +336,10 @@ func newSimServer(id int, rng *stats.RNG, cfg *Config) *simServer {
 		sv.mix = append(sv.mix, cfg.Workloads[i])
 	}
 	sv.plant = thermal.NewPlant(ambientAt(0, sv.phase), rng.Uint64())
+	// Telemetry state is drawn LAST, from its own Split stream: every draw
+	// above sees exactly the sequence it saw before telemetry existed, so
+	// server identities (densities, policies, mixes) are unchanged.
+	sv.telem = newTelemetry(rng.Split())
 	return sv
 }
 
@@ -316,6 +472,8 @@ func (f *Fleet) advance() {
 			TempC:    tempC,
 			TruthWER: wer,
 			TruthPUE: pue,
+			CE:       sv.telem.window(f.cfg.TickSeconds),
+			TruthUE:  sv.telem.truthUE(),
 		})
 		f.seq++
 	}
@@ -338,4 +496,41 @@ func (f *Fleet) Take(n int) []Query {
 		out[i] = f.Next()
 	}
 	return out
+}
+
+// BuildUESamples synthesizes the UE-risk training corpus from the fleet
+// stream: one row per (server, tick) over the first windows ticks, each
+// row the tick's CE log vectorized through the profile error-bit catalog
+// with the closed-form ground-truth label attached. Deterministic in
+// (cfg, windows); a leave-one-server-out evaluation needs cfg.Servers of
+// at least 2.
+func BuildUESamples(cfg Config, windows int) ([]core.UESample, error) {
+	if windows <= 0 {
+		return nil, fmt.Errorf("fleet: %d telemetry windows", windows)
+	}
+	f, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if f.cfg.Servers < 2 {
+		return nil, fmt.Errorf("fleet: %d servers cannot support leave-one-server-out evaluation", f.cfg.Servers)
+	}
+	qs := f.Take(windows * f.cfg.Servers)
+	rows := make([]core.UESample, len(qs))
+	for i := range qs {
+		q := &qs[i]
+		label := 0.0
+		if q.TruthUE >= 0.5 {
+			label = 1
+		}
+		rows[i] = core.UESample{
+			Server:     fmt.Sprintf("server%02d", q.Server),
+			TREFP:      q.TREFP,
+			VDD:        q.VDD,
+			TempC:      q.TempC,
+			CEFeatures: profile.CEFeatures(q.CE),
+			UE:         label,
+		}
+	}
+	return rows, nil
 }

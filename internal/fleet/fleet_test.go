@@ -189,6 +189,17 @@ func testDataset(t testing.TB) *core.Dataset {
 		}
 		srv := xgene.MustNewServer(xgene.Config{Scale: 32})
 		dsVal, dsErr = core.BuildDataset(srv, profiles, specs, core.CampaignOptions{Reps: 2})
+		if dsErr != nil {
+			return
+		}
+		// UE telemetry rows make the artifact serve every registered target,
+		// so the drive test exercises ue_risk end to end.
+		rows, err := BuildUESamples(Config{Servers: 4, Seed: 3}, 6)
+		if err != nil {
+			dsErr = err
+			return
+		}
+		dsVal.SetUER(rows)
 	})
 	if dsErr != nil {
 		t.Fatal(dsErr)

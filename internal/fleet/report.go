@@ -34,6 +34,17 @@ func Checksum(qs []Query) string {
 		f64(q.TempC)
 		f64(q.TruthWER)
 		f64(q.TruthPUE)
+		u64(uint64(len(q.CE)))
+		for j := range q.CE {
+			e := &q.CE[j]
+			f64(e.T)
+			u64(uint64(e.Row))
+			u64(uint64(e.Col))
+			u64(uint64(e.Bank))
+			u64(uint64(e.Rank))
+			u64(uint64(e.Bits))
+		}
+		f64(q.TruthUE)
 	}
 	return fmt.Sprintf("fnv64:%016x", h.Sum64())
 }
@@ -87,8 +98,9 @@ func (r *Report) Failed() int { return len(r.Outcomes) - r.Completed() }
 
 // MAE is the online prediction error per target over the completed
 // queries: WER compared in log10 space (the rate spans decades, exactly
-// why the paper regresses log10(WER)), PUE as a raw probability
-// difference. The map is empty for offline runs.
+// why the paper regresses log10(WER)), PUE and UE risk as raw probability
+// differences against their ground truths. The map is empty for offline
+// runs.
 func (r *Report) MAE() map[core.Target]float64 {
 	sums := map[core.Target]float64{}
 	counts := map[core.Target]int{}
@@ -105,6 +117,8 @@ func (r *Report) MAE() map[core.Target]float64 {
 				err = math.Abs(logFloor(pred) - logFloor(q.TruthWER))
 			case core.TargetPUE:
 				err = math.Abs(pred - q.TruthPUE)
+			case core.TargetUERisk:
+				err = math.Abs(pred - q.TruthUE)
 			default:
 				continue
 			}
@@ -185,8 +199,12 @@ func (r *Report) byWorkload() []workloadRow {
 	return rows
 }
 
-// targetNames renders the requested targets in request order.
+// targetNames renders the requested targets in request order; an empty
+// request means the server's own default selection answered.
 func targetNames(targets []core.Target) string {
+	if len(targets) == 0 {
+		return "(server default)"
+	}
 	names := make([]string, len(targets))
 	for i, t := range targets {
 		names[i] = string(t)
@@ -224,7 +242,13 @@ func (r *Report) Render(withTiming bool) string {
 	if r.Outcomes != nil {
 		mae := r.MAE()
 		var parts []string
-		for _, t := range r.Targets {
+		// Render in request order, or catalog order when the run rode the
+		// server's default selection.
+		order := r.Targets
+		if len(order) == 0 {
+			order = core.Targets()
+		}
+		for _, t := range order {
 			v, ok := mae[t]
 			if !ok {
 				continue

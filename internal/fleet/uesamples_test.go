@@ -1,0 +1,110 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+)
+
+func TestBuildUESamplesDeterministic(t *testing.T) {
+	cfg := Config{Servers: 4, Seed: 2}
+	a, err := BuildUESamples(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildUESamples(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (cfg, windows) produced different corpora")
+	}
+	c, err := BuildUESamples(Config{Servers: 4, Seed: 3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestBuildUESamplesShape(t *testing.T) {
+	const servers, windows = 6, 8
+	rows, err := BuildUESamples(Config{Servers: servers, Seed: 2}, windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != servers*windows {
+		t.Fatalf("%d rows, want %d", len(rows), servers*windows)
+	}
+	perServer := map[string]int{}
+	pos := 0
+	for _, r := range rows {
+		if r.Server == "" {
+			t.Fatal("row without server identity; LOGO folds need one")
+		}
+		perServer[r.Server]++
+		if len(r.CEFeatures) != profile.NumCEFeatures {
+			t.Fatalf("feature vector length %d, want %d", len(r.CEFeatures), profile.NumCEFeatures)
+		}
+		if r.UE != 0 && r.UE != 1 {
+			t.Fatalf("label %g not binary", r.UE)
+		}
+		if r.UE == 1 {
+			pos++
+		}
+	}
+	if len(perServer) != servers {
+		t.Fatalf("%d distinct servers, want %d", len(perServer), servers)
+	}
+	for sv, n := range perServer {
+		if n != windows {
+			t.Fatalf("server %s has %d windows, want %d", sv, n, windows)
+		}
+	}
+	if pos == 0 || pos == len(rows) {
+		t.Fatalf("degenerate corpus: %d/%d positive labels", pos, len(rows))
+	}
+}
+
+func TestBuildUESamplesValidation(t *testing.T) {
+	if _, err := BuildUESamples(Config{Servers: 4, Seed: 1}, 0); err == nil {
+		t.Fatal("zero windows accepted")
+	}
+	if _, err := BuildUESamples(Config{Servers: 1, Seed: 1}, 3); err == nil {
+		t.Fatal("single-server fleet accepted; LOGO evaluation needs two")
+	}
+}
+
+// TestEvaluateUERiskWorkerInvariance is the acceptance bar for the
+// classifier evaluation: the leave-one-server-out result — predictions
+// included — is bit-identical no matter how many fold workers run.
+func TestEvaluateUERiskWorkerInvariance(t *testing.T) {
+	rows, err := BuildUESamples(Config{Servers: 4, Seed: 3}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ds core.Dataset
+	ds.SetUER(rows)
+	for _, kind := range []core.ModelKind{core.ModelRDF, core.ModelKNN} {
+		one, err := core.EvaluateUERisk(&ds, kind, core.InputSet1, 1)
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", kind, err)
+		}
+		four, err := core.EvaluateUERisk(&ds, kind, core.InputSet1, 4)
+		if err != nil {
+			t.Fatalf("%s workers=4: %v", kind, err)
+		}
+		if !reflect.DeepEqual(one, four) {
+			t.Fatalf("%s: workers=1 eval %+v differs from workers=4 eval %+v", kind, one, four)
+		}
+		if one.AUC < 0 || one.AUC > 1 {
+			t.Fatalf("%s: AUC %g outside [0,1]", kind, one.AUC)
+		}
+		if one.Positives == 0 {
+			t.Fatalf("%s: evaluation saw no positive labels", kind)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package ml
+
+import "sort"
+
+// Classification mode. The failure-prediction literature the repo follows
+// ("Exploring Error Bits for Memory Failure Prediction", "DRAM Failure
+// Prediction in AIOps") frames UE risk as binary classification over
+// telemetry features. The forest is the natural classifier here: each tree
+// votes on its leaf's majority class and the ensemble outputs the vote
+// fraction as a probability. The fused struct-of-arrays arena is reused
+// unchanged — a classification forest *is* a regression forest over 0/1
+// labels; only the aggregation differs, and counting integer votes keeps
+// the probability bit-deterministic at any worker count (a vote is
+// leaf-mean > 1/2, and leaf means are already bit-identical).
+
+// ForestClassifier adapts Forest to binary classification: Train expects
+// labels in {0, 1} and the fitted model predicts the fraction of trees
+// voting class 1 — a probability in [0, 1] in steps of 1/Trees.
+type ForestClassifier struct {
+	Forest
+}
+
+// Name implements Trainer.
+func (f ForestClassifier) Name() string { return "RDF" }
+
+// Train implements Trainer.
+func (f ForestClassifier) Train(X [][]float64, y []float64) (Regressor, error) {
+	if err := validate(X, y); err != nil {
+		return nil, err
+	}
+	arenas, err := f.fitTrees(X, y)
+	if err != nil {
+		return nil, err
+	}
+	m, err := fuseForest(arenas)
+	if err != nil {
+		return nil, err
+	}
+	return &forestVoteModel{forestModel: m}, nil
+}
+
+// forestVoteModel aggregates the fused ensemble by majority vote instead of
+// by mean: a tree votes 1 when its leaf mean exceeds 1/2. The traversal is
+// the same bounds-check-free index chase as forestModel.Predict.
+type forestVoteModel struct {
+	*forestModel
+}
+
+// Predict returns the fraction of trees voting class 1.
+func (m *forestVoteModel) Predict(x []float64) float64 {
+	n := len(m.feature)
+	feature := m.feature
+	cut := m.cut[:n]
+	left := m.left[:n]
+	right := m.right[:n]
+	votes := 0
+	for _, root := range m.roots {
+		i := int(root)
+		for {
+			f := feature[i]
+			if f < 0 {
+				if cut[i] > 0.5 {
+					votes++
+				}
+				break
+			}
+			if x[f] <= cut[i] {
+				i = int(left[i])
+			} else {
+				i = int(right[i])
+			}
+		}
+	}
+	return float64(votes) / m.nTrees
+}
+
+// PrecisionRecall scores probabilistic predictions against 0/1 labels at
+// the given decision threshold (predictions > thresh are positive calls).
+// With no positive calls precision is reported as 0; with no positive
+// labels recall is reported as 0 — both mean "no evidence", not success.
+func PrecisionRecall(pred, actual []float64, thresh float64) (precision, recall float64) {
+	if len(pred) != len(actual) {
+		panic("ml: PrecisionRecall length mismatch")
+	}
+	tp, fp, fn := 0, 0, 0
+	for i := range pred {
+		call := pred[i] > thresh
+		pos := actual[i] > 0.5
+		switch {
+		case call && pos:
+			tp++
+		case call && !pos:
+			fp++
+		case !call && pos:
+			fn++
+		}
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	return precision, recall
+}
+
+// AUC returns the area under the ROC curve of probabilistic predictions
+// against 0/1 labels, computed as the Mann–Whitney U statistic with
+// midranks (ties contribute half), so it is exact under the heavily tied
+// score distributions a vote-counting forest produces. Degenerate label
+// sets (all positive or all negative) score 0.5: no ranking information.
+func AUC(pred, actual []float64) float64 {
+	if len(pred) != len(actual) {
+		panic("ml: AUC length mismatch")
+	}
+	n := len(pred)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return pred[order[a]] < pred[order[b]] })
+
+	// Midrank sum over the positive class.
+	nPos, nNeg := 0, 0
+	rankSum := 0.0
+	for i := 0; i < n; {
+		j := i
+		for j < n && pred[order[j]] == pred[order[i]] {
+			j++
+		}
+		// 1-based midrank of the tie group [i, j).
+		mid := float64(i+j+1) / 2
+		for k := i; k < j; k++ {
+			if actual[order[k]] > 0.5 {
+				rankSum += mid
+			}
+		}
+		i = j
+	}
+	for i := range actual {
+		if actual[i] > 0.5 {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	u := rankSum - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}

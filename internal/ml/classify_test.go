@@ -1,0 +1,122 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+// classifyCorpus is a noiseless two-feature corpus: class 1 iff the first
+// feature exceeds 0.5. Grid spacing keeps a margin around the boundary so
+// a small forest separates it perfectly.
+func classifyCorpus() (X [][]float64, y []float64) {
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			a, b := float64(i)/10+0.05, float64(j)/10
+			X = append(X, []float64{a, b})
+			label := 0.0
+			if a > 0.5 {
+				label = 1
+			}
+			y = append(y, label)
+		}
+	}
+	return X, y
+}
+
+func TestForestClassifierSeparable(t *testing.T) {
+	X, y := classifyCorpus()
+	model, err := ForestClassifier{Forest{Trees: 20, Seed: 7}}.Train(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		p := model.Predict(x)
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %g outside [0,1]", p)
+		}
+		if (p > 0.5) != (y[i] > 0.5) {
+			t.Fatalf("x=%v: probability %g misclassifies label %g", x, p, y[i])
+		}
+	}
+}
+
+func TestForestClassifierDeterministic(t *testing.T) {
+	X, y := classifyCorpus()
+	a, err := ForestClassifier{Forest{Trees: 15, Seed: 3, Workers: 1}}.Train(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ForestClassifier{Forest{Trees: 15, Seed: 3, Workers: 4}}.Train(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X {
+		pa, pb := a.Predict(x), b.Predict(x)
+		if pa != pb {
+			t.Fatalf("x=%v: workers=1 predicts %g, workers=4 predicts %g", x, pa, pb)
+		}
+	}
+}
+
+func TestForestClassifierName(t *testing.T) {
+	// The classifier reports the same kind name as the regression forest:
+	// it is the same model family, selected by target semantics.
+	if got := (ForestClassifier{}).Name(); got != "RDF" {
+		t.Fatalf("Name() = %q, want RDF", got)
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	pred := []float64{0.9, 0.8, 0.6, 0.4, 0.2}
+	actual := []float64{1, 0, 1, 1, 0}
+	// Calls at 0.5: {1, 1, 1, 0, 0} → tp=2 fp=1 fn=1.
+	p, r := PrecisionRecall(pred, actual, 0.5)
+	if math.Abs(p-2.0/3) > 1e-12 || math.Abs(r-2.0/3) > 1e-12 {
+		t.Fatalf("precision, recall = %g, %g, want 2/3, 2/3", p, r)
+	}
+	// No positive calls: precision 0 (no evidence), recall 0.
+	p, r = PrecisionRecall([]float64{0.1, 0.2}, []float64{1, 1}, 0.5)
+	if p != 0 || r != 0 {
+		t.Fatalf("no-calls precision, recall = %g, %g, want 0, 0", p, r)
+	}
+	// No positive labels: recall 0, precision counts the false alarms.
+	p, r = PrecisionRecall([]float64{0.9, 0.1}, []float64{0, 0}, 0.5)
+	if p != 0 || r != 0 {
+		t.Fatalf("no-positives precision, recall = %g, %g, want 0, 0", p, r)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch not rejected")
+		}
+	}()
+	PrecisionRecall([]float64{1}, nil, 0.5)
+}
+
+func TestAUC(t *testing.T) {
+	cases := []struct {
+		name   string
+		pred   []float64
+		actual []float64
+		want   float64
+	}{
+		{"perfect", []float64{0.1, 0.2, 0.8, 0.9}, []float64{0, 0, 1, 1}, 1},
+		{"reversed", []float64{0.9, 0.8, 0.2, 0.1}, []float64{0, 0, 1, 1}, 0},
+		{"all tied", []float64{0.5, 0.5, 0.5, 0.5}, []float64{0, 1, 0, 1}, 0.5},
+		{"all positive", []float64{0.1, 0.9}, []float64{1, 1}, 0.5},
+		{"all negative", []float64{0.1, 0.9}, []float64{0, 0}, 0.5},
+		// One positive tied with one negative at 0.5: the tie contributes
+		// half, the clean win contributes one → (1 + 0.5) / 2.
+		{"midrank tie", []float64{0.2, 0.5, 0.5}, []float64{0, 0, 1}, 0.75},
+	}
+	for _, tc := range cases {
+		if got := AUC(tc.pred, tc.actual); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: AUC = %g, want %g", tc.name, got, tc.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch not rejected")
+		}
+	}()
+	AUC([]float64{1}, nil)
+}

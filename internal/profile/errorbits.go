@@ -1,0 +1,270 @@
+package profile
+
+import "fmt"
+
+// The post-2019 failure-prediction literature ("Exploring Error Bits for
+// Memory Failure Prediction", "DRAM Failure Prediction in AIOps") predicts
+// field failures from the *spatial structure* of correctable-error
+// telemetry rather than from characterization campaigns: errors that
+// concentrate on a few rows or columns, arrive in bursts, or flip several
+// bits per word are the dominant precursors of an uncorrectable error.
+// This file derives that feature extraction: a CE event log in, a small
+// fixed catalog of error-bit features out.
+
+// CEEvent is one logged correctable-error observation: the moment it was
+// scrubbed plus the DRAM coordinates of the corrected word. The same type
+// travels the whole stack — the fleet simulator emits it, the serve layer
+// decodes it from /v2 queries, and this package vectorizes it.
+type CEEvent struct {
+	// T is the event time in seconds from the start of the observation
+	// window. Logs are time-ordered: consumers require non-decreasing T.
+	T float64 `json:"t"`
+	// Row, Col, Bank, Rank locate the corrected word.
+	Row  int `json:"row"`
+	Col  int `json:"col"`
+	Bank int `json:"bank"`
+	Rank int `json:"rank"`
+	// Bits is the number of flipped bits in the corrected word; 0 is
+	// treated as 1 (single-bit) so sparse logs stay terse.
+	Bits int `json:"bits,omitempty"`
+}
+
+// bitCount returns the event's flipped-bit count with the sparse-log
+// default applied.
+func (e CEEvent) bitCount() int {
+	if e.Bits <= 0 {
+		return 1
+	}
+	return e.Bits
+}
+
+// CE feature indices into the vector produced by CEFeaturesInto. Indexes
+// are stable, append-only catalog order — persisted artifacts depend on it
+// exactly like the program-feature catalog above.
+const (
+	CEFeatEvents           = iota // total CE events in the window
+	CEFeatDistinctRows            // distinct rows touched
+	CEFeatDistinctCols            // distinct columns touched
+	CEFeatDistinctBanks           // distinct banks touched
+	CEFeatDistinctRanks           // distinct ranks touched
+	CEFeatMaxRowShare             // fraction of events on the busiest row
+	CEFeatMaxColShare             // fraction of events on the busiest column
+	CEFeatMultibitFrac            // fraction of events with >1 flipped bit
+	CEFeatMaxBits                 // max flipped bits in one event
+	CEFeatMeanInterarrival        // mean seconds between consecutive events
+	CEFeatMinInterarrival         // min seconds between consecutive events
+	CEFeatBurstiness              // fraction of gaps under 1/4 of the mean gap
+
+	// NumCEFeatures is the size of the error-bit feature vector.
+	NumCEFeatures = iota
+)
+
+var ceFeatureNames = [NumCEFeatures]string{
+	CEFeatEvents:           "ce_events",
+	CEFeatDistinctRows:     "ce_distinct_rows",
+	CEFeatDistinctCols:     "ce_distinct_cols",
+	CEFeatDistinctBanks:    "ce_distinct_banks",
+	CEFeatDistinctRanks:    "ce_distinct_ranks",
+	CEFeatMaxRowShare:      "ce_max_row_share",
+	CEFeatMaxColShare:      "ce_max_col_share",
+	CEFeatMultibitFrac:     "ce_multibit_frac",
+	CEFeatMaxBits:          "ce_max_bits",
+	CEFeatMeanInterarrival: "ce_mean_interarrival",
+	CEFeatMinInterarrival:  "ce_min_interarrival",
+	CEFeatBurstiness:       "ce_burstiness",
+}
+
+// CEFeatureNames returns the error-bit feature catalog in vector order.
+func CEFeatureNames() []string {
+	out := make([]string, NumCEFeatures)
+	copy(out, ceFeatureNames[:])
+	return out
+}
+
+// ValidateCEEvents checks a CE log for the time-ordering contract.
+// Consumers never sort: an out-of-order log is a caller bug (or a
+// malformed query) and is rejected, not repaired.
+func ValidateCEEvents(events []CEEvent) error {
+	for i := 1; i < len(events); i++ {
+		if events[i].T < events[i-1].T {
+			return fmt.Errorf("profile: ce event %d at t=%g precedes event %d at t=%g: log must be time-ordered",
+				i, events[i].T, i-1, events[i-1].T)
+		}
+	}
+	return nil
+}
+
+// CEFeaturesInto vectorizes a time-ordered CE event log into dst, which
+// must have length NumCEFeatures. An empty log vectorizes to all zeros —
+// a healthy DIMM is a valid observation, not an error. The computation is
+// allocation-free for logs up to ceScratchSize events per distinct
+// coordinate; beyond that it degrades to map-based counting.
+func CEFeaturesInto(dst []float64, events []CEEvent) {
+	_ = dst[NumCEFeatures-1] // bounds hint
+	for i := range dst[:NumCEFeatures] {
+		dst[i] = 0
+	}
+	n := len(events)
+	if n == 0 {
+		return
+	}
+	dst[CEFeatEvents] = float64(n)
+
+	// Distinct-coordinate counts and busiest-coordinate concentration.
+	var rows, cols coordCounter
+	var banks, ranks smallSet
+	maxBits, multibit := 0, 0
+	for i := range events {
+		e := &events[i]
+		rows.add(e.Row)
+		cols.add(e.Col)
+		banks.add(e.Bank)
+		ranks.add(e.Rank)
+		b := e.bitCount()
+		if b > maxBits {
+			maxBits = b
+		}
+		if b > 1 {
+			multibit++
+		}
+	}
+	dst[CEFeatDistinctRows] = float64(rows.distinct())
+	dst[CEFeatDistinctCols] = float64(cols.distinct())
+	dst[CEFeatDistinctBanks] = float64(banks.distinct())
+	dst[CEFeatDistinctRanks] = float64(ranks.distinct())
+	dst[CEFeatMaxRowShare] = float64(rows.maxCount()) / float64(n)
+	dst[CEFeatMaxColShare] = float64(cols.maxCount()) / float64(n)
+	dst[CEFeatMultibitFrac] = float64(multibit) / float64(n)
+	dst[CEFeatMaxBits] = float64(maxBits)
+
+	// Inter-arrival statistics over the ordered log.
+	if n >= 2 {
+		sum, min := 0.0, events[1].T-events[0].T
+		for i := 1; i < n; i++ {
+			gap := events[i].T - events[i-1].T
+			sum += gap
+			if gap < min {
+				min = gap
+			}
+		}
+		mean := sum / float64(n-1)
+		dst[CEFeatMeanInterarrival] = mean
+		dst[CEFeatMinInterarrival] = min
+		if mean > 0 {
+			bursty := 0
+			for i := 1; i < n; i++ {
+				if events[i].T-events[i-1].T < mean/4 {
+					bursty++
+				}
+			}
+			dst[CEFeatBurstiness] = float64(bursty) / float64(n-1)
+		}
+	}
+}
+
+// CEFeatures is the allocating convenience form of CEFeaturesInto.
+func CEFeatures(events []CEEvent) []float64 {
+	dst := make([]float64, NumCEFeatures)
+	CEFeaturesInto(dst, events)
+	return dst
+}
+
+// ceScratchSize bounds the inline distinct-coordinate scratch; typical
+// telemetry windows hold well under this many distinct rows or columns.
+const ceScratchSize = 64
+
+// coordCounter counts events per coordinate value, inline up to
+// ceScratchSize distinct values and via a map beyond.
+type coordCounter struct {
+	keys     [ceScratchSize]int
+	counts   [ceScratchSize]int
+	n        int
+	overflow map[int]int
+}
+
+func (c *coordCounter) add(key int) {
+	if c.overflow != nil {
+		c.overflow[key]++
+		return
+	}
+	for i := 0; i < c.n; i++ {
+		if c.keys[i] == key {
+			c.counts[i]++
+			return
+		}
+	}
+	if c.n < ceScratchSize {
+		c.keys[c.n] = key
+		c.counts[c.n] = 1
+		c.n++
+		return
+	}
+	// Degrade to a map, carrying the inline tallies over.
+	c.overflow = make(map[int]int, 2*ceScratchSize)
+	for i := 0; i < c.n; i++ {
+		c.overflow[c.keys[i]] = c.counts[i]
+	}
+	c.overflow[key]++
+}
+
+func (c *coordCounter) distinct() int {
+	if c.overflow != nil {
+		return len(c.overflow)
+	}
+	return c.n
+}
+
+func (c *coordCounter) maxCount() int {
+	max := 0
+	if c.overflow != nil {
+		for _, v := range c.overflow {
+			if v > max {
+				max = v
+			}
+		}
+		return max
+	}
+	for i := 0; i < c.n; i++ {
+		if c.counts[i] > max {
+			max = c.counts[i]
+		}
+	}
+	return max
+}
+
+// smallSet tracks distinct small non-negative ints (banks, ranks) with the
+// same inline-then-map degradation.
+type smallSet struct {
+	keys     [ceScratchSize]int
+	n        int
+	overflow map[int]struct{}
+}
+
+func (s *smallSet) add(key int) {
+	if s.overflow != nil {
+		s.overflow[key] = struct{}{}
+		return
+	}
+	for i := 0; i < s.n; i++ {
+		if s.keys[i] == key {
+			return
+		}
+	}
+	if s.n < ceScratchSize {
+		s.keys[s.n] = key
+		s.n++
+		return
+	}
+	s.overflow = make(map[int]struct{}, 2*ceScratchSize)
+	for i := 0; i < s.n; i++ {
+		s.overflow[s.keys[i]] = struct{}{}
+	}
+	s.overflow[key] = struct{}{}
+}
+
+func (s *smallSet) distinct() int {
+	if s.overflow != nil {
+		return len(s.overflow)
+	}
+	return s.n
+}

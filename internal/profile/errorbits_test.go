@@ -1,0 +1,135 @@
+package profile
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCEFeatureCatalog(t *testing.T) {
+	names := CEFeatureNames()
+	if len(names) != NumCEFeatures {
+		t.Fatalf("%d feature names for %d features", len(names), NumCEFeatures)
+	}
+	seen := map[string]bool{}
+	for i, name := range names {
+		if name == "" {
+			t.Fatalf("feature %d unnamed", i)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate feature name %q", name)
+		}
+		seen[name] = true
+	}
+	// The returned slice is a copy; mutating it must not poison the catalog.
+	names[0] = "corrupted"
+	if CEFeatureNames()[0] != "ce_events" {
+		t.Fatal("CEFeatureNames exposes the internal catalog array")
+	}
+}
+
+func TestCEFeaturesEmptyWindow(t *testing.T) {
+	// A quiet window is a healthy observation: the all-zero vector, not an
+	// error — the serve layer depends on this for CE-less ue_risk queries.
+	for _, v := range CEFeatures(nil) {
+		if v != 0 {
+			t.Fatalf("empty window vector = %v, want all zeros", CEFeatures(nil))
+		}
+	}
+}
+
+// TestCEFeaturesValues checks every feature against a hand-computed log:
+// three tightly bunched events on row 5 (two sharing column 1) then a
+// distant multi-bit straggler.
+func TestCEFeaturesValues(t *testing.T) {
+	events := []CEEvent{
+		{T: 0, Row: 5, Col: 1, Bank: 0, Rank: 0},
+		{T: 0.1, Row: 5, Col: 2, Bank: 0, Rank: 0, Bits: 2},
+		{T: 0.2, Row: 5, Col: 1, Bank: 1, Rank: 0},
+		{T: 10, Row: 9, Col: 3, Bank: 0, Rank: 1, Bits: 3},
+	}
+	got := CEFeatures(events)
+	// Gaps are 0.1, 0.1, 9.8: mean 10/3, min 0.1, and the two 0.1s fall
+	// under a quarter of the mean, so burstiness is 2/3.
+	want := []float64{
+		CEFeatEvents:           4,
+		CEFeatDistinctRows:     2,
+		CEFeatDistinctCols:     3,
+		CEFeatDistinctBanks:    2,
+		CEFeatDistinctRanks:    2,
+		CEFeatMaxRowShare:      3.0 / 4,
+		CEFeatMaxColShare:      2.0 / 4,
+		CEFeatMultibitFrac:     2.0 / 4,
+		CEFeatMaxBits:          3,
+		CEFeatMeanInterarrival: 10.0 / 3,
+		CEFeatMinInterarrival:  0.1,
+		CEFeatBurstiness:       2.0 / 3,
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("%s = %g, want %g", CEFeatureNames()[i], got[i], want[i])
+		}
+	}
+}
+
+// TestCEFeaturesLargeLog pushes past the inline scratch so the map
+// fallback path is exercised, and checks it agrees with a naive count.
+func TestCEFeaturesLargeLog(t *testing.T) {
+	var events []CEEvent
+	for i := 0; i < 300; i++ {
+		events = append(events, CEEvent{
+			T:    float64(i),
+			Row:  (i * 7) % 200, // > ceScratchSize distinct rows
+			Col:  i % 30,
+			Bank: i % 8,
+			Rank: i % 4,
+		})
+	}
+	rows := map[int]int{}
+	for _, e := range events {
+		rows[e.Row]++
+	}
+	maxRow := 0
+	for _, n := range rows {
+		if n > maxRow {
+			maxRow = n
+		}
+	}
+	got := CEFeatures(events)
+	if got[CEFeatDistinctRows] != float64(len(rows)) {
+		t.Fatalf("distinct rows = %g, want %d", got[CEFeatDistinctRows], len(rows))
+	}
+	if got[CEFeatMaxRowShare] != float64(maxRow)/300 {
+		t.Fatalf("max row share = %g, want %g", got[CEFeatMaxRowShare], float64(maxRow)/300)
+	}
+}
+
+func TestCEFeaturesIntoMatchesAllocatingForm(t *testing.T) {
+	events := []CEEvent{
+		{T: 1, Row: 42, Col: 3, Bank: 0, Rank: 1},
+		{T: 2, Row: 42, Col: 9, Bank: 0, Rank: 1, Bits: 2},
+	}
+	dst := make([]float64, NumCEFeatures)
+	for i := range dst {
+		dst[i] = math.NaN() // Into must overwrite every slot
+	}
+	CEFeaturesInto(dst, events)
+	for i, v := range CEFeatures(events) {
+		if dst[i] != v {
+			t.Fatalf("feature %d: Into %g, allocating %g", i, dst[i], v)
+		}
+	}
+}
+
+func TestValidateCEEvents(t *testing.T) {
+	ok := []CEEvent{{T: 1}, {T: 1}, {T: 2.5}} // equal timestamps are fine
+	if err := ValidateCEEvents(ok); err != nil {
+		t.Fatalf("ordered log rejected: %v", err)
+	}
+	if err := ValidateCEEvents(nil); err != nil {
+		t.Fatalf("empty log rejected: %v", err)
+	}
+	bad := []CEEvent{{T: 5}, {T: 4.9}}
+	if err := ValidateCEEvents(bad); err == nil {
+		t.Fatal("out-of-order log accepted")
+	}
+}

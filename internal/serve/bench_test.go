@@ -7,6 +7,37 @@ import (
 	"testing"
 )
 
+// replayBody is a resettable request body so the decode benchmark can
+// replay the same document without re-wrapping a reader every op.
+type replayBody struct{ strings.Reader }
+
+func (*replayBody) Close() error { return nil }
+
+// BenchmarkDecodePredictV2 isolates the pooled /v2 request-decode path:
+// one op takes a decode target from v2BodyPool, decodes a single-query
+// document carrying explicit targets and a CE telemetry window into it,
+// and returns it to the pool. Tracked in BENCH_<machine-class>.json by
+// scripts/bench.sh.
+func BenchmarkDecodePredictV2(b *testing.B) {
+	const doc = `{"workload":"nw","trefp":1.173,"temp_c":60,"targets":["ue_risk"],` +
+		`"ce":[{"t":1,"row":42,"col":3,"bank":0,"rank":1},` +
+		`{"t":2,"row":42,"col":9,"bank":0,"rank":1,"bits":2},` +
+		`{"t":2.5,"row":42,"col":9,"bank":0,"rank":1,"bits":3}]}`
+	body := &replayBody{}
+	req := httptest.NewRequest(http.MethodPost, "/v2/predict", nil)
+	req.Body = body
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body.Reset(doc)
+		v := v2BodyPool.Get().(*predictBodyV2)
+		if e := decodeBody(req, v); e != nil {
+			b.Fatalf("decode failed: %v", e)
+		}
+		putV2Body(v)
+	}
+}
+
 // BenchmarkServePredictV2 is the canonical serving-layer benchmark: one op
 // is a warm single-query POST /v2/predict straight into the handler (no
 // network), exercising resolve, the pooled predict path and JSON response

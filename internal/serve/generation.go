@@ -40,6 +40,16 @@ type generation struct {
 	registry *modelRegistry
 	profiles *profileCache
 
+	// Target availability, derived once from the dataset against the core
+	// target registry. available gates explicit requests; defaults is the
+	// selection an empty request answers (catalog order, non-telemetry);
+	// telemetryTargets joins that selection only when the query carries CE
+	// events — an old artifact without UE rows keeps answering exactly the
+	// legacy pair.
+	available        map[core.Target]bool
+	defaults         []core.Target
+	telemetryTargets []core.Target
+
 	// stop, once closed, terminates this generation's batcher dispatchers
 	// and fails fast any caller still blocked on them. It closes on server
 	// shutdown, or after a retired generation has drained.
@@ -77,6 +87,18 @@ func (s *Server) newGeneration(id int64, ds *core.Dataset) *generation {
 		profiles: newProfileCache(),
 		stop:     make(chan struct{}),
 		drained:  make(chan struct{}),
+	}
+	g.available = make(map[core.Target]bool, len(core.Targets()))
+	for _, d := range core.Descriptors() {
+		if !d.Available(ds) {
+			continue
+		}
+		g.available[d.Name] = true
+		if d.NeedsTelemetry {
+			g.telemetryTargets = append(g.telemetryTargets, d.Name)
+		} else {
+			g.defaults = append(g.defaults, d.Name)
+		}
 	}
 	g.refs.Store(1) // the live reference, released by retire
 	return g

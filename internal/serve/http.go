@@ -25,6 +25,8 @@ const (
 	codeUnknownWorkload   = "unknown_workload"
 	codeUnknownModel      = "unknown_model"
 	codeUnknownTarget     = "unknown_target"
+	codeTargetUnavailable = "target_unavailable"
+	codeBadTelemetry      = "bad_telemetry"
 	codeOutOfRange        = "out_of_range"
 	codeEmptyBatch        = "empty_batch"
 	codeBatchTooLarge     = "batch_too_large"

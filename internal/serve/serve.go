@@ -54,7 +54,6 @@ package serve
 import (
 	"context"
 	"encoding/json"
-	"fmt"
 	"io"
 	"math"
 	"net/http"
@@ -230,26 +229,19 @@ type query struct {
 	VDD      float64
 	Model    string
 	InputSet int
-	// Targets is the requested target selection; nil means every target
-	// (the /v1 contract, and the /v2 default).
+	// Targets is the requested target selection; nil means the serving
+	// generation's default selection (see generation.defaults).
 	Targets []string
+	// CE is the query's correctable-error telemetry window, consumed by
+	// NeedsTelemetry targets.
+	CE []profile.CEEvent
 }
 
-// maxTargets is the most targets one query can request: every target,
-// deduplicated. Sized to the core target catalog (checked at init) so the
-// per-query intermediates below hold fixed arrays instead of per-request
-// slices.
-const maxTargets = 2
-
-// allTargets is the shared default selection; resolve copies it into the
-// per-query buffer and never hands the shared slice out.
-var allTargets = core.Targets()
-
-func init() {
-	if len(allTargets) > maxTargets {
-		panic(fmt.Sprintf("serve: %d core targets exceed maxTargets=%d", len(allTargets), maxTargets))
-	}
-}
+// numTargets is the registry size: the most targets one query can request
+// (every registered target, deduplicated). The pooled per-query
+// intermediates below size their reusable backing slices to it, so a warm
+// query allocates nothing regardless of how many targets are registered.
+var numTargets = len(core.Targets())
 
 // resolved is a validated query bound to its feature vector and models.
 // Instances are pooled: the handlers return them through putResolved once
@@ -264,23 +256,28 @@ type resolved struct {
 	// set is the explicitly requested input set, 0 meaning each target's
 	// published default.
 	set core.InputSet
-	// targets aliases targetsBuf[:n]: the requested targets in request
-	// order, deduplicated.
-	targets    []core.Target
-	targetsBuf [maxTargets]core.Target
-	feats      []float64
+	// targets is the requested selection in request order, deduplicated.
+	// Its backing array is pooled with the struct (cap numTargets).
+	targets []core.Target
+	feats   []float64
+	// ce aliases the decoded request's telemetry window; the handler keeps
+	// the request body alive until the response is rendered.
+	ce []profile.CEEvent
 }
 
-var resolvedPool = sync.Pool{New: func() any { return new(resolved) }}
+var resolvedPool = sync.Pool{New: func() any {
+	return &resolved{targets: make([]core.Target, 0, numTargets)}
+}}
 
 // putResolved recycles r. Reference fields are dropped so a pooled entry
-// cannot pin a retired generation's profile features.
+// cannot pin a retired generation's profile features or a request body.
 func putResolved(r *resolved) {
 	if r == nil {
 		return
 	}
 	r.feats = nil
-	r.targets = nil
+	r.ce = nil
+	r.targets = r.targets[:0]
 	resolvedPool.Put(r)
 }
 
@@ -327,16 +324,31 @@ func (s *Server) resolve(g *generation, q query) (*resolved, *apiError) {
 	default:
 		return nil, errf(http.StatusBadRequest, codeOutOfRange, "input_set", "input_set %d out of range", q.InputSet)
 	}
+	if err := profile.ValidateCEEvents(q.CE); err != nil {
+		return nil, errf(http.StatusBadRequest, codeBadTelemetry, "ce", "%v", err)
+	}
 	r2 := resolvedPool.Get().(*resolved)
-	targets := r2.targetsBuf[:0]
+	targets := r2.targets[:0]
 	if len(q.Targets) == 0 {
-		targets = append(targets, allTargets...)
+		// The generation's default selection: every target its artifact can
+		// serve, with telemetry targets joining only when the query actually
+		// carries CE events — a plain operating-point query against a
+		// telemetry-bearing artifact still answers exactly wer+pue.
+		targets = append(targets, g.defaults...)
+		if len(q.CE) > 0 {
+			targets = append(targets, g.telemetryTargets...)
+		}
 	} else {
 		for _, name := range q.Targets {
 			t, err := core.ParseTarget(name)
 			if err != nil {
 				putResolved(r2)
 				return nil, errf(http.StatusBadRequest, codeUnknownTarget, "targets", "unknown target %q", name)
+			}
+			if !g.available[t] {
+				putResolved(r2)
+				return nil, errf(http.StatusBadRequest, codeTargetUnavailable, "targets",
+					"target %q has no training rows in the serving artifact", name)
 			}
 			dup := false
 			for _, have := range targets {
@@ -360,26 +372,57 @@ func (s *Server) resolve(g *generation, q query) (*resolved, *apiError) {
 	r2.kind, r2.set = kind, set
 	r2.targets = targets
 	r2.feats = prof.Features
+	r2.ce = q.CE
 	return r2, nil
 }
 
 // predicted is one query's answers: preds[i] answers the resolved query's
 // targets[i], plus the wall time of this query's model resolution and
-// predict. Instances are pooled like resolved.
+// predict. Instances are pooled like resolved; every slice keeps a
+// registry-sized backing array across reuses, so the per-target
+// intermediates of a warm query live entirely in pooled storage whatever
+// the catalog size.
 type predicted struct {
-	preds   [maxTargets]core.Prediction
+	preds   []core.Prediction
+	mvs     []modelVal
+	stats   []*modelStat
+	errs    []error
 	elapsed time.Duration
 }
 
-var predictedPool = sync.Pool{New: func() any { return new(predicted) }}
+var predictedPool = sync.Pool{New: func() any {
+	return &predicted{
+		preds: make([]core.Prediction, 0, numTargets),
+		mvs:   make([]modelVal, 0, numTargets),
+		stats: make([]*modelStat, 0, numTargets),
+		errs:  make([]error, 0, numTargets),
+	}
+}}
 
-// putPredicted recycles p, dropping the ByRank slices so a pooled entry
-// does not pin result storage already handed to a response.
+// forTargets reslices the pooled backing arrays to one slot per requested
+// target, zero-valued.
+func (p *predicted) forTargets(n int) {
+	p.preds = p.preds[:n]
+	p.mvs = p.mvs[:n]
+	p.stats = p.stats[:n]
+	p.errs = p.errs[:n]
+}
+
+// putPredicted recycles p, clearing the backing arrays to full capacity so
+// a pooled entry cannot pin ByRank result storage, model values or errors
+// from a previous request.
 func putPredicted(p *predicted) {
 	if p == nil {
 		return
 	}
-	p.preds = [maxTargets]core.Prediction{}
+	clear(p.preds[:cap(p.preds)])
+	clear(p.mvs[:cap(p.mvs)])
+	clear(p.stats[:cap(p.stats)])
+	clear(p.errs[:cap(p.errs)])
+	p.preds = p.preds[:0]
+	p.mvs = p.mvs[:0]
+	p.stats = p.stats[:0]
+	p.errs = p.errs[:0]
 	predictedPool.Put(p)
 }
 
@@ -398,39 +441,38 @@ func (p *predicted) pred(r *resolved, t core.Target) core.Prediction {
 // PUE-only query never trains or waits for a WER model.
 func (s *Server) predictOne(g *generation, r *resolved) (*predicted, *apiError) {
 	start := time.Now()
-	var mvs [maxTargets]modelVal
-	var stats [maxTargets]*modelStat
+	p := predictedPool.Get().(*predicted)
+	p.forTargets(len(r.targets))
 	for i, t := range r.targets {
-		stats[i] = s.metrics.modelStatFor(modelKey{t, r.kind, r.setFor(t)})
+		p.stats[i] = s.metrics.modelStatFor(modelKey{t, r.kind, r.setFor(t)})
 		mv, err := s.model(g, t, r.kind, r.setFor(t))
 		if err != nil {
-			stats[i].errors.inc()
+			p.stats[i].errors.inc()
+			putPredicted(p)
 			return nil, servingErr(err)
 		}
-		mvs[i] = mv
+		p.mvs[i] = mv
 	}
 	// The targets are independent: submit every batcher at once so a query
 	// pays one dispatch cycle, not one per target, and a wave of requests
 	// lands in all batchers in the same flush. The first target runs on
 	// this goroutine — the common single-target query spawns nothing.
-	p := predictedPool.Get().(*predicted)
-	var errs [maxTargets]error
 	run := func(i int, t core.Target) {
 		predStart := time.Now()
-		ps, err := mvs[i].batch.do([]core.Query{{
+		ps, err := p.mvs[i].batch.do([]core.Query{{
 			Target: t, Features: r.feats, TREFP: r.trefp, VDD: r.vdd,
-			TempC: r.tempC, Rank: core.RankDevice,
+			TempC: r.tempC, Rank: core.RankDevice, CE: r.ce,
 		}})
 		if err != nil {
-			stats[i].errors.inc()
-			errs[i] = err
+			p.stats[i].errors.inc()
+			p.errs[i] = err
 			return
 		}
 		// Per-model serving accounting: one answered query per target,
 		// with the micro-batched predict round trip it paid
 		// (/v2/stats; the load generator cross-checks these).
-		stats[i].queries.inc()
-		stats[i].latency.observe(time.Since(predStart))
+		p.stats[i].queries.inc()
+		p.stats[i].latency.observe(time.Since(predStart))
 		p.preds[i] = ps[0]
 	}
 	var wg sync.WaitGroup
@@ -443,7 +485,7 @@ func (s *Server) predictOne(g *generation, r *resolved) (*predicted, *apiError) 
 	}
 	run(0, r.targets[0])
 	wg.Wait()
-	for _, err := range errs[:len(r.targets)] {
+	for _, err := range p.errs {
 		if err != nil {
 			putPredicted(p)
 			return nil, servingErr(err)
@@ -523,12 +565,14 @@ type PredictRequest struct {
 	InputSet int `json:"input_set,omitempty"`
 }
 
-// query converts the v1 wire form to the shared query (v1 always computes
-// every target).
+// query converts the v1 wire form to the shared query. The legacy surface
+// pins the original target pair explicitly — its wire format has exactly
+// the wer/pue fields, whatever else the registry has since grown.
 func (r PredictRequest) query() query {
 	return query{
 		Workload: r.Workload, TREFP: r.TREFP, TempC: r.TempC, VDD: r.VDD,
 		Model: r.Model, InputSet: r.InputSet,
+		Targets: []string{string(core.TargetWER), string(core.TargetPUE)},
 	}
 }
 
@@ -693,7 +737,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	for _, set := range core.InputSets() {
 		sets = append(sets, int(set))
 	}
-	targets := make([]string, 0, 2)
+	targets := make([]string, 0, numTargets)
 	for _, t := range core.Targets() {
 		targets = append(targets, string(t))
 	}
@@ -723,7 +767,12 @@ type HealthResponse struct {
 	Fingerprint string `json:"fingerprint"`
 	WERRows     int    `json:"wer_rows"`
 	PUERows     int    `json:"pue_rows"`
+	UERows      int    `json:"uer_rows"`
 	Workloads   int    `json:"workloads"`
+	// Targets advertises the prediction targets this artifact can serve,
+	// in catalog order. Clients (dramfleet's "all" selection) resolve
+	// target availability from here instead of hardcoding the catalog.
+	Targets []string `json:"targets"`
 }
 
 // Identity reports the current serving generation and artifact
@@ -735,6 +784,12 @@ func (s *Server) Identity() (generation int64, fingerprint string) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	g := s.gen.Load()
+	targets := make([]string, 0, len(g.available))
+	for _, t := range core.Targets() {
+		if g.available[t] {
+			targets = append(targets, string(t))
+		}
+	}
 	writeJSON(w, http.StatusOK, &HealthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -742,7 +797,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Fingerprint:   g.fp,
 		WERRows:       len(g.ds.WER),
 		PUERows:       len(g.ds.PUE),
+		UERows:        len(g.ds.UER),
 		Workloads:     len(g.ds.Workloads()),
+		Targets:       targets,
 	})
 }
 

@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+)
+
+// serveTestUESamples fabricates a deterministic UE-risk corpus for the
+// serve tests (serve cannot import the fleet simulator — fleet drives a
+// serve.Server): half the servers healthy, half with row-clustered
+// multi-bit bursts, four servers for the leave-one-server-out minimum.
+func serveTestUESamples() []core.UESample {
+	var rows []core.UESample
+	for s := 0; s < 4; s++ {
+		faulty := s%2 == 1
+		for w := 0; w < 5; w++ {
+			n := 2 + (s+w)%3
+			if faulty {
+				n = 10 + w
+			}
+			events := make([]profile.CEEvent, n)
+			for i := range events {
+				e := profile.CEEvent{
+					T:    float64(i) * (20 + float64(2*s+w)),
+					Row:  (i*89 + w*17) % 256,
+					Col:  (i*23 + s*5) % 64,
+					Bank: i % 8,
+					Rank: s % 4,
+				}
+				if faulty {
+					e.Row = 7 + w%2
+					if i%3 == 0 {
+						e.Bits = 2
+					}
+					if i > 0 {
+						e.T = events[i-1].T + 0.25
+					}
+				}
+				events[i] = e
+			}
+			label := 0.0
+			if faulty {
+				label = 1
+			}
+			rows = append(rows, core.UESample{
+				Server:     fmt.Sprintf("s%02d", s),
+				TREFP:      0.6 + 0.1*float64(w%3),
+				VDD:        1.428,
+				TempC:      50 + float64(5*(w%2)),
+				CEFeatures: profile.CEFeatures(events),
+				UE:         label,
+			})
+		}
+	}
+	return rows
+}
+
+var (
+	ueOnce sync.Once
+	ueDS   *core.Dataset
+)
+
+// ueDataset is the shared test corpus extended with UE telemetry rows —
+// a shallow copy, so the plain testDataset stays telemetry-free for the
+// tests that pin the legacy two-target behavior.
+func ueDataset(t testing.TB) *core.Dataset {
+	base := testDataset(t)
+	ueOnce.Do(func() {
+		ds := *base
+		ds.SetUER(serveTestUESamples())
+		ueDS = &ds
+	})
+	return ueDS
+}
+
+func newUETestServer(t testing.TB) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(ueDataset(t), Options{Quick: true, Seed: 3, Workers: 2})
+	t.Cleanup(func() { s.Close() })
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// ueGoldenBody is the pinned golden query: an explicit ue_risk request
+// carrying a small row-clustered CE window.
+const ueGoldenBody = `{"workload":"nw","trefp":1.173,"temp_c":60,"targets":["ue_risk"],` +
+	`"ce":[{"t":1,"row":42,"col":3,"bank":0,"rank":1},` +
+	`{"t":2,"row":42,"col":9,"bank":0,"rank":1,"bits":2},` +
+	`{"t":2.5,"row":42,"col":9,"bank":0,"rank":1,"bits":3},` +
+	`{"t":30,"row":17,"col":5,"bank":2,"rank":0}]}`
+
+// TestV2UERiskGoldenWire pins the /v2 wire bytes of a ue_risk response the
+// same way the /v1 fixtures pin the legacy surface: the corpus, training
+// and prediction are fully deterministic, so everything except elapsed_ms
+// must match the checked-in fixture byte for byte.
+func TestV2UERiskGoldenWire(t *testing.T) {
+	_, ts := newUETestServer(t)
+	resp, data := postPredictV2(t, ts, ueGoldenBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ue_risk predict = %d: %s", resp.StatusCode, data)
+	}
+	got := canonicalWire(data)
+	path := filepath.Join("testdata", "golden_v2_ue_risk.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to regenerate)", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("/v2 ue_risk wire format drifted:\n got: %s\nwant: %s\n(regenerate with -update-golden only for an intentional change)",
+			got, want)
+	}
+}
+
+// TestV2UERiskServing covers the registry-driven serving semantics around
+// the telemetry target.
+func TestV2UERiskServing(t *testing.T) {
+	_, ts := newUETestServer(t)
+
+	t.Run("explicit request", func(t *testing.T) {
+		resp, data := postPredictV2(t, ts, ueGoldenBody)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d: %s", resp.StatusCode, data)
+		}
+		var got PredictResponseV2
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatal(err)
+		}
+		ue, ok := got.Predictions["ue_risk"]
+		if !ok {
+			t.Fatalf("no ue_risk prediction: %s", data)
+		}
+		if ue.Value < 0 || ue.Value > 1 {
+			t.Fatalf("ue_risk %v outside [0,1]", ue.Value)
+		}
+		if ue.ByRank != nil || ue.InputSet != 1 {
+			t.Fatalf("ue_risk result shape: %s", data)
+		}
+		if len(got.Predictions) != 1 {
+			t.Fatalf("explicit ue_risk answered %d targets: %s", len(got.Predictions), data)
+		}
+	})
+
+	t.Run("deterministic", func(t *testing.T) {
+		_, a := postPredictV2(t, ts, ueGoldenBody)
+		_, b := postPredictV2(t, ts, ueGoldenBody)
+		if string(canonicalWire(a)) != string(canonicalWire(b)) {
+			t.Fatalf("same query, different bytes:\n%s\n%s", a, b)
+		}
+	})
+
+	t.Run("default selection joins on telemetry", func(t *testing.T) {
+		// A CE-bearing query with no explicit targets answers the full
+		// available selection, ue_risk included.
+		resp, data := postPredictV2(t, ts,
+			`{"workload":"nw","trefp":1.173,"temp_c":60,"ce":[{"t":1,"row":3,"col":4,"bank":1,"rank":0}]}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d: %s", resp.StatusCode, data)
+		}
+		var got PredictResponseV2
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"wer", "pue", "ue_risk"} {
+			if _, ok := got.Predictions[name]; !ok {
+				t.Fatalf("default CE-bearing selection missing %s: %s", name, data)
+			}
+		}
+
+		// The same query without telemetry answers exactly the legacy pair.
+		resp, data = postPredictV2(t, ts, `{"workload":"nw","trefp":1.173,"temp_c":60}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d: %s", resp.StatusCode, data)
+		}
+		got = PredictResponseV2{}
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Predictions) != 2 {
+			t.Fatalf("telemetry-free default answered %d targets: %s", len(got.Predictions), data)
+		}
+	})
+
+	t.Run("empty window is healthy", func(t *testing.T) {
+		// An explicit ue_risk request without CE events is a valid healthy
+		// observation (fleet servers with quiet windows omit the field), not
+		// an error.
+		resp, data := postPredictV2(t, ts,
+			`{"workload":"nw","trefp":1.173,"temp_c":60,"targets":["ue_risk"]}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d: %s", resp.StatusCode, data)
+		}
+	})
+
+	t.Run("out-of-order telemetry rejected", func(t *testing.T) {
+		resp, data := postPredictV2(t, ts,
+			`{"workload":"nw","trefp":1.173,"temp_c":60,"targets":["ue_risk"],"ce":[{"t":5,"row":1,"col":1,"bank":0,"rank":0},{"t":1,"row":2,"col":2,"bank":0,"rank":0}]}`)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d: %s", resp.StatusCode, data)
+		}
+		if code, field, _ := errorV2(t, data); code != codeBadTelemetry || field != "ce" {
+			t.Fatalf("error = (%s, %s): %s", code, field, data)
+		}
+	})
+
+	t.Run("stats count the triple", func(t *testing.T) {
+		resp, data := get(t, ts, "/v2/stats")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stats = %d: %s", resp.StatusCode, data)
+		}
+		var st StatsResponseV2
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Targets["ue_risk"] < 1 {
+			t.Fatalf("ue_risk target counter = %d: %s", st.Targets["ue_risk"], data)
+		}
+		found := false
+		for _, m := range st.Models {
+			if m.Target == "ue_risk" && m.Kind == string(core.ModelKNN) && m.InputSet == 1 {
+				found = true
+				if m.Queries < 1 {
+					t.Fatalf("(ue_risk, KNN, 1) answered %d queries", m.Queries)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("no (ue_risk, KNN, 1) model entry: %s", data)
+		}
+	})
+
+	t.Run("healthz advertises targets", func(t *testing.T) {
+		resp, data := get(t, ts, "/healthz")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz = %d: %s", resp.StatusCode, data)
+		}
+		var hr HealthResponse
+		if err := json.Unmarshal(data, &hr); err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"wer", "pue", "ue_risk"}
+		if len(hr.Targets) != len(want) {
+			t.Fatalf("advertised targets %v, want %v", hr.Targets, want)
+		}
+		for i, name := range want {
+			if hr.Targets[i] != name {
+				t.Fatalf("advertised targets %v, want %v (catalog order)", hr.Targets, want)
+			}
+		}
+		if hr.UERows != len(serveTestUESamples()) {
+			t.Fatalf("uer_rows = %d, want %d", hr.UERows, len(serveTestUESamples()))
+		}
+	})
+}
+
+// TestV2UERiskUnavailable: an artifact without UE telemetry rows refuses
+// explicit ue_risk requests with a structured 400 — and never silently
+// answers from a model that could not have been trained.
+func TestV2UERiskUnavailable(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, data := postPredictV2(t, ts,
+		`{"workload":"nw","trefp":1.173,"temp_c":60,"targets":["ue_risk"]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	if code, field, _ := errorV2(t, data); code != codeTargetUnavailable || field != "targets" {
+		t.Fatalf("error = (%s, %s): %s", code, field, data)
+	}
+}

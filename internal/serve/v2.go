@@ -2,7 +2,10 @@ package serve
 
 import (
 	"net/http"
+	"sync"
 	"time"
+
+	"repro/internal/profile"
 )
 
 // The /v2 wire format: typed per-query target selection, per-target
@@ -22,16 +25,21 @@ type PredictRequestV2 struct {
 	// InputSet (1–3) selects the feature set for every requested target;
 	// zero means each target's published default.
 	InputSet int `json:"input_set,omitempty"`
-	// Targets selects which regression targets to compute ("wer",
-	// "pue"); empty means all of them. A query that omits a target never
-	// trains or waits for that target's model.
+	// Targets selects which prediction targets to compute (see /v2/models
+	// for the serving artifact's catalog); empty means the server's default
+	// selection for the artifact. A query that omits a target never trains
+	// or waits for that target's model.
 	Targets []string `json:"targets,omitempty"`
+	// CE is the query's correctable-error telemetry window, time-ordered.
+	// Telemetry-driven targets (ue_risk) vectorize it; an absent or empty
+	// log is a healthy window, not an error.
+	CE []profile.CEEvent `json:"ce,omitempty"`
 }
 
 func (r PredictRequestV2) query() query {
 	return query{
 		Workload: r.Workload, TREFP: r.TREFP, TempC: r.TempC, VDD: r.VDD,
-		Model: r.Model, InputSet: r.InputSet, Targets: r.Targets,
+		Model: r.Model, InputSet: r.InputSet, Targets: r.Targets, CE: r.CE,
 	}
 }
 
@@ -39,6 +47,30 @@ func (r PredictRequestV2) query() query {
 type predictBodyV2 struct {
 	PredictRequestV2
 	Queries []PredictRequestV2 `json:"queries,omitempty"`
+}
+
+// v2BodyPool recycles decode targets for /v2/predict so the warm
+// single-query path allocates no body struct and reuses the previous
+// request's Targets and CE backing arrays (encoding/json decodes into
+// existing capacity). The reset rules are subtle: fields absent from a
+// document keep their pre-decode values, so everything must be cleared on
+// put — and Queries must return to nil, not length zero, because the
+// handler distinguishes a single query (no "queries" key) from an
+// explicit empty batch by that nil.
+var v2BodyPool = sync.Pool{New: func() any { return new(predictBodyV2) }}
+
+// putV2Body returns a decode target to the pool. Callers must be done
+// with every slice the body owns — resolved.ce aliases the body's CE
+// until the prediction completes — so handlers defer this until after
+// the response renders.
+func putV2Body(b *predictBodyV2) {
+	targets := b.Targets[:0]
+	clear(targets[:cap(targets)]) // drop string refs pinned past the reslice
+	ce := b.CE[:0]
+	clear(b.Queries) // batch elements own their own Targets/CE slices
+	b.Queries = nil
+	b.PredictRequestV2 = PredictRequestV2{Targets: targets, CE: ce}
+	v2BodyPool.Put(b)
 }
 
 // TargetResultV2 is one target's prediction inside a /v2 response.
@@ -104,8 +136,9 @@ func renderV2(r *resolved, p *predicted) *PredictItemV2 {
 // path as /v1, with per-query target selection and structured errors.
 func (s *Server) handlePredictV2(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	var body predictBodyV2
-	if e := decodeBody(r, &body); e != nil {
+	body := v2BodyPool.Get().(*predictBodyV2)
+	defer putV2Body(body)
+	if e := decodeBody(r, body); e != nil {
 		writeErrorV2(w, e)
 		return
 	}

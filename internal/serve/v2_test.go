@@ -59,13 +59,18 @@ func TestV2PredictSingleMatchesDirectModel(t *testing.T) {
 	if !ok || pue.ByRank != nil || pue.InputSet != 2 {
 		t.Fatalf("pue result: %s", data)
 	}
+	// The artifact has no UE telemetry rows and the query carries no CE
+	// events, so the default selection is exactly the legacy pair.
+	if len(got.Predictions) != 2 {
+		t.Fatalf("default selection answered %d targets: %s", len(got.Predictions), data)
+	}
 
 	// Bit-for-bit against models trained directly through the factory.
 	prof, err := s.profileFor(s.gen.Load(), mustSpec(t, "srad(par)"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, tgt := range core.Targets() {
+	for _, tgt := range []core.Target{core.TargetWER, core.TargetPUE} {
 		direct, err := core.Train(testDataset(t), tgt, core.ModelKNN, 0, 2)
 		if err != nil {
 			t.Fatal(err)
