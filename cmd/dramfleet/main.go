@@ -49,6 +49,7 @@ func main() {
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent in-flight requests")
 		model     = flag.String("model", string(core.ModelKNN), "model kind queried (KNN, SVM or RDF)")
 		offline   = flag.Bool("offline", false, "skip the server; only summarize the stream")
+		ingestObs = flag.Bool("ingest", false, "report each query's ground-truth observation to /v2/ingest (closes the data loop against an -ingest server)")
 		timing    = flag.Bool("timing", true, "append the wall-clock timing section to the report")
 		streamOut = flag.String("stream-out", "", "write the query stream to this path as JSON lines")
 		lg        cliflag.LoadGen // shared -qps default applied by Register
@@ -116,12 +117,16 @@ func main() {
 			Workers: *workers,
 			Targets: want,
 			Model:   *model,
+			Ingest:  *ingestObs,
 		})
 		if err != nil {
 			fatal(err)
 		}
 		rep.Outcomes = outs
 		rep.Wall = time.Since(start)
+		if *ingestObs {
+			logf("ingested %d of %d observations", rep.Ingested(), rep.Completed())
+		}
 		if rep.Completed() == 0 {
 			// Surface the first failure: an all-failed run is a setup
 			// problem (server down, wrong -addr), not a report.

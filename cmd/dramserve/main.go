@@ -55,14 +55,20 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		camp     cliflag.Campaign
 		prof     cliflag.Pprof
+		ing      cliflag.Ingest
 		drainFor = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
 		reload   = flag.Duration("reload-interval", 0, "poll the -load artifact for changes this often (0 disables)")
 	)
 	camp.Register(flag.CommandLine)
 	prof.Register(flag.CommandLine)
+	ing.Register(flag.CommandLine)
 	flag.Parse()
 
 	if _, err := prof.Start(logf); err != nil {
+		fatal(err)
+	}
+	ingCfg, err := ing.Config()
+	if err != nil {
 		fatal(err)
 	}
 
@@ -79,8 +85,13 @@ func main() {
 		Seed:         camp.Seed,
 		Workers:      camp.Workers,
 		ArtifactPath: camp.Load,
+		Ingest:       ingCfg,
 	})
 	defer srv.Close()
+	if ingCfg != nil {
+		logf("ingest enabled: capacity %d, retrain-rows %d, drift-threshold %g (min %d rows)",
+			ingCfg.Capacity, ingCfg.RetrainRows, ingCfg.DriftThreshold, ingCfg.MinDriftRows)
+	}
 
 	// Hot reload is only meaningful for an artifact-backed server: a
 	// campaign built in-process has no file to re-read.
@@ -120,10 +131,10 @@ func main() {
 // reloadLoop reloads the artifact on SIGHUP and, when interval > 0, on a
 // timer. Failures are logged and the server keeps serving the current
 // generation — a half-written artifact mid-retrain must never take the
-// service down. Poll ticks stat the file first and skip the reload (a
-// full decompress + parse + hash) while mtime and size are unchanged;
-// SIGHUP always forces a real reload, and the fingerprint no-op inside
-// Reload remains the correctness backstop when mtime does move.
+// service down. Poll ticks go through serve.ArtifactWatcher: an unchanged
+// (mtime, size) stat demotes the check to a cheap fingerprint peek rather
+// than skipping outright, so a byte-different artifact landing under the
+// same stat still reloads. SIGHUP always forces a real reload.
 func reloadLoop(ctx context.Context, srv *serve.Server, path string, interval time.Duration, hup <-chan os.Signal) {
 	var tick <-chan time.Time
 	if interval > 0 {
@@ -132,48 +143,33 @@ func reloadLoop(ctx context.Context, srv *serve.Server, path string, interval ti
 		tick = t.C
 		logf("polling %s every %v", path, interval)
 	}
-	var seenMod time.Time
-	var seenSize int64
-	seen := false
+	watcher := serve.NewArtifactWatcher(srv, path)
 	for {
 		var why string
-		// candMod/candSize hold the stat observed before this attempt;
-		// they are committed to the seen-state only when the reload
-		// succeeds, so a transient failure keeps the poll retrying, and a
-		// file replaced mid-reload (stat predates the load) is re-checked
-		// on the next tick with the fingerprint no-op as the backstop.
-		var candMod time.Time
-		var candSize int64
-		haveCand := false
+		var res *serve.ReloadResult
+		var err error
 		select {
 		case <-ctx.Done():
 			return
 		case <-hup:
 			why = "SIGHUP"
+			res, err = watcher.Force()
 		case <-tick:
 			why = "poll"
-			if fi, err := os.Stat(path); err == nil {
-				if seen && fi.ModTime().Equal(seenMod) && fi.Size() == seenSize {
-					continue
-				}
-				candMod, candSize, haveCand = fi.ModTime(), fi.Size(), true
-			}
-			// On a stat error fall through: Reload surfaces the real one.
+			res, err = watcher.Poll()
 		}
-		res, err := srv.Reload(path)
 		switch {
 		case err != nil:
-			seen = false // never let a failed attempt suppress retries
 			logf("reload (%s): %v", why, err)
+		case res == nil:
+			// Poll proved the on-disk fingerprint matches the serving
+			// generation; nothing to do.
 		case res.Swapped:
 			logf("reload (%s): swapped in generation %d (%s) in %.1f ms",
 				why, res.Generation, res.Fingerprint, res.ElapsedMS)
 		default:
 			logf("reload (%s): artifact unchanged (%s), still generation %d",
 				why, res.Fingerprint, res.Generation)
-		}
-		if err == nil && haveCand {
-			seenMod, seenSize, seen = candMod, candSize, true
 		}
 	}
 }

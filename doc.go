@@ -55,14 +55,24 @@
 //     counters so an external client can reconcile its view with the
 //     server's (cmd/dramserve is the entry point; API.md documents the
 //     wire)
+//   - internal/ingest  — the continuous data loop: a bounded-queue
+//     telemetry intake with explicit backpressure (a full queue answers
+//     429, never blocks), a deterministic per-feature distribution
+//     sketch that scores live telemetry's drift from the serving
+//     artifact's training distribution, and the retrain triggering
+//     (row count, drift threshold, manual) that folds the buffer into
+//     the dataset and republishes through serve's generation swap —
+//     POST /v2/ingest and /v2/retrain on an -ingest dramserve
 //   - internal/fleet   — the fleet-scale scenario: a deterministic,
 //     seeded simulator of a heterogeneous datacenter (per-DIMM silicon
 //     variation, diurnal ambient schedules through the thermal plant,
 //     rotating workload mixes) that emits prediction queries paired with
 //     ground-truth WER/PUE, plus the closed-loop driver that replays the
 //     stream against a live server at a target QPS on the engine's
-//     bounded workers — same seed, same stream, byte for byte
-//     (cmd/dramfleet is the entry point)
+//     bounded workers — same seed, same stream, byte for byte — and, in
+//     -ingest mode, reports each query's ground truth back to the
+//     server, closing the retraining loop (cmd/dramfleet is the entry
+//     point)
 //   - internal/cluster — the horizontal-scale tier: a front router that
 //     consistent-hashes model ownership across N dramserve backends,
 //     with health-checked pool membership, bounded retry and hedging on

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/workload"
 	"repro/internal/xgene"
 )
@@ -196,6 +197,57 @@ func (l *LoadGen) Register(fs *flag.FlagSet) {
 		"run length; issues qps*duration queries (exclusive with -n)")
 	fs.IntVar(&l.N, "n", l.N,
 		"exact query count for byte-identical replays (exclusive with -duration)")
+}
+
+// Ingest holds the streaming-ingest flags of an ingest-capable server
+// (dramserve): whether the /v2/ingest + /v2/retrain loop is on, the
+// bounded-queue capacity, and the retrain triggers.
+type Ingest struct {
+	Enabled        bool
+	Capacity       int
+	RetrainRows    int
+	DriftThreshold float64
+	DriftMinRows   int
+}
+
+// Register installs the ingest flags on fs.
+func (i *Ingest) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&i.Enabled, "ingest", false,
+		"enable streaming telemetry ingest and continuous retraining (POST /v2/ingest, /v2/retrain)")
+	fs.IntVar(&i.Capacity, "ingest-capacity", 4096,
+		"bounded ingest queue capacity in rows; a full queue answers 429")
+	fs.IntVar(&i.RetrainRows, "retrain-rows", 0,
+		"retrain when this many ingested rows are buffered (0 disables the row trigger)")
+	fs.Float64Var(&i.DriftThreshold, "drift-threshold", 0,
+		"retrain when the live telemetry drift score reaches this (0..1; 0 disables the drift trigger)")
+	fs.IntVar(&i.DriftMinRows, "drift-min-rows", 64,
+		"minimum ingested telemetry rows before the drift trigger may fire")
+}
+
+// Config resolves the flags into an ingest configuration, nil when the
+// loop is disabled.
+func (i *Ingest) Config() (*ingest.Config, error) {
+	if !i.Enabled {
+		return nil, nil
+	}
+	if i.Capacity <= 0 {
+		return nil, fmt.Errorf("cliflag: -ingest-capacity %d out of range", i.Capacity)
+	}
+	if i.RetrainRows < 0 {
+		return nil, fmt.Errorf("cliflag: -retrain-rows %d out of range", i.RetrainRows)
+	}
+	if i.DriftThreshold < 0 || i.DriftThreshold > 1 || math.IsNaN(i.DriftThreshold) {
+		return nil, fmt.Errorf("cliflag: -drift-threshold %v out of range [0, 1]", i.DriftThreshold)
+	}
+	if i.DriftMinRows < 0 {
+		return nil, fmt.Errorf("cliflag: -drift-min-rows %d out of range", i.DriftMinRows)
+	}
+	return &ingest.Config{
+		Capacity:       i.Capacity,
+		RetrainRows:    i.RetrainRows,
+		DriftThreshold: i.DriftThreshold,
+		MinDriftRows:   i.DriftMinRows,
+	}, nil
 }
 
 // Queries resolves the flags into the number of queries to issue: -n

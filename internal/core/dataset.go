@@ -95,6 +95,9 @@ type Dataset struct {
 	// fp memoizes Fingerprint for loaded (immutable) datasets; empty
 	// means compute on demand. Never copied into derived datasets.
 	fp string
+	// summary memoizes TelemetrySummary (see summary.go); nil means
+	// compute on demand. Never copied into derived datasets.
+	summary *TelemetrySummary
 }
 
 // StampBuild records the corpus build settings for persistence.
@@ -298,6 +301,26 @@ func (ds *Dataset) WithoutWorkload(label string) *Dataset {
 			}
 		}
 	}
+	return out
+}
+
+// Append returns a copy of the dataset with the observation rows
+// appended — the incremental-ingest seam. The receiver is unchanged
+// (serving generations are immutable): row storage is reallocated at
+// exact capacity so the two datasets never share growable backing
+// arrays, while the profiles map (itself immutable) is carried over.
+// The fingerprint and telemetry summary are recomputed on demand.
+func (ds *Dataset) Append(wer []WERSample, pue []PUESample, uer []UESample) *Dataset {
+	out := &Dataset{
+		WER:      make([]WERSample, 0, len(ds.WER)+len(wer)),
+		PUE:      make([]PUESample, 0, len(ds.PUE)+len(pue)),
+		UER:      make([]UESample, 0, len(ds.UER)+len(uer)),
+		Profiles: ds.Profiles,
+		Build:    ds.Build,
+	}
+	out.WER = append(append(out.WER, ds.WER...), wer...)
+	out.PUE = append(append(out.PUE, ds.PUE...), pue...)
+	out.UER = append(append(out.UER, ds.UER...), uer...)
 	return out
 }
 

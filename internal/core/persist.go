@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/profile"
 )
@@ -37,6 +38,14 @@ type artifact struct {
 	// omitted when empty, so artifacts without telemetry are byte-
 	// identical to those written before the target existed.
 	UER []UESample `json:"uer,omitempty"`
+	// Telemetry is the per-feature distribution summary of the UER rows
+	// (see summary.go), persisted next to the fingerprint so the serving
+	// layer's drift detector scores a live stream against exactly the
+	// distribution this artifact was trained on. Derived data: it is not
+	// part of the fingerprint, and loaders recompute it when absent or
+	// shaped for an older feature catalog. Omitted (and the artifact
+	// byte-identical to older writers) when there are no telemetry rows.
+	Telemetry *TelemetrySummary `json:"telemetry_summary,omitempty"`
 }
 
 // Save writes the dataset to path as gzip-compressed JSON.
@@ -64,6 +73,7 @@ func (ds *Dataset) Encode(w io.Writer) error {
 		WER:          ds.WER,
 		PUE:          ds.PUE,
 		UER:          ds.UER,
+		Telemetry:    ds.TelemetrySummary(),
 	}
 	if err := enc.Encode(&art); err != nil {
 		return fmt.Errorf("core: encode dataset: %w", err)
@@ -128,5 +138,88 @@ func ReadDataset(r io.Reader) (*Dataset, error) {
 			art.Fingerprint, got)
 	}
 	ds.fp = got
+	// Adopt the persisted telemetry summary when its shape matches the
+	// current catalog; otherwise leave it nil and TelemetrySummary
+	// recomputes from the rows.
+	if art.Telemetry.valid() {
+		ds.summary = art.Telemetry
+	}
 	return ds, nil
+}
+
+// SaveAtomic writes the artifact through a temporary file in path's
+// directory and renames it into place, so a reader polling path (the
+// serving layer's -reload-interval watcher, another process) never
+// observes a half-written artifact.
+func (ds *Dataset) SaveAtomic(path string) error {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("core: save dataset: %w", err)
+	}
+	tmp := f.Name()
+	if err := ds.Encode(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: save dataset: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: save dataset: %w", err)
+	}
+	return nil
+}
+
+// PeekFingerprint reads just the artifact's recorded fingerprint,
+// without decoding, validating or hashing the row payload — the cheap
+// "did the file change" probe behind the reload poll's stat-skip
+// fallback. Returns "" (and no error) for artifacts predating the
+// fingerprint field; callers must treat "" as "unknown, do the full
+// load".
+func PeekFingerprint(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("core: peek fingerprint: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return "", fmt.Errorf("core: peek fingerprint: %w", err)
+	}
+	defer zr.Close()
+	dec := json.NewDecoder(zr)
+	tok, err := dec.Token()
+	if err != nil {
+		return "", fmt.Errorf("core: peek fingerprint: %w", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return "", fmt.Errorf("core: peek fingerprint: artifact is not a JSON object")
+	}
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return "", fmt.Errorf("core: peek fingerprint: %w", err)
+		}
+		key, _ := keyTok.(string)
+		if key == "fingerprint" {
+			var fp string
+			if err := dec.Decode(&fp); err != nil {
+				return "", fmt.Errorf("core: peek fingerprint: %w", err)
+			}
+			return fp, nil
+		}
+		// Skip this key's value. The fingerprint field precedes the row
+		// arrays in every artifact this repo writes, so the skips before
+		// the hit are single tokens; only a foreign artifact pays for a
+		// full array parse here.
+		var skip json.RawMessage
+		if err := dec.Decode(&skip); err != nil {
+			return "", fmt.Errorf("core: peek fingerprint: %w", err)
+		}
+	}
+	return "", nil
 }

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"repro/internal/profile"
+	"repro/internal/stats"
+)
+
+// The streaming-ingest loop needs to know when the live telemetry no
+// longer looks like the telemetry the serving model was trained on. This
+// file defines that reference point: a per-feature summary (count, mean,
+// variance, quantile histogram — stats.Sketch) over the dataset's
+// telemetry feature space, persisted in the artifact next to the
+// training fingerprint so a server can compare a live stream against
+// exactly the distribution its artifact was fitted to.
+
+// TelemetryFeatureNames is the canonical feature order of a
+// TelemetrySummary: the operating point followed by the error-bit
+// feature catalog. It matches the UE-risk model's input space.
+func TelemetryFeatureNames() []string {
+	return append([]string{"trefp", "vdd", "temp_c"}, profile.CEFeatureNames()...)
+}
+
+// NumTelemetryFeatures is the length of a telemetry feature vector.
+const NumTelemetryFeatures = 3 + profile.NumCEFeatures
+
+// TelemetryVectorInto assembles one telemetry observation into dst's
+// storage in TelemetryFeatureNames order. ce must have
+// profile.NumCEFeatures entries.
+func TelemetryVectorInto(dst []float64, trefp, vdd, tempC float64, ce []float64) []float64 {
+	dst = append(dst[:0], trefp, vdd, tempC)
+	return append(dst, ce...)
+}
+
+// TelemetrySummary is the per-feature distribution summary of a
+// telemetry row set. It is mergeable through the sketches and
+// serialized inside the dataset artifact (telemetry_summary), making
+// the artifact self-describing: any consumer can score a live stream's
+// drift against the training distribution without the training rows.
+type TelemetrySummary struct {
+	Names    []string       `json:"names"`
+	Sketches []stats.Sketch `json:"sketches"`
+	// Rows is the number of telemetry rows summarized.
+	Rows int64 `json:"rows"`
+}
+
+// NewTelemetrySummary returns an empty summary over the canonical
+// telemetry feature space.
+func NewTelemetrySummary() *TelemetrySummary {
+	names := TelemetryFeatureNames()
+	return &TelemetrySummary{Names: names, Sketches: make([]stats.Sketch, len(names))}
+}
+
+// Observe folds one telemetry vector (TelemetryVectorInto order) into
+// the summary. Short vectors fold what they have; extra entries are
+// ignored — the sketch set is fixed at construction.
+func (ts *TelemetrySummary) Observe(vec []float64) {
+	n := len(vec)
+	if n > len(ts.Sketches) {
+		n = len(ts.Sketches)
+	}
+	for i := 0; i < n; i++ {
+		ts.Sketches[i].Add(vec[i])
+	}
+	ts.Rows++
+}
+
+// Drift scores a live summary against this baseline: the maximum
+// total-variation distance across features, in [0, 1], and the name of
+// the feature attaining it. A nil or shape-mismatched side is maximal
+// drift — a stream that cannot be compared is by definition not the
+// training distribution. Two empty summaries are identical (0).
+func (ts *TelemetrySummary) Drift(live *TelemetrySummary) (score float64, feature string) {
+	if live == nil || len(live.Sketches) != len(ts.Sketches) {
+		return 1, ""
+	}
+	for i := range ts.Sketches {
+		d := stats.Distance(&ts.Sketches[i], &live.Sketches[i])
+		if d > score {
+			score = d
+			if i < len(ts.Names) {
+				feature = ts.Names[i]
+			}
+		}
+	}
+	return score, feature
+}
+
+// valid reports whether a deserialized summary has the shape the current
+// catalog expects; loaders drop invalid summaries and recompute.
+func (ts *TelemetrySummary) valid() bool {
+	return ts != nil && len(ts.Sketches) == NumTelemetryFeatures && len(ts.Names) == NumTelemetryFeatures
+}
+
+// SummarizeTelemetry builds the per-feature summary of the UE-risk
+// telemetry rows; nil when there are none. Rows are folded in slice
+// order, so the same row set always produces the identical summary.
+func SummarizeTelemetry(rows []UESample) *TelemetrySummary {
+	if len(rows) == 0 {
+		return nil
+	}
+	ts := NewTelemetrySummary()
+	var vec [NumTelemetryFeatures]float64
+	for i := range rows {
+		r := &rows[i]
+		ts.Observe(TelemetryVectorInto(vec[:0], r.TREFP, r.VDD, r.TempC, r.CEFeatures))
+	}
+	return ts
+}
+
+// TelemetrySummary returns the dataset's telemetry distribution summary,
+// computing and memoizing it on first use (loaded artifacts that carry
+// one adopt it instead). nil when the dataset has no telemetry rows.
+func (ds *Dataset) TelemetrySummary() *TelemetrySummary {
+	if ds.summary == nil {
+		ds.summary = SummarizeTelemetry(ds.UER)
+	}
+	return ds.summary
+}

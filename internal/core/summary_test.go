@@ -1,0 +1,171 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/profile"
+)
+
+func telemetryRows(n int, shift float64) []UESample {
+	rows := make([]UESample, n)
+	for i := range rows {
+		ce := make([]float64, profile.NumCEFeatures)
+		ce[0] = float64(i%5) + shift // event volume moves with shift
+		ce[1] = 1
+		rows[i] = UESample{
+			Server:     "server00",
+			TREFP:      1.8 + shift,
+			VDD:        1.4,
+			TempC:      60 + float64(i%3),
+			CEFeatures: ce,
+			UE:         float64(i % 2),
+		}
+	}
+	return rows
+}
+
+func TestSummarizeTelemetry(t *testing.T) {
+	if s := SummarizeTelemetry(nil); s != nil {
+		t.Fatalf("summary of no rows = %+v, want nil", s)
+	}
+	rows := telemetryRows(40, 0)
+	s := SummarizeTelemetry(rows)
+	if s.Rows != 40 || len(s.Sketches) != NumTelemetryFeatures {
+		t.Fatalf("rows %d, sketches %d; want 40, %d", s.Rows, len(s.Sketches), NumTelemetryFeatures)
+	}
+	if got := s.Names[0]; got != "trefp" {
+		t.Errorf("first feature %q, want trefp", got)
+	}
+	// Same rows, zero drift; a shifted operating point drifts hard.
+	if d, _ := s.Drift(SummarizeTelemetry(rows)); d != 0 {
+		t.Errorf("self drift = %g, want 0", d)
+	}
+	d, feat := s.Drift(SummarizeTelemetry(telemetryRows(40, 10)))
+	if d != 1 {
+		t.Errorf("shifted drift = %g, want 1 (trefp distribution fully moved)", d)
+	}
+	if feat != "trefp" {
+		t.Errorf("drift feature %q, want trefp", feat)
+	}
+	// Nil live = cannot compare = maximal drift.
+	if d, _ := s.Drift(nil); d != 1 {
+		t.Errorf("drift vs nil = %g, want 1", d)
+	}
+}
+
+func TestDatasetAppend(t *testing.T) {
+	base := &Dataset{
+		WER:   []WERSample{{Workload: "nw", WER: 1e-9}},
+		PUE:   []PUESample{{Workload: "nw", PUE: 0.1}},
+		Build: BuildInfo{ProfileSize: "test", Seed: 3},
+	}
+	fp0 := base.Fingerprint()
+	out := base.Append(
+		[]WERSample{{Workload: "nw", WER: 2e-9}},
+		nil,
+		telemetryRows(4, 0),
+	)
+	if len(out.WER) != 2 || len(out.PUE) != 1 || len(out.UER) != 4 {
+		t.Fatalf("appended sizes %d/%d/%d, want 2/1/4", len(out.WER), len(out.PUE), len(out.UER))
+	}
+	if len(base.WER) != 1 || len(base.UER) != 0 {
+		t.Fatalf("receiver mutated: %d WER, %d UER rows", len(base.WER), len(base.UER))
+	}
+	if base.Fingerprint() != fp0 {
+		t.Errorf("receiver fingerprint changed")
+	}
+	if out.Fingerprint() == fp0 {
+		t.Errorf("appended dataset kept the old fingerprint")
+	}
+	if out.Build != base.Build {
+		t.Errorf("build info not carried: %+v", out.Build)
+	}
+	// Appending into the copy must never write into the original's rows.
+	out.WER[0].WER = 99
+	if base.WER[0].WER == 99 {
+		t.Errorf("append aliased WER storage")
+	}
+	// Appending nothing is an identity: same fingerprint.
+	if same := base.Append(nil, nil, nil); same.Fingerprint() != fp0 {
+		t.Errorf("empty append changed the fingerprint")
+	}
+}
+
+func TestArtifactTelemetrySummaryRoundTrip(t *testing.T) {
+	ds := &Dataset{
+		WER: []WERSample{{Workload: "nw", Features: make([]float64, len(profile.FeatureNames())), WER: 1e-9}},
+		PUE: []PUESample{{Workload: "nw", PUE: 0.1}},
+	}
+	ds.SetUER(telemetryRows(12, 0))
+	var buf bytes.Buffer
+	if err := ds.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDataset(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded dataset adopts the persisted summary (not a recompute):
+	// drift against the original must be exactly zero.
+	got := back.TelemetrySummary()
+	if got == nil || got.Rows != 12 {
+		t.Fatalf("loaded summary = %+v, want 12 rows", got)
+	}
+	if d, _ := ds.TelemetrySummary().Drift(got); d != 0 {
+		t.Errorf("round-tripped summary drift = %g, want 0", d)
+	}
+	// A dataset without telemetry omits the field entirely, keeping the
+	// artifact byte-identical to pre-summary writers.
+	ds2 := &Dataset{WER: ds.WER, PUE: ds.PUE}
+	var buf2 bytes.Buffer
+	if err := ds2.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := ReadDataset(bytes.NewReader(buf2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back2.summary != nil {
+		t.Errorf("telemetry-less artifact produced a summary on load")
+	}
+}
+
+func TestSaveAtomicAndPeekFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ds.json.gz")
+	ds := &Dataset{
+		WER: []WERSample{{Workload: "nw", Features: make([]float64, len(profile.FeatureNames())), WER: 1e-9}},
+		PUE: []PUESample{{Workload: "nw", PUE: 0.1}},
+	}
+	if err := ds.SaveAtomic(path); err != nil {
+		t.Fatal(err)
+	}
+	// No temp litter after a successful save.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries after SaveAtomic, want 1", len(entries))
+	}
+	fp, err := PeekFingerprint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != ds.Fingerprint() {
+		t.Errorf("peeked %q, want %q", fp, ds.Fingerprint())
+	}
+	loaded, err := LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Fingerprint() != fp {
+		t.Errorf("loaded fingerprint %q != peeked %q", loaded.Fingerprint(), fp)
+	}
+	if _, err := PeekFingerprint(filepath.Join(dir, "missing.json.gz")); err == nil {
+		t.Errorf("peek of missing file did not error")
+	}
+}

@@ -62,6 +62,7 @@ type UESample struct {
 func (ds *Dataset) SetUER(rows []UESample) {
 	ds.UER = rows
 	ds.fp = ""
+	ds.summary = nil // derived from the rows just replaced
 }
 
 // ueCompactFeatures is the input-set-2 subset of the CE catalog: the four

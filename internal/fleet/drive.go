@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/ingest"
 	"repro/internal/serve"
 )
 
@@ -57,6 +58,14 @@ type DriveOptions struct {
 	// Context cancels the run; queries not yet issued fail with the
 	// context's error.
 	Context context.Context
+	// Ingest closes the data loop: after each successful predict, the
+	// query's ground-truth observation (operating point, CE window, UE
+	// label, measured WER/PUE) is POSTed to /v2/ingest — the same rows a
+	// fleet agent would report. Ingest failures (backpressure 429s
+	// included) are recorded per outcome, never as query errors: the
+	// predict succeeded, and the bounded queue refusing load is the
+	// ingest contract working, not a fleet failure.
+	Ingest bool
 }
 
 // Drive replays the query stream against the server: an open-loop arrival
@@ -100,7 +109,13 @@ func Drive(qs []Query, opts DriveOptions) ([]Outcome, error) {
 				return Outcome{Err: ctx.Err()}, nil
 			}
 		}
-		return doQuery(ctx, client, timeout, opts.BaseURL, opts.Model, names, targets, &qs[i]), nil
+		out := doQuery(ctx, client, timeout, opts.BaseURL, opts.Model, names, targets, &qs[i])
+		if opts.Ingest && out.Err == nil {
+			// Predict first, then report the observation: the ingest round
+			// trip never pollutes the predict latency sample.
+			out.Ingested = ingestQuery(ctx, client, timeout, opts.BaseURL, &qs[i])
+		}
+		return out, nil
 	}, engine.Options{Workers: opts.Workers, Context: ctx})
 }
 
@@ -169,5 +184,53 @@ func doQuery(ctx context.Context, client *http.Client, timeout time.Duration,
 			preds[t] = res.Value
 		}
 	}
-	return Outcome{Latency: lat, Status: resp.StatusCode, Predictions: preds}
+	return Outcome{Latency: lat, Status: resp.StatusCode, Predictions: preds,
+		Fingerprint: out.Fingerprint}
+}
+
+// ingestQuery reports one query's ground-truth observation to /v2/ingest,
+// returning whether the server accepted it. Failures are silent by design
+// (the caller records the boolean): a 429 is the bounded queue refusing
+// load, and a transport blip on the reporting path must not fail a query
+// whose prediction already succeeded.
+func ingestQuery(ctx context.Context, client *http.Client, timeout time.Duration,
+	baseURL string, q *Query) bool {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	ue := 0.0
+	if q.TruthUE >= 0.5 {
+		// The same thresholding BuildUESamples applies to label training rows.
+		ue = 1
+	}
+	wer, pue := q.TruthWER, q.TruthPUE
+	body, err := json.Marshal(serve.IngestRequestV2{Rows: []ingest.Row{{
+		Server:   fmt.Sprintf("server%02d", q.Server),
+		Workload: q.Workload,
+		TREFP:    q.TREFP,
+		VDD:      q.VDD,
+		TempC:    q.TempC,
+		CE:       q.CE,
+		UE:       &ue,
+		WER:      &wer,
+		PUE:      &pue,
+	}}})
+	if err != nil {
+		return false
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		baseURL+"/v2/ingest", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body) // drain for connection reuse
+	return resp.StatusCode == http.StatusOK
 }

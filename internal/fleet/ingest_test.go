@@ -1,0 +1,146 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/serve"
+)
+
+// TestMAEByFingerprintSplit pins the per-generation MAE split on a
+// hand-built report: queries answered before and after a mid-run retrain
+// carry different artifact fingerprints and must land in separate groups,
+// in first-answered order, with the overall MAE unchanged.
+func TestMAEByFingerprintSplit(t *testing.T) {
+	fpA := "sha256:aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+	fpB := "sha256:bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb"
+	qs := []Query{
+		{Seq: 0, Workload: "nw", TruthPUE: 0.5},
+		{Seq: 1, Workload: "nw", TruthPUE: 0.5},
+		{Seq: 2, Workload: "nw", TruthPUE: 0.5},
+		{Seq: 3, Workload: "nw", TruthPUE: 0.5},
+	}
+	outs := []Outcome{
+		{Predictions: map[core.Target]float64{core.TargetPUE: 0.9}, Fingerprint: fpA, Ingested: true},
+		{Predictions: map[core.Target]float64{core.TargetPUE: 0.7}, Fingerprint: fpA, Ingested: true},
+		{Err: errFake{}, Fingerprint: fpB}, // failed queries never count
+		{Predictions: map[core.Target]float64{core.TargetPUE: 0.6}, Fingerprint: fpB, Ingested: true},
+	}
+	rep := &Report{Seed: 1, Servers: 2, Targets: []core.Target{core.TargetPUE},
+		Queries: qs, Outcomes: outs}
+
+	groups := rep.MAEByFingerprint()
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	if groups[0].Fingerprint != fpA || groups[1].Fingerprint != fpB {
+		t.Fatalf("group order = %q, %q; want first-answered order",
+			groups[0].Fingerprint, groups[1].Fingerprint)
+	}
+	if groups[0].Queries != 2 || groups[1].Queries != 1 {
+		t.Fatalf("group sizes = %d, %d; want 2, 1", groups[0].Queries, groups[1].Queries)
+	}
+	if got := groups[0].MAE[core.TargetPUE]; !close2(got, 0.3) {
+		t.Fatalf("pre-retrain MAE = %g, want 0.3", got)
+	}
+	if got := groups[1].MAE[core.TargetPUE]; !close2(got, 0.1) {
+		t.Fatalf("post-retrain MAE = %g, want 0.1", got)
+	}
+	// The split partitions the overall MAE: (0.4+0.2+0.1)/3.
+	if got := rep.MAE()[core.TargetPUE]; !close2(got, 0.7/3) {
+		t.Fatalf("overall MAE = %g, want %g", got, 0.7/3)
+	}
+	if got := rep.Ingested(); got != 3 {
+		t.Fatalf("Ingested() = %d, want 3", got)
+	}
+
+	out := rep.Render(false)
+	if !strings.Contains(out, "ingested  3\n") {
+		t.Fatalf("render missing ingested line:\n%s", out)
+	}
+	if n := strings.Count(out, "  artifact sha256:"); n != 2 {
+		t.Fatalf("render has %d artifact lines, want 2:\n%s", n, out)
+	}
+	if !strings.Contains(out, "artifact sha256:aaaaaaaaaaaa n=2") ||
+		!strings.Contains(out, "artifact sha256:bbbbbbbbbbbb n=1") {
+		t.Fatalf("artifact lines wrong:\n%s", out)
+	}
+
+	// A single-fingerprint run renders no split — the overall line already
+	// says everything, and pre-ingest reports stay byte-identical.
+	for i := range outs {
+		outs[i].Fingerprint = fpA
+	}
+	if out := rep.Render(false); strings.Contains(out, "  artifact ") {
+		t.Fatalf("single-generation report rendered a split:\n%s", out)
+	}
+}
+
+// errFake is a trivial error for hand-built outcomes.
+type errFake struct{}
+
+func (errFake) Error() string { return "fake" }
+
+func close2(a, b float64) bool {
+	d := a - b
+	return d < 1e-12 && d > -1e-12
+}
+
+// TestDriveIngest closes the data loop in-process: Drive in ingest mode
+// against an ingest-enabled server must report every completed query's
+// observation, and the server's queue must absorb exactly those rows.
+func TestDriveIngest(t *testing.T) {
+	s := serve.New(testDataset(t), serve.Options{
+		Quick: true, Seed: 3, Workers: 2,
+		Ingest: &ingest.Config{Capacity: 256},
+	})
+	t.Cleanup(func() { s.Close() })
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	f, err := New(Config{Servers: 6, Seed: 11, Workloads: []string{"backprop", "random"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := f.Take(20)
+	outs, err := Drive(qs, DriveOptions{
+		BaseURL: ts.URL, Workers: 4,
+		Targets: []core.Target{core.TargetWER, core.TargetPUE},
+		Client:  ts.Client(), Ingest: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &Report{Seed: 11, Servers: 6,
+		Targets: []core.Target{core.TargetWER, core.TargetPUE},
+		Queries: qs, Outcomes: outs}
+	if rep.Failed() != 0 {
+		t.Fatalf("failed %d queries", rep.Failed())
+	}
+	if got := rep.Ingested(); got != len(qs) {
+		t.Fatalf("ingested %d of %d observations", got, len(qs))
+	}
+
+	// The server agrees: every observation was accepted, none dropped.
+	resp, err := http.Get(ts.URL + "/v2/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.StatsResponseV2
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Ingest == nil {
+		t.Fatal("stats missing ingest section")
+	}
+	if st.Ingest.Accepted != int64(len(qs)) || st.Ingest.Dropped != 0 {
+		t.Fatalf("server ingest counters accepted=%d dropped=%d, want %d/0",
+			st.Ingest.Accepted, st.Ingest.Dropped, len(qs))
+	}
+}

@@ -61,6 +61,14 @@ type Outcome struct {
 	Status int
 	// Predictions holds the server's answer per requested target.
 	Predictions map[core.Target]float64
+	// Fingerprint is the serving artifact's content hash at answer time —
+	// queries answered before and after a mid-run retrain carry different
+	// fingerprints, which is what lets the report split its online MAE
+	// across model generations.
+	Fingerprint string
+	// Ingested reports whether the query's observation was accepted by
+	// /v2/ingest (ingest-mode runs only).
+	Ingested bool
 }
 
 // Report aggregates one dramfleet run: the deterministic stream statistics
@@ -95,6 +103,17 @@ func (r *Report) Completed() int {
 
 // Failed counts the queries that errored.
 func (r *Report) Failed() int { return len(r.Outcomes) - r.Completed() }
+
+// Ingested counts the observations the server's ingest queue accepted.
+func (r *Report) Ingested() int {
+	n := 0
+	for i := range r.Outcomes {
+		if r.Outcomes[i].Ingested {
+			n++
+		}
+	}
+	return n
+}
 
 // MAE is the online prediction error per target over the completed
 // queries: WER compared in log10 space (the rate spans decades, exactly
@@ -131,6 +150,67 @@ func (r *Report) MAE() map[core.Target]float64 {
 		out[t] = s / float64(counts[t])
 	}
 	return out
+}
+
+// FingerprintMAE is one artifact generation's slice of the online MAE: a
+// mid-run retrain swaps the serving fingerprint, so splitting the error
+// by fingerprint compares the model before and after it absorbed the
+// ingested observations.
+type FingerprintMAE struct {
+	// Fingerprint identifies the artifact that answered these queries.
+	Fingerprint string
+	// Queries counts the completed queries it answered.
+	Queries int
+	// MAE is the per-target online MAE over exactly those queries.
+	MAE map[core.Target]float64
+}
+
+// MAEByFingerprint splits the online MAE by the serving artifact
+// fingerprint, in first-answered order. One entry when no retrain
+// happened mid-run; empty for offline runs.
+func (r *Report) MAEByFingerprint() []FingerprintMAE {
+	idx := map[string]int{}
+	var groups []FingerprintMAE
+	sums := []map[core.Target]float64{}
+	counts := []map[core.Target]int{}
+	for i := range r.Outcomes {
+		o := &r.Outcomes[i]
+		if o.Err != nil {
+			continue
+		}
+		j, ok := idx[o.Fingerprint]
+		if !ok {
+			j = len(groups)
+			idx[o.Fingerprint] = j
+			groups = append(groups, FingerprintMAE{Fingerprint: o.Fingerprint})
+			sums = append(sums, map[core.Target]float64{})
+			counts = append(counts, map[core.Target]int{})
+		}
+		groups[j].Queries++
+		q := &r.Queries[i]
+		for t, pred := range o.Predictions {
+			var err float64
+			switch t {
+			case core.TargetWER:
+				err = math.Abs(logFloor(pred) - logFloor(q.TruthWER))
+			case core.TargetPUE:
+				err = math.Abs(pred - q.TruthPUE)
+			case core.TargetUERisk:
+				err = math.Abs(pred - q.TruthUE)
+			default:
+				continue
+			}
+			sums[j][t] += err
+			counts[j][t]++
+		}
+	}
+	for j := range groups {
+		groups[j].MAE = make(map[core.Target]float64, len(sums[j]))
+		for t, s := range sums[j] {
+			groups[j].MAE[t] = s / float64(counts[j][t])
+		}
+	}
+	return groups
 }
 
 // logFloor is log10 with the campaign's observation floor, matching how
@@ -227,6 +307,9 @@ func (r *Report) Render(withTiming bool) string {
 	if r.Outcomes != nil {
 		fmt.Fprintf(&b, "completed %d\n", r.Completed())
 		fmt.Fprintf(&b, "failed    %d\n", r.Failed())
+		if n := r.Ingested(); n > 0 {
+			fmt.Fprintf(&b, "ingested  %d\n", n)
+		}
 	}
 
 	fmt.Fprintf(&b, "%-16s %8s %7s %10s %14s %14s\n",
@@ -240,28 +323,24 @@ func (r *Report) Render(withTiming bool) string {
 	}
 
 	if r.Outcomes != nil {
-		mae := r.MAE()
-		var parts []string
 		// Render in request order, or catalog order when the run rode the
 		// server's default selection.
 		order := r.Targets
 		if len(order) == 0 {
 			order = core.Targets()
 		}
-		for _, t := range order {
-			v, ok := mae[t]
-			if !ok {
-				continue
-			}
-			switch t {
-			case core.TargetWER:
-				parts = append(parts, fmt.Sprintf("wer(log10)=%.4f", v))
-			default:
-				parts = append(parts, fmt.Sprintf("%s=%.4f", t, v))
-			}
-		}
-		if len(parts) > 0 {
+		if parts := maeParts(order, r.MAE()); len(parts) > 0 {
 			fmt.Fprintf(&b, "online MAE %s\n", strings.Join(parts, "  "))
+		}
+		// A mid-run retrain splits the sample across artifact generations;
+		// the per-fingerprint breakdown shows the model improving (or not)
+		// after absorbing the ingested observations. One fingerprint means
+		// no retrain happened — the overall line already says everything.
+		if groups := r.MAEByFingerprint(); len(groups) > 1 {
+			for _, g := range groups {
+				fmt.Fprintf(&b, "  artifact %s n=%d %s\n",
+					shortFP(g.Fingerprint), g.Queries, strings.Join(maeParts(order, g.MAE), "  "))
+			}
 		}
 	}
 
@@ -277,6 +356,38 @@ func (r *Report) Render(withTiming bool) string {
 		}
 	}
 	return b.String()
+}
+
+// maeParts renders a per-target MAE map in target order.
+func maeParts(order []core.Target, mae map[core.Target]float64) []string {
+	var parts []string
+	for _, t := range order {
+		v, ok := mae[t]
+		if !ok {
+			continue
+		}
+		switch t {
+		case core.TargetWER:
+			parts = append(parts, fmt.Sprintf("wer(log10)=%.4f", v))
+		default:
+			parts = append(parts, fmt.Sprintf("%s=%.4f", t, v))
+		}
+	}
+	return parts
+}
+
+// shortFP abbreviates an artifact fingerprint for display.
+func shortFP(fp string) string {
+	if fp == "" {
+		return "(none)"
+	}
+	if i := strings.IndexByte(fp, ':'); i >= 0 && len(fp) > i+13 {
+		return fp[:i+13]
+	}
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
 }
 
 // ms renders a duration in fractional milliseconds.

@@ -33,6 +33,9 @@ const (
 	codeInternal          = "internal"
 	codeUnavailable       = "unavailable"
 	codeNotArtifactBacked = "not_artifact_backed"
+	codeQueueFull         = "queue_full"
+	codeRetrainInProgress = "retrain_in_progress"
+	codeIngestDisabled    = "ingest_disabled"
 )
 
 // apiError is a validation or serving failure with everything both wire

@@ -133,6 +133,7 @@ type metrics struct {
 	predictSeconds *histogram // one observation per /v1/predict request
 	profileSeconds *histogram // one observation per profile build
 	reloadSeconds  *histogram // one observation per swapping reload
+	retrainSeconds *histogram // one observation per ingest-driven retrain
 }
 
 type requestKey struct {
@@ -148,6 +149,7 @@ func newMetrics() *metrics {
 		predictSeconds: newHistogram(),
 		profileSeconds: newHistogram(),
 		reloadSeconds:  newHistogram(),
+		retrainSeconds: newHistogram(),
 	}
 }
 

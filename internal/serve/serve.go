@@ -54,6 +54,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"net/http"
@@ -64,6 +65,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/engine"
+	"repro/internal/ingest"
 	"repro/internal/profile"
 	"repro/internal/workload"
 )
@@ -89,6 +91,13 @@ type Options struct {
 	// Context, when set, is the base context; its cancellation stops the
 	// server like Close does.
 	Context context.Context
+	// Ingest, when set, enables the streaming-ingest pipeline: POST
+	// /v2/ingest accepts telemetry rows into a bounded queue, a drift
+	// detector scores them against the serving artifact's training
+	// distribution, and drift/row-count triggers (or POST /v2/retrain)
+	// rebuild the dataset and swap a new generation in place. Nil leaves
+	// the ingest endpoints registered but answering ingest_disabled.
+	Ingest *ingest.Config
 }
 
 // Server answers prediction queries from the current serving generation: a
@@ -108,6 +117,12 @@ type Server struct {
 	gen          atomic.Pointer[generation]
 	reloadMu     sync.Mutex
 	artifactPath string
+
+	// ingest is the streaming-ingest pipeline, nil when the server runs
+	// without one; lastRetrain records the most recent ingest-driven swap
+	// for POST /v2/retrain responses.
+	ingest      *ingest.Pipeline
+	lastRetrain atomic.Pointer[ReloadResult]
 
 	ctx       context.Context
 	cancel    context.CancelFunc
@@ -149,6 +164,11 @@ func New(ds *core.Dataset, opts Options) *Server {
 	g := s.newGeneration(1, ds)
 	s.gen.Store(g)
 	s.metrics.generationID.Store(g.id)
+	if opts.Ingest != nil {
+		// The drift baseline is the artifact's own training distribution;
+		// retrains adopt the appended dataset's summary as the next one.
+		s.ingest = ingest.New(*opts.Ingest, ds.TelemetrySummary(), s.retrainWith)
+	}
 	context.AfterFunc(ctx, func() { s.Close() })
 	return s
 }
@@ -162,6 +182,11 @@ func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		s.cancel()
 		close(s.stop)
+		// Stop the ingest consumer before the batchers so an in-flight
+		// retrain's engine dispatch sees the cancellation promptly.
+		if s.ingest != nil {
+			s.ingest.Close()
+		}
 		// Stop the current generation's batchers. Retired generations
 		// already stopped theirs; a reload racing with this close re-checks
 		// closedErr after its swap and stops the new generation itself.
@@ -192,6 +217,8 @@ func (s *Server) Handler() http.Handler {
 	route("/v1/predict", http.MethodPost, writeErrorV1, s.handlePredictV1)
 	route("/v2/predict", http.MethodPost, writeErrorV2, s.handlePredictV2)
 	route("/v2/stats", http.MethodGet, writeErrorV2, s.handleStatsV2)
+	route("/v2/ingest", http.MethodPost, writeErrorV2, s.handleIngestV2)
+	route("/v2/retrain", http.MethodPost, writeErrorV2, s.handleRetrainV2)
 	route("/v1/workloads", http.MethodGet, writeErrorV1, s.handleWorkloads)
 	route("/v1/models", http.MethodGet, writeErrorV1, s.handleModels)
 	route("/v1/reload", http.MethodPost, writeErrorV1, s.handleReload)
@@ -806,4 +833,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.render(w)
+	if s.ingest != nil {
+		st := s.ingest.Snapshot()
+		fmt.Fprintf(w, "dramserve_ingest_accepted_total %d\n", st.Accepted)
+		fmt.Fprintf(w, "dramserve_ingest_dropped_total %d\n", st.Dropped)
+		fmt.Fprintf(w, "dramserve_ingest_queue_depth %d\n", st.QueueDepth)
+		fmt.Fprintf(w, "dramserve_ingest_buffered_rows %d\n", st.Buffered)
+		fmt.Fprintf(w, "dramserve_ingest_drift_score %g\n", st.DriftScore)
+		fmt.Fprintf(w, "dramserve_retrain_total %d\n", st.Retrains)
+		fmt.Fprintf(w, "dramserve_retrain_failures_total %d\n", st.RetrainFailures)
+		s.metrics.retrainSeconds.render(w, "dramserve_retrain_seconds")
+	}
 }

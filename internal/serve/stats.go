@@ -42,6 +42,30 @@ type EndpointStatsV2 struct {
 	Requests int64  `json:"requests"`
 }
 
+// IngestStatsV2 is the streaming-ingest section of a /v2/stats response,
+// present only when the server was started with ingest enabled.
+type IngestStatsV2 struct {
+	// Accepted and Dropped count rows offered to POST /v2/ingest that were
+	// enqueued vs. rejected by backpressure; QueueDepth is the number
+	// currently in the bounded queue and Buffered the rows absorbed but not
+	// yet folded into a retrain.
+	Accepted   int64 `json:"accepted"`
+	Dropped    int64 `json:"dropped"`
+	QueueDepth int64 `json:"queue_depth"`
+	Buffered   int64 `json:"buffered_rows"`
+	// TelemetryRows counts the UE-labeled rows feeding the live drift
+	// sketch; DriftScore is the current max per-feature total-variation
+	// distance against the serving artifact's training distribution, and
+	// DriftFeature names the feature that attains it.
+	TelemetryRows int64   `json:"telemetry_rows"`
+	DriftScore    float64 `json:"drift_score"`
+	DriftFeature  string  `json:"drift_feature,omitempty"`
+	// Retrains and RetrainFailures count completed and failed
+	// ingest-driven retrains.
+	Retrains        int64 `json:"retrains"`
+	RetrainFailures int64 `json:"retrain_failures"`
+}
+
 // StatsResponseV2 is the GET /v2/stats body.
 type StatsResponseV2 struct {
 	// Generation and Fingerprint identify the current serving artifact.
@@ -60,6 +84,10 @@ type StatsResponseV2 struct {
 	// Endpoints lists the per-(endpoint, code) request counters, ordered
 	// by (endpoint, code).
 	Endpoints []EndpointStatsV2 `json:"endpoints"`
+	// Ingest reports the streaming-ingest pipeline; omitted when the
+	// server runs without one (the field is additive, so consumers of the
+	// pre-ingest response shape are unaffected).
+	Ingest *IngestStatsV2 `json:"ingest,omitempty"`
 }
 
 // handleStatsV2 serves GET /v2/stats.
@@ -95,6 +123,20 @@ func (s *Server) handleStatsV2(w http.ResponseWriter, r *http.Request) {
 		resp.Models = append(resp.Models, m)
 	}
 	resp.Endpoints = s.metrics.endpointStats()
+	if s.ingest != nil {
+		st := s.ingest.Snapshot()
+		resp.Ingest = &IngestStatsV2{
+			Accepted:        st.Accepted,
+			Dropped:         st.Dropped,
+			QueueDepth:      st.QueueDepth,
+			Buffered:        st.Buffered,
+			TelemetryRows:   st.TelemetryRows,
+			DriftScore:      st.DriftScore,
+			DriftFeature:    st.DriftFeature,
+			Retrains:        st.Retrains,
+			RetrainFailures: st.RetrainFailures,
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

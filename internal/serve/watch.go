@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"os"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ArtifactWatcher drives the -reload-interval poll: it decides, per tick,
+// whether the artifact on disk warrants a full reload (decompress + parse
+// + hash + generation build).
+//
+// The old poll skipped purely on an unchanged (mtime, size) stat, which is
+// wrong: a rewrite can produce a byte-different artifact with the same
+// size inside the filesystem's mtime granularity (coarse on some systems,
+// and retrain pipelines that write-then-rename routinely land within it).
+// The watcher therefore never lets stat alone veto a reload — an
+// unchanged stat demotes the check to PeekFingerprint, a cheap scan of
+// the artifact's recorded content hash, and only a hash matching the
+// serving generation skips. Artifacts predating the fingerprint field
+// peek as "" and always take the full reload path.
+type ArtifactWatcher struct {
+	srv  *Server
+	path string
+
+	seen     bool
+	seenMod  time.Time
+	seenSize int64
+}
+
+// NewArtifactWatcher watches path for srv.
+func NewArtifactWatcher(srv *Server, path string) *ArtifactWatcher {
+	return &ArtifactWatcher{srv: srv, path: path}
+}
+
+// Poll runs one poll tick. It returns (nil, nil) when the artifact
+// provably matches the serving generation and the reload was skipped;
+// otherwise it returns Reload's result. Stat state commits only on a
+// successful reload, so a transient failure keeps the poll retrying.
+func (aw *ArtifactWatcher) Poll() (*ReloadResult, error) {
+	fi, statErr := os.Stat(aw.path)
+	if statErr == nil && aw.seen && fi.ModTime().Equal(aw.seenMod) && fi.Size() == aw.seenSize {
+		// Same stat — but the bytes may still differ. The peeked
+		// fingerprint settles it; "" (pre-fingerprint artifact or peek
+		// failure) falls through to the authoritative full reload.
+		if fp, err := core.PeekFingerprint(aw.path); err == nil && fp != "" {
+			if _, serving := aw.srv.Identity(); fp == serving {
+				return nil, nil
+			}
+		}
+	}
+	return aw.reload(fi, statErr == nil)
+}
+
+// Force runs an unconditional reload (SIGHUP).
+func (aw *ArtifactWatcher) Force() (*ReloadResult, error) {
+	fi, statErr := os.Stat(aw.path)
+	return aw.reload(fi, statErr == nil)
+}
+
+func (aw *ArtifactWatcher) reload(fi os.FileInfo, haveStat bool) (*ReloadResult, error) {
+	res, err := aw.srv.Reload(aw.path)
+	if err != nil {
+		aw.seen = false // never let a failed attempt suppress retries
+		return nil, err
+	}
+	if haveStat {
+		// The stat predates the load, so a file replaced mid-reload is
+		// re-checked next tick (with the fingerprint no-op as backstop).
+		aw.seenMod, aw.seenSize, aw.seen = fi.ModTime(), fi.Size(), true
+	}
+	return res, nil
+}

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// padTo grows the file at path to size bytes with trailing zeros. Readers
+// stop at the end of the JSON document inside the gzip stream, so padding
+// past the stream is invisible to LoadDataset and PeekFingerprint — which
+// is exactly what makes two byte-different artifacts stat-identical.
+func padTo(t *testing.T, path string, size int64) {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() > size {
+		t.Fatalf("artifact %d bytes, cannot pad down to %d", fi.Size(), size)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(make([]byte, size-fi.Size())); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWatcherReloadsStatIdenticalArtifact is the regression test for the
+// reload poll's stat-skip: a byte-different artifact landing with the
+// same (mtime, size) — same-size rewrite inside the filesystem's mtime
+// granularity — must still be picked up. The watcher demotes an
+// unchanged stat to a fingerprint peek instead of skipping outright.
+func TestWatcherReloadsStatIdenticalArtifact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dfault.json.gz")
+	base := testDataset(t)
+
+	// Artifact B: byte-different from A (the build seed is hashed into the
+	// fingerprint and serialized) but row-shape identical, so both gzip to
+	// nearly the same size and pad to exactly the same size.
+	b := base.Append(nil, nil, nil)
+	b.Build.Seed = base.Build.Seed + 1
+
+	if err := base.SaveAtomic(path); err != nil {
+		t.Fatal(err)
+	}
+	sizeA := fileSize(t, path)
+	pathB := filepath.Join(dir, "b.json.gz")
+	if err := b.SaveAtomic(pathB); err != nil {
+		t.Fatal(err)
+	}
+	sizeB := fileSize(t, pathB)
+	common := sizeA
+	if sizeB > common {
+		common = sizeB
+	}
+	common += 16
+	stamp := time.Now().Add(-time.Minute).Truncate(time.Second)
+	padTo(t, path, common)
+	if err := os.Chtimes(path, stamp, stamp); err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := core.LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(ds, Options{Quick: true, Seed: 3, Workers: 2, ArtifactPath: path})
+	defer s.Close()
+	aw := NewArtifactWatcher(s, path)
+
+	// First poll: no stat state yet, full reload, fingerprint no-op.
+	res, err := aw.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Swapped {
+		t.Fatalf("first poll = %+v, want an unswapped reload result", res)
+	}
+
+	// Second poll, nothing changed: the peeked fingerprint matches the
+	// serving generation and the reload is skipped entirely.
+	res, err = aw.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Fatalf("unchanged poll = %+v, want a skip", res)
+	}
+
+	// Replace the artifact with the byte-different B at the SAME size and
+	// mtime. A stat-skip poll would miss it forever.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(pathB, path); err != nil {
+		t.Fatal(err)
+	}
+	padTo(t, path, common)
+	if err := os.Chtimes(path, stamp, stamp); err != nil {
+		t.Fatal(err)
+	}
+	modOK, sizeOK := statPair(t, path, stamp, common)
+	if !modOK || !sizeOK {
+		t.Fatal("test setup failed to make the artifacts stat-identical")
+	}
+
+	res, err = aw.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || !res.Swapped {
+		t.Fatalf("stat-identical rewrite poll = %+v, want a swap", res)
+	}
+	if res.Fingerprint != b.Fingerprint() {
+		t.Fatalf("swapped to %q, want %q", res.Fingerprint, b.Fingerprint())
+	}
+
+	// And the skip path resumes against the new artifact.
+	res, err = aw.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Fatalf("post-swap poll = %+v, want a skip", res)
+	}
+
+	// Force (SIGHUP) never skips: it reloads even when nothing changed.
+	res, err = aw.Force()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Swapped {
+		t.Fatalf("force = %+v, want an unswapped reload result", res)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// statPair confirms path carries exactly the expected stat.
+func statPair(t *testing.T, path string, mod time.Time, size int64) (modOK, sizeOK bool) {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.ModTime().Equal(mod), fi.Size() == size
+}

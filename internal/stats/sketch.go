@@ -1,0 +1,222 @@
+package stats
+
+import "math"
+
+// Sketch bin layout: quarter-octave logarithmic bins over positive
+// magnitudes. Bin edges are data-independent (a pure function of the
+// value, never of the stream), which is what makes two sketches built
+// over different shards of the same stream merge into exactly the
+// sketch of the whole stream: merging is integer addition of bin
+// counts, with no re-binning and no order sensitivity. floor(4*log2 x)
+// gives a relative bin width of 2^(1/4) ≈ 1.19, i.e. quantiles read
+// back within ~9% relative error — ample for distribution-shift
+// detection, where whole bins of probability mass move.
+const (
+	sketchBins   = 160 // exponents floor(4*log2 x) in [sketchMinExp, sketchMinExp+sketchBins)
+	sketchMinExp = -80 // |x| below 2^-20 clamps into the first bin
+)
+
+// Sketch is a per-feature streaming summary: exact count, Welford
+// mean/variance, min/max, and a deterministic quantile histogram. It is
+// mergeable (Merge) and JSON-serializable, so a summary computed at
+// training time can be persisted in the dataset artifact and compared
+// against a live stream later. Non-finite inputs (NaN, ±Inf) are counted
+// but excluded from every statistic — a single corrupt reading must not
+// poison the mean or the JSON encoding.
+type Sketch struct {
+	// Count is the number of finite observations.
+	Count int64 `json:"count"`
+	// NonFinite counts NaN/±Inf observations, excluded from all moments.
+	NonFinite int64 `json:"non_finite,omitempty"`
+	// Mean and M2 are Welford running moments (M2 = sum of squared
+	// deviations); Variance derives the population variance.
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	// Min and Max are only meaningful when Count > 0.
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+	// Zeros and Negatives count exact zeros and negative observations;
+	// together with Pos they form the discrete histogram Distance
+	// compares. (The telemetry feature catalog is non-negative, so
+	// negatives get a single lump bin rather than a mirrored histogram.)
+	Zeros     int64 `json:"zeros,omitempty"`
+	Negatives int64 `json:"negatives,omitempty"`
+	// Pos holds the positive-magnitude histogram, sketchBins counts;
+	// nil until the first positive observation.
+	Pos []int64 `json:"pos,omitempty"`
+}
+
+// binIndex maps a positive finite value to its histogram bin, clamping
+// the far tails into the edge bins.
+func binIndex(x float64) int {
+	e := int(math.Floor(4 * math.Log2(x)))
+	if e < sketchMinExp {
+		e = sketchMinExp
+	}
+	if e > sketchMinExp+sketchBins-1 {
+		e = sketchMinExp + sketchBins - 1
+	}
+	return e - sketchMinExp
+}
+
+// Add folds one observation into the sketch.
+func (s *Sketch) Add(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		s.NonFinite++
+		return
+	}
+	if s.Count == 0 {
+		s.Min, s.Max = x, x
+	} else {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Count++
+	d := x - s.Mean
+	s.Mean += d / float64(s.Count)
+	s.M2 += d * (x - s.Mean)
+	switch {
+	case x == 0:
+		s.Zeros++
+	case x < 0:
+		s.Negatives++
+	default:
+		if s.Pos == nil {
+			s.Pos = make([]int64, sketchBins)
+		}
+		s.Pos[binIndex(x)]++
+	}
+}
+
+// Merge folds o into s, as if every observation o saw had been Added to
+// s. Bin counts, Count, Zeros, Negatives, Min and Max merge exactly
+// (order-independent integers and comparisons); Mean and M2 merge by the
+// Chan et al. parallel-variance formula, exact up to floating-point
+// rounding.
+func (s *Sketch) Merge(o *Sketch) {
+	s.NonFinite += o.NonFinite
+	if o.Count == 0 {
+		return
+	}
+	if s.Count == 0 {
+		pos := s.Pos
+		*s = *o
+		if o.Pos != nil {
+			if pos == nil {
+				pos = make([]int64, sketchBins)
+			}
+			copy(pos, o.Pos)
+			s.Pos = pos
+		}
+		return
+	}
+	n1, n2 := float64(s.Count), float64(o.Count)
+	d := o.Mean - s.Mean
+	s.M2 += o.M2 + d*d*n1*n2/(n1+n2)
+	s.Mean += d * n2 / (n1 + n2)
+	s.Count += o.Count
+	if o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	s.Zeros += o.Zeros
+	s.Negatives += o.Negatives
+	if o.Pos != nil {
+		if s.Pos == nil {
+			s.Pos = make([]int64, sketchBins)
+		}
+		for i, c := range o.Pos {
+			s.Pos[i] += c
+		}
+	}
+}
+
+// Variance is the population variance of the finite observations; zero
+// below two observations.
+func (s *Sketch) Variance() float64 {
+	if s.Count < 2 {
+		return 0
+	}
+	return s.M2 / float64(s.Count)
+}
+
+// Quantile reconstructs the q-quantile (q in [0, 1]) from the histogram:
+// negatives are represented by Min, zeros by 0, and each positive bin by
+// its geometric midpoint, so the answer carries the bin's ~9% relative
+// error. Clamped into [Min, Max]; zero on an empty sketch.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	v, seen := s.Min, s.Negatives
+	if rank > seen {
+		if rank <= seen+s.Zeros {
+			v = 0
+		}
+		seen += s.Zeros
+	}
+	if rank > seen {
+		v = s.Max
+		for i, c := range s.Pos {
+			seen += c
+			if rank <= seen {
+				// Geometric midpoint of bin i: 2^((e + 0.5)/4).
+				v = math.Exp2((float64(i+sketchMinExp) + 0.5) / 4)
+				break
+			}
+		}
+	}
+	if v < s.Min {
+		v = s.Min
+	}
+	if v > s.Max {
+		v = s.Max
+	}
+	return v
+}
+
+// Distance is the total-variation distance between the two sketches'
+// observed distributions over the shared discrete support
+// {negatives, zero, bin_0, …}: ½·Σ|p_a − p_b|, in [0, 1]. It depends
+// only on integer bin counts, so it is bit-deterministic regardless of
+// the order (or sharding) in which either sketch absorbed its stream.
+// Two empty sketches are identical (0); exactly one empty is maximal
+// drift (1) — no observations is itself a distribution shift.
+func Distance(a, b *Sketch) float64 {
+	na, nb := float64(a.Count), float64(b.Count)
+	if na == 0 && nb == 0 {
+		return 0
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	sum := math.Abs(float64(a.Negatives)/na - float64(b.Negatives)/nb)
+	sum += math.Abs(float64(a.Zeros)/na - float64(b.Zeros)/nb)
+	for i := 0; i < sketchBins; i++ {
+		var ca, cb int64
+		if a.Pos != nil {
+			ca = a.Pos[i]
+		}
+		if b.Pos != nil {
+			cb = b.Pos[i]
+		}
+		if ca == 0 && cb == 0 {
+			continue
+		}
+		sum += math.Abs(float64(ca)/na - float64(cb)/nb)
+	}
+	return sum / 2
+}

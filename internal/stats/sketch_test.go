@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func sketchOf(xs ...float64) *Sketch {
+	var s Sketch
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return &s
+}
+
+func TestSketchMoments(t *testing.T) {
+	s := sketchOf(1, 2, 3, 4, 5)
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if math.Abs(s.Mean-3) > 1e-12 {
+		t.Errorf("mean = %g, want 3", s.Mean)
+	}
+	if math.Abs(s.Variance()-2) > 1e-12 {
+		t.Errorf("variance = %g, want 2", s.Variance())
+	}
+	if s.Min != 1 || s.Max != 5 {
+		t.Errorf("min/max = %g/%g, want 1/5", s.Min, s.Max)
+	}
+}
+
+func TestSketchEmpty(t *testing.T) {
+	var a, b Sketch
+	if a.Variance() != 0 || a.Quantile(0.5) != 0 {
+		t.Errorf("empty sketch: variance %g quantile %g, want zeros", a.Variance(), a.Quantile(0.5))
+	}
+	if d := Distance(&a, &b); d != 0 {
+		t.Errorf("distance(empty, empty) = %g, want 0", d)
+	}
+	if d := Distance(&a, sketchOf(1, 2, 3)); d != 1 {
+		t.Errorf("distance(empty, nonempty) = %g, want 1", d)
+	}
+}
+
+func TestSketchConstantFeature(t *testing.T) {
+	s := sketchOf(7, 7, 7, 7)
+	if s.Variance() != 0 {
+		t.Errorf("constant feature variance = %g, want exactly 0", s.Variance())
+	}
+	if q := s.Quantile(0.5); q != 7 {
+		t.Errorf("constant feature median = %g, want 7 (min/max clamp)", q)
+	}
+	// Identical constant streams have zero drift; a shifted constant has
+	// maximal drift (all mass moves bins).
+	if d := Distance(s, sketchOf(7, 7)); d != 0 {
+		t.Errorf("distance of identical constants = %g, want 0", d)
+	}
+	if d := Distance(s, sketchOf(7000, 7000)); d != 1 {
+		t.Errorf("distance of disjoint constants = %g, want 1", d)
+	}
+	// An all-zero feature (the common case for sparse CE features) is
+	// constant too and must not divide by zero anywhere.
+	z := sketchOf(0, 0, 0)
+	if z.Variance() != 0 || z.Quantile(0.9) != 0 {
+		t.Errorf("all-zero feature: variance %g quantile %g", z.Variance(), z.Quantile(0.9))
+	}
+	if d := Distance(z, sketchOf(0, 0)); d != 0 {
+		t.Errorf("distance of zero streams = %g, want 0", d)
+	}
+}
+
+func TestSketchNonFiniteGuard(t *testing.T) {
+	var s Sketch
+	s.Add(math.NaN())
+	s.Add(math.Inf(1))
+	s.Add(math.Inf(-1))
+	s.Add(2)
+	if s.NonFinite != 3 || s.Count != 1 {
+		t.Fatalf("non_finite/count = %d/%d, want 3/1", s.NonFinite, s.Count)
+	}
+	if s.Mean != 2 || s.Min != 2 || s.Max != 2 {
+		t.Errorf("moments poisoned by non-finite input: mean %g min %g max %g", s.Mean, s.Min, s.Max)
+	}
+	// The guard is what keeps the sketch JSON-encodable: encoding/json
+	// rejects NaN/Inf values outright.
+	if _, err := json.Marshal(&s); err != nil {
+		t.Errorf("sketch with non-finite inputs not marshalable: %v", err)
+	}
+}
+
+func TestSketchQuantile(t *testing.T) {
+	var s Sketch
+	for i := 1; i <= 1000; i++ {
+		s.Add(float64(i))
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 1}, {0.5, 500}, {0.9, 900}, {1, 1000},
+	} {
+		got := s.Quantile(tc.q)
+		if math.Abs(got-tc.want) > 0.1*tc.want {
+			t.Errorf("quantile(%g) = %g, want %g within 10%%", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestSketchMergeMatchesSequential: a merged pair of shard sketches
+// carries the same integer state as the sequential sketch, and moments
+// agree to floating-point tolerance.
+func TestSketchMergeMatchesSequential(t *testing.T) {
+	xs := []float64{0, 0.5, 1, 2, 4, -3, 0, 8, 16, 1e-30, 1e30, 7}
+	whole := sketchOf(xs...)
+	a, b := sketchOf(xs[:5]...), sketchOf(xs[5:]...)
+	a.Merge(b)
+	if a.Count != whole.Count || a.Zeros != whole.Zeros || a.Negatives != whole.Negatives {
+		t.Fatalf("merged counts %d/%d/%d != sequential %d/%d/%d",
+			a.Count, a.Zeros, a.Negatives, whole.Count, whole.Zeros, whole.Negatives)
+	}
+	if !reflect.DeepEqual(a.Pos, whole.Pos) {
+		t.Fatalf("merged bins differ from sequential bins")
+	}
+	if a.Min != whole.Min || a.Max != whole.Max {
+		t.Errorf("merged min/max %g/%g != %g/%g", a.Min, a.Max, whole.Min, whole.Max)
+	}
+	if math.Abs(a.Mean-whole.Mean) > 1e-12*math.Abs(whole.Mean) {
+		t.Errorf("merged mean %g != sequential %g", a.Mean, whole.Mean)
+	}
+	relM2 := math.Abs(a.M2-whole.M2) / math.Max(1, math.Abs(whole.M2))
+	if relM2 > 1e-9 {
+		t.Errorf("merged M2 %g != sequential %g", a.M2, whole.M2)
+	}
+}
+
+// TestSketchMergeDeterministicAcrossShards splits one stream across k
+// shards for several k, merges the shard sketches, and requires the
+// histogram state — and therefore the drift Distance, which depends only
+// on it — to be bit-identical at every shard count. (The engine-workers
+// variant of this property lives in internal/ingest, which sits above
+// the engine in the import graph.)
+func TestSketchMergeDeterministicAcrossShards(t *testing.T) {
+	const n = 4096
+	xs := make([]float64, n)
+	for i := range xs {
+		// Deterministic stream spanning zeros, magnitudes, negatives.
+		switch i % 7 {
+		case 0:
+			xs[i] = 0
+		case 1:
+			xs[i] = -float64(i)
+		default:
+			xs[i] = math.Exp2(float64(i%61) - 30)
+		}
+	}
+	baseline := sketchOf(xs[:n/2]...)
+
+	build := func(shards int) *Sketch {
+		merged := &Sketch{}
+		for sh := 0; sh < shards; sh++ {
+			var s Sketch
+			for i := sh; i < n; i += shards {
+				s.Add(xs[i])
+			}
+			merged.Merge(&s)
+		}
+		return merged
+	}
+
+	ref := build(1)
+	refDist := Distance(baseline, ref)
+	for _, shards := range []int{2, 4, 8, 16} {
+		got := build(shards)
+		if got.Count != ref.Count || !reflect.DeepEqual(got.Pos, ref.Pos) ||
+			got.Zeros != ref.Zeros || got.Negatives != ref.Negatives {
+			t.Fatalf("shards=%d: histogram state differs from shards=1", shards)
+		}
+		if got.Min != ref.Min || got.Max != ref.Max {
+			t.Errorf("shards=%d: min/max %g/%g != %g/%g", shards, got.Min, got.Max, ref.Min, ref.Max)
+		}
+		if d := Distance(baseline, got); d != refDist {
+			t.Errorf("shards=%d: drift distance %v != %v", shards, d, refDist)
+		}
+	}
+}
+
+func TestSketchMergeEmptySides(t *testing.T) {
+	var empty Sketch
+	s := sketchOf(1, 2, 3)
+	s.Merge(&empty)
+	if s.Count != 3 {
+		t.Errorf("merge with empty changed count to %d", s.Count)
+	}
+	var dst Sketch
+	dst.Merge(sketchOf(4, 5))
+	if dst.Count != 2 || dst.Min != 4 || dst.Max != 5 {
+		t.Errorf("merge into empty: count %d min %g max %g", dst.Count, dst.Min, dst.Max)
+	}
+	// The adopted histogram must be a copy, not an alias.
+	src := sketchOf(8)
+	var dst2 Sketch
+	dst2.Merge(src)
+	dst2.Add(8)
+	if src.Pos[binIndex(8)] != 1 {
+		t.Errorf("merge aliased the source histogram")
+	}
+}
+
+func TestSketchJSONRoundTrip(t *testing.T) {
+	s := sketchOf(0, 1, 2.5, -4, 1e6)
+	s.Add(math.NaN())
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Sketch
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*s, back) {
+		t.Errorf("round trip mismatch:\n%+v\nvs\n%+v", *s, back)
+	}
+}

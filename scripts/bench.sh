@@ -8,8 +8,8 @@
 # The canonical set spans every layer of the serving stack: model-level
 # kNN, SVR and forest predicts (internal/ml), a mixed 64-query batch through
 # the core predictors, the pooled /v2 request decode, a warm single-query
-# POST /v2/predict into the handler, and a closed-loop 64-query fleet drive
-# over loopback HTTP.
+# POST /v2/predict into the handler, a closed-loop 64-query fleet drive
+# over loopback HTTP, and the ingest pipeline's row-append hot path.
 #
 # cmd/benchgate does the comparison: allocation counts on low-alloc
 # benchmarks are exact (a reintroduced per-op allocation fails no matter
@@ -30,9 +30,9 @@ trap 'rm -f "$out"' EXIT
 # One count at the default 1s benchtime: stable enough under the slack
 # factor, and the exact alloc gate doesn't need repetitions at all.
 go test -run '^$' \
-  -bench '^(BenchmarkKNNPredict|BenchmarkSVRPredict|BenchmarkForestPredict|BenchmarkPredictBatch|BenchmarkDecodePredictV2|BenchmarkServePredictV2|BenchmarkFleetDrive)$' \
+  -bench '^(BenchmarkKNNPredict|BenchmarkSVRPredict|BenchmarkForestPredict|BenchmarkPredictBatch|BenchmarkDecodePredictV2|BenchmarkServePredictV2|BenchmarkFleetDrive|BenchmarkIngestAppend)$' \
   -benchmem -benchtime=1s -timeout=20m \
-  ./internal/ml/ ./internal/core/ ./internal/serve/ ./internal/fleet/ | tee "$out"
+  ./internal/ml/ ./internal/core/ ./internal/serve/ ./internal/fleet/ ./internal/ingest/ | tee "$out"
 
 case "$mode" in
   record) go run ./cmd/benchgate -in "$out" -update ;;

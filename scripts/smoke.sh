@@ -20,6 +20,13 @@
 # across worker counts), then ue_risk is queried end to end through a
 # direct dramserve and through dramrouter, asserting /v2/stats counts the
 # new (target, kind, input set) model triple.
+#
+# A fourth act closes the data loop: an -ingest dramserve takes a
+# dramfleet -ingest burst (ground-truth observations via /v2/ingest),
+# trips the drift/row-count retrain triggers, and the assertions are that
+# a new fingerprinted generation was published, the artifact on disk was
+# rewritten to match, zero predicts failed during the swap, and the
+# ingest counters and manual /v2/retrain answer coherently.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,6 +37,7 @@ addr_rt=127.0.0.1:18090
 addr_ue=127.0.0.1:18083
 addr_ue2=127.0.0.1:18084
 addr_uert=127.0.0.1:18091
+addr_ing=127.0.0.1:18085
 workdir=$(mktemp -d)
 pids=()
 trap 'kill "${pids[@]}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
@@ -265,5 +273,73 @@ ruedef=$(curl -fsS -XPOST "http://$addr_uert/v2/predict" -H 'Content-Type: appli
 for tgt in wer pue ue_risk; do
   echo "$ruedef" | grep -q "\"$tgt\"" || fail "routed default selection missing $tgt" "$ruedef"
 done
+
+# --- the data loop: ingest burst -> drift/row trigger -> background
+# retrain -> new fingerprinted generation, with zero failed predicts.
+
+# Retrain rewrites the -load artifact in place, so the loop runs on its
+# own copy — never on the UE artifact the earlier acts still serve.
+cp "$workdir/ue.json.gz" "$workdir/loop.json.gz"
+"$workdir/dramserve" -load "$workdir/loop.json.gz" -addr "$addr_ing" \
+  -ingest -ingest-capacity 4096 -retrain-rows 96 \
+  -drift-threshold 0.05 -drift-min-rows 24 \
+  2>"$workdir/serve_ing.log" &
+pid_ing=$!
+pids+=("$pid_ing")
+for _ in $(seq 1 100); do
+  curl -fsS "http://$addr_ing/healthz" >/dev/null 2>&1 && break
+  kill -0 "$pid_ing" 2>/dev/null || { echo "ingest dramserve died:"; cat "$workdir/serve_ing.log"; exit 1; }
+  sleep 0.1
+done
+fp_loop0=$(curl -fsS "http://$addr_ing/healthz" | sed -n 's/.*"fingerprint":"\([^"]*\)".*/\1/p')
+
+# The fleet burst both predicts and reports ground truth back; 120 rows
+# cross the -retrain-rows 96 trigger mid-run.
+"$workdir/dramfleet" -addr "http://$addr_ing" -ingest -seed 3 -n 120 -qps 400 \
+  >"$workdir/fleet_ing.txt" 2>"$workdir/fleet_ing.log" \
+  || fail "dramfleet ingest burst failed" "$(cat "$workdir/fleet_ing.log")"
+grep -q '^failed    0$' "$workdir/fleet_ing.txt" \
+  || fail "predicts failed during the ingest run" "$(cat "$workdir/fleet_ing.txt")"
+ingested=$(sed -n 's/^ingested  \([0-9]*\)$/\1/p' "$workdir/fleet_ing.txt")
+[ -n "$ingested" ] && [ "$ingested" -ge 96 ] \
+  || fail "fleet reported ${ingested:-no} ingested observations, want >= 96" "$(cat "$workdir/fleet_ing.txt")"
+
+# The background retrain publishes a new generation with a new
+# fingerprint, and rewrites the artifact on disk to match.
+fp_loop1=
+for _ in $(seq 1 150); do
+  ih=$(curl -fsS "http://$addr_ing/healthz" 2>/dev/null) || { sleep 0.2; continue; }
+  fp_loop1=$(echo "$ih" | sed -n 's/.*"fingerprint":"\([^"]*\)".*/\1/p')
+  if [ -n "$fp_loop1" ] && [ "$fp_loop1" != "$fp_loop0" ]; then
+    echo "$ih" | grep -Eq '"generation":([2-9]|[1-9][0-9]+)' && break
+  fi
+  fp_loop1=
+  sleep 0.2
+done
+[ -n "$fp_loop1" ] \
+  || fail "ingest retrain never published a new generation" "$(cat "$workdir/serve_ing.log")"
+
+# One more predict on the fresh generation must carry the new fingerprint.
+postv2=$(curl -fsS -XPOST "http://$addr_ing/v2/predict" -H 'Content-Type: application/json' \
+  -d '{"workload":"nw","trefp":1.173,"temp_c":60,"targets":["pue"]}')
+echo "$postv2" | grep -q "\"fingerprint\":\"$fp_loop1\"" \
+  || fail "post-retrain predict not on the new artifact" "$postv2"
+
+# The ingest counters are coherent in both expositions.
+istats=$(curl -fsS "http://$addr_ing/v2/stats")
+echo "$istats" | grep -q '"ingest":{' || fail "/v2/stats missing ingest section" "$istats"
+echo "$istats" | grep -Eq '"retrains":[1-9]' || fail "/v2/stats counts no retrain" "$istats"
+imetrics=$(curl -fsS "http://$addr_ing/metrics")
+echo "$imetrics" | grep -Eq 'dramserve_ingest_accepted_total [1-9]' \
+  || fail "metrics missing ingest accepted counter" "$imetrics"
+echo "$imetrics" | grep -Eq 'dramserve_retrain_total [1-9]' \
+  || fail "metrics missing retrain counter" "$imetrics"
+
+# A manual retrain answers the generation/fingerprint it serves (idle
+# buffer: swapped=false is fine; a 409 means a background retrain is
+# still folding the leftover rows — also a coherent answer).
+rt=$(curl -sS -XPOST "http://$addr_ing/v2/retrain")
+echo "$rt" | grep -Eq '"fingerprint"|"retrain_in_progress"' \
+  || fail "/v2/retrain did not answer coherently" "$rt"
 
 echo "smoke OK"
