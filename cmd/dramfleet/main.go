@@ -23,6 +23,16 @@
 // cheapest determinism check); -stream-out writes the stream as JSON
 // lines for external replay. The server's own view of the run is exposed
 // at GET /v2/stats; scripts/smoke.sh cross-checks the two in CI.
+//
+// -policy closes the control loop instead of load-testing: the fleet runs
+// tick by tick, each tick's predictions (from the live server, or from
+// the ground-truth oracle with -offline) feed the named mitigation policy
+// (static, threshold, risk-budget), and its actions — refresh retunes,
+// rank offlining, job migration — actuate the simulation. The printed
+// mitigation ledger scores the policy against an un-actuated same-seed
+// shadow fleet and is byte-identical across replays at equal seed:
+//
+//	dramfleet -addr http://127.0.0.1:8080 -policy threshold -ticks 16 -seed 1
 package main
 
 import (
@@ -38,6 +48,7 @@ import (
 	"repro/internal/cliflag"
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/policy"
 	"repro/internal/serve"
 )
 
@@ -52,6 +63,8 @@ func main() {
 		ingestObs = flag.Bool("ingest", false, "report each query's ground-truth observation to /v2/ingest (closes the data loop against an -ingest server)")
 		timing    = flag.Bool("timing", true, "append the wall-clock timing section to the report")
 		streamOut = flag.String("stream-out", "", "write the query stream to this path as JSON lines")
+		polName   = flag.String("policy", "", "run the closed mitigation loop under this policy (static, threshold, risk-budget) instead of the load generator")
+		ticks     = flag.Int("ticks", 16, "simulation ticks for the -policy loop")
 		lg        cliflag.LoadGen // shared -qps default applied by Register
 		targets   cliflag.Targets
 		prof      cliflag.Pprof
@@ -63,6 +76,11 @@ func main() {
 
 	if _, err := prof.Start(logf); err != nil {
 		fatal(err)
+	}
+
+	if *polName != "" {
+		runPolicy(*polName, *addr, *model, *servers, *seed, *ticks, *workers, *offline)
+		return
 	}
 
 	want, err := targets.List()
@@ -141,6 +159,37 @@ func main() {
 	if rep.Outcomes != nil && rep.Failed() > 0 {
 		os.Exit(1)
 	}
+}
+
+// runPolicy drives the closed mitigation loop: the named policy observes
+// each tick's predictions and actuates the fleet, scored against a
+// same-seed shadow baseline. Online the predictions come from the live
+// server's /v2/predict; with -offline they come from the simulation's
+// ground-truth oracle (the hermetic upper bound). The rendered ledger is
+// deterministic: same (seed, servers, ticks, policy, artifact) ⇒ same
+// bytes.
+func runPolicy(name, addr, model string, servers int, seed uint64, ticks, workers int, offline bool) {
+	pol, err := policy.ByName(name)
+	if err != nil {
+		fatal(err)
+	}
+	predict := policy.Oracle()
+	if offline {
+		logf("policy %s: oracle predictor (offline), %d servers × %d ticks", name, servers, ticks)
+	} else {
+		predict = policy.HTTPPredict(addr, model, nil, 0)
+		logf("policy %s: predictions from %s, %d servers × %d ticks", name, addr, servers, ticks)
+	}
+	led, err := policy.Evaluate(policy.EvalConfig{
+		Fleet:   fleet.Config{Servers: servers, Seed: seed},
+		Ticks:   ticks,
+		Workers: workers,
+		Predict: predict,
+	}, pol)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(led.Render())
 }
 
 // advertisedTargets asks the server which prediction targets its artifact

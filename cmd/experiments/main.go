@@ -9,8 +9,9 @@
 // With no -run flag, all experiments execute in paper order. Experiment ids:
 // fig2, fig4, tab2, fig7, fig8, fig9, fig10, fig11, fig12, fig13, vdd,
 // ablation. Beyond the paper, "fleet" tabulates the simulated datacenter
-// fleet scenario of internal/fleet (run it alone to skip the profiling
-// pass entirely: it needs no campaign).
+// fleet scenario of internal/fleet, and "policy" runs the adaptive-
+// mitigation policy study of internal/policy (run either alone to skip
+// the profiling pass entirely: they need no campaign).
 package main
 
 import (
@@ -33,13 +34,18 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "server and profiling seed")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent campaign jobs")
 		fleetN  = flag.Int("fleet-queries", 1280, "queries simulated by the fleet experiment")
+		ticks   = flag.Int("policy-ticks", 24, "simulation ticks per policy evaluation")
 	)
 	flag.Parse()
 
-	// The fleet scenario needs no profiles or campaign: serve it before
-	// paying for the suite when it is the only experiment requested.
+	// The fleet and policy scenarios need no profiles or campaign: serve
+	// them before paying for the suite when requested alone.
 	if *runID == "fleet" {
 		printFleet(*seed, *fleetN)
+		return
+	}
+	if *runID == "policy" {
+		printPolicy(*seed, *ticks)
 		return
 	}
 
@@ -81,14 +87,26 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	// The beyond-the-paper fleet scenario rides at the end of a full run.
+	// The beyond-the-paper fleet and policy scenarios ride at the end of
+	// a full run.
 	printFleet(*seed, *fleetN)
+	printPolicy(*seed, *ticks)
 }
 
 // printFleet renders the fleet-composition table at the default fleet
 // size (the same fleet cmd/dramfleet -servers defaults to).
 func printFleet(seed uint64, n int) {
 	tbl, err := exp.FleetSummary(fleet.DefaultServers, seed, n)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(tbl.Render())
+}
+
+// printPolicy renders the adaptive-mitigation policy study at the
+// default fleet size.
+func printPolicy(seed uint64, ticks int) {
+	tbl, err := exp.PolicyStudy(fleet.DefaultServers, seed, ticks)
 	if err != nil {
 		fatal(err)
 	}

@@ -79,6 +79,15 @@
 //     slow shards, and artifact-fingerprint consistency (responses never
 //     blend two artifact generations) — serving the /v2 wire format
 //     unchanged (cmd/dramrouter is the entry point)
+//   - internal/policy — the closed control loop: mitigation policies
+//     (static, threshold, risk-budget) that consume the server's /v2
+//     predictions and act on the fleet — per-server TREFP retuning,
+//     rank offlining with a capacity cost, job migration — plus the
+//     deterministic policy-evaluation harness that scores a policy
+//     against an un-actuated same-seed shadow fleet (avoided UEs and
+//     crashes vs refresh/capacity/migration overhead, rendered as a
+//     checksummed ledger, byte-identical at any worker count;
+//     `dramfleet -policy` is the entry point)
 //   - internal/cliflag — the flags shared by the dram* commands: the
 //     dataset-acquisition set (-load/-save/-quick/-scale/...), the
 //     -target selection over the unified prediction targets, the

@@ -94,8 +94,8 @@ type HealthResponse struct {
 	// Status is "ok" (all healthy, fingerprints agree), "degraded" (some
 	// backends ejected but the pool serves), "skew" (healthy backends on
 	// different artifact fingerprints) or "down" (no healthy backends).
-	Status        string  `json:"status"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Status        string          `json:"status"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
 	Backends      []BackendHealth `json:"backends"`
 	Healthy       int             `json:"healthy"`
 	// Fingerprint is the pool's agreed artifact fingerprint ("" until a

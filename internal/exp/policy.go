@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/fleet"
+	"repro/internal/policy"
+)
+
+// PolicyStudy reproduces the static-vs-adaptive mitigation comparison
+// from the RL-mitigation paper (PAPERS.md) on the simulated fleet: every
+// built-in policy is evaluated by the same-seed harness (internal/policy)
+// against its un-actuated shadow baseline, under the perfect-information
+// oracle predictor, and the ledgers land side by side — expected UEs
+// avoided versus the refresh-energy, capacity and migration overheads
+// spent, collapsed into one net score. The static baseline nets exactly
+// zero by construction; the table shows which adaptive policies beat it
+// and by how much, with zero sampling variance (the comparison is
+// byte-exact at equal seed). A pure function of (servers, seed, ticks).
+func PolicyStudy(servers int, seed uint64, ticks int) (*Table, error) {
+	tbl := &Table{
+		ID:    "policy",
+		Title: "Adaptive mitigation policy study (same-seed closed-loop A/B)",
+		Header: []string{"policy", "avoided UE", "avoided crash", "refresh ovh",
+			"offline cap", "migr ticks", "actions", "net"},
+	}
+	var static, bestAdaptive *policy.Ledger
+	for _, name := range policy.Names() {
+		pol, err := policy.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		led, err := policy.Evaluate(policy.EvalConfig{
+			Fleet: fleet.Config{Servers: servers, Seed: seed},
+			Ticks: ticks,
+		}, pol)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(name,
+			fmt.Sprintf("%.3f", led.AvoidedUE),
+			fmt.Sprintf("%.3f", led.AvoidedCrash),
+			fmt.Sprintf("%.3f", led.RefreshOverhead),
+			fmt.Sprintf("%.3f", led.OfflineCapacity),
+			fmt.Sprintf("%d", led.MigratedTicks),
+			fmt.Sprintf("%d/%d/%d", led.Retunes, led.Offlines, led.Migrations),
+			fmt.Sprintf("%.2f", led.Net()),
+		)
+		tbl.AddNote("%s: ledger checksum %016x", name, led.Checksum())
+		if name == "static" {
+			static = led
+		} else if led.AvoidedUE > 0 && (bestAdaptive == nil || led.Net() > bestAdaptive.Net()) {
+			bestAdaptive = led
+		}
+	}
+	if static != nil && bestAdaptive != nil &&
+		bestAdaptive.AvoidedUE > static.AvoidedUE && bestAdaptive.Net() > static.Net() {
+		tbl.AddNote("%s strictly dominates static at seed %d: +%.3f avoided UE at net %+.2f vs %+.2f",
+			bestAdaptive.Policy, seed, bestAdaptive.AvoidedUE-static.AvoidedUE,
+			bestAdaptive.Net(), static.Net())
+	}
+	tbl.AddNote("oracle predictor, %d servers × %d ticks; actions/column is retune/offline/migrate",
+		servers, ticks)
+	return tbl, nil
+}

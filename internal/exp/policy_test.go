@@ -1,0 +1,34 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPolicyStudyDomination pins the acceptance criterion of the
+// mitigation work: at equal seed, at least one adaptive policy strictly
+// dominates the static baseline on the avoided-UE-vs-overhead ledger,
+// and the table says so.
+func TestPolicyStudyDomination(t *testing.T) {
+	tbl, err := PolicyStudy(16, 1, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, "strictly dominates static") {
+		t.Fatalf("no domination note in the policy study:\n%s", out)
+	}
+	for _, name := range []string{"static", "threshold", "risk-budget"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("policy %q missing from the study:\n%s", name, out)
+		}
+	}
+
+	again, err := PolicyStudy(16, 1, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Render() != out {
+		t.Fatal("PolicyStudy is not a pure function of (servers, seed, ticks)")
+	}
+}

@@ -1,0 +1,249 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dram"
+	"repro/internal/profile"
+)
+
+// The actuation path: the mitigation knobs a policy engine (internal/
+// policy) turns on a running fleet. The RL-mitigation literature in
+// PAPERS.md acts on exactly the levers this simulator already models —
+// the refresh period (the paper's TREFP operating point), memory
+// offlining, and job placement — so actuation is three mutators on the
+// per-server state the truth laws and the telemetry generator read:
+//
+//   - SetTREFP overrides the server's deployed refresh-relaxation policy.
+//     A tighter (smaller) TREFP reduces the effective refresh exposure x,
+//     pulling both the WER and the crash cliff down, at a refresh-energy
+//     cost proportional to the extra refresh rate.
+//   - OfflineRank removes a DRAM rank from service: its weak cells stop
+//     contributing errors (WER averages over the online ranks only), CE
+//     events on it vanish from the telemetry stream, and a latent fault
+//     whose weak rank is offlined no longer threatens an uncorrectable
+//     error — at the capacity cost of the offlined fraction.
+//   - Migrate replaces the server's scheduled workload with a designated
+//     label (a job moved elsewhere; the slot runs the replacement), which
+//     changes both the heat load driving the thermal plant and the
+//     disturbance stress folded into x.
+//
+// Determinism under actuation is deliberate and load-bearing: every
+// random draw of the simulation (server identities, thermal noise, CE
+// event generation) is independent of the actuation state. Mitigation is
+// applied as a pure transform over the same underlying draws — the CE
+// window is generated raw and then filtered, the truth laws are
+// re-parameterized, the thermal plant sees a different but draw-count-
+// identical power input — so two fleets with the same Config stay in RNG
+// lockstep no matter which policies drive them. That is what makes
+// same-seed A/B policy comparison exact: policy A and policy B are judged
+// on byte-identical underlying randomness, and an un-actuated shadow
+// fleet replays the baseline alongside either one.
+
+// actuation is one server's mutable mitigation state. The zero value is
+// "no mitigation": the server runs its deployed TREFP, all ranks online,
+// the scheduled workload mix.
+type actuation struct {
+	// trefp overrides the deployed refresh period when > 0.
+	trefp float64
+	// offline marks ranks removed from service.
+	offline  [dram.NumRanks]bool
+	offlined int // cached count of true entries
+	// migrate overrides the scheduled workload label when non-empty.
+	migrate string
+}
+
+// ServerState is the read view of one server's actuation state — what the
+// policy loop may observe (deployed vs effective operating point, capacity
+// and placement state), deliberately excluding the latent fault state the
+// simulator knows but a real fleet controller would not.
+type ServerState struct {
+	// DeployedTREFP is the server's original refresh-relaxation policy.
+	DeployedTREFP float64
+	// TREFP is the effective refresh period (the deployed one unless
+	// retuned).
+	TREFP float64
+	// OfflineRanks counts ranks currently removed from service.
+	OfflineRanks int
+	// Migrated is the workload label the server was migrated to; empty
+	// when it runs its scheduled mix.
+	Migrated string
+}
+
+func (f *Fleet) server(id int) (*simServer, error) {
+	if id < 0 || id >= len(f.servers) {
+		return nil, fmt.Errorf("fleet: server %d out of range [0, %d)", id, len(f.servers))
+	}
+	return f.servers[id], nil
+}
+
+// State returns the actuation view of one server.
+func (f *Fleet) State(id int) (ServerState, error) {
+	sv, err := f.server(id)
+	if err != nil {
+		return ServerState{}, err
+	}
+	return ServerState{
+		DeployedTREFP: sv.trefp,
+		TREFP:         sv.effectiveTREFP(),
+		OfflineRanks:  sv.act.offlined,
+		Migrated:      sv.act.migrate,
+	}, nil
+}
+
+// SetTREFP retunes a server's refresh period. It reports whether the
+// effective operating point actually changed (retuning to the current
+// value is a no-op, not an error, so idempotent policies stay simple).
+func (f *Fleet) SetTREFP(id int, trefp float64) (changed bool, err error) {
+	sv, err := f.server(id)
+	if err != nil {
+		return false, err
+	}
+	if trefp <= 0 || math.IsNaN(trefp) || math.IsInf(trefp, 0) {
+		return false, fmt.Errorf("fleet: server %d: trefp %v out of range", id, trefp)
+	}
+	if sv.effectiveTREFP() == trefp {
+		return false, nil
+	}
+	sv.act.trefp = trefp
+	return true, nil
+}
+
+// ResetTREFP returns a server to its deployed refresh policy.
+func (f *Fleet) ResetTREFP(id int) (changed bool, err error) {
+	sv, err := f.server(id)
+	if err != nil {
+		return false, err
+	}
+	changed = sv.act.trefp != 0 && sv.act.trefp != sv.trefp
+	sv.act.trefp = 0
+	return changed, nil
+}
+
+// OfflineRank removes a rank from service. Offlining an already-offline
+// rank is a no-op.
+func (f *Fleet) OfflineRank(id, rank int) (changed bool, err error) {
+	sv, err := f.server(id)
+	if err != nil {
+		return false, err
+	}
+	if rank < 0 || rank >= dram.NumRanks {
+		return false, fmt.Errorf("fleet: server %d: rank %d out of range [0, %d)", id, rank, dram.NumRanks)
+	}
+	if sv.act.offline[rank] {
+		return false, nil
+	}
+	sv.act.offline[rank] = true
+	sv.act.offlined++
+	return true, nil
+}
+
+// OnlineRank returns an offlined rank to service.
+func (f *Fleet) OnlineRank(id, rank int) (changed bool, err error) {
+	sv, err := f.server(id)
+	if err != nil {
+		return false, err
+	}
+	if rank < 0 || rank >= dram.NumRanks {
+		return false, fmt.Errorf("fleet: server %d: rank %d out of range [0, %d)", id, rank, dram.NumRanks)
+	}
+	if !sv.act.offline[rank] {
+		return false, nil
+	}
+	sv.act.offline[rank] = false
+	sv.act.offlined--
+	return true, nil
+}
+
+// Migrate replaces the server's scheduled workload with label from the
+// next tick on. The label must be in the fleet's workload catalog.
+func (f *Fleet) Migrate(id int, label string) (changed bool, err error) {
+	sv, err := f.server(id)
+	if err != nil {
+		return false, err
+	}
+	found := false
+	for _, l := range f.cfg.Workloads {
+		if l == label {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false, fmt.Errorf("fleet: server %d: workload %q not in the fleet catalog", id, label)
+	}
+	if sv.act.migrate == label {
+		return false, nil
+	}
+	sv.act.migrate = label
+	return true, nil
+}
+
+// ClearMigration returns a server to its scheduled workload mix.
+func (f *Fleet) ClearMigration(id int) (changed bool, err error) {
+	sv, err := f.server(id)
+	if err != nil {
+		return false, err
+	}
+	changed = sv.act.migrate != ""
+	sv.act.migrate = ""
+	return changed, nil
+}
+
+// effectiveTREFP is the refresh period the server actually runs.
+func (sv *simServer) effectiveTREFP() float64 {
+	if sv.act.trefp > 0 {
+		return sv.act.trefp
+	}
+	return sv.trefp
+}
+
+// healthyTruthUE is the ground-truth UE probability of a fault-free
+// server: the logistic cliff evaluated at severity zero.
+var healthyTruthUE = 1 / (1 + math.Exp(ueKnee/ueWidth))
+
+// truthUE is the server's ground-truth UE probability under mitigation:
+// a latent fault whose weak rank is offlined no longer threatens the
+// machine, so the probability collapses to the healthy floor.
+func (sv *simServer) truthUE() float64 {
+	if sv.telem.severity > 0 && sv.act.offline[sv.telem.weakRank] {
+		return healthyTruthUE
+	}
+	return sv.telem.truthUE()
+}
+
+// filterCE drops events on offlined ranks. The raw window is always
+// generated first (the RNG-lockstep contract); filtering is the visible
+// effect of the mitigation. The filter reuses the raw slice — raw events
+// are freshly allocated per tick and never shared.
+func (a *actuation) filterCE(events []profile.CEEvent) []profile.CEEvent {
+	if a.offlined == 0 || len(events) == 0 {
+		return events
+	}
+	kept := events[:0]
+	for _, e := range events {
+		if !a.offline[e.Rank] {
+			kept = append(kept, e)
+		}
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	return kept
+}
+
+// CoolestWorkload picks the migration destination a policy defaults to:
+// the catalog label with the lowest combined disturbance stress and heat
+// load — the deterministic stand-in for "move the job somewhere gentle".
+// Ties break lexicographically; empty input returns "".
+func CoolestWorkload(labels []string) string {
+	best, bestScore := "", math.Inf(1)
+	for _, l := range labels {
+		score := stress(l) + heaterPowerW(l, 1)
+		if score < bestScore || (score == bestScore && (best == "" || l < best)) {
+			best, bestScore = l, score
+		}
+	}
+	return best
+}

@@ -1,0 +1,304 @@
+package fleet
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+)
+
+// TestTickMatchesTake pins the emitTick refactor: the synchronous Tick
+// interface and the Next/Take stream interface produce the same queries
+// for the same Config when nothing is actuated.
+func TestTickMatchesTake(t *testing.T) {
+	cfg := Config{Servers: 6, Seed: 9}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ticked []Query
+	for i := 0; i < 5; i++ {
+		ticked = append(ticked, a.Tick()...)
+	}
+	taken := b.Take(len(ticked))
+	if !reflect.DeepEqual(ticked, taken) {
+		t.Fatal("Tick and Take emit different streams for the same config")
+	}
+}
+
+// TestActuationLockstep is the A/B contract of the actuation path: random
+// draws are independent of mitigation state. A heavily actuated fleet
+// whose retunes and offlines are later reverted re-converges byte for
+// byte with an untouched shadow fleet — proof the two never diverged in
+// RNG state, only in the deterministic transform over it.
+func TestActuationLockstep(t *testing.T) {
+	cfg := Config{Servers: 8, Seed: 4}
+	primary, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm-up tick, identical on both.
+	if !reflect.DeepEqual(primary.Tick(), shadow.Tick()) {
+		t.Fatal("fleets diverged before any actuation")
+	}
+
+	// Actuate hard: retune and offline across the fleet.
+	for sv := 0; sv < cfg.Servers; sv++ {
+		if _, err := primary.SetTREFP(sv, core.WERTrefps[0]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := primary.OfflineRank(sv, sv%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		pq, sq := primary.Tick(), shadow.Tick()
+		for j := range pq {
+			// The mitigated stream differs in the deterministic transform...
+			if pq[j].TREFP == sq[j].TREFP && pq[j].TREFP != core.WERTrefps[0] {
+				t.Fatalf("tick %d query %d: retune not visible in the stream", i, j)
+			}
+			// ...but never in identity or schedule.
+			if pq[j].Server != sq[j].Server || pq[j].Workload != sq[j].Workload {
+				t.Fatalf("tick %d query %d: actuation disturbed the schedule", i, j)
+			}
+		}
+	}
+
+	// Revert everything: the next ticks must be byte-identical again.
+	for sv := 0; sv < cfg.Servers; sv++ {
+		if _, err := primary.ResetTREFP(sv); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := primary.OnlineRank(sv, sv%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		pq, sq := primary.Tick(), shadow.Tick()
+		if !reflect.DeepEqual(pq, sq) {
+			t.Fatalf("tick %d after revert: fleets did not re-converge (RNG lockstep broken)", i)
+		}
+	}
+}
+
+// TestRetuneLowersExposure: tightening TREFP to the grid minimum lowers
+// the truth WER and crash probability relative to the shadow baseline.
+func TestRetuneLowersExposure(t *testing.T) {
+	cfg := Config{Servers: 8, Seed: 2}
+	primary, _ := New(cfg)
+	shadow, _ := New(cfg)
+	for sv := 0; sv < cfg.Servers; sv++ {
+		if _, err := primary.SetTREFP(sv, core.WERTrefps[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loweredWER := false
+	for i := 0; i < 6; i++ {
+		pq, sq := primary.Tick(), shadow.Tick()
+		for j := range pq {
+			if pq[j].TruthWER > sq[j].TruthWER || pq[j].TruthPUE > sq[j].TruthPUE {
+				t.Fatalf("tick %d query %d: tightening refresh raised the truth (wer %g>%g or pue %g>%g)",
+					i, j, pq[j].TruthWER, sq[j].TruthWER, pq[j].TruthPUE, sq[j].TruthPUE)
+			}
+			if pq[j].TruthWER < sq[j].TruthWER {
+				loweredWER = true
+			}
+		}
+	}
+	if !loweredWER {
+		t.Fatal("grid-minimum retune never lowered any truth WER")
+	}
+}
+
+// TestOfflineWeakRankDefusesUE: offlining the rank a faulty server's CE
+// telemetry concentrates on (the busiest rank of the window — exactly the
+// signal a policy has) collapses its ground-truth UE probability to the
+// healthy floor and silences its telemetry.
+func TestOfflineWeakRankDefusesUE(t *testing.T) {
+	cfg := Config{Servers: 16, Seed: 1}
+	primary, _ := New(cfg)
+	shadow, _ := New(cfg)
+
+	pq, _ := primary.Tick(), shadow.Tick()
+	defused := 0
+	for _, q := range pq {
+		if q.TruthUE < 0.5 || len(q.CE) == 0 {
+			continue
+		}
+		rank, ok := busiestRank(q.CE)
+		if !ok {
+			continue
+		}
+		if _, err := primary.OfflineRank(q.Server, rank); err != nil {
+			t.Fatal(err)
+		}
+		defused++
+	}
+	if defused == 0 {
+		t.Fatal("seed produced no at-risk servers to defuse")
+	}
+
+	for i := 0; i < 3; i++ {
+		pq, sq := primary.Tick(), shadow.Tick()
+		for j := range pq {
+			st, err := primary.State(pq[j].Server)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.OfflineRanks == 0 {
+				continue
+			}
+			if sq[j].TruthUE >= 0.5 && pq[j].TruthUE >= 0.5 {
+				t.Fatalf("tick %d server %d: offlining the busiest CE rank left TruthUE at %g",
+					i, pq[j].Server, pq[j].TruthUE)
+			}
+			if pq[j].TruthUE > sq[j].TruthUE {
+				t.Fatalf("tick %d server %d: offline raised TruthUE %g > %g",
+					i, pq[j].Server, pq[j].TruthUE, sq[j].TruthUE)
+			}
+			for _, e := range pq[j].CE {
+				if rank, _ := busiestRank(sq[j].CE); e.Rank == rank && st.OfflineRanks > 0 && len(sq[j].CE) > 0 &&
+					sq[j].TruthUE >= 0.5 {
+					t.Fatalf("tick %d server %d: offlined rank %d still emits CE events",
+						i, pq[j].Server, e.Rank)
+				}
+			}
+		}
+	}
+}
+
+// busiestRank is the test-local copy of the policy heuristic: the rank
+// carrying the most CE events in a window.
+func busiestRank(events []profile.CEEvent) (int, bool) {
+	if len(events) == 0 {
+		return 0, false
+	}
+	var counts [16]int
+	best, bestN := 0, 0
+	for _, e := range events {
+		if e.Rank < 0 || e.Rank >= len(counts) {
+			continue
+		}
+		counts[e.Rank]++
+		if counts[e.Rank] > bestN {
+			best, bestN = e.Rank, counts[e.Rank]
+		}
+	}
+	return best, bestN > 0
+}
+
+// TestMigrationChangesOperatingPoint: a migrated server runs the
+// replacement label from the next tick, while its telemetry stream stays
+// in RNG lockstep with the shadow fleet.
+func TestMigrationChangesOperatingPoint(t *testing.T) {
+	cfg := Config{Servers: 4, Seed: 6}
+	primary, _ := New(cfg)
+	shadow, _ := New(cfg)
+	primary.Tick()
+	shadow.Tick()
+
+	cool := CoolestWorkload(primary.Config().Workloads)
+	if cool == "" {
+		t.Fatal("no coolest workload in the catalog")
+	}
+	if _, err := primary.Migrate(0, cool); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		pq, sq := primary.Tick(), shadow.Tick()
+		if pq[0].Workload != cool {
+			t.Fatalf("tick %d: migrated server runs %q, want %q", i, pq[0].Workload, cool)
+		}
+		// Telemetry stays in lockstep even though the workload changed.
+		if !reflect.DeepEqual(pq[0].CE, sq[0].CE) {
+			t.Fatalf("tick %d: migration disturbed the CE telemetry stream", i)
+		}
+		// The untouched servers stay byte-identical except for thermal
+		// coupling, which migration of another server cannot cause.
+		for j := 1; j < len(pq); j++ {
+			if !reflect.DeepEqual(pq[j], sq[j]) {
+				t.Fatalf("tick %d: migrating server 0 disturbed server %d", i, j)
+			}
+		}
+	}
+	if changed, err := primary.ClearMigration(0); err != nil || !changed {
+		t.Fatalf("ClearMigration = (%v, %v), want (true, nil)", changed, err)
+	}
+}
+
+// TestActuationValidation rejects out-of-range servers, ranks, refresh
+// periods and unknown migration labels, and reports no-op idempotence.
+func TestActuationValidation(t *testing.T) {
+	f, err := New(Config{Servers: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.SetTREFP(9, 1); err == nil {
+		t.Fatal("out-of-range server accepted")
+	}
+	if _, err := f.SetTREFP(0, -1); err == nil {
+		t.Fatal("negative trefp accepted")
+	}
+	if _, err := f.SetTREFP(0, math.NaN()); err == nil {
+		t.Fatal("NaN trefp accepted")
+	}
+	if _, err := f.OfflineRank(0, 99); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+	if _, err := f.Migrate(0, "doom"); err == nil {
+		t.Fatal("unknown migration label accepted")
+	}
+	if _, err := f.State(-1); err == nil {
+		t.Fatal("out-of-range State accepted")
+	}
+
+	if changed, err := f.OfflineRank(1, 3); err != nil || !changed {
+		t.Fatalf("first offline = (%v, %v)", changed, err)
+	}
+	if changed, err := f.OfflineRank(1, 3); err != nil || changed {
+		t.Fatalf("repeat offline = (%v, %v), want no-op", changed, err)
+	}
+	st, err := f.State(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OfflineRanks != 1 {
+		t.Fatalf("OfflineRanks = %d, want 1", st.OfflineRanks)
+	}
+	if changed, err := f.OnlineRank(1, 3); err != nil || !changed {
+		t.Fatalf("online = (%v, %v)", changed, err)
+	}
+	if changed, err := f.OnlineRank(1, 3); err != nil || changed {
+		t.Fatalf("repeat online = (%v, %v), want no-op", changed, err)
+	}
+
+	// Retune visibility in State: pick a grid value the server is not
+	// already running.
+	st, _ = f.State(0)
+	target := core.WERTrefps[0]
+	if st.TREFP == target {
+		target = core.WERTrefps[1]
+	}
+	if changed, err := f.SetTREFP(0, target); err != nil || !changed {
+		t.Fatalf("retune = (%v, %v)", changed, err)
+	}
+	st, _ = f.State(0)
+	if st.TREFP != target {
+		t.Fatalf("State.TREFP = %v after retune, want %v", st.TREFP, target)
+	}
+	if st.DeployedTREFP == 0 {
+		t.Fatal("State.DeployedTREFP empty")
+	}
+}

@@ -176,6 +176,10 @@ type simServer struct {
 	// mix is the rotation of workload labels this server cycles through.
 	mix []string
 
+	// act is the mutable mitigation state the policy layer drives
+	// (actuate.go); its zero value is "no mitigation".
+	act actuation
+
 	plant *thermal.Plant
 
 	// telem is the server's CE-telemetry generator: its latent fault state
@@ -394,26 +398,33 @@ func (sv *simServer) step(label string, t, dt float64) {
 // truth evaluates the fleet model's ground truth for the server running
 // label at DIMM temperature tempC: the closed-form macro view of the same
 // calibrated laws internal/dram simulates mechanistically. The effective
-// stress x folds the refresh period, the retention-halving temperature
-// dependence and the workload's disturbance aggressiveness into one
-// equivalent refresh exposure.
+// stress x folds the refresh period (after any policy retune), the
+// retention-halving temperature dependence and the workload's disturbance
+// aggressiveness into one equivalent refresh exposure. Offlined ranks
+// contribute no errors: the WER averages over the in-service ranks only.
 func (sv *simServer) truth(label string, tempC float64) (wer, pue float64) {
 	params := dram.DefaultParams()
 	tempFactor := math.Exp2((tempC - params.ReferenceTempC) / params.RetentionHalvingC)
-	x := sv.trefp * tempFactor * stress(label)
+	x := sv.effectiveTREFP() * tempFactor * stress(label)
 
 	// WER: the retention-tail CDF per rank, F(t) = K·d·t^gamma, averaged
 	// over the device like the serving layer's RankDevice mean.
 	tail := math.Pow(x, params.RetentionGamma)
-	sum := 0.0
+	sum, online := 0.0, 0
 	for r := 0; r < dram.NumRanks; r++ {
+		if sv.act.offline[r] {
+			continue
+		}
 		w := params.RetentionK * sv.density[r] * tail
 		if w > 1 {
 			w = 1
 		}
 		sum += w
+		online++
 	}
-	wer = sum / dram.NumRanks
+	if online > 0 {
+		wer = sum / float64(online)
+	}
 
 	// PUE: coupled pairs crash the machine once the effective exposure
 	// approaches the pair-retention median; the narrow retention band
@@ -452,31 +463,52 @@ func New(cfg Config) (*Fleet, error) {
 // Config returns the resolved configuration (defaults applied).
 func (f *Fleet) Config() Config { return f.cfg }
 
-// advance runs one tick: every server steps its thermal state and emits
-// one query, in server order.
-func (f *Fleet) advance() {
+// emitTick runs one tick: every server steps its thermal state and emits
+// one query, in server order. The raw CE window is always generated before
+// the offline filter is applied, so the RNG draw sequence is independent
+// of the actuation state (the A/B lockstep contract of actuate.go).
+func (f *Fleet) emitTick() []Query {
 	f.tick++
 	t := float64(f.tick) * f.cfg.TickSeconds
 	shift := (f.tick / f.cfg.ShiftTicks) % max(1, f.cfg.MixSize)
+	out := make([]Query, 0, len(f.servers))
 	for _, sv := range f.servers {
 		label := sv.mix[shift%len(sv.mix)]
+		if sv.act.migrate != "" {
+			label = sv.act.migrate
+		}
 		sv.step(label, t, f.cfg.TickSeconds)
 		tempC := sv.plant.TempC()
 		wer, pue := sv.truth(label, tempC)
-		f.pending = append(f.pending, Query{
+		out = append(out, Query{
 			Seq:      f.seq,
 			Server:   sv.id,
 			Workload: label,
-			TREFP:    sv.trefp,
+			TREFP:    sv.effectiveTREFP(),
 			VDD:      dram.MinVDD,
 			TempC:    tempC,
 			TruthWER: wer,
 			TruthPUE: pue,
-			CE:       sv.telem.window(f.cfg.TickSeconds),
-			TruthUE:  sv.telem.truthUE(),
+			CE:       sv.act.filterCE(sv.telem.window(f.cfg.TickSeconds)),
+			TruthUE:  sv.truthUE(),
 		})
 		f.seq++
 	}
+	return out
+}
+
+// advance buffers one tick for the Next/Take stream interface.
+func (f *Fleet) advance() {
+	f.pending = append(f.pending, f.emitTick()...)
+}
+
+// Tick advances the simulation one tick and returns that tick's queries,
+// one per server in server order — the synchronous interface the policy
+// control loop runs on (observe the tick, decide, actuate, repeat).
+// Actuations apply from the next tick. Tick and Next/Take must not be
+// mixed on one Fleet: Tick bypasses the pending buffer.
+func (f *Fleet) Tick() []Query {
+	return f.emitTick()
 }
 
 // Next returns the next query of the infinite stream.

@@ -1,0 +1,282 @@
+package policy
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/engine"
+	"repro/internal/fleet"
+	"repro/internal/serve"
+)
+
+// ranksPerServer is the capacity denominator: offlining one rank costs
+// 1/ranksPerServer of a server.
+const ranksPerServer = dram.NumRanks
+
+// PredictFn answers one fleet query — the seam between the harness and
+// the serving layer. Oracle answers from the simulator's ground truth
+// (hermetic evaluation); HTTPPredict asks a live dramserve (the closed
+// loop cmd/dramfleet -policy drives).
+type PredictFn func(q *fleet.Query) (Prediction, error)
+
+// Oracle is the perfect-information predictor: it answers every query
+// with the simulator's own ground truth. It bounds what any model could
+// achieve and keeps the evaluation harness hermetic — no artifact, no
+// server, no model error folded into the policy comparison.
+func Oracle() PredictFn {
+	return func(q *fleet.Query) (Prediction, error) {
+		return Prediction{WER: q.TruthWER, PUE: q.TruthPUE, Risk: q.TruthUE, HasRisk: true}, nil
+	}
+}
+
+// HTTPPredict answers queries from a live dramserve /v2/predict endpoint.
+// No explicit targets are requested, so the server's default selection
+// answers: wer and pue always, ue_risk joining when the artifact carries
+// the classifier and the query carries CE telemetry — HasRisk records
+// whether it did. client may be nil (a shared client with a sane timeout
+// is used); timeout bounds each request, 0 meaning the fleet driver's
+// default.
+func HTTPPredict(baseURL, model string, client *http.Client, timeout time.Duration) PredictFn {
+	if client == nil {
+		client = &http.Client{Timeout: fleet.DefaultRequestTimeout}
+	}
+	if timeout == 0 {
+		timeout = fleet.DefaultRequestTimeout
+	}
+	return func(q *fleet.Query) (Prediction, error) {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		body, err := json.Marshal(serve.PredictRequestV2{
+			Workload: q.Workload,
+			TREFP:    q.TREFP,
+			TempC:    q.TempC,
+			VDD:      q.VDD,
+			Model:    model,
+			CE:       q.CE,
+		})
+		if err != nil {
+			return Prediction{}, err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			baseURL+"/v2/predict", bytes.NewReader(body))
+		if err != nil {
+			return Prediction{}, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return Prediction{}, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return Prediction{}, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return Prediction{}, fmt.Errorf("policy: predict server %d: %s: %s",
+				q.Server, resp.Status, data)
+		}
+		var out serve.PredictResponseV2
+		if err := json.Unmarshal(data, &out); err != nil {
+			return Prediction{}, err
+		}
+		var p Prediction
+		if r, ok := out.Predictions[string(core.TargetWER)]; ok {
+			p.WER = r.Value
+		}
+		if r, ok := out.Predictions[string(core.TargetPUE)]; ok {
+			p.PUE = r.Value
+		}
+		if r, ok := out.Predictions[string(core.TargetUERisk)]; ok {
+			p.Risk, p.HasRisk = r.Value, true
+		}
+		return p, nil
+	}
+}
+
+// EvalConfig configures one policy evaluation.
+type EvalConfig struct {
+	// Fleet is the simulated fleet; its Seed keys the whole run.
+	Fleet fleet.Config
+	// Ticks is the number of simulation steps (default DefaultTicks).
+	Ticks int
+	// Workers bounds the concurrent predictor calls per tick (0 means
+	// GOMAXPROCS). The ledger is worker-count invariant: predictions fan
+	// out through engine.Map, which returns results in query order, and
+	// all scoring arithmetic runs sequentially.
+	Workers int
+	// Predict answers the per-query predictions (default Oracle).
+	Predict PredictFn
+	// Context cancels a run between ticks and between predictor calls.
+	Context context.Context
+}
+
+// DefaultTicks is the evaluation length when EvalConfig.Ticks is zero:
+// four workload-rotation shifts at the default fleet configuration.
+const DefaultTicks = 32
+
+// predOut carries one predictor answer through engine.Map without
+// aborting the fan-out on per-query failure.
+type predOut struct {
+	p   Prediction
+	err error
+}
+
+// Evaluate runs pol in closed loop over a simulated fleet and scores it
+// against an un-actuated shadow fleet replaying the identical random
+// draws (the actuation path's RNG-lockstep contract). Per tick: both
+// fleets emit their queries, the predictor answers the primary's (fanned
+// out over Workers, results in query order), the scorer accumulates the
+// shadow-minus-primary truth deltas and the resource costs, and the
+// policy's actions are applied to take effect next tick. The returned
+// Ledger is a pure function of (cfg.Fleet, pol, predictor behavior) —
+// bit-identical across runs and worker counts.
+func Evaluate(cfg EvalConfig, pol Policy) (*Ledger, error) {
+	if cfg.Ticks == 0 {
+		cfg.Ticks = DefaultTicks
+	}
+	if cfg.Ticks < 0 {
+		return nil, fmt.Errorf("policy: %d ticks", cfg.Ticks)
+	}
+	predict := cfg.Predict
+	if predict == nil {
+		predict = Oracle()
+	}
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	primary, err := fleet.New(cfg.Fleet)
+	if err != nil {
+		return nil, err
+	}
+	shadow, err := fleet.New(cfg.Fleet)
+	if err != nil {
+		return nil, err
+	}
+	fcfg := primary.Config()
+	cool := fleet.CoolestWorkload(fcfg.Workloads)
+
+	led := &Ledger{
+		Policy:  pol.Name(),
+		Seed:    fcfg.Seed,
+		Ticks:   cfg.Ticks,
+		Servers: fcfg.Servers,
+	}
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pq, sq := primary.Tick(), shadow.Tick()
+
+		// Fan the predictor out; per-query failures degrade to a zero
+		// Prediction rather than aborting the run (a live backend blip
+		// blinds the policy for a tick, it does not invalidate the
+		// ledger).
+		preds, err := engine.Map(len(pq), func(i int) (predOut, error) {
+			p, err := predict(&pq[i])
+			return predOut{p: p, err: err}, nil
+		}, engine.Options{Workers: cfg.Workers, Context: ctx})
+		if err != nil {
+			return nil, err
+		}
+
+		// Score this tick and assemble the policy's view, in server order.
+		obs := make([]Observation, len(pq))
+		for i := range pq {
+			st, err := primary.State(pq[i].Server)
+			if err != nil {
+				return nil, err
+			}
+			led.AvoidedUE += sq[i].TruthUE - pq[i].TruthUE
+			led.AvoidedCrash += sq[i].TruthPUE - pq[i].TruthPUE
+			if st.TREFP < st.DeployedTREFP {
+				led.RefreshOverhead += st.DeployedTREFP/st.TREFP - 1
+			}
+			led.OfflineCapacity += float64(st.OfflineRanks) / ranksPerServer
+			if st.Migrated != "" {
+				led.MigratedTicks++
+			}
+			led.PredictCalls++
+			if preds[i].err != nil {
+				led.PredictErrors++
+			}
+			obs[i] = Observation{
+				Server:        pq[i].Server,
+				Workload:      pq[i].Workload,
+				TREFP:         st.TREFP,
+				DeployedTREFP: st.DeployedTREFP,
+				TempC:         pq[i].TempC,
+				OfflineRanks:  st.OfflineRanks,
+				Migrated:      st.Migrated,
+				CECount:       len(pq[i].CE),
+				BusiestRank:   busiestRank(&pq[i]),
+				Pred:          preds[i].p,
+			}
+		}
+
+		// Actuate for the next tick. An invalid action is a policy bug
+		// and fails the evaluation loudly.
+		for _, a := range pol.Decide(tick, obs) {
+			changed, err := apply(primary, a, cool)
+			if err != nil {
+				return nil, fmt.Errorf("policy %s, tick %d: %w", pol.Name(), tick, err)
+			}
+			if !changed {
+				continue
+			}
+			switch a.Kind {
+			case Retune:
+				led.Retunes++
+			case Offline:
+				led.Offlines++
+			case Migrate:
+				led.Migrations++
+			}
+		}
+	}
+	return led, nil
+}
+
+// apply executes one action on the fleet, resolving the empty migration
+// label to the coolest catalog workload.
+func apply(f *fleet.Fleet, a Action, cool string) (bool, error) {
+	switch a.Kind {
+	case Retune:
+		return f.SetTREFP(a.Server, a.TREFP)
+	case Offline:
+		return f.OfflineRank(a.Server, a.Rank)
+	case Migrate:
+		label := a.Workload
+		if label == "" {
+			label = cool
+		}
+		return f.Migrate(a.Server, label)
+	}
+	return false, fmt.Errorf("unknown action kind %q", a.Kind)
+}
+
+// busiestRank extracts the offlining policies' spatial signal: the rank
+// carrying the most CE events in the query's telemetry window, -1 when
+// the window is empty.
+func busiestRank(q *fleet.Query) int {
+	if len(q.CE) == 0 {
+		return -1
+	}
+	counts := make(map[int]int)
+	best, bestN := -1, 0
+	for _, e := range q.CE {
+		counts[e.Rank]++
+		if counts[e.Rank] > bestN || (counts[e.Rank] == bestN && e.Rank < best) {
+			best, bestN = e.Rank, counts[e.Rank]
+		}
+	}
+	return best
+}

@@ -1,0 +1,131 @@
+package policy
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+)
+
+// Cost weights combining the ledger axes into one net score. The scale
+// follows the RL-mitigation paper's cost model: a crash-grade event is
+// orders of magnitude more expensive than the energy or capacity spent
+// avoiding it, offlined capacity costs more than extra refresh energy,
+// and moving a job is the cheapest lever of all. Weights are per
+// server-tick of the respective quantity.
+const (
+	// UECost prices one unit of avoided expected uncorrectable errors.
+	UECost = 100.0
+	// CrashCost prices one unit of avoided expected crash probability.
+	CrashCost = 25.0
+	// EnergyCost prices one server-tick of fractional refresh-rate
+	// overhead (deployed/effective − 1).
+	EnergyCost = 1.0
+	// CapacityCost prices one server-tick of fully-offlined capacity.
+	CapacityCost = 0.5
+	// MigrationCost prices one migrated server-tick.
+	MigrationCost = 0.05
+)
+
+// Ledger is the scored outcome of one policy evaluation: the exact
+// same-seed difference between the actuated primary fleet and the
+// un-actuated shadow fleet, plus the resources the policy spent. Every
+// field is accumulated in fixed tick-then-server order, so two runs with
+// equal (Config, policy, predictor) produce byte-identical ledgers.
+type Ledger struct {
+	// Policy is the evaluated policy's name; Seed and Ticks/Servers echo
+	// the run configuration.
+	Policy  string
+	Seed    uint64
+	Ticks   int
+	Servers int
+
+	// AvoidedUE is Σ(shadow TruthUE − primary TruthUE) over all
+	// server-ticks: the expected uncorrectable errors the policy's
+	// actions removed from the run. AvoidedCrash is the same sum over
+	// the crash probability (TruthPUE).
+	AvoidedUE    float64
+	AvoidedCrash float64
+
+	// RefreshOverhead is Σ max(0, deployed/effective − 1) per
+	// server-tick: the extra refresh energy bought by retuning.
+	RefreshOverhead float64
+	// OfflineCapacity is Σ offlinedRanks/ranksPerServer per server-tick:
+	// the capacity the fleet ran without.
+	OfflineCapacity float64
+	// MigratedTicks counts server-ticks spent on a migrated workload.
+	MigratedTicks int
+
+	// Retunes, Offlines and Migrations count the actions that actually
+	// changed state (idempotent re-issues are free).
+	Retunes    int
+	Offlines   int
+	Migrations int
+
+	// PredictCalls counts predictor invocations; PredictErrors the ones
+	// that failed (failed queries contribute a zero Prediction, so a
+	// flaky live backend degrades the policy's vision, never the
+	// harness's determinism contract over its own arithmetic).
+	PredictCalls  int
+	PredictErrors int
+}
+
+// Net combines the ledger into one score: value of harm avoided minus
+// cost of resources spent. The static policy nets exactly zero by
+// construction; an adaptive policy dominates it when Net > 0 with
+// AvoidedUE > 0.
+func (l *Ledger) Net() float64 {
+	return UECost*l.AvoidedUE +
+		CrashCost*l.AvoidedCrash -
+		EnergyCost*l.RefreshOverhead -
+		CapacityCost*l.OfflineCapacity -
+		MigrationCost*float64(l.MigratedTicks)
+}
+
+// Render formats the ledger as a fixed-layout report block. The output is
+// part of the determinism contract: same evaluation, same bytes (%.9g
+// keeps the floats stable and diffable).
+func (l *Ledger) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mitigation ledger: policy=%s seed=%d ticks=%d servers=%d\n",
+		l.Policy, l.Seed, l.Ticks, l.Servers)
+	fmt.Fprintf(&b, "  avoided_ue        %.9g\n", l.AvoidedUE)
+	fmt.Fprintf(&b, "  avoided_crash     %.9g\n", l.AvoidedCrash)
+	fmt.Fprintf(&b, "  refresh_overhead  %.9g\n", l.RefreshOverhead)
+	fmt.Fprintf(&b, "  offline_capacity  %.9g\n", l.OfflineCapacity)
+	fmt.Fprintf(&b, "  migrated_ticks    %d\n", l.MigratedTicks)
+	fmt.Fprintf(&b, "  actions           retune=%d offline=%d migrate=%d\n",
+		l.Retunes, l.Offlines, l.Migrations)
+	fmt.Fprintf(&b, "  predict           calls=%d errors=%d\n", l.PredictCalls, l.PredictErrors)
+	fmt.Fprintf(&b, "  net               %.9g\n", l.Net())
+	fmt.Fprintf(&b, "  checksum          %016x\n", l.Checksum())
+	return b.String()
+}
+
+// Checksum is an FNV-1a hash over the ledger's canonical encoding — the
+// one-line fingerprint replay tests compare.
+func (l *Ledger) Checksum() uint64 {
+	h := fnv.New64a()
+	put := func(v uint64) {
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	h.Write([]byte(l.Policy))
+	put(l.Seed)
+	put(uint64(l.Ticks))
+	put(uint64(l.Servers))
+	put(math.Float64bits(l.AvoidedUE))
+	put(math.Float64bits(l.AvoidedCrash))
+	put(math.Float64bits(l.RefreshOverhead))
+	put(math.Float64bits(l.OfflineCapacity))
+	put(uint64(l.MigratedTicks))
+	put(uint64(l.Retunes))
+	put(uint64(l.Offlines))
+	put(uint64(l.Migrations))
+	put(uint64(l.PredictCalls))
+	put(uint64(l.PredictErrors))
+	return h.Sum64()
+}

@@ -1,0 +1,260 @@
+// Package policy closes the loop the rest of this repository opens: it
+// consumes the serving layer's predictions (WER, crash probability,
+// ue_risk) and turns them into mitigation actions on the simulated fleet
+// — per-server refresh retuning, rank offlining with capacity cost, job
+// migration with placement cost. "Reinforcement Learning-based Adaptive
+// Mitigation of Uncorrected DRAM Errors in the Field" (PAPERS.md) shows
+// prediction-driven mitigation beating static policies on avoided-crash
+// cost; this package reproduces that comparison shape on the paper's
+// TREFP operating-point model with three built-in policies (static,
+// threshold, risk-budget) and a deterministic evaluation harness.
+//
+// The harness (Evaluate) is the point: it runs a policy against a primary
+// fleet while an un-actuated shadow fleet replays the identical random
+// draws alongside (the fleet actuation path guarantees RNG lockstep), so
+// the scored Ledger — expected UEs avoided, refresh-energy overhead,
+// offlined capacity, migration burden — is an exact same-seed A/B
+// difference with zero sampling variance, bit-identical at any worker
+// count. Policies are compared on byte-equal ledgers, not overlapping
+// confidence intervals.
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Prediction is what the serving layer answered for one query: the two
+// regression targets plus the ue_risk classifier score when the artifact
+// serves it (HasRisk distinguishes "risk 0" from "no classifier").
+type Prediction struct {
+	WER float64
+	PUE float64
+	// Risk is the ue_risk score in [0, 1]; valid only when HasRisk.
+	Risk    float64
+	HasRisk bool
+}
+
+// Observation is one server's state as the policy loop sees it at one
+// tick: the operating point, the actuation already in force, the CE
+// telemetry summary and the model's predictions. Deliberately absent is
+// the simulator's ground truth — a policy sees exactly what a real fleet
+// controller would.
+type Observation struct {
+	// Server is the fleet index.
+	Server int
+	// Workload is the label the server runs this tick.
+	Workload string
+	// TREFP is the effective refresh period; DeployedTREFP the original
+	// policy (they differ when a retune is in force).
+	TREFP         float64
+	DeployedTREFP float64
+	// TempC is the DIMM temperature this tick.
+	TempC float64
+	// OfflineRanks counts ranks already removed from service; Migrated is
+	// the label the server was migrated to ("" when on schedule).
+	OfflineRanks int
+	Migrated     string
+	// CECount is the number of correctable-error events in this tick's
+	// telemetry window; BusiestRank the rank carrying the most of them
+	// (-1 when the window is empty) — the spatial signal an offlining
+	// policy acts on.
+	CECount     int
+	BusiestRank int
+	// Pred is the serving layer's answer for this query.
+	Pred Prediction
+}
+
+// ActionKind enumerates the mitigation levers.
+type ActionKind string
+
+const (
+	// Retune sets the server's refresh period to Action.TREFP.
+	Retune ActionKind = "retune"
+	// Offline removes Action.Rank from service.
+	Offline ActionKind = "offline"
+	// Migrate replaces the server's workload with Action.Workload; empty
+	// means "the coolest label in the fleet catalog" (resolved by the
+	// harness, so policies stay catalog-agnostic).
+	Migrate ActionKind = "migrate"
+)
+
+// Action is one mitigation decision. Actions issued at tick t take effect
+// from tick t+1 — the policy loop observes, then actuates.
+type Action struct {
+	Server   int
+	Kind     ActionKind
+	TREFP    float64 // Retune
+	Rank     int     // Offline
+	Workload string  // Migrate ("" = coolest)
+}
+
+// Policy maps one tick's fleet observations to mitigation actions.
+// Implementations must be deterministic pure functions of the observation
+// sequence they have seen — the harness's bit-exactness contract extends
+// through the policy.
+type Policy interface {
+	// Name identifies the policy in ledgers and reports.
+	Name() string
+	// Decide returns the actions to apply after this tick. The
+	// observation slice is ordered by server index.
+	Decide(tick int, obs []Observation) []Action
+}
+
+// Static is the do-nothing baseline: the fleet runs its deployed
+// operating points untouched. Its ledger is exactly zero on every axis —
+// the floor an adaptive policy must dominate.
+type Static struct{}
+
+// Name implements Policy.
+func (Static) Name() string { return "static" }
+
+// Decide implements Policy: no actions, ever.
+func (Static) Decide(int, []Observation) []Action { return nil }
+
+// Threshold is the classic reactive policy: when the ue_risk score
+// crosses Risk and the CE window locates a culprit rank, offline that
+// rank; when the predicted crash probability crosses PUE, retune the
+// server to the tightest refresh period on the paper's campaign grid.
+// Each server is mitigated at most once per lever (offlining is one-shot;
+// a retune is never re-issued) so the action stream stays sparse.
+type Threshold struct {
+	// Risk is the ue_risk score above which the culprit rank is offlined
+	// (default DefaultRiskThreshold).
+	Risk float64
+	// PUE is the predicted crash probability above which the server is
+	// retuned to the grid-minimum TREFP (default DefaultPUEThreshold).
+	PUE float64
+}
+
+// Defaults for the threshold policy's zero fields.
+const (
+	DefaultRiskThreshold = 0.5
+	DefaultPUEThreshold  = 0.5
+)
+
+// Name implements Policy.
+func (Threshold) Name() string { return "threshold" }
+
+// Decide implements Policy.
+func (p Threshold) Decide(_ int, obs []Observation) []Action {
+	risk, pue := p.Risk, p.PUE
+	if risk == 0 {
+		risk = DefaultRiskThreshold
+	}
+	if pue == 0 {
+		pue = DefaultPUEThreshold
+	}
+	var acts []Action
+	for _, o := range obs {
+		if o.Pred.HasRisk && o.Pred.Risk >= risk && o.BusiestRank >= 0 && o.OfflineRanks == 0 {
+			acts = append(acts, Action{Server: o.Server, Kind: Offline, Rank: o.BusiestRank})
+		}
+		if o.Pred.PUE >= pue && o.TREFP > minGridTREFP() {
+			acts = append(acts, Action{Server: o.Server, Kind: Retune, TREFP: minGridTREFP()})
+		}
+	}
+	return acts
+}
+
+// RiskBudget is the budgeted adaptive policy: every tick it ranks the
+// fleet by ue_risk and spends a bounded capacity budget on the riskiest
+// servers first — offlining culprit ranks while under budget, then
+// falling back to the cheaper levers (grid-minimum retune plus migration
+// to the coolest catalog workload) for at-risk servers the budget cannot
+// cover. The shape mirrors the RL paper's cost-bounded mitigation agent
+// with the learning replaced by an explicit priority rule.
+type RiskBudget struct {
+	// Capacity is the maximum fraction of the fleet's ranks that may be
+	// offline at once (default DefaultCapacityBudget).
+	Capacity float64
+	// Risk is the score above which a server is worth spending on
+	// (default DefaultBudgetRisk).
+	Risk float64
+}
+
+// Defaults for the risk-budget policy's zero fields.
+const (
+	DefaultCapacityBudget = 0.05
+	DefaultBudgetRisk     = 0.4
+)
+
+// Name implements Policy.
+func (RiskBudget) Name() string { return "risk-budget" }
+
+// Decide implements Policy.
+func (p RiskBudget) Decide(_ int, obs []Observation) []Action {
+	capBudget, risk := p.Capacity, p.Risk
+	if capBudget == 0 {
+		capBudget = DefaultCapacityBudget
+	}
+	if risk == 0 {
+		risk = DefaultBudgetRisk
+	}
+	// Candidates: at-risk servers with a locatable culprit, riskiest
+	// first; ties break on server index so the ordering is total.
+	var cand []Observation
+	offline := 0
+	for _, o := range obs {
+		offline += o.OfflineRanks
+		if o.Pred.HasRisk && o.Pred.Risk >= risk {
+			cand = append(cand, o)
+		}
+	}
+	sort.SliceStable(cand, func(i, j int) bool {
+		if cand[i].Pred.Risk != cand[j].Pred.Risk {
+			return cand[i].Pred.Risk > cand[j].Pred.Risk
+		}
+		return cand[i].Server < cand[j].Server
+	})
+	totalRanks := len(obs) * ranksPerServer
+	var acts []Action
+	for _, o := range cand {
+		canOffline := o.BusiestRank >= 0 && o.OfflineRanks == 0 &&
+			totalRanks > 0 && float64(offline+1)/float64(totalRanks) <= capBudget
+		if canOffline {
+			acts = append(acts, Action{Server: o.Server, Kind: Offline, Rank: o.BusiestRank})
+			offline++
+			continue
+		}
+		// Budget exhausted (or no culprit rank): fall back to the cheap
+		// levers — tighten refresh and move the job somewhere gentle.
+		if o.TREFP > minGridTREFP() {
+			acts = append(acts, Action{Server: o.Server, Kind: Retune, TREFP: minGridTREFP()})
+		}
+		if o.Migrated == "" {
+			acts = append(acts, Action{Server: o.Server, Kind: Migrate})
+		}
+	}
+	return acts
+}
+
+// minGridTREFP is the tightest refresh period on the paper's campaign
+// grid — the safest operating point a retune can reach.
+func minGridTREFP() float64 {
+	min := core.WERTrefps[0]
+	for _, t := range core.WERTrefps[1:] {
+		if t < min {
+			min = t
+		}
+	}
+	return min
+}
+
+// Names lists the built-in policies in the order ByName accepts them.
+func Names() []string { return []string{"static", "threshold", "risk-budget"} }
+
+// ByName returns a built-in policy with default parameters.
+func ByName(name string) (Policy, error) {
+	switch name {
+	case "static":
+		return Static{}, nil
+	case "threshold":
+		return Threshold{}, nil
+	case "risk-budget":
+		return RiskBudget{}, nil
+	}
+	return nil, fmt.Errorf("policy: unknown policy %q (have static, threshold, risk-budget)", name)
+}

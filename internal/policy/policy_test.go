@@ -1,0 +1,229 @@
+package policy
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/serve"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestStaticLedgerIsZero(t *testing.T) {
+	led, err := Evaluate(EvalConfig{Fleet: fleet.Config{Servers: 8, Seed: 3}, Ticks: 8}, Static{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if led.AvoidedUE != 0 || led.AvoidedCrash != 0 || led.RefreshOverhead != 0 ||
+		led.OfflineCapacity != 0 || led.MigratedTicks != 0 ||
+		led.Retunes != 0 || led.Offlines != 0 || led.Migrations != 0 {
+		t.Fatalf("static ledger not zero:\n%s", led.Render())
+	}
+	if led.Net() != 0 {
+		t.Fatalf("static Net() = %g, want exactly 0", led.Net())
+	}
+	if led.PredictCalls != 8*8 {
+		t.Fatalf("PredictCalls = %d, want 64", led.PredictCalls)
+	}
+}
+
+// TestPolicyEvaluateDeterminism is the acceptance gate of the harness:
+// the ledger — down to its rendered bytes — is identical across worker
+// counts and across two same-seed runs, for every built-in policy.
+func TestPolicyEvaluateDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		pol, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := EvalConfig{Fleet: fleet.Config{Servers: 12, Seed: 7}, Ticks: 16}
+
+		w1 := base
+		w1.Workers = 1
+		a, err := Evaluate(w1, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w4 := base
+		w4.Workers = 4
+		b, err := Evaluate(w4, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Render() != b.Render() {
+			t.Fatalf("%s: workers=1 vs workers=4 ledgers differ:\n%s\nvs\n%s",
+				name, a.Render(), b.Render())
+		}
+		c, err := Evaluate(w4, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Render() != c.Render() || b.Checksum() != c.Checksum() {
+			t.Fatalf("%s: two same-seed runs differ:\n%s\nvs\n%s",
+				name, b.Render(), c.Render())
+		}
+	}
+}
+
+// TestAdaptiveDominatesStatic: at equal seed, both adaptive policies must
+// avoid real UE exposure and come out ahead on the net score, where the
+// static baseline sits at exactly zero.
+func TestAdaptiveDominatesStatic(t *testing.T) {
+	cfg := EvalConfig{Fleet: fleet.Config{Servers: 16, Seed: 1}, Ticks: 24}
+	static, err := Evaluate(cfg, Static{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"threshold", "risk-budget"} {
+		pol, _ := ByName(name)
+		led, err := Evaluate(cfg, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if led.AvoidedUE <= static.AvoidedUE {
+			t.Fatalf("%s avoided %g expected UEs, static %g — no domination:\n%s",
+				name, led.AvoidedUE, static.AvoidedUE, led.Render())
+		}
+		if led.Net() <= static.Net() {
+			t.Fatalf("%s Net() = %g <= static %g:\n%s", name, led.Net(), static.Net(), led.Render())
+		}
+		if led.Offlines == 0 {
+			t.Fatalf("%s never offlined a rank:\n%s", name, led.Render())
+		}
+	}
+}
+
+func TestEvaluateRejectsBadConfig(t *testing.T) {
+	if _, err := Evaluate(EvalConfig{Ticks: -1}, Static{}); err == nil {
+		t.Fatal("negative ticks accepted")
+	}
+	if _, err := Evaluate(EvalConfig{Fleet: fleet.Config{Servers: -1}}, Static{}); err == nil {
+		t.Fatal("invalid fleet config accepted")
+	}
+}
+
+// badPolicy issues an out-of-range action to prove the harness fails
+// loudly on policy bugs instead of silently skipping them.
+type badPolicy struct{}
+
+func (badPolicy) Name() string { return "bad" }
+func (badPolicy) Decide(int, []Observation) []Action {
+	return []Action{{Server: 10_000, Kind: Offline, Rank: 0}}
+}
+
+func TestEvaluateRejectsInvalidAction(t *testing.T) {
+	_, err := Evaluate(EvalConfig{Fleet: fleet.Config{Servers: 2, Seed: 1}, Ticks: 2}, badPolicy{})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("invalid action error = %v", err)
+	}
+}
+
+// TestHTTPPredict exercises the live-loop predictor against a stub
+// /v2/predict endpoint: target extraction, HasRisk detection, and error
+// surfaces for non-200 responses.
+func TestHTTPPredict(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v2/predict", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.PredictRequestV2
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := serve.PredictResponseV2{Fingerprint: "stub"}
+		resp.Predictions = map[string]serve.TargetResultV2{
+			"wer": {Value: 1e-6},
+			"pue": {Value: 0.25},
+		}
+		if len(req.CE) > 0 {
+			resp.Predictions["ue_risk"] = serve.TargetResultV2{Value: 0.9}
+		}
+		json.NewEncoder(w).Encode(resp)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	predict := HTTPPredict(srv.URL, "", nil, 0)
+	f, err := fleet.New(fleet.Config{Servers: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := f.Tick()
+	sawRisk, sawNoRisk := false, false
+	for i := range qs {
+		p, err := predict(&qs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.WER != 1e-6 || p.PUE != 0.25 {
+			t.Fatalf("prediction = %+v", p)
+		}
+		if p.HasRisk {
+			if p.Risk != 0.9 {
+				t.Fatalf("risk = %v", p.Risk)
+			}
+			sawRisk = true
+		} else {
+			sawNoRisk = true
+		}
+	}
+	if !sawRisk || !sawNoRisk {
+		t.Fatalf("stream did not cover both risk cases (risk=%v, none=%v)", sawRisk, sawNoRisk)
+	}
+
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer broken.Close()
+	if _, err := HTTPPredict(broken.URL, "", nil, 0)(&qs[0]); err == nil {
+		t.Fatal("503 response did not error")
+	}
+}
+
+// TestEvaluateSurvivesPredictErrors: a predictor that fails on part of
+// the stream is counted, not fatal, and the count is deterministic.
+func TestEvaluateSurvivesPredictErrors(t *testing.T) {
+	flaky := func(q *fleet.Query) (Prediction, error) {
+		if q.Server%3 == 0 {
+			return Prediction{}, errTest
+		}
+		return Prediction{WER: q.TruthWER, PUE: q.TruthPUE, Risk: q.TruthUE, HasRisk: true}, nil
+	}
+	cfg := EvalConfig{Fleet: fleet.Config{Servers: 9, Seed: 5}, Ticks: 4, Predict: flaky}
+	led, err := Evaluate(cfg, Threshold{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if led.PredictErrors != 3*4 {
+		t.Fatalf("PredictErrors = %d, want 12", led.PredictErrors)
+	}
+	again, err := Evaluate(cfg, Threshold{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if led.Render() != again.Render() {
+		t.Fatal("flaky predictor broke ledger determinism")
+	}
+}
+
+var errTest = &testErr{}
+
+type testErr struct{}
+
+func (*testErr) Error() string { return "test error" }

@@ -1,6 +1,9 @@
 package profile
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // The post-2019 failure-prediction literature ("Exploring Error Bits for
 // Memory Failure Prediction", "DRAM Failure Prediction in AIOps") predicts
@@ -81,10 +84,18 @@ func CEFeatureNames() []string {
 	return out
 }
 
-// ValidateCEEvents checks a CE log for the time-ordering contract.
-// Consumers never sort: an out-of-order log is a caller bug (or a
-// malformed query) and is rejected, not repaired.
+// ValidateCEEvents checks a CE log for the time-ordering contract and
+// finite timestamps. Consumers never sort: an out-of-order log is a
+// caller bug (or a malformed query) and is rejected, not repaired. A
+// non-finite timestamp is rejected too — NaN defeats the ordering check
+// (every comparison is false) and ±Inf turns the interarrival features
+// into NaN arithmetic downstream.
 func ValidateCEEvents(events []CEEvent) error {
+	for i := range events {
+		if math.IsNaN(events[i].T) || math.IsInf(events[i].T, 0) {
+			return fmt.Errorf("profile: ce event %d has non-finite t=%g", i, events[i].T)
+		}
+	}
 	for i := 1; i < len(events); i++ {
 		if events[i].T < events[i-1].T {
 			return fmt.Errorf("profile: ce event %d at t=%g precedes event %d at t=%g: log must be time-ordered",

@@ -1,0 +1,70 @@
+package profile
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzCEFeatures drives arbitrary JSON-decoded CE logs through the
+// telemetry vectorizer. For any log ValidateCEEvents accepts, the
+// invariants the ue_risk training and serving paths both lean on must
+// hold: CEFeaturesInto never panics, the vector is finite and
+// non-negative (every feature is a count, a rate, a concentration ratio
+// or a burstiness score), vectorization is deterministic, and the
+// allocating CEFeatures wrapper agrees with CEFeaturesInto exactly.
+func FuzzCEFeatures(f *testing.F) {
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"t":0,"rank":0,"bank":0,"row":0,"col":0}]`))
+	f.Add([]byte(`[{"t":1,"rank":3,"bank":2,"row":70,"col":9,"bits":2},{"t":2,"rank":3,"bank":2,"row":70,"col":10}]`))
+	f.Add([]byte(`[{"t":0.5,"rank":1,"row":4,"col":4},{"t":0.5,"rank":1,"row":4,"col":4},{"t":0.5,"rank":1,"row":4,"col":4}]`))
+	f.Add([]byte(`[{"t":-1}]`))
+	f.Add([]byte(`[{"t":2},{"t":1}]`))
+	f.Add([]byte(`[{"t":1e308,"rank":2147483647,"row":-2147483648,"bits":-5}]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var events []CEEvent
+		if err := json.Unmarshal(data, &events); err != nil {
+			return
+		}
+		if err := ValidateCEEvents(events); err != nil {
+			return
+		}
+		var a, b [NumCEFeatures]float64
+		CEFeaturesInto(a[:], events)
+		CEFeaturesInto(b[:], events)
+		alloc := CEFeatures(events)
+		if len(alloc) != NumCEFeatures {
+			t.Fatalf("CEFeatures returned %d features, want %d", len(alloc), NumCEFeatures)
+		}
+		for i := 0; i < NumCEFeatures; i++ {
+			// Counts, shares and fractions must be finite outright; the
+			// interarrival features may overflow to +Inf for adversarial
+			// (but validly ordered) timestamps spanning ±1e308, yet must
+			// never be NaN — that is what ValidateCEEvents rejecting
+			// non-finite timestamps guarantees.
+			if math.IsNaN(a[i]) {
+				t.Fatalf("feature %d (%s) = NaN for %d events", i, CEFeatureNames()[i], len(events))
+			}
+			if i < CEFeatMeanInterarrival && math.IsInf(a[i], 0) {
+				t.Fatalf("feature %d (%s) = %v for %d events", i, CEFeatureNames()[i], a[i], len(events))
+			}
+			if a[i] < 0 {
+				t.Fatalf("feature %d (%s) = %v negative", i, CEFeatureNames()[i], a[i])
+			}
+			if a[i] != b[i] {
+				t.Fatalf("feature %d (%s) not deterministic: %v vs %v", i, CEFeatureNames()[i], a[i], b[i])
+			}
+			if alloc[i] != a[i] {
+				t.Fatalf("feature %d (%s): CEFeatures %v != CEFeaturesInto %v", i, CEFeatureNames()[i], alloc[i], a[i])
+			}
+		}
+		if len(events) == 0 {
+			for i, v := range a {
+				if v != 0 {
+					t.Fatalf("empty log vectorized feature %d to %v, want 0", i, v)
+				}
+			}
+		}
+	})
+}

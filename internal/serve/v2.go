@@ -67,6 +67,12 @@ func putV2Body(b *predictBodyV2) {
 	targets := b.Targets[:0]
 	clear(targets[:cap(targets)]) // drop string refs pinned past the reslice
 	ce := b.CE[:0]
+	// Zero the CE elements, not just the length: encoding/json reuses
+	// existing array elements when decoding into capacity and only
+	// overwrites the fields present in the document, so a sparse event
+	// like {"t":1} would otherwise inherit the previous request's DRAM
+	// coordinates.
+	clear(ce[:cap(ce)])
 	clear(b.Queries) // batch elements own their own Targets/CE slices
 	b.Queries = nil
 	b.PredictRequestV2 = PredictRequestV2{Targets: targets, CE: ce}

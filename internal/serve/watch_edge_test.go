@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// watcherFixture boots a server on a fresh artifact and polls once so the
+// watcher holds committed stat state.
+func watcherFixture(t *testing.T) (*Server, *ArtifactWatcher, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "dfault.json.gz")
+	ds := testDataset(t)
+	if err := ds.SaveAtomic(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(loaded, Options{Quick: true, Seed: 3, Workers: 2, ArtifactPath: path})
+	t.Cleanup(func() { s.Close() })
+	aw := NewArtifactWatcher(s, path)
+	if _, err := aw.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	return s, aw, path
+}
+
+// TestWatcherStatErrorMidPoll: the artifact vanishing between polls must
+// surface as a poll error — never a silent skip — while the serving
+// generation stays up, and the watcher must keep retrying so the next
+// successful stat recovers without a restart.
+func TestWatcherStatErrorMidPoll(t *testing.T) {
+	s, aw, path := watcherFixture(t)
+	_, servingBefore := s.Identity()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if res, err := aw.Poll(); err == nil {
+			t.Fatalf("poll %d with no artifact = (%+v, nil), want an error", i, res)
+		}
+	}
+	if _, serving := s.Identity(); serving != servingBefore {
+		t.Fatalf("failed poll changed the serving fingerprint %q -> %q", servingBefore, serving)
+	}
+
+	// Restore the identical bytes: the poll recovers on its own. The
+	// reload is a no-op swap (same fingerprint), not an error.
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := aw.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Swapped {
+		t.Fatalf("recovery poll = %+v, want an unswapped reload", res)
+	}
+}
+
+// TestWatcherArtifactDeletedThenRecreated: a delete followed by a rewrite
+// with different content must swap generations once the file is back,
+// regardless of how many polls failed in between.
+func TestWatcherArtifactDeletedThenRecreated(t *testing.T) {
+	s, aw, path := watcherFixture(t)
+	gen0, _ := s.Identity()
+
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aw.Poll(); err == nil {
+		t.Fatal("poll with no artifact succeeded")
+	}
+
+	// Recreate with a byte-different artifact (seed is hashed into the
+	// fingerprint).
+	next := testDataset(t).Append(nil, nil, nil)
+	next.Build.Seed += 7
+	if err := next.SaveAtomic(path); err != nil {
+		t.Fatal(err)
+	}
+	res, err := aw.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || !res.Swapped {
+		t.Fatalf("post-recreate poll = %+v, want a swap", res)
+	}
+	if res.Fingerprint != next.Fingerprint() {
+		t.Fatalf("swapped to %q, want %q", res.Fingerprint, next.Fingerprint())
+	}
+	if gen, _ := s.Identity(); gen == gen0 {
+		t.Fatal("generation did not advance across delete-then-recreate")
+	}
+
+	// And the fingerprint skip resumes against the recreated artifact.
+	if res, err := aw.Poll(); err != nil || res != nil {
+		t.Fatalf("settled poll = (%+v, %v), want a skip", res, err)
+	}
+}
+
+// TestWatcherTruncatedGzip: a stat-identical truncation corrupts the gzip
+// stream, so PeekFingerprint errors and cannot authorize a skip; the full
+// reload must then fail loudly — the corrupt artifact is never promoted —
+// and the previous generation keeps serving until the artifact heals.
+func TestWatcherTruncatedGzip(t *testing.T) {
+	s, aw, path := watcherFixture(t)
+	genBefore, servingBefore := s.Identity()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamp := fi.ModTime()
+
+	// Act one: truncate the gzip stream in half, pad back to the original
+	// size and restore the mtime — stat-identical, bytes garbage past the
+	// midpoint. The fingerprint field sits early in the stream, so the
+	// peek still reads it, finds it matching the serving generation, and
+	// the poll skips: the corrupt tail is never parsed, never promoted.
+	halfCorrupt := make([]byte, len(data))
+	copy(halfCorrupt, data[:len(data)/2])
+	if err := os.WriteFile(path, halfCorrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, stamp, stamp); err != nil {
+		t.Fatal(err)
+	}
+	if modOK, sizeOK := statPair(t, path, stamp, fi.Size()); !modOK || !sizeOK {
+		t.Fatal("test setup failed to keep the corrupt artifact stat-identical")
+	}
+	if res, err := aw.Poll(); err != nil || res != nil {
+		t.Fatalf("half-truncated poll = (%+v, %v), want a fingerprint skip", res, err)
+	}
+	if gen, serving := s.Identity(); gen != genBefore || serving != servingBefore {
+		t.Fatal("half-truncated artifact disturbed the serving identity")
+	}
+
+	// Act two: truncate into the gzip header itself (still stat-identical
+	// via padding), so even the peek fails and cannot authorize a skip.
+	corrupt := make([]byte, len(data))
+	copy(corrupt, data[:16])
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, stamp, stamp); err != nil {
+		t.Fatal(err)
+	}
+	if modOK, sizeOK := statPair(t, path, stamp, fi.Size()); !modOK || !sizeOK {
+		t.Fatal("test setup failed to keep the corrupt artifact stat-identical")
+	}
+	if _, err := core.PeekFingerprint(path); err == nil {
+		t.Fatal("PeekFingerprint read a fingerprint out of a headerless gzip stream")
+	}
+
+	if res, err := aw.Poll(); err == nil {
+		t.Fatalf("poll on corrupt artifact = (%+v, nil), want an error", res)
+	}
+	if gen, serving := s.Identity(); gen != genBefore || serving != servingBefore {
+		t.Fatalf("corrupt artifact disturbed the serving identity: (%d, %q) -> (%d, %q)",
+			genBefore, servingBefore, gen, serving)
+	}
+	// Force (SIGHUP) must refuse it just the same.
+	if res, err := aw.Force(); err == nil {
+		t.Fatalf("force on corrupt artifact = (%+v, nil), want an error", res)
+	}
+
+	// Heal the artifact; the next poll reloads (the failed attempt
+	// dropped the stat state, so no skip can shadow the recovery).
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, stamp, stamp); err != nil {
+		t.Fatal(err)
+	}
+	res, err := aw.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Swapped {
+		t.Fatalf("healed poll = %+v, want an unswapped reload", res)
+	}
+}

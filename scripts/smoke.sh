@@ -27,6 +27,14 @@
 # a new fingerprinted generation was published, the artifact on disk was
 # rewritten to match, zero predicts failed during the swap, and the
 # ingest counters and manual /v2/retrain answer coherently.
+#
+# A fifth act closes the control loop: an ingest-enabled dramserve on the
+# UE artifact feeds live /v2 predictions into `dramfleet -policy
+# threshold`, whose mitigation actions actuate the simulated fleet. The
+# assertions are that the printed mitigation ledger is non-empty (the
+# policy actually acted) and that two same-seed replays render the ledger
+# byte-identically — the policy evaluation harness's determinism contract
+# surviving a live HTTP predictor.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,6 +46,7 @@ addr_ue=127.0.0.1:18083
 addr_ue2=127.0.0.1:18084
 addr_uert=127.0.0.1:18091
 addr_ing=127.0.0.1:18085
+addr_pol=127.0.0.1:18086
 workdir=$(mktemp -d)
 pids=()
 trap 'kill "${pids[@]}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
@@ -341,5 +350,46 @@ echo "$imetrics" | grep -Eq 'dramserve_retrain_total [1-9]' \
 rt=$(curl -sS -XPOST "http://$addr_ing/v2/retrain")
 echo "$rt" | grep -Eq '"fingerprint"|"retrain_in_progress"' \
   || fail "/v2/retrain did not answer coherently" "$rt"
+
+# --- the control loop: live predictions drive the mitigation policy,
+# and the scored ledger replays byte-identically at equal seed.
+
+# The policy loop needs stable predictions across both replays, so it
+# gets its own server on its own artifact copy: -policy sends no ingest
+# traffic, hence no retrain can swap the generation mid-replay.
+cp "$workdir/ue.json.gz" "$workdir/policy.json.gz"
+"$workdir/dramserve" -load "$workdir/policy.json.gz" -addr "$addr_pol" \
+  -ingest -ingest-capacity 4096 \
+  2>"$workdir/serve_pol.log" &
+pid_pol=$!
+pids+=("$pid_pol")
+for _ in $(seq 1 100); do
+  curl -fsS "http://$addr_pol/healthz" >/dev/null 2>&1 && break
+  kill -0 "$pid_pol" 2>/dev/null || { echo "policy dramserve died:"; cat "$workdir/serve_pol.log"; exit 1; }
+  sleep 0.1
+done
+
+"$workdir/dramfleet" -addr "http://$addr_pol" -policy threshold -seed 1 -ticks 8 \
+  >"$workdir/pol1.txt" 2>"$workdir/pol1.log" \
+  || fail "policy run 1 failed" "$(cat "$workdir/pol1.log")"
+grep -q '^mitigation ledger: policy=threshold seed=1' "$workdir/pol1.txt" \
+  || fail "policy report missing the mitigation ledger" "$(cat "$workdir/pol1.txt")"
+# Non-empty ledger: the loop predicted on every tick and the policy
+# actually issued at least one action against the fleet.
+grep -Eq '^  predict +calls=[1-9][0-9]* errors=0$' "$workdir/pol1.txt" \
+  || fail "policy loop completed no clean predictions" "$(cat "$workdir/pol1.txt")"
+grep -Eq '^  actions +retune=[0-9]+ offline=[0-9]+ migrate=[0-9]+$' "$workdir/pol1.txt" \
+  || fail "policy report missing the action counts" "$(cat "$workdir/pol1.txt")"
+grep -Eq 'retune=[1-9]|offline=[1-9]|migrate=[1-9]' "$workdir/pol1.txt" \
+  || fail "threshold policy never acted" "$(cat "$workdir/pol1.txt")"
+grep -Eq '^  checksum +[0-9a-f]{16}$' "$workdir/pol1.txt" \
+  || fail "policy report missing the ledger checksum" "$(cat "$workdir/pol1.txt")"
+
+# Same seed, same artifact: the whole ledger replays byte-identically.
+"$workdir/dramfleet" -addr "http://$addr_pol" -policy threshold -seed 1 -ticks 8 \
+  >"$workdir/pol2.txt" 2>"$workdir/pol2.log" \
+  || fail "policy run 2 failed" "$(cat "$workdir/pol2.log")"
+cmp -s "$workdir/pol1.txt" "$workdir/pol2.txt" \
+  || fail "mitigation ledgers differ for the same seed" "$(diff "$workdir/pol1.txt" "$workdir/pol2.txt")"
 
 echo "smoke OK"
